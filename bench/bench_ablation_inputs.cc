@@ -1,0 +1,93 @@
+// Ablation: how much does the choice of the two probe placements matter?
+//
+// §5 says the training process "automatically finds the two of the important
+// placements that give the highest accuracy when used as inputs". This bench
+// sweeps every candidate pair on both machines and reports the
+// cross-validated error, the best/worst pair, and the catalog error of each
+// extreme — quantifying the value of the automatic search.
+#include <cstdio>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "src/core/important.h"
+#include "src/model/pipeline.h"
+#include "src/sim/perf_model.h"
+#include "src/topology/machines.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/workloads/synth.h"
+
+namespace {
+
+using namespace numaplace;
+
+double CatalogError(const ModelPipeline& pipeline, const TrainedPerfModel& model) {
+  double total = 0.0;
+  int count = 0;
+  for (const WorkloadProfile& w : PaperWorkloads()) {
+    const std::vector<double> actual = pipeline.MeasureVector(w, 600).relative;
+    const double pa = pipeline.MeasureAbsolute(w, model.input_a, 600);
+    const double pb = pipeline.MeasureAbsolute(w, model.input_b, 600);
+    total += MeanAbsoluteError(actual, model.Predict(pa, pb));
+    ++count;
+  }
+  return total / count;
+}
+
+void RunMachine(bool amd) {
+  const Topology topo = amd ? AmdOpteron6272() : IntelXeonE74830v3();
+  const int vcpus = amd ? 16 : 24;
+  const ImportantPlacementSet ips = GenerateImportantPlacements(topo, vcpus, amd);
+  PerformanceModel sim(topo, 0.015, 99);
+  ModelPipeline pipeline(ips, sim, amd ? 1 : 2, 7);
+  Rng rng(5);
+  const auto train = SampleTrainingWorkloads(60, rng);
+  PerfModelConfig config;
+
+  std::printf("\n== %s: probe-pair sweep ==\n", topo.name().c_str());
+  TablePrinter table({"pair", "cv error"});
+  double best_err = std::numeric_limits<double>::infinity();
+  double worst_err = 0.0;
+  std::pair<int, int> best_pair;
+  std::pair<int, int> worst_pair;
+  for (size_t i = 0; i < ips.placements.size(); ++i) {
+    for (size_t j = i + 1; j < ips.placements.size(); ++j) {
+      const int a = ips.placements[i].id;
+      const int b = ips.placements[j].id;
+      const double err = pipeline.CrossValidatedMae(train, a, b, config);
+      table.AddRow({"(#" + std::to_string(a) + ", #" + std::to_string(b) + ")",
+                    TablePrinter::Num(err, 4)});
+      if (err < best_err) {
+        best_err = err;
+        best_pair = {a, b};
+      }
+      if (err > worst_err) {
+        worst_err = err;
+        worst_pair = {a, b};
+      }
+    }
+  }
+  table.Print(std::cout);
+
+  const TrainedPerfModel best =
+      pipeline.TrainPerf(train, best_pair.first, best_pair.second, config);
+  const TrainedPerfModel worst =
+      pipeline.TrainPerf(train, worst_pair.first, worst_pair.second, config);
+  std::printf("\nBest pair  (#%d, #%d): cv %.4f, paper-catalog mean |err| %.1f%%\n",
+              best_pair.first, best_pair.second, best_err,
+              100.0 * CatalogError(pipeline, best));
+  std::printf("Worst pair (#%d, #%d): cv %.4f, paper-catalog mean |err| %.1f%%\n",
+              worst_pair.first, worst_pair.second, worst_err,
+              100.0 * CatalogError(pipeline, worst));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: choice of the two probe placements ==\n");
+  RunMachine(/*amd=*/true);
+  RunMachine(/*amd=*/false);
+  return 0;
+}

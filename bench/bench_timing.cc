@@ -1,0 +1,101 @@
+// §6 timing claims, measured with google-benchmark:
+//   * "The algorithms used to determine important placements also run in a
+//     matter of seconds."
+//   * "training the model takes seconds"
+//   * "The inference time is negligible (milliseconds)."
+#include <benchmark/benchmark.h>
+
+#include "src/core/important.h"
+#include "src/model/pipeline.h"
+#include "src/sim/perf_model.h"
+#include "src/topology/machines.h"
+#include "src/util/rng.h"
+#include "src/workloads/synth.h"
+
+namespace {
+
+using namespace numaplace;
+
+void BM_ImportantPlacementsAmd(benchmark::State& state) {
+  const Topology amd = AmdOpteron6272();
+  for (auto _ : state) {
+    const ImportantPlacementSet set = GenerateImportantPlacements(amd, 16, true);
+    benchmark::DoNotOptimize(set.placements.size());
+  }
+}
+BENCHMARK(BM_ImportantPlacementsAmd);
+
+void BM_ImportantPlacementsIntel(benchmark::State& state) {
+  const Topology intel = IntelXeonE74830v3();
+  for (auto _ : state) {
+    const ImportantPlacementSet set = GenerateImportantPlacements(intel, 24, false);
+    benchmark::DoNotOptimize(set.placements.size());
+  }
+}
+BENCHMARK(BM_ImportantPlacementsIntel);
+
+void BM_SimulatorEvaluate(benchmark::State& state) {
+  const Topology amd = AmdOpteron6272();
+  const ImportantPlacementSet ips = GenerateImportantPlacements(amd, 16, true);
+  PerformanceModel sim(amd);
+  const WorkloadProfile w = PaperWorkload("WTbtree");
+  const Placement p = Realize(ips.placements.front(), amd, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Evaluate(w, p).throughput_ops);
+  }
+}
+BENCHMARK(BM_SimulatorEvaluate);
+
+// One fixed-pair training pass (dataset build amortized by the measurement
+// cache; forest fit dominates).
+void BM_TrainFixedPair(benchmark::State& state) {
+  const Topology amd = AmdOpteron6272();
+  const ImportantPlacementSet ips = GenerateImportantPlacements(amd, 16, true);
+  PerformanceModel sim(amd, 0.015, 99);
+  ModelPipeline pipeline(ips, sim, 1, 7);
+  Rng rng(5);
+  const auto train = SampleTrainingWorkloads(static_cast<int>(state.range(0)), rng);
+  PerfModelConfig config;
+  for (auto _ : state) {
+    const TrainedPerfModel model = pipeline.TrainPerf(train, 1, 13, config);
+    benchmark::DoNotOptimize(model.forest.NumTrees());
+  }
+}
+BENCHMARK(BM_TrainFixedPair)->Arg(30)->Arg(60)->Arg(90)->Unit(benchmark::kMillisecond);
+
+// The full automatic pipeline including the input-pair search ("seconds").
+void BM_TrainAuto(benchmark::State& state) {
+  const Topology amd = AmdOpteron6272();
+  const ImportantPlacementSet ips = GenerateImportantPlacements(amd, 16, true);
+  PerformanceModel sim(amd, 0.015, 99);
+  ModelPipeline pipeline(ips, sim, 1, 7);
+  Rng rng(5);
+  const auto train = SampleTrainingWorkloads(48, rng);
+  PerfModelConfig config;
+  for (auto _ : state) {
+    const TrainedPerfModel model = pipeline.TrainPerfAuto(train, config);
+    benchmark::DoNotOptimize(model.input_b);
+  }
+}
+BENCHMARK(BM_TrainAuto)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Inference(benchmark::State& state) {
+  const Topology amd = AmdOpteron6272();
+  const ImportantPlacementSet ips = GenerateImportantPlacements(amd, 16, true);
+  PerformanceModel sim(amd, 0.015, 99);
+  ModelPipeline pipeline(ips, sim, 1, 7);
+  Rng rng(5);
+  const auto train = SampleTrainingWorkloads(36, rng);
+  PerfModelConfig config;
+  const TrainedPerfModel model = pipeline.TrainPerf(train, 1, 13, config);
+  const double pa = pipeline.MeasureAbsolute(PaperWorkload("gcc"), 1, 0);
+  const double pb = pipeline.MeasureAbsolute(PaperWorkload("gcc"), 13, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(pa, pb));
+  }
+}
+BENCHMARK(BM_Inference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Capacity planner: the §7 datacenter scenario.
+//
+// An operator wants to pack as many instances of a given container type onto
+// each machine as possible while respecting a performance target. This
+// example compares the four policies across a fleet of container types and
+// prints a consolidation report: machines needed for 100 instances of each
+// type, and whether the target was honoured.
+//
+// Run: ./build/examples/capacity_planner
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/core/important.h"
+#include "src/model/pipeline.h"
+#include "src/policy/policies.h"
+#include "src/sim/perf_model.h"
+#include "src/topology/machines.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+#include "src/workloads/synth.h"
+
+int main() {
+  using namespace numaplace;
+  constexpr int kFleetInstances = 100;  // instances of each type to host
+  constexpr double kGoal = 1.0;         // must match baseline throughput
+
+  const Topology machine = AmdOpteron6272();
+  const int vcpus = 16;
+  const ImportantPlacementSet placements = GenerateImportantPlacements(machine, vcpus, true);
+
+  PerformanceModel solo(machine, 0.01, 2);
+  MultiTenantModel multi(machine, 0.01, 2);
+  PolicyContext ctx;
+  ctx.topo = &machine;
+  ctx.ips = &placements;
+  ctx.solo_sim = &solo;
+  ctx.multi_sim = &multi;
+  ctx.vcpus = vcpus;
+  ctx.baseline_id = 1;
+
+  ModelPipeline pipeline(placements, solo, 1, 31);
+  Rng rng(13);
+  PerfModelConfig config;
+  const TrainedPerfModel model =
+      pipeline.TrainPerfAuto(SampleTrainingWorkloads(60, rng), config);
+
+  const ConservativePolicy conservative(ctx);
+  const SmartAggressivePolicy smart(ctx);
+  const MlPolicy ml(ctx, &model);
+  const std::vector<const Policy*> policies = {&ml, &conservative, &smart};
+
+  std::printf("Capacity plan: %d instances per container type, goal = %.0f%% of the\n",
+              kFleetInstances, 100.0 * kGoal);
+  std::printf("baseline placement, machine = %s\n\n", machine.name().c_str());
+
+  TablePrinter report({"container", "policy", "inst/machine", "machines for 100",
+                       "goal violation"});
+  for (const char* type : {"WTbtree", "postgres-tpch", "spark-pr-lj", "kmeans"}) {
+    for (const Policy* policy : policies) {
+      Rng trial_rng(99);
+      const PolicyResult r =
+          policy->Evaluate(PaperWorkload(type), kGoal, trial_rng, /*trials=*/4);
+      const int machines = (kFleetInstances + r.instances - 1) / r.instances;
+      report.AddRow({type, r.policy, std::to_string(r.instances),
+                     std::to_string(machines),
+                     TablePrinter::Num(r.violation_pct, 1) + "%"});
+    }
+  }
+  report.Print(std::cout);
+
+  std::printf("\nReading the report: the ML policy packs like Smart-Aggressive when\n");
+  std::printf("that is safe, and backs off to larger placements when the model\n");
+  std::printf("predicts the target would be missed — so its violation column stays\n");
+  std::printf("at zero while using far fewer machines than Conservative.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Portability demo (§8): the conclusion argues the methodology transfers to
+// new architectures "without significant retooling by an expert". This
+// example runs the whole §4 pipeline on two machines the paper names as
+// future targets — an AMD-Zen-like part (L3 shared at CCX granularity,
+// finer than the memory controller) and an Intel Haswell-EP with
+// cluster-on-die (asymmetric links with only four nodes) — plus a fully
+// custom machine built from scratch with the Topology constructor.
+//
+// Run: ./build/examples/custom_machine
+#include <cstdio>
+
+#include "src/core/concern.h"
+#include "src/core/important.h"
+#include "src/topology/machines.h"
+#include "src/topology/topology.h"
+
+namespace {
+
+using namespace numaplace;
+
+void Enumerate(const Topology& machine, int vcpus) {
+  const bool asymmetric = InterconnectIsAsymmetric(machine);
+  std::printf("\n%s — %d vCPUs, interconnect %s\n", machine.name().c_str(), vcpus,
+              asymmetric ? "asymmetric (interconnect concern enabled)" : "symmetric");
+  const ImportantPlacementSet set = GenerateImportantPlacements(machine, vcpus, asymmetric);
+  std::printf("%zu important placements:\n", set.placements.size());
+  for (const ImportantPlacement& p : set.placements) {
+    std::printf("  %s\n", p.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Porting the model to new machines (conclusion, §8) ==\n");
+
+  // AMD-Zen-like: the CCX's shared victim L3 takes the pairwise-sharing
+  // concern role; nothing else changes.
+  Enumerate(AmdZenLike(), /*vcpus=*/16);
+
+  // Haswell-EP cluster-on-die: asymmetric links with only four nodes, the
+  // configuration the paper cites from Molka et al.
+  Enumerate(HaswellClusterOnDie(), /*vcpus=*/12);
+
+  // A custom machine from scratch: a hypothetical 6-node part with a ring
+  // interconnect (each node linked to its two neighbours).
+  std::vector<Link> ring;
+  for (int n = 0; n < 6; ++n) {
+    ring.push_back({n, (n + 1) % 6, n % 2 == 0 ? 16.0 : 12.0});
+  }
+  PerfParams perf;
+  perf.l3_size_mb = 24.0;
+  perf.dram_gbps_per_node = 20.0;
+  const Topology custom("custom 6-node ring machine", /*num_nodes=*/6,
+                        /*cores_per_node=*/8, /*smt_per_core=*/2,
+                        /*cores_per_l2_group=*/1, std::move(ring), perf);
+  Enumerate(custom, /*vcpus=*/24);
+
+  std::printf("\nNo per-machine model code was written for any of these: the\n");
+  std::printf("concern specification plus the topology is the entire input,\n");
+  std::printf("which is the paper's central portability claim.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: the full numaplace workflow in one file.
+//
+//  1. Describe the machine (or pick one from the catalog).
+//  2. Generate the important placements for your container size (§4).
+//  3. Train a performance model for the machine + vCPU count (§5).
+//  4. Let the controller probe, predict and place a container (§1 step 4).
+//
+// Build:  cmake --build build --target quickstart
+// Run:    ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/container/controller.h"
+#include "src/core/concern.h"
+#include "src/core/important.h"
+#include "src/model/pipeline.h"
+#include "src/sim/perf_model.h"
+#include "src/topology/machines.h"
+#include "src/util/rng.h"
+#include "src/workloads/synth.h"
+
+int main() {
+  using namespace numaplace;
+
+  // --- Step 1: the machine. AmdOpteron6272() ships the paper's 8-node box;
+  // build your own with the Topology constructor for other hardware.
+  const Topology machine = AmdOpteron6272();
+  std::printf("Machine: %s\n", machine.name().c_str());
+  std::printf("Interconnect asymmetric: %s\n",
+              InterconnectIsAsymmetric(machine) ? "yes (use the interconnect concern)"
+                                                : "no");
+
+  // --- Step 2: important placements for a 16-vCPU container.
+  const int vcpus = 16;
+  const ImportantPlacementSet placements =
+      GenerateImportantPlacements(machine, vcpus, InterconnectIsAsymmetric(machine));
+  std::printf("\n%zu important placements for %d vCPUs:\n", placements.placements.size(),
+              vcpus);
+  for (const ImportantPlacement& p : placements.placements) {
+    std::printf("  %s\n", p.ToString().c_str());
+  }
+
+  // --- Step 3: train the model. On real hardware the measurements come from
+  // running workloads in each placement; here the simulator substrate
+  // provides them (see DESIGN.md for the substitution).
+  PerformanceModel sim(machine, /*noise_sigma=*/0.015, /*noise_seed=*/1);
+  ModelPipeline pipeline(placements, sim, /*baseline_id=*/1, /*seed=*/42);
+  Rng rng(7);
+  PerfModelConfig config;
+  const TrainedPerfModel model =
+      pipeline.TrainPerfAuto(SampleTrainingWorkloads(60, rng), config);
+  std::printf("\nModel trained; automatic search picked probe placements #%d and #%d\n",
+              model.input_a, model.input_b);
+
+  // --- Step 4: place a container. The controller runs it briefly in the two
+  // probe placements, predicts the full performance vector, picks the
+  // fewest-nodes placement meeting the goal, and migrates.
+  VirtualContainer container;
+  container.workload = PaperWorkload("WTbtree");  // a WiredTiger B-tree store
+  container.vcpus = vcpus;
+  container.goal_fraction = 1.0;  // match the baseline placement's throughput
+
+  PlacementController controller(placements, sim, model, /*baseline_id=*/1);
+  const PlacementDecision decision = controller.Place(container);
+
+  std::printf("\nPlacement decision for %s:\n", container.workload.name.c_str());
+  for (const TimelineEvent& event : decision.timeline) {
+    std::printf("  t=%6.1fs +%6.1fs  %s\n", event.start_seconds, event.duration_seconds,
+                event.description.c_str());
+  }
+  const ImportantPlacement& chosen = placements.ById(decision.chosen_placement_id);
+  std::printf("\nChosen: placement #%d — %d NUMA nodes (%s), leaving %d nodes free\n",
+              chosen.id, chosen.l3_score, chosen.shares_l2 ? "shared L2" : "private L2",
+              machine.num_nodes() - chosen.l3_score);
+  std::printf("Predicted throughput %.0f ops/s, measured %.0f ops/s\n",
+              decision.predicted_abs_throughput, decision.measured_abs_throughput);
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "src/container/controller.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+namespace {
+
+bool SameNodes(const NodeSet& a, const NodeSet& b) { return a == b; }
+
+std::string DescribePlacement(const ImportantPlacement& ip) {
+  std::ostringstream os;
+  os << "placement #" << ip.id << " (" << ip.NodeCount() << " nodes, "
+     << (ip.shares_l2 ? "shared L2" : "private L2") << ")";
+  return os.str();
+}
+
+}  // namespace
+
+PlacementController::PlacementController(const ImportantPlacementSet& ips,
+                                         const PerformanceModel& sim,
+                                         const TrainedPerfModel& model, int baseline_id,
+                                         double probe_seconds)
+    : ips_(&ips),
+      sim_(&sim),
+      model_(&model),
+      baseline_id_(baseline_id),
+      probe_seconds_(probe_seconds),
+      fast_migrator_(),
+      throttled_migrator_() {
+  NP_CHECK(probe_seconds_ > 0.0);
+}
+
+PlacementDecision PlacementController::Place(const VirtualContainer& container) const {
+  NP_CHECK(container.vcpus == ips_->vcpus);
+  const Topology& topo = sim_->topology();
+  PlacementDecision decision;
+  double clock = 0.0;
+
+  auto add_event = [&](double duration, const std::string& what) {
+    decision.timeline.push_back({clock, duration, what});
+    clock += duration;
+  };
+
+  const Migrator& migrator =
+      container.latency_sensitive
+          ? static_cast<const Migrator&>(throttled_migrator_)
+          : static_cast<const Migrator&>(fast_migrator_);
+
+  // Probe A: the container starts in input placement A.
+  const ImportantPlacement& ip_a = ips_->ById(model_->input_a);
+  const ImportantPlacement& ip_b = ips_->ById(model_->input_b);
+  const Placement placement_a = Realize(ip_a, topo, container.vcpus);
+  const Placement placement_b = Realize(ip_b, topo, container.vcpus);
+
+  add_event(probe_seconds_, "probe in " + DescribePlacement(ip_a));
+  const double perf_a =
+      sim_->Evaluate(container.workload, placement_a, /*run=*/41).throughput_ops;
+
+  // Remap to B. vCPU remapping is cheap; memory follows only when the node
+  // sets differ.
+  if (!SameNodes(ip_a.nodes, ip_b.nodes)) {
+    const MigrationEstimate m = migrator.Migrate(container.workload);
+    add_event(m.seconds, "migrate memory to " + DescribePlacement(ip_b) + " (" +
+                             migrator.name() + ")");
+  }
+  add_event(probe_seconds_, "probe in " + DescribePlacement(ip_b));
+  const double perf_b =
+      sim_->Evaluate(container.workload, placement_b, /*run=*/42).throughput_ops;
+
+  // Predict the full vector and choose the cheapest placement meeting the
+  // goal (fewest nodes; ties to the higher prediction).
+  decision.predicted_relative = model_->Predict(perf_a, perf_b);
+
+  size_t index_a = 0;
+  size_t index_baseline = 0;
+  for (size_t i = 0; i < model_->placement_ids.size(); ++i) {
+    if (model_->placement_ids[i] == model_->input_a) {
+      index_a = i;
+    }
+    if (model_->placement_ids[i] == baseline_id_) {
+      index_baseline = i;
+    }
+  }
+  NP_CHECK(decision.predicted_relative[index_a] > 0.0);
+  const double abs_unit = perf_a / decision.predicted_relative[index_a];
+  const double goal =
+      container.goal_fraction * abs_unit * decision.predicted_relative[index_baseline];
+
+  const ImportantPlacement* chosen = nullptr;
+  double chosen_abs = 0.0;
+  for (size_t i = 0; i < model_->placement_ids.size(); ++i) {
+    const ImportantPlacement& ip = ips_->ById(model_->placement_ids[i]);
+    const double abs_pred = abs_unit * decision.predicted_relative[i];
+    const bool meets = abs_pred >= goal;
+    if (chosen == nullptr) {
+      chosen = &ip;
+      chosen_abs = abs_pred;
+      continue;
+    }
+    const bool chosen_meets = chosen_abs >= goal;
+    if (meets && (!chosen_meets || ip.NodeCount() < chosen->NodeCount() ||
+                  (ip.NodeCount() == chosen->NodeCount() && abs_pred > chosen_abs))) {
+      chosen = &ip;
+      chosen_abs = abs_pred;
+    } else if (!meets && !chosen_meets && abs_pred > chosen_abs) {
+      chosen = &ip;
+      chosen_abs = abs_pred;
+    }
+  }
+  NP_CHECK(chosen != nullptr);
+
+  if (!SameNodes(ip_b.nodes, chosen->nodes)) {
+    const MigrationEstimate m = migrator.Migrate(container.workload);
+    add_event(m.seconds, "migrate memory to final " + DescribePlacement(*chosen) + " (" +
+                             migrator.name() + ")");
+  } else {
+    add_event(0.0, "final " + DescribePlacement(*chosen) + " (no migration needed)");
+  }
+
+  decision.chosen_placement_id = chosen->id;
+  decision.predicted_abs_throughput = chosen_abs;
+  const Placement final_placement = Realize(*chosen, topo, container.vcpus);
+  decision.measured_abs_throughput =
+      sim_->Evaluate(container.workload, final_placement, /*run=*/43).throughput_ops;
+  decision.total_decision_seconds = clock;
+  return decision;
+}
+
+}  // namespace numaplace

@@ -1,0 +1,78 @@
+// Virtual-container runtime: the online placement controller of §1.
+//
+// Steps the paper's system performs when a container launches:
+//   1. The machine's shared-resource specification (concerns) exists.
+//   2. The important placements were generated for the container's size.
+//   3. A model was trained for (machine, vCPU count).
+//   4. At runtime the scheduler runs the container in the model's two input
+//      placements for a couple of seconds each, feeds the two measurements
+//      to the model, obtains the predicted performance vector, picks a
+//      placement meeting the operator's goal with the fewest nodes, and
+//      remaps the vCPUs — migrating memory when the node sets differ.
+//
+// The controller wires those steps to the simulator substrate and accounts
+// for probe time and migration cost explicitly, producing a timeline a
+// datacenter operator could audit.
+#ifndef NUMAPLACE_SRC_CONTAINER_CONTROLLER_H_
+#define NUMAPLACE_SRC_CONTAINER_CONTROLLER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/important.h"
+#include "src/migration/migration.h"
+#include "src/model/pipeline.h"
+#include "src/sim/perf_model.h"
+#include "src/workloads/profile.h"
+
+namespace numaplace {
+
+// A container instance as the controller sees it.
+struct VirtualContainer {
+  WorkloadProfile workload;
+  int vcpus = 0;
+  // Operator goal relative to the baseline placement (1.0 = match it).
+  double goal_fraction = 1.0;
+  // Latency-sensitive containers use the throttled migrator (§7).
+  bool latency_sensitive = false;
+};
+
+struct TimelineEvent {
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  std::string description;
+};
+
+struct PlacementDecision {
+  int chosen_placement_id = 0;
+  std::vector<double> predicted_relative;  // model output vector
+  double predicted_abs_throughput = 0.0;
+  double measured_abs_throughput = 0.0;    // in the chosen placement
+  double total_decision_seconds = 0.0;     // probes + migrations
+  std::vector<TimelineEvent> timeline;
+};
+
+class PlacementController {
+ public:
+  // All references must outlive the controller.
+  PlacementController(const ImportantPlacementSet& ips, const PerformanceModel& sim,
+                      const TrainedPerfModel& model, int baseline_id,
+                      double probe_seconds = 2.0);
+
+  // Runs steps 4: probe, predict, decide, migrate. Returns the decision with
+  // a full timeline (probe runs, memory migrations, final placement).
+  PlacementDecision Place(const VirtualContainer& container) const;
+
+ private:
+  const ImportantPlacementSet* ips_;
+  const PerformanceModel* sim_;
+  const TrainedPerfModel* model_;
+  int baseline_id_;
+  double probe_seconds_;
+  FastMigrator fast_migrator_;
+  ThrottledMigrator throttled_migrator_;
+};
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_CONTAINER_CONTROLLER_H_

@@ -1,0 +1,81 @@
+#include "src/core/concern.h"
+
+#include <cmath>
+
+namespace numaplace {
+
+namespace {
+
+const std::string kL2Name = "L2/SMT";
+const std::string kL2Resources =
+    "L2 cache, instruction fetch and decode, and floating point units";
+const std::string kL3Name = "L3";
+const std::string kL3Resources = "L3 cache, memory controller, and bandwidth to DRAM";
+const std::string kMemCtlName = "MemCtl";
+const std::string kMemCtlResources = "Memory controller and bandwidth to DRAM";
+const std::string kIcName = "Interconnect";
+const std::string kIcResources = "Interconnect bandwidth";
+
+}  // namespace
+
+const std::string& L2SmtConcern::name() const { return kL2Name; }
+const std::string& L2SmtConcern::resources() const { return kL2Resources; }
+
+double L2SmtConcern::Score(const Placement& placement, const Topology& topo) const {
+  return static_cast<double>(placement.L2GroupsUsed(topo).size());
+}
+
+const std::string& L3Concern::name() const { return kL3Name; }
+const std::string& L3Concern::resources() const { return kL3Resources; }
+
+double L3Concern::Score(const Placement& placement, const Topology& topo) const {
+  return static_cast<double>(placement.L3GroupsUsed(topo).size());
+}
+
+const std::string& MemoryControllerConcern::name() const { return kMemCtlName; }
+const std::string& MemoryControllerConcern::resources() const { return kMemCtlResources; }
+
+double MemoryControllerConcern::Score(const Placement& placement,
+                                      const Topology& topo) const {
+  return static_cast<double>(placement.NodesUsed(topo).size());
+}
+
+const std::string& InterconnectConcern::name() const { return kIcName; }
+const std::string& InterconnectConcern::resources() const { return kIcResources; }
+
+double InterconnectConcern::Score(const Placement& placement, const Topology& topo) const {
+  const NodeSet nodes = placement.NodesUsed(topo);
+  return topo.AggregateBandwidth(nodes);
+}
+
+std::vector<std::unique_ptr<Concern>> ConcernsFor(const Topology& topo,
+                                                  bool use_interconnect_concern) {
+  std::vector<std::unique_ptr<Concern>> concerns;
+  concerns.push_back(std::make_unique<L2SmtConcern>());
+  concerns.push_back(std::make_unique<L3Concern>());
+  if (topo.HasSplitL3()) {
+    concerns.push_back(std::make_unique<MemoryControllerConcern>());
+  }
+  if (use_interconnect_concern) {
+    concerns.push_back(std::make_unique<InterconnectConcern>());
+  }
+  return concerns;
+}
+
+bool InterconnectIsAsymmetric(const Topology& topo) {
+  // Symmetric means: every distinct node pair has the same link bandwidth.
+  double reference = -1.0;
+  for (int a = 0; a < topo.num_nodes(); ++a) {
+    for (int b = a + 1; b < topo.num_nodes(); ++b) {
+      const double bw = topo.LinkBandwidth(a, b);
+      if (reference < 0.0) {
+        reference = bw;
+      } else if (std::abs(bw - reference) > 1e-9) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace numaplace

@@ -1,0 +1,115 @@
+// Scheduling concerns (§4): one concern per shared hardware resource (or per
+// inseparable set of resources). A concern's job is to produce a numeric
+// score for a vCPU placement — the static utilization of that resource —
+// plus two bits of metadata the important-placement generator needs:
+//   * AffectsCost: is a lower score cheaper for the user (fewer NUMA nodes ->
+//     denser packing)? If so, lower-scoring placements must be kept even when
+//     a higher-scoring one performs better.
+//   * InversePerfPossible: can a *lower* score ever perform better (e.g.
+//     cooperative cache sharing)? If not and the score does not affect cost,
+//     dominated placements can be filtered (the interconnect concern).
+#ifndef NUMAPLACE_SRC_CORE_CONCERN_H_
+#define NUMAPLACE_SRC_CORE_CONCERN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/placement.h"
+#include "src/topology/topology.h"
+
+namespace numaplace {
+
+class Concern {
+ public:
+  virtual ~Concern() = default;
+
+  virtual const std::string& name() const = 0;
+  // Human-readable list of the hardware resources the concern covers
+  // (column 3 of the paper's Table 1).
+  virtual const std::string& resources() const = 0;
+  virtual double Score(const Placement& placement, const Topology& topo) const = 0;
+  virtual bool AffectsCost() const = 0;
+  virtual bool InversePerfPossible() const = 0;
+};
+
+// A concern over a countable, symmetric resource (L2 groups, L3 caches):
+// Count is how many instances exist on the machine, Capacity how many
+// hardware threads one instance can host. These drive Algorithm 1.
+class CountableConcern : public Concern {
+ public:
+  virtual int Count(const Topology& topo) const = 0;
+  virtual int Capacity(const Topology& topo) const = 0;
+};
+
+// Number of L2 groups in use. Covers the L2 cache plus whatever is
+// inseparable from it on the machine: the SMT pipeline on Intel, the CMT
+// module front-end and FPU on AMD.
+class L2SmtConcern final : public CountableConcern {
+ public:
+  const std::string& name() const override;
+  const std::string& resources() const override;
+  double Score(const Placement& placement, const Topology& topo) const override;
+  bool AffectsCost() const override { return true; }
+  bool InversePerfPossible() const override { return true; }
+  int Count(const Topology& topo) const override { return topo.NumL2Groups(); }
+  int Capacity(const Topology& topo) const override { return topo.L2GroupCapacity(); }
+};
+
+// Number of L3 caches in use. On the paper's machines one L3 equals one
+// NUMA node, so this concern covers the L3 cache, the memory controller and
+// the DRAM bandwidth behind it, and defines the unit of resource allocation
+// (§3). On split-L3 machines (Zen CCX, §8) it covers the L3 cache only, and
+// the MemoryControllerConcern takes over the node-level resources.
+class L3Concern final : public CountableConcern {
+ public:
+  const std::string& name() const override;
+  const std::string& resources() const override;
+  double Score(const Placement& placement, const Topology& topo) const override;
+  bool AffectsCost() const override { return true; }
+  bool InversePerfPossible() const override { return true; }
+  int Count(const Topology& topo) const override { return topo.NumL3Groups(); }
+  int Capacity(const Topology& topo) const override { return topo.L3GroupCapacity(); }
+};
+
+// Number of NUMA nodes (memory controllers) in use. Only a separate concern
+// on machines where the L3 is shared at finer granularity than the memory
+// controller — "AMD's newly introduced Zen architecture has L3 cache sharing
+// separate from sharing the memory controller" (§8). The node remains the
+// unit of resource allocation.
+class MemoryControllerConcern final : public CountableConcern {
+ public:
+  const std::string& name() const override;
+  const std::string& resources() const override;
+  double Score(const Placement& placement, const Topology& topo) const override;
+  bool AffectsCost() const override { return true; }
+  bool InversePerfPossible() const override { return true; }
+  int Count(const Topology& topo) const override { return topo.num_nodes(); }
+  int Capacity(const Topology& topo) const override { return topo.NodeCapacity(); }
+};
+
+// Aggregate bandwidth of the interconnect links internal to the node set in
+// use. More bandwidth never hurts and is not billed to the user, so
+// placements dominated on this score can be discarded (Algorithm 3).
+class InterconnectConcern final : public Concern {
+ public:
+  const std::string& name() const override;
+  const std::string& resources() const override;
+  double Score(const Placement& placement, const Topology& topo) const override;
+  bool AffectsCost() const override { return false; }
+  bool InversePerfPossible() const override { return false; }
+};
+
+// The concern set for a machine, in the paper's Table 1 order. Machines with
+// a symmetric interconnect (the Intel system) omit the interconnect concern.
+std::vector<std::unique_ptr<Concern>> ConcernsFor(const Topology& topo,
+                                                  bool use_interconnect_concern);
+
+// True when the machine's interconnect is asymmetric (some node-pair link
+// bandwidths differ, including absent links among connected diameters), in
+// which case the interconnect concern is worth enabling.
+bool InterconnectIsAsymmetric(const Topology& topo);
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_CORE_CONCERN_H_

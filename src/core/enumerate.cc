@@ -1,0 +1,80 @@
+#include "src/core/enumerate.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+std::vector<int> GenerateScores(int vcpus, int count, int capacity) {
+  NP_CHECK(vcpus > 0);
+  NP_CHECK(count > 0);
+  NP_CHECK(capacity > 0);
+  std::vector<int> scores;
+  for (int s = 1; s <= count; ++s) {
+    if (vcpus % s == 0 && vcpus / s <= capacity) {
+      scores.push_back(s);
+    }
+  }
+  return scores;
+}
+
+std::vector<int> GenerateScores(int vcpus, const CountableConcern& concern,
+                                const Topology& topo) {
+  return GenerateScores(vcpus, concern.Count(topo), concern.Capacity(topo));
+}
+
+namespace {
+
+// Recursively extends `current` with one more part containing the smallest
+// uncovered node. `remaining` is sorted ascending.
+void GenPack(const std::vector<int>& part_sizes, const std::vector<int>& remaining,
+             Packing& current, std::vector<Packing>& out) {
+  if (remaining.empty()) {
+    out.push_back(current);
+    return;
+  }
+  const int anchor = remaining.front();
+  const int n_rest = static_cast<int>(remaining.size()) - 1;
+  for (int size : part_sizes) {
+    if (size > static_cast<int>(remaining.size())) {
+      continue;
+    }
+    // Choose (size - 1) companions for the anchor from remaining[1..].
+    std::vector<int> selector(static_cast<size_t>(n_rest), 0);
+    std::fill(selector.begin(), selector.begin() + (size - 1), 1);
+    // Iterate all combinations via prev_permutation on the selector mask
+    // (starts at the lexicographically largest arrangement).
+    do {
+      NodeSet part = {anchor};
+      std::vector<int> rest;
+      for (int i = 0; i < n_rest; ++i) {
+        if (selector[static_cast<size_t>(i)] != 0) {
+          part.push_back(remaining[static_cast<size_t>(i) + 1]);
+        } else {
+          rest.push_back(remaining[static_cast<size_t>(i) + 1]);
+        }
+      }
+      current.push_back(std::move(part));
+      GenPack(part_sizes, rest, current, out);
+      current.pop_back();
+    } while (std::prev_permutation(selector.begin(), selector.end()));
+  }
+}
+
+}  // namespace
+
+std::vector<Packing> GeneratePackings(const std::vector<int>& l3_scores, int num_nodes) {
+  NP_CHECK(num_nodes > 0);
+  NP_CHECK(!l3_scores.empty());
+  std::vector<int> nodes(static_cast<size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    nodes[static_cast<size_t>(i)] = i;
+  }
+  std::vector<Packing> out;
+  Packing current;
+  GenPack(l3_scores, nodes, current, out);
+  return out;
+}
+
+}  // namespace numaplace

@@ -1,0 +1,38 @@
+// Algorithm 1 (§4): generate the concern scores that satisfy the balance and
+// feasibility properties, and Algorithm 2: generate all packings of
+// placements onto the machine's NUMA nodes.
+#ifndef NUMAPLACE_SRC_CORE_ENUMERATE_H_
+#define NUMAPLACE_SRC_CORE_ENUMERATE_H_
+
+#include <vector>
+
+#include "src/core/concern.h"
+#include "src/core/placement.h"
+#include "src/topology/topology.h"
+
+namespace numaplace {
+
+// Algorithm 1 for one countable concern: all scores s in [1, count] with
+//   balance:      vcpus mod s == 0
+//   feasibility:  vcpus / s <= capacity
+// returned ascending.
+std::vector<int> GenerateScores(int vcpus, int count, int capacity);
+
+// Convenience overload reading count/capacity from the concern.
+std::vector<int> GenerateScores(int vcpus, const CountableConcern& concern,
+                                const Topology& topo);
+
+// A packing: a list of disjoint node sets, jointly covering all nodes, where
+// each set hosts one (potential) container placement (Algorithm 2's output).
+using Packing = std::vector<NodeSet>;
+
+// Algorithm 2 (GenPack): every partition of the machine's nodes into parts
+// whose sizes are valid L3 scores. Unlike the paper's pseudocode, parts are
+// generated in canonical order (each part contains the smallest node not yet
+// covered), so no duplicate permutations are produced and the explicit
+// "remove duplicates" pass only has to collapse score-identical packings.
+std::vector<Packing> GeneratePackings(const std::vector<int>& l3_scores, int num_nodes);
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_CORE_ENUMERATE_H_

@@ -1,0 +1,95 @@
+#include "src/core/placement.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+namespace {
+
+std::vector<int> DistinctMapped(const std::vector<int>& hw_threads, const Topology& topo,
+                                int (Topology::*mapper)(int) const) {
+  std::set<int> distinct;
+  for (int t : hw_threads) {
+    distinct.insert((topo.*mapper)(t));
+  }
+  return {distinct.begin(), distinct.end()};
+}
+
+}  // namespace
+
+NodeSet Placement::NodesUsed(const Topology& topo) const {
+  return DistinctMapped(hw_threads, topo, &Topology::NodeOf);
+}
+
+std::vector<int> Placement::L3GroupsUsed(const Topology& topo) const {
+  return DistinctMapped(hw_threads, topo, &Topology::L3GroupOf);
+}
+
+std::vector<int> Placement::L2GroupsUsed(const Topology& topo) const {
+  return DistinctMapped(hw_threads, topo, &Topology::L2GroupOf);
+}
+
+std::vector<int> Placement::CoresUsed(const Topology& topo) const {
+  return DistinctMapped(hw_threads, topo, &Topology::CoreOf);
+}
+
+bool Placement::IsOneVcpuPerHwThread() const {
+  std::set<int> distinct(hw_threads.begin(), hw_threads.end());
+  return distinct.size() == hw_threads.size();
+}
+
+double Placement::MeanPairwiseLatencyNs(const Topology& topo) const {
+  const size_t n = hw_threads.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      total += topo.CommunicationLatencyNs(hw_threads[i], hw_threads[j]);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+std::string Placement::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < hw_threads.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    os << hw_threads[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string ScoreVector::ToString() const {
+  std::ostringstream os;
+  os << "[L2=" << l2_score << ", L3=" << l3_score;
+  if (mem_score != l3_score) {
+    os << ", MemCtl=" << mem_score;
+  }
+  os << ", IC=" << interconnect_gbps << "]";
+  return os.str();
+}
+
+ScoreVector ScoreOf(const Placement& placement, const Topology& topo) {
+  NP_CHECK(!placement.hw_threads.empty());
+  ScoreVector score;
+  score.l2_score = static_cast<int>(placement.L2GroupsUsed(topo).size());
+  score.l3_score = static_cast<int>(placement.L3GroupsUsed(topo).size());
+  const NodeSet nodes = placement.NodesUsed(topo);
+  score.mem_score = static_cast<int>(nodes.size());
+  score.interconnect_gbps = topo.AggregateBandwidth(nodes);
+  return score;
+}
+
+}  // namespace numaplace

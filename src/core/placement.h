@@ -1,0 +1,60 @@
+// Placement of a container's virtual cores onto hardware threads, and the
+// score vector that identifies a placement class (§4 of the paper).
+#ifndef NUMAPLACE_SRC_CORE_PLACEMENT_H_
+#define NUMAPLACE_SRC_CORE_PLACEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/topology/topology.h"
+
+namespace numaplace {
+
+// A set of NUMA nodes, sorted ascending, no duplicates.
+using NodeSet = std::vector<int>;
+
+// A concrete assignment: hw_threads[i] is the hardware thread hosting vCPU i.
+// Balanced placements (the only kind the model considers, §3) assign at most
+// one vCPU per hardware thread; the general struct also represents unbalanced
+// assignments produced by the simulated unpinned Linux mapper.
+struct Placement {
+  std::vector<int> hw_threads;
+
+  int NumVcpus() const { return static_cast<int>(hw_threads.size()); }
+
+  // Distinct nodes / L3 groups / L2 groups / cores touched by this placement.
+  NodeSet NodesUsed(const Topology& topo) const;
+  std::vector<int> L3GroupsUsed(const Topology& topo) const;
+  std::vector<int> L2GroupsUsed(const Topology& topo) const;
+  std::vector<int> CoresUsed(const Topology& topo) const;
+
+  // True when every vCPU has a hardware thread to itself.
+  bool IsOneVcpuPerHwThread() const;
+
+  // Mean pairwise cross-vCPU communication latency (ns); 0 for <2 vCPUs.
+  double MeanPairwiseLatencyNs(const Topology& topo) const;
+
+  std::string ToString() const;
+};
+
+// The vector of scheduling-concern scores identifying a placement class.
+// Placements with identical score vectors are deemed to perform identically
+// (§3 "Identically scored placements yield identical performance").
+struct ScoreVector {
+  int l2_score = 0;             // number of L2 groups in use
+  int l3_score = 0;             // number of L3 caches in use
+  // Number of NUMA nodes (memory controllers) in use; equals l3_score on
+  // machines with one L3 per node, differs on split-L3 machines (Zen, §8).
+  int mem_score = 0;
+  double interconnect_gbps = 0.0;
+
+  friend bool operator==(const ScoreVector&, const ScoreVector&) = default;
+  std::string ToString() const;
+};
+
+// Computes the score vector of a realized placement.
+ScoreVector ScoreOf(const Placement& placement, const Topology& topo);
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_CORE_PLACEMENT_H_

@@ -1,0 +1,53 @@
+#include "src/ml/dataset.h"
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+void Dataset::Validate() const {
+  NP_CHECK_MSG(features.size() == targets.size(),
+               "feature rows " << features.size() << " != target rows " << targets.size());
+  const size_t d = NumFeatures();
+  const size_t m = NumTargets();
+  for (size_t i = 0; i < features.size(); ++i) {
+    NP_CHECK_MSG(features[i].size() == d, "ragged feature row " << i);
+    NP_CHECK_MSG(targets[i].size() == m, "ragged target row " << i);
+  }
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& rows) const {
+  Dataset out;
+  out.features.reserve(rows.size());
+  out.targets.reserve(rows.size());
+  for (size_t row : rows) {
+    NP_CHECK(row < features.size());
+    out.features.push_back(features[row]);
+    out.targets.push_back(targets[row]);
+  }
+  return out;
+}
+
+Dataset Dataset::WithFeatureSubset(const std::vector<size_t>& columns) const {
+  Dataset out;
+  out.targets = targets;
+  out.features.reserve(features.size());
+  for (const auto& row : features) {
+    std::vector<double> projected;
+    projected.reserve(columns.size());
+    for (size_t col : columns) {
+      NP_CHECK(col < row.size());
+      projected.push_back(row[col]);
+    }
+    out.features.push_back(std::move(projected));
+  }
+  return out;
+}
+
+void Dataset::Append(const Dataset& other) {
+  NP_CHECK(features.empty() || other.features.empty() ||
+           (NumFeatures() == other.NumFeatures() && NumTargets() == other.NumTargets()));
+  features.insert(features.end(), other.features.begin(), other.features.end());
+  targets.insert(targets.end(), other.targets.begin(), other.targets.end());
+}
+
+}  // namespace numaplace

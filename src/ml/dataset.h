@@ -1,0 +1,36 @@
+// Tabular dataset shared by the ML components: n rows of d features and m
+// regression targets (the model is multi-output: one target per important
+// placement).
+#ifndef NUMAPLACE_SRC_ML_DATASET_H_
+#define NUMAPLACE_SRC_ML_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace numaplace {
+
+struct Dataset {
+  // features[i][j]: feature j of sample i. All rows must have equal width.
+  std::vector<std::vector<double>> features;
+  // targets[i][k]: target k of sample i. All rows must have equal width.
+  std::vector<std::vector<double>> targets;
+
+  size_t NumSamples() const { return features.size(); }
+  size_t NumFeatures() const { return features.empty() ? 0 : features[0].size(); }
+  size_t NumTargets() const { return targets.empty() ? 0 : targets[0].size(); }
+
+  // Throws std::logic_error when shapes are inconsistent.
+  void Validate() const;
+
+  // Row subset (copies).
+  Dataset Subset(const std::vector<size_t>& rows) const;
+
+  // Column subset of the features (targets unchanged).
+  Dataset WithFeatureSubset(const std::vector<size_t>& columns) const;
+
+  void Append(const Dataset& other);
+};
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_ML_DATASET_H_

@@ -1,0 +1,221 @@
+#include "src/ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace numaplace {
+
+namespace {
+
+double Dist2(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+std::vector<std::vector<double>> KMeansPlusPlusInit(
+    const std::vector<std::vector<double>>& points, int k, Rng& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(static_cast<size_t>(k));
+  centroids.push_back(points[rng.NextBelow(points.size())]);
+  std::vector<double> d2(points.size());
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : centroids) {
+        best = std::min(best, Dist2(points[i], c));
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All points coincide with existing centroids; fall back to uniform.
+      centroids.push_back(points[rng.NextBelow(points.size())]);
+      continue;
+    }
+    double pick = rng.NextDouble() * total;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      pick -= d2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+KMeansResult LloydOnce(const std::vector<std::vector<double>>& points, int k, Rng& rng,
+                       int max_iters) {
+  const size_t n = points.size();
+  const size_t d = points[0].size();
+  KMeansResult result;
+  result.k = k;
+  result.centroids = KMeansPlusPlusInit(points, k, rng);
+  result.assignments.assign(n, -1);
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      int best_c = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        const double dist = Dist2(points[i], result.centroids[static_cast<size_t>(c)]);
+        if (dist < best_d) {
+          best_d = dist;
+          best_c = c;
+        }
+      }
+      if (result.assignments[i] != best_c) {
+        result.assignments[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) {
+      break;
+    }
+    // Recompute centroids; empty clusters are reseeded from the farthest
+    // point to keep exactly k clusters.
+    std::vector<std::vector<double>> sums(static_cast<size_t>(k),
+                                          std::vector<double>(d, 0.0));
+    std::vector<int> counts(static_cast<size_t>(k), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<size_t>(result.assignments[i]);
+      for (size_t j = 0; j < d; ++j) {
+        sums[c][j] += points[i][j];
+      }
+      counts[c]++;
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) {
+        size_t farthest = 0;
+        double farthest_d = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          const double dist =
+              Dist2(points[i],
+                    result.centroids[static_cast<size_t>(result.assignments[i])]);
+          if (dist > farthest_d) {
+            farthest_d = dist;
+            farthest = i;
+          }
+        }
+        result.centroids[static_cast<size_t>(c)] = points[farthest];
+        result.assignments[farthest] = c;
+        continue;
+      }
+      for (size_t j = 0; j < d; ++j) {
+        result.centroids[static_cast<size_t>(c)][j] =
+            sums[static_cast<size_t>(c)][j] /
+            static_cast<double>(counts[static_cast<size_t>(c)]);
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.inertia +=
+        Dist2(points[i], result.centroids[static_cast<size_t>(result.assignments[i])]);
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const std::vector<std::vector<double>>& points, int k, Rng& rng,
+                    int max_iters, int restarts) {
+  NP_CHECK(!points.empty());
+  NP_CHECK(k >= 1);
+  NP_CHECK_MSG(static_cast<size_t>(k) <= points.size(),
+               "k=" << k << " exceeds point count " << points.size());
+  NP_CHECK(restarts >= 1);
+  for (const auto& p : points) {
+    NP_CHECK_MSG(p.size() == points[0].size(), "ragged point set");
+  }
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < restarts; ++r) {
+    Rng restart_rng = rng.Fork(static_cast<uint64_t>(r) + 1000);
+    KMeansResult candidate = LloydOnce(points, k, restart_rng, max_iters);
+    if (candidate.inertia < best.inertia) {
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+double MeanSilhouette(const std::vector<std::vector<double>>& points,
+                      const std::vector<int>& assignments, int k) {
+  NP_CHECK(points.size() == assignments.size());
+  NP_CHECK(k >= 2);
+  const size_t n = points.size();
+  std::vector<int> cluster_size(static_cast<size_t>(k), 0);
+  for (int a : assignments) {
+    NP_CHECK(a >= 0 && a < k);
+    cluster_size[static_cast<size_t>(a)]++;
+  }
+
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const int own = assignments[i];
+    if (cluster_size[static_cast<size_t>(own)] <= 1) {
+      continue;  // silhouette of a singleton is defined as 0
+    }
+    // Mean distance to own cluster (a) and the minimum mean distance to any
+    // other cluster (b).
+    std::vector<double> sum_d(static_cast<size_t>(k), 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        continue;
+      }
+      sum_d[static_cast<size_t>(assignments[j])] +=
+          std::sqrt(Dist2(points[i], points[j]));
+    }
+    const double a =
+        sum_d[static_cast<size_t>(own)] /
+        static_cast<double>(cluster_size[static_cast<size_t>(own)] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < k; ++c) {
+      if (c == own || cluster_size[static_cast<size_t>(c)] == 0) {
+        continue;
+      }
+      b = std::min(b, sum_d[static_cast<size_t>(c)] /
+                          static_cast<double>(cluster_size[static_cast<size_t>(c)]));
+    }
+    const double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+  }
+  return total / static_cast<double>(n);
+}
+
+SilhouetteSelection ChooseKBySilhouette(const std::vector<std::vector<double>>& points,
+                                        int k_min, int k_max, Rng& rng) {
+  NP_CHECK(k_min >= 2);
+  NP_CHECK(k_max >= k_min);
+  NP_CHECK(static_cast<size_t>(k_max) <= points.size());
+  SilhouetteSelection selection;
+  double best_score = -2.0;
+  for (int k = k_min; k <= k_max; ++k) {
+    Rng k_rng = rng.Fork(static_cast<uint64_t>(k));
+    KMeansResult result = KMeans(points, k, k_rng);
+    const double score = MeanSilhouette(points, result.assignments, k);
+    selection.scores.emplace_back(k, score);
+    if (score > best_score) {
+      best_score = score;
+      selection.best_k = k;
+      selection.best = std::move(result);
+    }
+  }
+  return selection;
+}
+
+}  // namespace numaplace

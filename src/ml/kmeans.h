@@ -1,0 +1,47 @@
+// k-means clustering with k-means++ seeding, plus the mean Silhouette
+// coefficient used to pick k automatically (§5: "we select the k that
+// maximizes the average Silhouette coefficient over all data points, which
+// is the standard practice in the field"). Used to reproduce Fig. 3's
+// workload categories.
+#ifndef NUMAPLACE_SRC_ML_KMEANS_H_
+#define NUMAPLACE_SRC_ML_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace numaplace {
+
+struct KMeansResult {
+  int k = 0;
+  std::vector<int> assignments;                  // cluster id per point
+  std::vector<std::vector<double>> centroids;    // k x d
+  double inertia = 0.0;                          // sum of squared distances
+};
+
+// Lloyd's algorithm with k-means++ initialization; runs `restarts`
+// independent initializations and keeps the lowest-inertia result.
+KMeansResult KMeans(const std::vector<std::vector<double>>& points, int k, Rng& rng,
+                    int max_iters = 100, int restarts = 4);
+
+// Mean silhouette coefficient over all points; requires k >= 2 and at least
+// one point per cluster. Points alone in their cluster contribute 0 (the
+// scikit-learn convention).
+double MeanSilhouette(const std::vector<std::vector<double>>& points,
+                      const std::vector<int>& assignments, int k);
+
+struct SilhouetteSelection {
+  int best_k = 0;
+  KMeansResult best;
+  std::vector<std::pair<int, double>> scores;  // (k, mean silhouette)
+};
+
+// Runs k-means for every k in [k_min, k_max] and returns the clustering with
+// the maximum mean silhouette.
+SilhouetteSelection ChooseKBySilhouette(const std::vector<std::vector<double>>& points,
+                                        int k_min, int k_max, Rng& rng);
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_ML_KMEANS_H_

@@ -1,0 +1,60 @@
+#include "src/ml/selection.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+SfsResult SequentialForwardSelection(size_t num_features, size_t max_features,
+                                     const FeatureSubsetScorer& scorer,
+                                     double min_improvement) {
+  NP_CHECK(num_features >= 1);
+  NP_CHECK(max_features >= 1);
+  SfsResult result;
+  std::vector<bool> used(num_features, false);
+  double current_error = std::numeric_limits<double>::infinity();
+
+  while (result.selected.size() < std::min(max_features, num_features)) {
+    size_t best_feature = num_features;
+    double best_error = std::numeric_limits<double>::infinity();
+    for (size_t f = 0; f < num_features; ++f) {
+      if (used[f]) {
+        continue;
+      }
+      std::vector<size_t> candidate = result.selected;
+      candidate.push_back(f);
+      const double error = scorer(candidate);
+      if (error < best_error) {
+        best_error = error;
+        best_feature = f;
+      }
+    }
+    NP_CHECK(best_feature < num_features);
+    if (!result.selected.empty() && best_error > current_error - min_improvement) {
+      break;  // no feature improves enough
+    }
+    used[best_feature] = true;
+    result.selected.push_back(best_feature);
+    result.error_trace.push_back(best_error);
+    current_error = best_error;
+  }
+  return result;
+}
+
+std::vector<std::vector<size_t>> KFoldIndices(size_t n, size_t folds, Rng& rng) {
+  NP_CHECK(folds >= 2);
+  NP_CHECK_MSG(folds <= n, "more folds than samples");
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  std::vector<std::vector<size_t>> out(folds);
+  for (size_t i = 0; i < n; ++i) {
+    out[i % folds].push_back(order[i]);
+  }
+  return out;
+}
+
+}  // namespace numaplace

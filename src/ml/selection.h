@@ -1,0 +1,40 @@
+// Sequential Forward Selection (§5) and cross-validation index helpers.
+//
+// The paper's HPE-based model variant starts from a plausible candidate set
+// of hardware events and greedily adds the feature that most improves
+// cross-validated accuracy — the classic SFS wrapper method. The scorer is a
+// callback so that the same driver works for any model.
+#ifndef NUMAPLACE_SRC_ML_SELECTION_H_
+#define NUMAPLACE_SRC_ML_SELECTION_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace numaplace {
+
+// Returns the error (lower is better) of a model trained on the given
+// feature columns.
+using FeatureSubsetScorer = std::function<double(const std::vector<size_t>& columns)>;
+
+struct SfsResult {
+  std::vector<size_t> selected;             // in selection order
+  std::vector<double> error_trace;          // error after each addition
+};
+
+// Greedy forward selection: starting empty, repeatedly add the feature whose
+// addition minimizes the scorer, until `max_features` are selected or no
+// addition improves the error by more than `min_improvement`.
+SfsResult SequentialForwardSelection(size_t num_features, size_t max_features,
+                                     const FeatureSubsetScorer& scorer,
+                                     double min_improvement = 0.0);
+
+// Shuffled k-fold split: returns per-fold test-row index lists covering
+// [0, n) exactly once.
+std::vector<std::vector<size_t>> KFoldIndices(size_t n, size_t folds, Rng& rng);
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_ML_SELECTION_H_

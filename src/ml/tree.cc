@@ -1,0 +1,248 @@
+#include "src/ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+namespace {
+
+// Mean target vector of a row range.
+std::vector<double> MeanTargets(const Dataset& data, std::span<const size_t> rows) {
+  std::vector<double> mean(data.NumTargets(), 0.0);
+  for (size_t row : rows) {
+    for (size_t k = 0; k < mean.size(); ++k) {
+      mean[k] += data.targets[row][k];
+    }
+  }
+  for (double& v : mean) {
+    v /= static_cast<double>(rows.size());
+  }
+  return mean;
+}
+
+struct SplitCandidate {
+  int feature = -1;
+  double threshold = 0.0;
+  double sse = std::numeric_limits<double>::infinity();  // left + right SSE
+  size_t left_count = 0;
+};
+
+}  // namespace
+
+void RegressionTree::Fit(const Dataset& data, std::span<const size_t> rows,
+                         const TreeParams& params, Rng& rng) {
+  data.Validate();
+  NP_CHECK(!rows.empty());
+  NP_CHECK(data.NumTargets() > 0);
+  NP_CHECK(params.max_depth >= 1);
+  NP_CHECK(params.min_samples_leaf >= 1);
+  NP_CHECK(params.min_samples_split >= 2);
+  nodes_.clear();
+  num_features_ = data.NumFeatures();
+  std::vector<size_t> work(rows.begin(), rows.end());
+  BuildNode(data, work, 0, work.size(), /*depth=*/0, params, rng);
+}
+
+void RegressionTree::Fit(const Dataset& data, const TreeParams& params, Rng& rng) {
+  std::vector<size_t> rows(data.NumSamples());
+  std::iota(rows.begin(), rows.end(), 0);
+  Fit(data, rows, params, rng);
+}
+
+int RegressionTree::BuildNode(const Dataset& data, std::vector<size_t>& rows, size_t begin,
+                              size_t end, int depth, const TreeParams& params, Rng& rng) {
+  const size_t n = end - begin;
+  const size_t m = data.NumTargets();
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  auto make_leaf = [&]() {
+    nodes_[static_cast<size_t>(node_index)].value =
+        MeanTargets(data, std::span<const size_t>(rows.data() + begin, n));
+    return node_index;
+  };
+
+  if (n < static_cast<size_t>(params.min_samples_split) || depth >= params.max_depth) {
+    return make_leaf();
+  }
+
+  // Candidate features: all, or a uniform random subset of the given size.
+  std::vector<int> candidates(num_features_);
+  std::iota(candidates.begin(), candidates.end(), 0);
+  if (params.features_per_split > 0 &&
+      params.features_per_split < static_cast<int>(num_features_)) {
+    rng.Shuffle(candidates);
+    candidates.resize(static_cast<size_t>(params.features_per_split));
+  }
+
+  // Scan each candidate feature for the threshold minimizing total SSE.
+  SplitCandidate best;
+  std::vector<std::pair<double, size_t>> order(n);  // (feature value, row)
+  std::vector<double> prefix_sum(m);
+  std::vector<double> total_sum(m, 0.0);
+  std::vector<double> prefix_sq(m);
+  std::vector<double> total_sq(m, 0.0);
+
+  for (size_t i = 0; i < n; ++i) {
+    const size_t row = rows[begin + i];
+    for (size_t k = 0; k < m; ++k) {
+      const double y = data.targets[row][k];
+      total_sum[k] += y;
+      total_sq[k] += y * y;
+    }
+  }
+
+  for (int feature : candidates) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t row = rows[begin + i];
+      order[i] = {data.features[row][static_cast<size_t>(feature)], row};
+    }
+    std::sort(order.begin(), order.end());
+    if (order.front().first == order.back().first) {
+      continue;  // constant feature in this node
+    }
+    std::fill(prefix_sum.begin(), prefix_sum.end(), 0.0);
+    std::fill(prefix_sq.begin(), prefix_sq.end(), 0.0);
+    for (size_t i = 0; i + 1 < n; ++i) {
+      const size_t row = order[i].second;
+      for (size_t k = 0; k < m; ++k) {
+        const double y = data.targets[row][k];
+        prefix_sum[k] += y;
+        prefix_sq[k] += y * y;
+      }
+      const size_t left_n = i + 1;
+      const size_t right_n = n - left_n;
+      if (left_n < static_cast<size_t>(params.min_samples_leaf) ||
+          right_n < static_cast<size_t>(params.min_samples_leaf)) {
+        continue;
+      }
+      // No split between identical feature values.
+      if (order[i].first == order[i + 1].first) {
+        continue;
+      }
+      double sse = 0.0;
+      for (size_t k = 0; k < m; ++k) {
+        const double ls = prefix_sum[k];
+        const double rs = total_sum[k] - ls;
+        const double lq = prefix_sq[k];
+        const double rq = total_sq[k] - lq;
+        sse += lq - ls * ls / static_cast<double>(left_n);
+        sse += rq - rs * rs / static_cast<double>(right_n);
+      }
+      if (sse < best.sse) {
+        best.sse = sse;
+        best.feature = feature;
+        best.threshold = 0.5 * (order[i].first + order[i + 1].first);
+        best.left_count = left_n;
+      }
+    }
+  }
+
+  if (best.feature < 0) {
+    return make_leaf();
+  }
+
+  // Partition rows[begin, end) by the chosen split. std::stable_partition
+  // keeps the layout deterministic.
+  const auto mid_it = std::stable_partition(
+      rows.begin() + static_cast<ptrdiff_t>(begin), rows.begin() + static_cast<ptrdiff_t>(end),
+      [&](size_t row) {
+        return data.features[row][static_cast<size_t>(best.feature)] <= best.threshold;
+      });
+  const size_t mid = static_cast<size_t>(mid_it - rows.begin());
+  NP_CHECK(mid > begin && mid < end);
+
+  const int left = BuildNode(data, rows, begin, mid, depth + 1, params, rng);
+  const int right = BuildNode(data, rows, mid, end, depth + 1, params, rng);
+  Node& node = nodes_[static_cast<size_t>(node_index)];
+  node.feature = best.feature;
+  node.threshold = best.threshold;
+  node.left = left;
+  node.right = right;
+  return node_index;
+}
+
+std::vector<double> RegressionTree::Predict(std::span<const double> features) const {
+  NP_CHECK_MSG(IsFitted(), "Predict called before Fit");
+  NP_CHECK(features.size() == num_features_);
+  int index = 0;
+  while (nodes_[static_cast<size_t>(index)].left >= 0) {
+    const Node& node = nodes_[static_cast<size_t>(index)];
+    index = features[static_cast<size_t>(node.feature)] <= node.threshold ? node.left
+                                                                          : node.right;
+  }
+  return nodes_[static_cast<size_t>(index)].value;
+}
+
+void RegressionTree::SerializeTo(std::ostream& os) const {
+  NP_CHECK_MSG(IsFitted(), "cannot serialize an unfitted tree");
+  os << "tree " << nodes_.size() << " " << num_features_ << "\n";
+  // Full round-trip precision on thresholds and leaf values.
+  const auto previous_precision = os.precision(17);
+  for (const Node& node : nodes_) {
+    os << node.feature << " " << node.threshold << " " << node.left << " " << node.right
+       << " " << node.value.size();
+    for (double v : node.value) {
+      os << " " << v;
+    }
+    os << "\n";
+  }
+  os.precision(previous_precision);
+}
+
+void RegressionTree::DeserializeFrom(std::istream& is) {
+  std::string tag;
+  size_t num_nodes = 0;
+  is >> tag >> num_nodes >> num_features_;
+  NP_CHECK_MSG(is.good() && tag == "tree", "malformed tree header");
+  NP_CHECK(num_nodes >= 1);
+  nodes_.assign(num_nodes, Node{});
+  for (Node& node : nodes_) {
+    size_t value_count = 0;
+    is >> node.feature >> node.threshold >> node.left >> node.right >> value_count;
+    NP_CHECK_MSG(is.good(), "truncated tree node");
+    node.value.resize(value_count);
+    for (double& v : node.value) {
+      is >> v;
+    }
+    NP_CHECK_MSG(!is.fail(), "truncated tree leaf values");
+    // Structural validation: children in range, leaves have values.
+    NP_CHECK(node.left == -1 || (node.left > 0 && node.left < static_cast<int>(num_nodes)));
+    NP_CHECK(node.right == -1 ||
+             (node.right > 0 && node.right < static_cast<int>(num_nodes)));
+    NP_CHECK((node.left == -1) == (node.right == -1));
+    if (node.left == -1) {
+      NP_CHECK_MSG(!node.value.empty(), "leaf without values");
+    } else {
+      NP_CHECK(node.feature >= 0 && node.feature < static_cast<int>(num_features_));
+    }
+  }
+}
+
+int RegressionTree::Depth() const {
+  if (nodes_.empty()) {
+    return 0;
+  }
+  // Iterative depth computation over the implicit tree structure.
+  std::vector<std::pair<int, int>> stack = {{0, 1}};
+  int depth = 0;
+  while (!stack.empty()) {
+    const auto [index, d] = stack.back();
+    stack.pop_back();
+    depth = std::max(depth, d);
+    const Node& node = nodes_[static_cast<size_t>(index)];
+    if (node.left >= 0) {
+      stack.push_back({node.left, d + 1});
+      stack.push_back({node.right, d + 1});
+    }
+  }
+  return depth;
+}
+
+}  // namespace numaplace

@@ -1,0 +1,361 @@
+#include "src/model/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/ml/selection.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace numaplace {
+
+namespace {
+
+// Index of a placement id within the set's ordering.
+size_t IndexOf(const ImportantPlacementSet& ips, int id) {
+  for (size_t i = 0; i < ips.placements.size(); ++i) {
+    if (ips.placements[i].id == id) {
+      return i;
+    }
+  }
+  NP_CHECK_MSG(false, "placement id " << id << " not in the important set");
+  __builtin_unreachable();
+}
+
+}  // namespace
+
+std::vector<double> TrainedPerfModel::Predict(double perf_in_a, double perf_in_b) const {
+  NP_CHECK_MSG(perf_in_a > 0.0, "non-positive probe measurement");
+  const std::vector<double> features = {perf_in_a * ipc_scale, perf_in_b * ipc_scale,
+                                        perf_in_b / perf_in_a};
+  return forest.Predict(features);
+}
+
+namespace {
+constexpr char kModelFormatTag[] = "numaplace-perf-model-v1";
+}  // namespace
+
+void TrainedPerfModel::SaveText(std::ostream& os) const {
+  os << kModelFormatTag << "\n";
+  os << input_a << " " << input_b << " " << baseline_id << "\n";
+  const auto previous_precision = os.precision(17);
+  os << ipc_scale << "\n";
+  os.precision(previous_precision);
+  os << placement_ids.size();
+  for (int id : placement_ids) {
+    os << " " << id;
+  }
+  os << "\n";
+  forest.SerializeTo(os);
+}
+
+TrainedPerfModel TrainedPerfModel::LoadText(std::istream& is) {
+  std::string tag;
+  is >> tag;
+  NP_CHECK_MSG(tag == kModelFormatTag, "unknown model format: " << tag);
+  TrainedPerfModel model;
+  is >> model.input_a >> model.input_b >> model.baseline_id >> model.ipc_scale;
+  size_t count = 0;
+  is >> count;
+  NP_CHECK_MSG(is.good() && count >= 1 && count < 10000, "malformed placement-id list");
+  model.placement_ids.resize(count);
+  for (int& id : model.placement_ids) {
+    is >> id;
+  }
+  NP_CHECK_MSG(!is.fail(), "truncated placement-id list");
+  NP_CHECK_MSG(model.ipc_scale > 0.0, "non-positive ipc scale");
+  model.forest.DeserializeFrom(is);
+  return model;
+}
+
+std::vector<double> TrainedHpeModel::Predict(const std::vector<double>& counters) const {
+  std::vector<double> features;
+  features.reserve(selected_counters.size());
+  for (size_t idx : selected_counters) {
+    NP_CHECK(idx < counters.size());
+    features.push_back(counters[idx]);
+  }
+  return forest.Predict(features);
+}
+
+ModelPipeline::ModelPipeline(const ImportantPlacementSet& ips, const PerformanceModel& sim,
+                             int baseline_id, uint64_t seed)
+    : ips_(&ips), sim_(&sim), baseline_id_(baseline_id), seed_(seed) {
+  IndexOf(ips, baseline_id);  // validates
+}
+
+double ModelPipeline::MeasureAbsolute(const WorkloadProfile& profile, int placement_id,
+                                      uint64_t run) const {
+  const auto key = std::make_tuple(profile.name, placement_id, run);
+  const auto it = measurement_cache_.find(key);
+  if (it != measurement_cache_.end()) {
+    return it->second;
+  }
+  const ImportantPlacement& ip = ips_->ById(placement_id);
+  const Placement realized = Realize(ip, sim_->topology(), ips_->vcpus);
+  const double value = sim_->Evaluate(profile, realized, run).throughput_ops;
+  measurement_cache_.emplace(key, value);
+  return value;
+}
+
+PerformanceVector ModelPipeline::MeasureVector(const WorkloadProfile& profile,
+                                               uint64_t run) const {
+  PerformanceVector v;
+  v.workload = profile.name;
+  const double baseline = MeasureAbsolute(profile, baseline_id_, run);
+  NP_CHECK(baseline > 0.0);
+  v.relative.reserve(ips_->placements.size());
+  for (const ImportantPlacement& ip : ips_->placements) {
+    v.relative.push_back(MeasureAbsolute(profile, ip.id, run) / baseline);
+  }
+  return v;
+}
+
+Dataset ModelPipeline::BuildPerfDataset(const std::vector<WorkloadProfile>& workloads,
+                                        int input_a, int input_b,
+                                        const PerfModelConfig& config) const {
+  NP_CHECK(input_a != input_b);
+  const double scale = IpcScale();
+  Dataset data;
+  for (const WorkloadProfile& w : workloads) {
+    for (int run = 0; run < config.runs_per_workload; ++run) {
+      const auto run_id = static_cast<uint64_t>(run);
+      const double pa = MeasureAbsolute(w, input_a, run_id);
+      const double pb = MeasureAbsolute(w, input_b, run_id);
+      NP_CHECK(pa > 0.0);
+      data.features.push_back({pa * scale, pb * scale, pb / pa});
+      data.targets.push_back(MeasureVector(w, run_id).relative);
+    }
+  }
+  data.Validate();
+  return data;
+}
+
+double ModelPipeline::IpcScale() const {
+  return 1.0 / (sim_->topology().perf().base_ops_per_thread *
+                static_cast<double>(ips_->vcpus));
+}
+
+TrainedPerfModel ModelPipeline::TrainPerf(const std::vector<WorkloadProfile>& workloads,
+                                          int input_a, int input_b,
+                                          const PerfModelConfig& config) const {
+  TrainedPerfModel model;
+  model.input_a = input_a;
+  model.input_b = input_b;
+  model.baseline_id = baseline_id_;
+  model.ipc_scale = IpcScale();
+  for (const ImportantPlacement& ip : ips_->placements) {
+    model.placement_ids.push_back(ip.id);
+  }
+  const Dataset data = BuildPerfDataset(workloads, input_a, input_b, config);
+  ForestParams params = config.forest;
+  params.seed = seed_;
+  model.forest.Fit(data, params);
+  return model;
+}
+
+double ModelPipeline::CrossValidatedMae(const std::vector<WorkloadProfile>& workloads,
+                                        int input_a, int input_b,
+                                        const PerfModelConfig& config) const {
+  // Fold over *workloads*, not rows, so repeated runs of one workload never
+  // straddle the train/test divide (that would leak the answer).
+  Rng rng(SplitMix64(seed_ ^ 0xf01d5));
+  const std::vector<std::vector<size_t>> fold_sets =
+      KFoldIndices(workloads.size(), static_cast<size_t>(config.cv_folds), rng);
+  double total_mae = 0.0;
+  int scored = 0;
+  for (const std::vector<size_t>& test_rows : fold_sets) {
+    std::vector<WorkloadProfile> train;
+    std::vector<WorkloadProfile> test;
+    std::vector<bool> in_test(workloads.size(), false);
+    for (size_t i : test_rows) {
+      in_test[i] = true;
+    }
+    for (size_t i = 0; i < workloads.size(); ++i) {
+      (in_test[i] ? test : train).push_back(workloads[i]);
+    }
+    if (train.empty() || test.empty()) {
+      continue;
+    }
+    PerfModelConfig cv_config = config;
+    cv_config.forest.num_trees = config.cv_trees;
+    const TrainedPerfModel model = TrainPerf(train, input_a, input_b, cv_config);
+    for (const WorkloadProfile& w : test) {
+      const uint64_t probe_run = 1000;  // unseen measurement noise
+      const double pa = MeasureAbsolute(w, input_a, probe_run);
+      const double pb = MeasureAbsolute(w, input_b, probe_run);
+      const std::vector<double> predicted = model.Predict(pa, pb);
+      const std::vector<double> actual = MeasureVector(w, probe_run).relative;
+      // Score with a blend of mean and worst-entry error: the scheduler acts
+      // on individual entries of the vector (it commits a container to the
+      // placement it picks), so an input pair that nails the average but
+      // badly misses one placement is a bad probe pair.
+      double mean_err = 0.0;
+      double max_err = 0.0;
+      for (size_t k = 0; k < actual.size(); ++k) {
+        const double err = std::abs(actual[k] - predicted[k]);
+        mean_err += err;
+        max_err = std::max(max_err, err);
+      }
+      mean_err /= static_cast<double>(actual.size());
+      total_mae += 0.5 * mean_err + 0.5 * max_err;
+      ++scored;
+    }
+  }
+  NP_CHECK(scored > 0);
+  return total_mae / scored;
+}
+
+TrainedPerfModel ModelPipeline::TrainPerfAuto(const std::vector<WorkloadProfile>& workloads,
+                                              const PerfModelConfig& config) const {
+  double best_error = std::numeric_limits<double>::infinity();
+  int best_a = 0;
+  int best_b = 0;
+  for (size_t i = 0; i < ips_->placements.size(); ++i) {
+    for (size_t j = i + 1; j < ips_->placements.size(); ++j) {
+      const int a = ips_->placements[i].id;
+      const int b = ips_->placements[j].id;
+      const double error = CrossValidatedMae(workloads, a, b, config);
+      if (error < best_error) {
+        best_error = error;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  }
+  NP_CHECK(best_a != best_b);
+  return TrainPerf(workloads, best_a, best_b, config);
+}
+
+namespace {
+
+// Full-width HPE dataset: one row per (workload, run), all candidate
+// counters as features.
+Dataset BuildHpeDataset(const ModelPipeline& pipeline, const HpeSampler& sampler,
+                        const std::vector<WorkloadProfile>& workloads,
+                        int sample_placement_id, const PerfModelConfig& config) {
+  Dataset data;
+  for (const WorkloadProfile& w : workloads) {
+    const std::vector<double> counters =
+        pipeline.SampleHpe(sampler, w, sample_placement_id);
+    for (int run = 0; run < config.runs_per_workload; ++run) {
+      data.features.push_back(counters);
+      data.targets.push_back(pipeline.MeasureVector(w, static_cast<uint64_t>(run)).relative);
+    }
+  }
+  data.Validate();
+  return data;
+}
+
+}  // namespace
+
+TrainedHpeModel ModelPipeline::TrainHpe(const std::vector<WorkloadProfile>& workloads,
+                                        const HpeSampler& sampler, int sample_placement_id,
+                                        size_t max_features,
+                                        const PerfModelConfig& config) const {
+  const Dataset data =
+      BuildHpeDataset(*this, sampler, workloads, sample_placement_id, config);
+
+  // SFS: score a counter subset by out-of-bag MAE of a small forest (fast
+  // proxy for k-fold CV; both are unbiased enough to rank subsets).
+  ForestParams sfs_params = config.forest;
+  sfs_params.num_trees = 40;
+  sfs_params.seed = seed_ ^ 0x5f5;
+  const FeatureSubsetScorer scorer = [&](const std::vector<size_t>& columns) {
+    const Dataset projected = data.WithFeatureSubset(columns);
+    RandomForest forest;
+    forest.Fit(projected, sfs_params);
+    return forest.OutOfBagMae(projected);
+  };
+  const SfsResult sfs =
+      SequentialForwardSelection(data.NumFeatures(), max_features, scorer);
+  return TrainHpeGivenCounters(workloads, sampler, sample_placement_id, sfs.selected,
+                               config);
+}
+
+TrainedHpeModel ModelPipeline::TrainHpeGivenCounters(
+    const std::vector<WorkloadProfile>& workloads, const HpeSampler& sampler,
+    int sample_placement_id, const std::vector<size_t>& counters,
+    const PerfModelConfig& config) const {
+  NP_CHECK(!counters.empty());
+  const Dataset data =
+      BuildHpeDataset(*this, sampler, workloads, sample_placement_id, config);
+  TrainedHpeModel model;
+  model.sample_placement_id = sample_placement_id;
+  model.baseline_id = baseline_id_;
+  model.selected_counters = counters;
+  for (const ImportantPlacement& p : ips_->placements) {
+    model.placement_ids.push_back(p.id);
+  }
+  ForestParams params = config.forest;
+  params.seed = seed_;
+  params.feature_fraction = 1.0 / 3.0;
+  model.forest.Fit(data.WithFeatureSubset(counters), params);
+  return model;
+}
+
+std::vector<double> ModelPipeline::SampleHpe(const HpeSampler& sampler,
+                                             const WorkloadProfile& profile,
+                                             int placement_id) const {
+  const ImportantPlacement& ip = ips_->ById(placement_id);
+  const Placement realized = Realize(ip, sim_->topology(), ips_->vcpus);
+  return sampler.Sample(profile, realized);
+}
+
+std::string WorkloadFamily(const std::string& name) {
+  const size_t dash = name.find('-');
+  return dash == std::string::npos ? name : name.substr(0, dash);
+}
+
+std::vector<CrossValidationRow> LeaveOneWorkloadOut(
+    const ModelPipeline& pipeline, const std::vector<WorkloadProfile>& catalog,
+    const std::vector<WorkloadProfile>& synthetic, const HpeSampler& sampler,
+    const PerfModelConfig& config) {
+  std::vector<CrossValidationRow> rows;
+  rows.reserve(catalog.size());
+
+  // The probe-pair search and the SFS counter selection run once, on the
+  // synthetic set only. Catalog workloads never influence them, so there is
+  // no leakage into the held-out predictions; only the final forests are
+  // refit per held-out workload.
+  const TrainedPerfModel pair_model = pipeline.TrainPerfAuto(synthetic, config);
+  const TrainedHpeModel counter_model =
+      pipeline.TrainHpe(synthetic, sampler, pipeline.baseline_id(), 6, config);
+
+  for (const WorkloadProfile& held_out : catalog) {
+    const std::string family = WorkloadFamily(held_out.name);
+    std::vector<WorkloadProfile> train = synthetic;
+    for (const WorkloadProfile& other : catalog) {
+      if (WorkloadFamily(other.name) != family) {
+        train.push_back(other);
+      }
+    }
+
+    const TrainedPerfModel perf_model =
+        pipeline.TrainPerf(train, pair_model.input_a, pair_model.input_b, config);
+    const TrainedHpeModel hpe_model = pipeline.TrainHpeGivenCounters(
+        train, sampler, pipeline.baseline_id(), counter_model.selected_counters, config);
+
+    const uint64_t probe_run = 2000;  // measurement noise unseen in training
+    CrossValidationRow row;
+    row.workload = held_out.name;
+    row.actual = pipeline.MeasureVector(held_out, probe_run).relative;
+
+    const double pa = pipeline.MeasureAbsolute(held_out, perf_model.input_a, probe_run);
+    const double pb = pipeline.MeasureAbsolute(held_out, perf_model.input_b, probe_run);
+    row.predicted_perf = perf_model.Predict(pa, pb);
+    row.mae_perf = MeanAbsoluteError(row.actual, row.predicted_perf);
+
+    const std::vector<double> counters =
+        pipeline.SampleHpe(sampler, held_out, hpe_model.sample_placement_id);
+    row.predicted_hpe = hpe_model.Predict(counters);
+    row.mae_hpe = MeanAbsoluteError(row.actual, row.predicted_hpe);
+
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace numaplace

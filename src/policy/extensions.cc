@@ -1,0 +1,194 @@
+#include "src/policy/extensions.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/migration/migration.h"
+#include "src/util/check.h"
+
+namespace numaplace {
+
+namespace {
+
+const std::string kRandomSearchName = "RandomSearch";
+const std::string kInterleavedName = "ML (interleaved)";
+
+}  // namespace
+
+RandomSearchPolicy::RandomSearchPolicy(const PolicyContext& ctx, int samples,
+                                       double probe_seconds)
+    : ctx_(ctx), samples_(samples), probe_seconds_(probe_seconds), mapper_(*ctx.topo, 0.0) {
+  NP_CHECK(samples_ >= 1);
+  NP_CHECK(probe_seconds_ > 0.0);
+}
+
+const std::string& RandomSearchPolicy::name() const { return kRandomSearchName; }
+
+RandomSearchPolicy::SearchResult RandomSearchPolicy::Search(const WorkloadProfile& workload,
+                                                            Rng& rng) const {
+  const FastMigrator migrator;
+  SearchResult result;
+  NodeSet previous_nodes;
+  for (int s = 0; s < samples_; ++s) {
+    // A random feasible placement: spread over a random node subset with a
+    // balanced mapper (imbalance 0 keeps the sample space to sane candidates;
+    // the statistical method's point is which *subset* wins, not pathological
+    // mappings).
+    const int num_nodes =
+        1 + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(ctx_.topo->num_nodes())));
+    std::vector<int> all_nodes(static_cast<size_t>(ctx_.topo->num_nodes()));
+    for (int n = 0; n < ctx_.topo->num_nodes(); ++n) {
+      all_nodes[static_cast<size_t>(n)] = n;
+    }
+    rng.Shuffle(all_nodes);
+    NodeSet nodes(all_nodes.begin(), all_nodes.begin() + num_nodes);
+    std::sort(nodes.begin(), nodes.end());
+    if (ctx_.topo->NodeCapacity() * num_nodes < ctx_.vcpus) {
+      continue;  // cannot host the container; costs nothing
+    }
+    const Placement candidate = mapper_.Map(ctx_.vcpus, nodes, {}, rng);
+
+    // Measuring a placement costs a probe; switching node sets costs a
+    // migration.
+    result.decision_cost_seconds += probe_seconds_;
+    if (s > 0 && nodes != previous_nodes) {
+      result.decision_cost_seconds += migrator.Migrate(workload).seconds;
+    }
+    previous_nodes = nodes;
+    ++result.samples_used;
+
+    const double throughput =
+        ctx_.solo_sim->Evaluate(workload, candidate, static_cast<uint64_t>(s)).throughput_ops;
+    if (throughput > result.best_throughput) {
+      result.best_throughput = throughput;
+      result.best = candidate;
+    }
+  }
+  NP_CHECK_MSG(result.samples_used > 0, "no feasible random placement sampled");
+  return result;
+}
+
+PolicyResult RandomSearchPolicy::Evaluate(const WorkloadProfile& workload,
+                                          double goal_fraction, Rng& rng,
+                                          int trials) const {
+  const double goal = goal_fraction * BaselineThroughput(ctx_, workload);
+  PolicyResult result;
+  result.policy = name();
+  result.instances = 1;  // the statistical method places one container
+  double violation_sum = 0.0;
+  double perf_sum = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const SearchResult search = Search(workload, rng);
+    perf_sum += search.best_throughput / goal;
+    if (search.best_throughput < goal) {
+      violation_sum += 100.0 * (goal - search.best_throughput) / goal;
+    }
+  }
+  result.violation_pct = violation_sum / trials;
+  result.mean_perf_vs_goal = perf_sum / trials;
+  return result;
+}
+
+InterleavedMlPolicy::InterleavedMlPolicy(const PolicyContext& ctx,
+                                         const TrainedPerfModel* model,
+                                         const WorkloadProfile* filler, int filler_vcpus)
+    : ctx_(ctx), model_(model), filler_(filler), filler_vcpus_(filler_vcpus) {
+  NP_CHECK(model_ != nullptr);
+  NP_CHECK(filler_ != nullptr);
+  NP_CHECK(filler_vcpus_ > 0);
+}
+
+const std::string& InterleavedMlPolicy::name() const { return kInterleavedName; }
+
+InterleavedMlPolicy::DetailedResult InterleavedMlPolicy::EvaluateDetailed(
+    const WorkloadProfile& workload, double goal_fraction) const {
+  const double goal = goal_fraction * BaselineThroughput(ctx_, workload);
+
+  // Primary containers exactly as the ML policy would place them.
+  const MlPolicy ml(ctx_, model_);
+  const ImportantPlacement& chosen = ml.ChoosePlacement(workload, goal_fraction);
+  const std::vector<Placement> primary_slots = DisjointRealizations(ctx_, chosen);
+
+  // Idle hardware threads: whatever the primary slots left unused.
+  std::set<int> used;
+  for (const Placement& slot : primary_slots) {
+    used.insert(slot.hw_threads.begin(), slot.hw_threads.end());
+  }
+  std::vector<int> idle;
+  for (int t = 0; t < ctx_.topo->NumHwThreads(); ++t) {
+    if (!used.count(t)) {
+      idle.push_back(t);
+    }
+  }
+
+  // Candidate filler placements: greedy packing of idle threads, whole L2
+  // groups first so fillers do not share pipelines with primaries.
+  std::vector<Placement> filler_slots;
+  std::vector<int> pool = idle;
+  while (static_cast<int>(pool.size()) >= filler_vcpus_) {
+    Placement f;
+    f.hw_threads.assign(pool.begin(), pool.begin() + filler_vcpus_);
+    pool.erase(pool.begin(), pool.begin() + filler_vcpus_);
+    filler_slots.push_back(std::move(f));
+  }
+
+  // Accept fillers only while every primary still meets its goal under the
+  // multi-tenant model ("only interleave with safe containers").
+  std::vector<MultiTenantModel::Tenant> accepted;
+  for (const Placement& slot : primary_slots) {
+    accepted.push_back({&workload, slot});
+  }
+  size_t accepted_fillers = 0;
+  for (const Placement& filler_slot : filler_slots) {
+    std::vector<MultiTenantModel::Tenant> trial = accepted;
+    trial.push_back({filler_, filler_slot});
+    const std::vector<PerfResult> results = ctx_.multi_sim->Evaluate(trial);
+    bool primaries_safe = true;
+    for (size_t i = 0; i < primary_slots.size(); ++i) {
+      primaries_safe &= results[i].throughput_ops >= goal;
+    }
+    if (primaries_safe) {
+      accepted = std::move(trial);
+      ++accepted_fillers;
+    }
+  }
+
+  // Final measurement of the accepted mix.
+  const std::vector<PerfResult> results = ctx_.multi_sim->Evaluate(accepted);
+  DetailedResult detailed;
+  detailed.primary.policy = name();
+  detailed.primary.instances = static_cast<int>(primary_slots.size());
+  double violation_sum = 0.0;
+  double perf_sum = 0.0;
+  for (size_t i = 0; i < primary_slots.size(); ++i) {
+    perf_sum += results[i].throughput_ops / goal;
+    if (results[i].throughput_ops < goal) {
+      violation_sum += 100.0 * (goal - results[i].throughput_ops) / goal;
+    }
+  }
+  detailed.primary.violation_pct = violation_sum / static_cast<double>(primary_slots.size());
+  detailed.primary.mean_perf_vs_goal = perf_sum / static_cast<double>(primary_slots.size());
+  detailed.filler_instances = static_cast<int>(accepted_fillers);
+
+  if (accepted_fillers > 0) {
+    // Filler throughput relative to running alone on the same threads.
+    double ratio_sum = 0.0;
+    for (size_t i = primary_slots.size(); i < accepted.size(); ++i) {
+      const double solo =
+          ctx_.solo_sim->Evaluate(*filler_, accepted[i].placement).throughput_ops;
+      ratio_sum += results[i].throughput_ops / solo;
+    }
+    detailed.filler_mean_perf_vs_solo = ratio_sum / static_cast<double>(accepted_fillers);
+  }
+  return detailed;
+}
+
+PolicyResult InterleavedMlPolicy::Evaluate(const WorkloadProfile& workload,
+                                           double goal_fraction, Rng& rng,
+                                           int trials) const {
+  (void)rng;
+  (void)trials;  // deterministic
+  return EvaluateDetailed(workload, goal_fraction).primary;
+}
+
+}  // namespace numaplace

@@ -1,0 +1,87 @@
+// Extensions beyond the paper's evaluated policies, implementing the two
+// alternatives §3 discusses:
+//
+//  * RandomSearchPolicy — the "radically different approach ... a statistical
+//    technique that searches for an optimally performing placement by trying
+//    a sufficient number of random placements" (Radojkovic et al.). The paper
+//    dismisses it because the best known variants need thousands of trials;
+//    this implementation makes that trade-off measurable: it samples N
+//    random feasible placements, measures each (paying probe time per
+//    sample), and keeps the best.
+//
+//  * InterleavedMlPolicy — the §3 future-work scenario: "Another alternative
+//    would be to only interleave with 'safe' containers, e.g., those with
+//    low CPU utilization or otherwise known to cause negligible
+//    interference." After placing primary containers with the ML policy,
+//    idle hardware threads are offered to a filler container type, but only
+//    if the multi-tenant model predicts the primaries still meet their goal.
+#ifndef NUMAPLACE_SRC_POLICY_EXTENSIONS_H_
+#define NUMAPLACE_SRC_POLICY_EXTENSIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/policy/policies.h"
+
+namespace numaplace {
+
+class RandomSearchPolicy final : public Policy {
+ public:
+  // `samples`: how many random placements each trial may measure. The probe
+  // cost (samples x probe seconds + migrations) is reported via
+  // DecisionCostSeconds, since it is the approach's Achilles heel.
+  RandomSearchPolicy(const PolicyContext& ctx, int samples,
+                     double probe_seconds = 2.0);
+
+  const std::string& name() const override;
+  PolicyResult Evaluate(const WorkloadProfile& workload, double goal_fraction, Rng& rng,
+                        int trials) const override;
+
+  // The best placement found in one search, plus what the search cost.
+  struct SearchResult {
+    Placement best;
+    double best_throughput = 0.0;
+    double decision_cost_seconds = 0.0;
+    int samples_used = 0;
+  };
+  SearchResult Search(const WorkloadProfile& workload, Rng& rng) const;
+
+ private:
+  PolicyContext ctx_;
+  int samples_;
+  double probe_seconds_;
+  LinuxMapper mapper_;
+};
+
+class InterleavedMlPolicy final : public Policy {
+ public:
+  // `filler` is the "safe" container type offered the leftover threads; it
+  // must outlive the policy, as must `model`.
+  InterleavedMlPolicy(const PolicyContext& ctx, const TrainedPerfModel* model,
+                      const WorkloadProfile* filler, int filler_vcpus);
+
+  const std::string& name() const override;
+
+  // The PolicyResult counts primary instances only; filler statistics are
+  // available through EvaluateDetailed.
+  PolicyResult Evaluate(const WorkloadProfile& workload, double goal_fraction, Rng& rng,
+                        int trials) const override;
+
+  struct DetailedResult {
+    PolicyResult primary;
+    int filler_instances = 0;
+    double filler_mean_perf_vs_solo = 0.0;  // filler throughput vs running alone
+  };
+  DetailedResult EvaluateDetailed(const WorkloadProfile& workload,
+                                  double goal_fraction) const;
+
+ private:
+  PolicyContext ctx_;
+  const TrainedPerfModel* model_;
+  const WorkloadProfile* filler_;
+  int filler_vcpus_;
+};
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_POLICY_EXTENSIONS_H_

@@ -1,0 +1,308 @@
+#include "src/policy/policies.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace numaplace {
+
+namespace {
+
+const std::string kConservative = "Conservative";
+const std::string kAggressive = "Aggressive";
+const std::string kSmartAggressive = "Aggressive (Smart)";
+const std::string kMl = "ML";
+
+void ValidateContext(const PolicyContext& ctx) {
+  NP_CHECK(ctx.topo != nullptr);
+  NP_CHECK(ctx.ips != nullptr);
+  NP_CHECK(ctx.solo_sim != nullptr);
+  NP_CHECK(ctx.multi_sim != nullptr);
+  NP_CHECK(ctx.vcpus > 0);
+}
+
+// Aggregates per-instance throughputs into a PolicyResult sample.
+struct OutcomeAccumulator {
+  double violation_sum = 0.0;
+  double perf_vs_goal_sum = 0.0;
+  int samples = 0;
+
+  void Add(double throughput, double goal) {
+    NP_CHECK(goal > 0.0);
+    perf_vs_goal_sum += throughput / goal;
+    if (throughput < goal) {
+      violation_sum += 100.0 * (goal - throughput) / goal;
+    }
+    ++samples;
+  }
+
+  void FillResult(PolicyResult& result) const {
+    NP_CHECK(samples > 0);
+    result.violation_pct = violation_sum / samples;
+    result.mean_perf_vs_goal = perf_vs_goal_sum / samples;
+  }
+};
+
+int MaxInstances(const PolicyContext& ctx) {
+  return ctx.topo->NumHwThreads() / ctx.vcpus;
+}
+
+}  // namespace
+
+double BaselineThroughput(const PolicyContext& ctx, const WorkloadProfile& workload) {
+  ValidateContext(ctx);
+  const ImportantPlacement& baseline = ctx.ips->ById(ctx.baseline_id);
+  const Placement placement = Realize(baseline, *ctx.topo, ctx.vcpus);
+  // Deterministic (noise-free) reference: goals should not wobble run to run.
+  PerformanceModel noiseless(*ctx.topo, 0.0, 0);
+  return noiseless.Evaluate(workload, placement).throughput_ops;
+}
+
+std::vector<Placement> DisjointRealizations(const PolicyContext& ctx,
+                                            const ImportantPlacement& placement_class) {
+  ValidateContext(ctx);
+  const int m = placement_class.NodeCount();
+  // Prefer the Pareto packing with the most parts of size m; tie-break on
+  // total interconnect bandwidth of those parts (better instances).
+  const Packing* best_packing = nullptr;
+  int best_count = 0;
+  double best_bw = -1.0;
+  for (const Packing& packing : ctx.ips->pareto_packings) {
+    int count = 0;
+    double bw = 0.0;
+    for (const NodeSet& part : packing) {
+      if (static_cast<int>(part.size()) == m) {
+        ++count;
+        bw += ctx.topo->AggregateBandwidth(part);
+      }
+    }
+    if (count > best_count || (count == best_count && bw > best_bw)) {
+      best_count = count;
+      best_bw = bw;
+      best_packing = &packing;
+    }
+  }
+  NP_CHECK_MSG(best_packing != nullptr && best_count > 0,
+               "no packing contains a part of size " << m);
+
+  std::vector<Placement> out;
+  for (const NodeSet& part : *best_packing) {
+    if (static_cast<int>(part.size()) == m) {
+      out.push_back(RealizeOnNodes(placement_class, part, *ctx.topo, ctx.vcpus));
+    }
+  }
+  return out;
+}
+
+// --- Conservative ---
+
+ConservativePolicy::ConservativePolicy(const PolicyContext& ctx, double mapper_imbalance)
+    : ctx_(ctx), mapper_(*ctx.topo, mapper_imbalance) {
+  ValidateContext(ctx_);
+}
+
+const std::string& ConservativePolicy::name() const { return kConservative; }
+
+PolicyResult ConservativePolicy::Evaluate(const WorkloadProfile& workload,
+                                          double goal_fraction, Rng& rng,
+                                          int trials) const {
+  const double goal = goal_fraction * BaselineThroughput(ctx_, workload);
+  OutcomeAccumulator acc;
+  for (int t = 0; t < trials; ++t) {
+    const Placement mapped = mapper_.Map(ctx_.vcpus, rng);
+    acc.Add(ctx_.solo_sim->Evaluate(workload, mapped).throughput_ops, goal);
+  }
+  PolicyResult result;
+  result.policy = name();
+  result.instances = 1;
+  acc.FillResult(result);
+  return result;
+}
+
+// --- Aggressive ---
+
+AggressivePolicy::AggressivePolicy(const PolicyContext& ctx, double mapper_imbalance)
+    : ctx_(ctx), mapper_(*ctx.topo, mapper_imbalance) {
+  ValidateContext(ctx_);
+}
+
+const std::string& AggressivePolicy::name() const { return kAggressive; }
+
+PolicyResult AggressivePolicy::Evaluate(const WorkloadProfile& workload,
+                                        double goal_fraction, Rng& rng,
+                                        int trials) const {
+  const double goal = goal_fraction * BaselineThroughput(ctx_, workload);
+  const int instances = MaxInstances(ctx_);
+  NP_CHECK(instances >= 1);
+  OutcomeAccumulator acc;
+  for (int t = 0; t < trials; ++t) {
+    // Unpinned containers fill the machine one after another; each new one
+    // can only use threads the previous ones left free.
+    std::vector<int> occupied;
+    NodeSet all_nodes;
+    for (int n = 0; n < ctx_.topo->num_nodes(); ++n) {
+      all_nodes.push_back(n);
+    }
+    std::vector<MultiTenantModel::Tenant> tenants;
+    for (int i = 0; i < instances; ++i) {
+      Placement p = mapper_.Map(ctx_.vcpus, all_nodes, occupied, rng);
+      occupied.insert(occupied.end(), p.hw_threads.begin(), p.hw_threads.end());
+      tenants.push_back({&workload, std::move(p)});
+    }
+    const std::vector<PerfResult> results = ctx_.multi_sim->Evaluate(tenants);
+    for (const PerfResult& r : results) {
+      acc.Add(r.throughput_ops, goal);
+    }
+  }
+  PolicyResult result;
+  result.policy = name();
+  result.instances = instances;
+  acc.FillResult(result);
+  return result;
+}
+
+// --- Smart-Aggressive ---
+
+SmartAggressivePolicy::SmartAggressivePolicy(const PolicyContext& ctx) : ctx_(ctx) {
+  ValidateContext(ctx_);
+}
+
+const std::string& SmartAggressivePolicy::name() const { return kSmartAggressive; }
+
+PolicyResult SmartAggressivePolicy::Evaluate(const WorkloadProfile& workload,
+                                             double goal_fraction, Rng& rng,
+                                             int trials) const {
+  (void)rng;
+  (void)trials;  // deterministic policy
+  const double goal = goal_fraction * BaselineThroughput(ctx_, workload);
+
+  // Minimum node count that can host the container one-vCPU-per-thread.
+  const int min_nodes =
+      (ctx_.vcpus + ctx_.topo->NodeCapacity() - 1) / ctx_.topo->NodeCapacity();
+  // The best minimum set is the min_nodes-sized placement class with the
+  // highest interconnect score; shared L2 is forced at minimum size.
+  const ImportantPlacement* best = nullptr;
+  for (const ImportantPlacement& ip : ctx_.ips->placements) {
+    if (ip.NodeCount() != min_nodes) {
+      continue;
+    }
+    if (best == nullptr || ip.interconnect_gbps > best->interconnect_gbps ||
+        (ip.interconnect_gbps == best->interconnect_gbps && ip.l2_score < best->l2_score)) {
+      best = &ip;
+    }
+  }
+  NP_CHECK_MSG(best != nullptr, "no minimum-size placement class");
+
+  const std::vector<Placement> slots = DisjointRealizations(ctx_, *best);
+  std::vector<MultiTenantModel::Tenant> tenants;
+  for (const Placement& slot : slots) {
+    tenants.push_back({&workload, slot});
+  }
+  const std::vector<PerfResult> results = ctx_.multi_sim->Evaluate(tenants);
+  OutcomeAccumulator acc;
+  for (const PerfResult& r : results) {
+    acc.Add(r.throughput_ops, goal);
+  }
+  PolicyResult result;
+  result.policy = name();
+  result.instances = static_cast<int>(slots.size());
+  acc.FillResult(result);
+  return result;
+}
+
+// --- ML ---
+
+MlPolicy::MlPolicy(const PolicyContext& ctx, const TrainedPerfModel* model)
+    : ctx_(ctx), model_(model) {
+  ValidateContext(ctx_);
+  NP_CHECK(model_ != nullptr);
+}
+
+const std::string& MlPolicy::name() const { return kMl; }
+
+const ImportantPlacement& MlPolicy::ChoosePlacement(const WorkloadProfile& workload,
+                                                    double goal_fraction) const {
+  // Probe the two input placements (steps 4 of §1: run briefly in two
+  // placements, feed the measurements to the model).
+  const Placement probe_a =
+      Realize(ctx_.ips->ById(model_->input_a), *ctx_.topo, ctx_.vcpus);
+  const Placement probe_b =
+      Realize(ctx_.ips->ById(model_->input_b), *ctx_.topo, ctx_.vcpus);
+  const double perf_a = ctx_.solo_sim->Evaluate(workload, probe_a, /*run=*/9001).throughput_ops;
+  const double perf_b = ctx_.solo_sim->Evaluate(workload, probe_b, /*run=*/9001).throughput_ops;
+  const std::vector<double> predicted = model_->Predict(perf_a, perf_b);
+
+  // Convert relative predictions to absolute via the probe measurement.
+  size_t index_a = 0;
+  for (size_t i = 0; i < model_->placement_ids.size(); ++i) {
+    if (model_->placement_ids[i] == model_->input_a) {
+      index_a = i;
+    }
+  }
+  NP_CHECK(predicted[index_a] > 0.0);
+  const double abs_baseline = perf_a / predicted[index_a];
+
+  const double goal = goal_fraction * BaselineThroughput(ctx_, workload);
+
+  // Fewest nodes meeting the goal; among equals prefer the highest predicted
+  // performance. Falls back to the best-performing placement when the goal
+  // is unreachable.
+  // Require a small safety margin above the goal: predictions carry a few
+  // percent of error, and the operator's promise is "always meets the
+  // performance goal", not "meets it in expectation".
+  constexpr double kSafetyMargin = 1.04;
+  const ImportantPlacement* chosen = nullptr;
+  double chosen_pred = 0.0;
+  for (size_t i = 0; i < model_->placement_ids.size(); ++i) {
+    const ImportantPlacement& ip = ctx_.ips->ById(model_->placement_ids[i]);
+    const double abs_pred = abs_baseline * predicted[i];
+    if (abs_pred < goal * kSafetyMargin) {
+      continue;
+    }
+    if (chosen == nullptr || ip.NodeCount() < chosen->NodeCount() ||
+        (ip.NodeCount() == chosen->NodeCount() && abs_pred > chosen_pred)) {
+      chosen = &ip;
+      chosen_pred = abs_pred;
+    }
+  }
+  if (chosen == nullptr) {
+    // Goal unreachable: run in the best predicted placement.
+    size_t best_index = 0;
+    for (size_t i = 1; i < predicted.size(); ++i) {
+      if (predicted[i] > predicted[best_index]) {
+        best_index = i;
+      }
+    }
+    chosen = &ctx_.ips->ById(model_->placement_ids[best_index]);
+  }
+  return *chosen;
+}
+
+PolicyResult MlPolicy::Evaluate(const WorkloadProfile& workload, double goal_fraction,
+                                Rng& rng, int trials) const {
+  (void)rng;
+  (void)trials;  // deterministic given the trained model
+  const double goal = goal_fraction * BaselineThroughput(ctx_, workload);
+  const ImportantPlacement& chosen = ChoosePlacement(workload, goal_fraction);
+  const std::vector<Placement> slots = DisjointRealizations(ctx_, chosen);
+  std::vector<MultiTenantModel::Tenant> tenants;
+  for (const Placement& slot : slots) {
+    tenants.push_back({&workload, slot});
+  }
+  const std::vector<PerfResult> results = ctx_.multi_sim->Evaluate(tenants);
+  OutcomeAccumulator acc;
+  for (const PerfResult& r : results) {
+    acc.Add(r.throughput_ops, goal);
+  }
+  PolicyResult result;
+  result.policy = name();
+  result.instances = static_cast<int>(slots.size());
+  acc.FillResult(result);
+  return result;
+}
+
+}  // namespace numaplace

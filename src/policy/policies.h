@@ -1,0 +1,126 @@
+// Container-packing policies (§7): ML (the paper's), Conservative,
+// Aggressive, and Smart-Aggressive, evaluated by how many instances of a
+// container they pack per machine and how badly they violate a performance
+// goal expressed relative to the baseline placement.
+#ifndef NUMAPLACE_SRC_POLICY_POLICIES_H_
+#define NUMAPLACE_SRC_POLICY_POLICIES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/important.h"
+#include "src/model/pipeline.h"
+#include "src/sim/linux_mapper.h"
+#include "src/sim/perf_model.h"
+#include "src/util/rng.h"
+#include "src/workloads/profile.h"
+
+namespace numaplace {
+
+// Everything a policy needs to know about the machine under management.
+struct PolicyContext {
+  const Topology* topo = nullptr;
+  const ImportantPlacementSet* ips = nullptr;
+  const PerformanceModel* solo_sim = nullptr;       // single-container model
+  const MultiTenantModel* multi_sim = nullptr;      // co-located model
+  int vcpus = 0;
+  int baseline_id = 0;  // placement whose performance defines the goal
+};
+
+struct PolicyResult {
+  std::string policy;
+  int instances = 0;
+  // Mean shortfall below the goal across instances and trials, as a percent
+  // of the goal (0 when every instance meets it) — the "stars" in Fig. 5.
+  double violation_pct = 0.0;
+  // Mean per-instance throughput relative to the goal (can exceed 1).
+  double mean_perf_vs_goal = 0.0;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual const std::string& name() const = 0;
+  // Packs instances of `workload` under `goal_fraction` (e.g. 0.9, 1.0, 1.1
+  // of the baseline-placement throughput) and measures the outcome.
+  // Stochastic policies average over `trials` runs.
+  virtual PolicyResult Evaluate(const WorkloadProfile& workload, double goal_fraction,
+                                Rng& rng, int trials) const = 0;
+};
+
+// Throughput of the container alone in the baseline placement — the
+// denominator of every goal.
+double BaselineThroughput(const PolicyContext& ctx, const WorkloadProfile& workload);
+
+// One instance per machine, vCPUs left for Linux to map (unpinned).
+class ConservativePolicy final : public Policy {
+ public:
+  explicit ConservativePolicy(const PolicyContext& ctx, double mapper_imbalance = 0.3);
+  const std::string& name() const override;
+  PolicyResult Evaluate(const WorkloadProfile& workload, double goal_fraction, Rng& rng,
+                        int trials) const override;
+
+ private:
+  PolicyContext ctx_;
+  LinuxMapper mapper_;
+};
+
+// As many instances as the machine has hardware threads for, all unpinned;
+// containers share NUMA nodes and interfere.
+class AggressivePolicy final : public Policy {
+ public:
+  explicit AggressivePolicy(const PolicyContext& ctx, double mapper_imbalance = 0.3);
+  const std::string& name() const override;
+  PolicyResult Evaluate(const WorkloadProfile& workload, double goal_fraction, Rng& rng,
+                        int trials) const override;
+
+ private:
+  PolicyContext ctx_;
+  LinuxMapper mapper_;
+};
+
+// Maximum instance count, but each instance pinned to the minimum node set
+// with the highest interconnect bandwidth ("requires an analysis of the
+// interconnect topology").
+class SmartAggressivePolicy final : public Policy {
+ public:
+  explicit SmartAggressivePolicy(const PolicyContext& ctx);
+  const std::string& name() const override;
+  PolicyResult Evaluate(const WorkloadProfile& workload, double goal_fraction, Rng& rng,
+                        int trials) const override;
+
+ private:
+  PolicyContext ctx_;
+};
+
+// The paper's policy: probe two placements, predict the full performance
+// vector with the trained model, allocate the fewest NUMA nodes that meet
+// the goal, and pack the remaining nodes with more instances of the same
+// placement class.
+class MlPolicy final : public Policy {
+ public:
+  // `model` must outlive the policy.
+  MlPolicy(const PolicyContext& ctx, const TrainedPerfModel* model);
+  const std::string& name() const override;
+  PolicyResult Evaluate(const WorkloadProfile& workload, double goal_fraction, Rng& rng,
+                        int trials) const override;
+
+  // The placement class the model would choose for this workload and goal
+  // (exposed for the examples and tests).
+  const ImportantPlacement& ChoosePlacement(const WorkloadProfile& workload,
+                                            double goal_fraction) const;
+
+ private:
+  PolicyContext ctx_;
+  const TrainedPerfModel* model_;
+};
+
+// Splits the machine into as many disjoint instances of the given placement
+// class as fit, using the Pareto packings (best parts first).
+std::vector<Placement> DisjointRealizations(const PolicyContext& ctx,
+                                            const ImportantPlacement& placement_class);
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_POLICY_POLICIES_H_

@@ -1,0 +1,99 @@
+#include "src/sim/linux_mapper.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+LinuxMapper::LinuxMapper(const Topology& topo, double imbalance)
+    : topo_(&topo), imbalance_(imbalance) {
+  NP_CHECK(imbalance >= 0.0 && imbalance <= 1.0);
+}
+
+Placement LinuxMapper::Map(int vcpus, const NodeSet& allowed_nodes,
+                           const std::vector<int>& occupied, Rng& rng) const {
+  NP_CHECK(vcpus > 0);
+  NP_CHECK(!allowed_nodes.empty());
+  const std::set<int> occupied_set(occupied.begin(), occupied.end());
+
+  // Free hardware threads per allowed node.
+  std::map<int, std::vector<int>> free_by_node;
+  int total_free = 0;
+  for (int node : allowed_nodes) {
+    for (int t : topo_->HwThreadsOnNode(node)) {
+      if (!occupied_set.count(t)) {
+        free_by_node[node].push_back(t);
+        ++total_free;
+      }
+    }
+  }
+  NP_CHECK_MSG(total_free >= vcpus, "not enough free hardware threads");
+
+  Placement placement;
+  placement.hw_threads.reserve(static_cast<size_t>(vcpus));
+  std::set<int> used_groups;
+
+  for (int i = 0; i < vcpus; ++i) {
+    // Pick a node: usually the one with the most free threads (load
+    // balancing), but with probability `imbalance` a random eligible node —
+    // this is what skews the distribution.
+    int node = -1;
+    if (rng.NextDouble() < imbalance_) {
+      std::vector<int> eligible;
+      for (const auto& [n, threads] : free_by_node) {
+        if (!threads.empty()) {
+          eligible.push_back(n);
+        }
+      }
+      node = eligible[rng.NextBelow(eligible.size())];
+    } else {
+      size_t most_free = 0;
+      for (const auto& [n, threads] : free_by_node) {
+        if (threads.size() > most_free) {
+          most_free = threads.size();
+          node = n;
+        }
+      }
+    }
+    NP_CHECK(node >= 0);
+
+    // Pick a thread on the node: prefer a free L2 group, but with
+    // probability `imbalance`/2 take any free thread (possibly doubling up
+    // on a busy group while another group idles).
+    std::vector<int>& threads = free_by_node[node];
+    size_t chosen_index = threads.size();
+    if (rng.NextDouble() >= imbalance_ * 0.5) {
+      std::vector<size_t> fresh_group_indices;
+      for (size_t idx = 0; idx < threads.size(); ++idx) {
+        if (!used_groups.count(topo_->L2GroupOf(threads[idx]))) {
+          fresh_group_indices.push_back(idx);
+        }
+      }
+      if (!fresh_group_indices.empty()) {
+        chosen_index = fresh_group_indices[rng.NextBelow(fresh_group_indices.size())];
+      }
+    }
+    if (chosen_index == threads.size()) {
+      chosen_index = rng.NextBelow(threads.size());
+    }
+    const int thread = threads[chosen_index];
+    threads.erase(threads.begin() + static_cast<ptrdiff_t>(chosen_index));
+    used_groups.insert(topo_->L2GroupOf(thread));
+    placement.hw_threads.push_back(thread);
+  }
+  std::sort(placement.hw_threads.begin(), placement.hw_threads.end());
+  return placement;
+}
+
+Placement LinuxMapper::Map(int vcpus, Rng& rng) const {
+  NodeSet all(static_cast<size_t>(topo_->num_nodes()));
+  for (int n = 0; n < topo_->num_nodes(); ++n) {
+    all[static_cast<size_t>(n)] = n;
+  }
+  return Map(vcpus, all, {}, rng);
+}
+
+}  // namespace numaplace

@@ -1,0 +1,351 @@
+#include "src/sim/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace numaplace {
+
+namespace {
+
+// Relative cost of an operation serviced at each level (1.0 = core-local).
+constexpr double kL2HitCost = 1.3;
+constexpr double kL3HitCost = 3.0;
+constexpr double kDramCost = 9.0;
+// Fixed-point iterations for the bandwidth-saturation feedback loop.
+constexpr int kBandwidthIterations = 4;
+// Scale of the latency bonus when threads sit closer than one node apart.
+constexpr double kProximityBonus = 0.3;
+// Share of residual L3 misses that cooperative co-located threads absorb.
+constexpr double kCoopEffect = 0.6;
+// Effective bandwidth between nodes with no direct link, per node of the
+// set, when traffic is routed through intermediate hops.
+constexpr double kRoutedBandwidthFloorGbps = 1.0;
+
+struct EngineTenant {
+  const WorkloadProfile* profile;
+  const Placement* placement;
+};
+
+// Combined throughput of `occupancy` threads sharing one L2 group, relative
+// to a single thread running alone, linearly extrapolated from the pairwise
+// smt_combined figure and capped at modest super-linearity.
+double CombinedPipelineRate(double smt_combined, int occupancy) {
+  if (occupancy <= 1) {
+    return 1.0;
+  }
+  const double slope = smt_combined - 1.0;
+  const double combined = 1.0 + slope * static_cast<double>(occupancy - 1);
+  return std::min(combined, 1.15 * static_cast<double>(occupancy));
+}
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return SplitMix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+uint64_t NoiseStream(uint64_t seed, const WorkloadProfile& profile,
+                     const Placement& placement, uint64_t run) {
+  uint64_t h = seed;
+  for (char ch : profile.name) {
+    h = HashCombine(h, static_cast<uint64_t>(ch));
+  }
+  for (int t : placement.hw_threads) {
+    h = HashCombine(h, static_cast<uint64_t>(t));
+  }
+  return HashCombine(h, run);
+}
+
+// The shared evaluation engine: handles one or many tenants.
+std::vector<PerfResult> EvaluateTenants(const Topology& topo,
+                                        const std::vector<EngineTenant>& tenants) {
+  const size_t num_tenants = tenants.size();
+  NP_CHECK(num_tenants >= 1);
+
+  // --- Static occupancy maps across all tenants ---
+  std::map<int, int> hw_occupancy;        // vCPUs per hardware thread
+  std::map<int, int> group_occupancy;     // vCPUs per L2 group
+  std::map<int, double> l3_group_demand;  // MB of working set pressing each L3
+  std::map<int, double> group_l2_demand;  // MB pressing each L2 group
+  std::vector<NodeSet> tenant_nodes(num_tenants);
+  std::vector<int> tenant_threads(num_tenants);
+
+  for (size_t c = 0; c < num_tenants; ++c) {
+    const WorkloadProfile& w = *tenants[c].profile;
+    const Placement& p = *tenants[c].placement;
+    NP_CHECK(!p.hw_threads.empty());
+    tenant_nodes[c] = p.NodesUsed(topo);
+    tenant_threads[c] = p.NumVcpus();
+    std::set<int> l3_groups_touched;
+    for (int t : p.hw_threads) {
+      hw_occupancy[t]++;
+      group_occupancy[topo.L2GroupOf(t)]++;
+      l3_group_demand[topo.L3GroupOf(t)] += w.ws_private_mb;
+      group_l2_demand[topo.L2GroupOf(t)] += w.ws_l2_mb;
+      l3_groups_touched.insert(topo.L3GroupOf(t));
+    }
+    // One copy of the shared working set per L3 cache the tenant spans.
+    for (int g : l3_groups_touched) {
+      l3_group_demand[g] += w.ws_shared_mb;
+    }
+  }
+
+  const PerfParams& perf = topo.perf();
+
+  // --- Per-tenant, per-thread static factors ---
+  struct ThreadState {
+    int hw_thread = 0;
+    double pipeline = 1.0;   // L2-group sharing + hw-thread oversubscription
+    double l2_hit = 0.0;
+    double l3_hit = 0.0;
+    double speed = 0.0;      // filled by the fixed point
+  };
+  std::vector<std::vector<ThreadState>> states(num_tenants);
+  std::vector<double> comm_factor(num_tenants, 1.0);
+  std::vector<double> mean_latency(num_tenants, 0.0);
+  std::vector<double> share_frac(num_tenants, 0.0);
+
+  for (size_t c = 0; c < num_tenants; ++c) {
+    const WorkloadProfile& w = *tenants[c].profile;
+    const Placement& p = *tenants[c].placement;
+    const int total_threads = tenant_threads[c];
+
+    mean_latency[c] = p.MeanPairwiseLatencyNs(topo);
+    const double l0 = perf.lat_same_node_ns;
+    const double rel = mean_latency[c] / l0;
+    if (rel >= 1.0) {
+      comm_factor[c] = 1.0 / (1.0 + w.comm_intensity * (rel - 1.0));
+    } else {
+      comm_factor[c] = 1.0 + w.comm_intensity * kProximityBonus * (1.0 - rel);
+    }
+
+    const double footprint =
+        w.ws_shared_mb + static_cast<double>(total_threads) * w.ws_private_mb;
+    share_frac[c] = footprint > 0.0 ? w.ws_shared_mb / footprint : 0.0;
+
+    // Per-L3-group thread counts, for the cooperative-sharing bonus.
+    std::map<int, int> own_l3_threads;
+    for (int t : p.hw_threads) {
+      own_l3_threads[topo.L3GroupOf(t)]++;
+    }
+
+    states[c].reserve(p.hw_threads.size());
+    for (int t : p.hw_threads) {
+      ThreadState s;
+      s.hw_thread = t;
+      const int group = topo.L2GroupOf(t);
+      const int occ = group_occupancy[group];
+      s.pipeline = CombinedPipelineRate(w.smt_combined, occ) / static_cast<double>(occ) /
+                   static_cast<double>(hw_occupancy[t]);
+      // Fraction of accesses served by the L2: accesses to the hot set, when
+      // the group's combined hot sets fit the cache.
+      const double l2_demand = group_l2_demand[group];
+      const double l2_fit =
+          l2_demand > 0.0 ? std::min(1.0, perf.l2_size_mb / l2_demand) : 1.0;
+      s.l2_hit = w.l2_locality * l2_fit;
+      const int l3_group = topo.L3GroupOf(t);
+      const double l3_demand = l3_group_demand[l3_group];
+      double l3_hit = l3_demand > 0.0 ? std::min(1.0, perf.l3_size_mb / l3_demand) : 1.0;
+      // Cooperative sharing: co-located threads prefetch shared data for each
+      // other; the effect scales with the fraction of the container's threads
+      // sharing this L3.
+      const double colocation =
+          static_cast<double>(own_l3_threads[l3_group]) / static_cast<double>(total_threads);
+      l3_hit += w.cache_coop * colocation * kCoopEffect * (1.0 - l3_hit);
+      s.l3_hit = std::min(1.0, l3_hit);
+      states[c].push_back(s);
+    }
+  }
+
+  // --- Bandwidth fixed point ---
+  // Saturation slows threads down, which lowers traffic; a few iterations
+  // converge because the map demand -> slowdown -> demand is monotone.
+  std::vector<double> bw_penalty(num_tenants, 1.0);  // >= 1, multiplies DRAM cost
+  std::vector<double> dram_demand(num_tenants, 0.0);
+  std::vector<double> ic_demand(num_tenants, 0.0);
+  std::vector<double> dram_factor(num_tenants, 1.0);
+  std::vector<double> ic_factor(num_tenants, 1.0);
+
+  for (int iter = 0; iter < kBandwidthIterations; ++iter) {
+    // Thread speeds under the current bandwidth penalty.
+    for (size_t c = 0; c < num_tenants; ++c) {
+      const WorkloadProfile& w = *tenants[c].profile;
+      for (ThreadState& s : states[c]) {
+        const double dram_cost = kDramCost * bw_penalty[c];
+        const double cost =
+            (1.0 - w.mem_intensity) +
+            w.mem_intensity *
+                (s.l2_hit * kL2HitCost +
+                 (1.0 - s.l2_hit) *
+                     (s.l3_hit * kL3HitCost + (1.0 - s.l3_hit) * dram_cost));
+        s.speed = s.pipeline * comm_factor[c] / cost;
+      }
+    }
+
+    // Demands given speeds.
+    std::map<int, double> node_dram_demand;  // GB/s per node
+    for (size_t c = 0; c < num_tenants; ++c) {
+      const WorkloadProfile& w = *tenants[c].profile;
+      // Traffic the thread generates at its natural memory-bound pace:
+      // bw_per_thread filtered by the caches. Demand deliberately does not
+      // scale with the achieved speed — saturation then feeds back through
+      // the DRAM-cost penalty, matching how memory-bound applications pile
+      // requests onto a saturated controller.
+      double total_traffic = 0.0;
+      for (const ThreadState& s : states[c]) {
+        total_traffic += w.bw_per_thread_gbps * (1.0 - s.l2_hit) * (1.0 - s.l3_hit);
+      }
+      dram_demand[c] = total_traffic;
+      const auto num_nodes = static_cast<double>(tenant_nodes[c].size());
+      for (int n : tenant_nodes[c]) {
+        node_dram_demand[n] += total_traffic / num_nodes;
+      }
+      ic_demand[c] = total_traffic * share_frac[c] * (num_nodes - 1.0) / num_nodes;
+    }
+
+    // Per-tenant saturation factors.
+    for (size_t c = 0; c < num_tenants; ++c) {
+      double dram_f = 1.0;
+      for (int n : tenant_nodes[c]) {
+        const double demand = node_dram_demand[n];
+        if (demand > perf.dram_gbps_per_node) {
+          dram_f = std::min(dram_f, perf.dram_gbps_per_node / demand);
+        }
+      }
+      dram_factor[c] = dram_f;
+
+      double ic_f = 1.0;
+      // Node pairs without a direct link still exchange data through
+      // intermediate hops; routed traffic shares the intermediate links, so
+      // the effective floor is well below a direct link but not zero.
+      double supply = topo.AggregateBandwidth(tenant_nodes[c]);
+      if (tenant_nodes[c].size() > 1) {
+        supply = std::max(
+            supply, kRoutedBandwidthFloorGbps *
+                        (static_cast<double>(tenant_nodes[c].size()) - 1.0));
+      }
+      // Tenants whose node sets overlap compete for the same links.
+      double competing = 0.0;
+      for (size_t o = 0; o < num_tenants; ++o) {
+        bool overlaps = false;
+        for (int n : tenant_nodes[o]) {
+          overlaps |= std::find(tenant_nodes[c].begin(), tenant_nodes[c].end(), n) !=
+                      tenant_nodes[c].end();
+        }
+        if (overlaps) {
+          competing += ic_demand[o];
+        }
+      }
+      if (competing > 0.0) {
+        ic_f = supply > 0.0 ? std::min(1.0, supply / competing) : 0.05;
+      }
+      ic_factor[c] = ic_f;
+
+      const double factor = std::min(dram_factor[c], ic_factor[c]);
+      bw_penalty[c] = 1.0 / std::max(factor, 0.02);
+    }
+  }
+
+  // --- Aggregate per tenant ---
+  std::vector<PerfResult> results(num_tenants);
+  for (size_t c = 0; c < num_tenants; ++c) {
+    const WorkloadProfile& w = *tenants[c].profile;
+    double sum_speed = 0.0;
+    double min_speed = states[c].front().speed;
+    double sum_l2 = 0.0;
+    double sum_l3 = 0.0;
+    double sum_pipe = 0.0;
+    for (const ThreadState& s : states[c]) {
+      sum_speed += s.speed;
+      min_speed = std::min(min_speed, s.speed);
+      sum_l2 += s.l2_hit;
+      sum_l3 += s.l3_hit;
+      sum_pipe += s.pipeline;
+    }
+    const auto n_threads = static_cast<double>(states[c].size());
+    // Barrier-synchronized work is gated on the slowest thread.
+    const double effective =
+        (1.0 - w.barrier_sensitivity) * sum_speed +
+        w.barrier_sensitivity * n_threads * min_speed;
+
+    PerfResult& r = results[c];
+    r.throughput_ops = perf.base_ops_per_thread * effective;
+    r.breakdown.l2_hit = sum_l2 / n_threads;
+    r.breakdown.l3_hit = sum_l3 / n_threads;
+    r.breakdown.pipeline_factor = sum_pipe / n_threads;
+    r.breakdown.comm_factor = comm_factor[c];
+    r.breakdown.bandwidth_factor = std::min(dram_factor[c], ic_factor[c]);
+    r.breakdown.dram_demand_gbps = dram_demand[c];
+    r.breakdown.dram_supply_gbps =
+        perf.dram_gbps_per_node * static_cast<double>(tenant_nodes[c].size());
+    r.breakdown.ic_demand_gbps = ic_demand[c];
+    r.breakdown.ic_supply_gbps = topo.AggregateBandwidth(tenant_nodes[c]);
+    r.breakdown.mean_latency_ns = mean_latency[c];
+    r.breakdown.cost_per_op =
+        effective > 0.0 ? n_threads * comm_factor[c] / (sum_speed / n_threads) : 0.0;
+  }
+  return results;
+}
+
+double ApplyNoise(double value, double sigma, uint64_t stream) {
+  if (sigma <= 0.0) {
+    return value;
+  }
+  Rng rng(stream);
+  return value * std::exp(rng.NextGaussian(0.0, sigma));
+}
+
+}  // namespace
+
+PerformanceModel::PerformanceModel(const Topology& topo, double noise_sigma,
+                                   uint64_t noise_seed)
+    : topo_(&topo), noise_sigma_(noise_sigma), noise_seed_(noise_seed) {
+  NP_CHECK(noise_sigma >= 0.0);
+}
+
+PerfResult PerformanceModel::EvaluateDeterministic(const WorkloadProfile& profile,
+                                                   const Placement& placement) const {
+  const std::vector<EngineTenant> tenants = {{&profile, &placement}};
+  return EvaluateTenants(*topo_, tenants)[0];
+}
+
+PerfResult PerformanceModel::Evaluate(const WorkloadProfile& profile,
+                                      const Placement& placement) const {
+  return Evaluate(profile, placement, 0);
+}
+
+PerfResult PerformanceModel::Evaluate(const WorkloadProfile& profile,
+                                      const Placement& placement, uint64_t run) const {
+  PerfResult r = EvaluateDeterministic(profile, placement);
+  r.throughput_ops = ApplyNoise(r.throughput_ops, noise_sigma_,
+                                NoiseStream(noise_seed_, profile, placement, run));
+  return r;
+}
+
+MultiTenantModel::MultiTenantModel(const Topology& topo, double noise_sigma,
+                                   uint64_t noise_seed)
+    : topo_(&topo), noise_sigma_(noise_sigma), noise_seed_(noise_seed) {
+  NP_CHECK(noise_sigma >= 0.0);
+}
+
+std::vector<PerfResult> MultiTenantModel::Evaluate(const std::vector<Tenant>& tenants) const {
+  NP_CHECK(!tenants.empty());
+  std::vector<EngineTenant> engine_tenants;
+  engine_tenants.reserve(tenants.size());
+  for (const Tenant& t : tenants) {
+    NP_CHECK(t.profile != nullptr);
+    engine_tenants.push_back({t.profile, &t.placement});
+  }
+  std::vector<PerfResult> results = EvaluateTenants(*topo_, engine_tenants);
+  for (size_t c = 0; c < results.size(); ++c) {
+    results[c].throughput_ops = ApplyNoise(
+        results[c].throughput_ops, noise_sigma_,
+        NoiseStream(noise_seed_ + c, *tenants[c].profile, tenants[c].placement, 0));
+  }
+  return results;
+}
+
+}  // namespace numaplace

@@ -1,0 +1,144 @@
+#include "src/topology/topology.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+Topology::Topology(std::string name, int num_nodes, int cores_per_node, int smt_per_core,
+                   int cores_per_l2_group, std::vector<Link> links, PerfParams perf,
+                   int cores_per_l3_group)
+    : name_(std::move(name)),
+      num_nodes_(num_nodes),
+      cores_per_node_(cores_per_node),
+      smt_per_core_(smt_per_core),
+      cores_per_l2_group_(cores_per_l2_group),
+      cores_per_l3_group_(cores_per_l3_group == 0 ? cores_per_node : cores_per_l3_group),
+      links_(std::move(links)),
+      perf_(perf) {
+  NP_CHECK(num_nodes_ > 0);
+  NP_CHECK(cores_per_node_ > 0);
+  NP_CHECK(smt_per_core_ > 0);
+  NP_CHECK(cores_per_l2_group_ > 0);
+  NP_CHECK(cores_per_l3_group_ > 0);
+  NP_CHECK_MSG(cores_per_node_ % cores_per_l3_group_ == 0,
+               "L3 groups must not straddle nodes: " << cores_per_node_ << " cores/node, "
+                                                     << cores_per_l3_group_ << " cores/L3");
+  NP_CHECK_MSG(cores_per_l3_group_ % cores_per_l2_group_ == 0,
+               "L2 groups must not straddle L3 groups: " << cores_per_l3_group_
+                                                         << " cores/L3, "
+                                                         << cores_per_l2_group_
+                                                         << " cores/L2");
+
+  link_bw_.assign(static_cast<size_t>(num_nodes_) * num_nodes_, 0.0);
+  for (const Link& link : links_) {
+    NP_CHECK(link.node_a >= 0 && link.node_a < num_nodes_);
+    NP_CHECK(link.node_b >= 0 && link.node_b < num_nodes_);
+    NP_CHECK_MSG(link.node_a != link.node_b, "self-link on node " << link.node_a);
+    NP_CHECK_MSG(link.bandwidth_gbps > 0.0, "non-positive link bandwidth");
+    double& fwd = link_bw_[static_cast<size_t>(link.node_a) * num_nodes_ + link.node_b];
+    NP_CHECK_MSG(fwd == 0.0, "duplicate link " << link.node_a << "-" << link.node_b);
+    fwd = link.bandwidth_gbps;
+    link_bw_[static_cast<size_t>(link.node_b) * num_nodes_ + link.node_a] =
+        link.bandwidth_gbps;
+  }
+
+  // All-pairs hop distances by BFS from each node (graphs here are tiny).
+  const int kUnreachable = NumHwThreads() + num_nodes_;
+  hop_.assign(static_cast<size_t>(num_nodes_) * num_nodes_, kUnreachable);
+  for (int src = 0; src < num_nodes_; ++src) {
+    std::deque<int> queue;
+    hop_[static_cast<size_t>(src) * num_nodes_ + src] = 0;
+    queue.push_back(src);
+    while (!queue.empty()) {
+      const int cur = queue.front();
+      queue.pop_front();
+      const int cur_d = hop_[static_cast<size_t>(src) * num_nodes_ + cur];
+      for (int next = 0; next < num_nodes_; ++next) {
+        if (link_bw_[static_cast<size_t>(cur) * num_nodes_ + next] > 0.0 &&
+            hop_[static_cast<size_t>(src) * num_nodes_ + next] == kUnreachable) {
+          hop_[static_cast<size_t>(src) * num_nodes_ + next] = cur_d + 1;
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+}
+
+int Topology::CoreOf(int hw_thread) const {
+  NP_CHECK(hw_thread >= 0 && hw_thread < NumHwThreads());
+  return hw_thread / smt_per_core_;
+}
+
+int Topology::NodeOf(int hw_thread) const { return CoreOf(hw_thread) / cores_per_node_; }
+
+int Topology::L2GroupOf(int hw_thread) const { return CoreOf(hw_thread) / cores_per_l2_group_; }
+
+int Topology::L3GroupOf(int hw_thread) const { return CoreOf(hw_thread) / cores_per_l3_group_; }
+
+int Topology::SmtSiblingIndexOf(int hw_thread) const {
+  NP_CHECK(hw_thread >= 0 && hw_thread < NumHwThreads());
+  return hw_thread % smt_per_core_;
+}
+
+std::vector<int> Topology::HwThreadsOnNode(int node) const {
+  NP_CHECK(node >= 0 && node < num_nodes_);
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(NodeCapacity()));
+  const int first = node * NodeCapacity();
+  for (int t = 0; t < NodeCapacity(); ++t) {
+    out.push_back(first + t);
+  }
+  return out;
+}
+
+double Topology::LinkBandwidth(int node_a, int node_b) const {
+  NP_CHECK(node_a >= 0 && node_a < num_nodes_);
+  NP_CHECK(node_b >= 0 && node_b < num_nodes_);
+  if (node_a == node_b) {
+    return 0.0;
+  }
+  return link_bw_[static_cast<size_t>(node_a) * num_nodes_ + node_b];
+}
+
+int Topology::HopDistance(int node_a, int node_b) const {
+  NP_CHECK(node_a >= 0 && node_a < num_nodes_);
+  NP_CHECK(node_b >= 0 && node_b < num_nodes_);
+  return hop_[static_cast<size_t>(node_a) * num_nodes_ + node_b];
+}
+
+double Topology::AggregateBandwidth(std::span<const int> nodes) const {
+  double total = 0.0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t j = i + 1; j < nodes.size(); ++j) {
+      total += LinkBandwidth(nodes[i], nodes[j]);
+    }
+  }
+  return total;
+}
+
+double Topology::CommunicationLatencyNs(int hw_thread_a, int hw_thread_b) const {
+  if (hw_thread_a == hw_thread_b) {
+    return 0.0;
+  }
+  if (CoreOf(hw_thread_a) == CoreOf(hw_thread_b)) {
+    return perf_.lat_same_core_ns;
+  }
+  if (L2GroupOf(hw_thread_a) == L2GroupOf(hw_thread_b)) {
+    return perf_.lat_same_l2_ns;
+  }
+  if (L3GroupOf(hw_thread_a) == L3GroupOf(hw_thread_b)) {
+    return perf_.lat_same_l3_ns > 0.0 ? perf_.lat_same_l3_ns : perf_.lat_same_node_ns;
+  }
+  const int node_a = NodeOf(hw_thread_a);
+  const int node_b = NodeOf(hw_thread_b);
+  if (node_a == node_b) {
+    return perf_.lat_same_node_ns;
+  }
+  const int hops = HopDistance(node_a, node_b);
+  return perf_.lat_one_hop_ns + perf_.lat_extra_hop_ns * static_cast<double>(hops - 1);
+}
+
+}  // namespace numaplace

@@ -1,0 +1,44 @@
+// Lightweight invariant-checking macros used across numaplace.
+//
+// NP_CHECK is always on (release included): library invariants whose violation
+// means the caller misused the API or internal state is corrupt. It throws
+// std::logic_error so tests can assert on misuse without aborting the process.
+#ifndef NUMAPLACE_SRC_UTIL_CHECK_H_
+#define NUMAPLACE_SRC_UTIL_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace numaplace {
+
+[[noreturn]] inline void CheckFailure(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "NP_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw std::logic_error(os.str());
+}
+
+}  // namespace numaplace
+
+#define NP_CHECK(expr)                                            \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::numaplace::CheckFailure(#expr, __FILE__, __LINE__, "");   \
+    }                                                             \
+  } while (0)
+
+#define NP_CHECK_MSG(expr, msg)                                     \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      std::ostringstream np_check_os;                               \
+      np_check_os << msg;                                           \
+      ::numaplace::CheckFailure(#expr, __FILE__, __LINE__,          \
+                                np_check_os.str());                 \
+    }                                                               \
+  } while (0)
+
+#endif  // NUMAPLACE_SRC_UTIL_CHECK_H_

@@ -1,0 +1,91 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  // splitmix64 expansion guarantees a non-degenerate xoshiro state even for
+  // seed == 0.
+  uint64_t s = seed;
+  for (auto& word : state_) {
+    s = SplitMix64(s);
+    word = s;
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  NP_CHECK(bound > 0);
+  // Lemire's method: multiply-shift with rejection of the biased low range.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  NP_CHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  // Box–Muller; u1 is kept away from 0 so log() is finite.
+  double u1 = NextDouble();
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  NP_CHECK(stddev >= 0.0);
+  return mean + stddev * NextGaussian();
+}
+
+Rng Rng::Fork(uint64_t stream_index) const {
+  return Rng(SplitMix64(seed_ ^ SplitMix64(stream_index + 0x5bf03635ULL)));
+}
+
+}  // namespace numaplace

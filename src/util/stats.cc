@@ -1,0 +1,132 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+double Mean(std::span<const double> v) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : v) {
+    sum += x;
+  }
+  return sum / static_cast<double>(v.size());
+}
+
+double Variance(std::span<const double> v) {
+  if (v.size() < 2) {
+    return 0.0;
+  }
+  const double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) {
+    const double d = x - m;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(v.size());
+}
+
+double StdDev(std::span<const double> v) { return std::sqrt(Variance(v)); }
+
+double Percentile(std::span<const double> v, double p) {
+  NP_CHECK(!v.empty());
+  NP_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(v.begin(), v.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Min(std::span<const double> v) {
+  NP_CHECK(!v.empty());
+  return *std::min_element(v.begin(), v.end());
+}
+
+double Max(std::span<const double> v) {
+  NP_CHECK(!v.empty());
+  return *std::max_element(v.begin(), v.end());
+}
+
+double MeanAbsoluteError(std::span<const double> actual, std::span<const double> predicted) {
+  NP_CHECK(actual.size() == predicted.size());
+  NP_CHECK(!actual.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    acc += std::abs(actual[i] - predicted[i]);
+  }
+  return acc / static_cast<double>(actual.size());
+}
+
+double MeanAbsolutePercentageError(std::span<const double> actual,
+                                   std::span<const double> predicted) {
+  NP_CHECK(actual.size() == predicted.size());
+  NP_CHECK(!actual.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    NP_CHECK_MSG(actual[i] != 0.0, "MAPE undefined for zero actual value");
+    acc += std::abs((actual[i] - predicted[i]) / actual[i]);
+  }
+  return 100.0 * acc / static_cast<double>(actual.size());
+}
+
+double RSquared(std::span<const double> actual, std::span<const double> predicted) {
+  NP_CHECK(actual.size() == predicted.size());
+  NP_CHECK(!actual.empty());
+  const double mean = Mean(actual);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+    ss_tot += (actual[i] - mean) * (actual[i] - mean);
+  }
+  if (ss_tot == 0.0) {
+    return ss_res == 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+double EuclideanDistance(std::span<const double> a, std::span<const double> b) {
+  NP_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+}  // namespace numaplace

@@ -1,0 +1,62 @@
+// Small statistics helpers shared by the ML code, the simulator and the
+// benchmark harnesses.
+#ifndef NUMAPLACE_SRC_UTIL_STATS_H_
+#define NUMAPLACE_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace numaplace {
+
+// Arithmetic mean; 0.0 for an empty span.
+double Mean(std::span<const double> v);
+
+// Population variance (divide by N); 0.0 for fewer than two elements.
+double Variance(std::span<const double> v);
+
+double StdDev(std::span<const double> v);
+
+// Linear-interpolated percentile, p in [0, 100]. Input need not be sorted.
+double Percentile(std::span<const double> v, double p);
+
+double Min(std::span<const double> v);
+double Max(std::span<const double> v);
+
+// Mean absolute error between two equal-length vectors.
+double MeanAbsoluteError(std::span<const double> actual, std::span<const double> predicted);
+
+// Mean absolute percentage error, in percent. Elements of `actual` must be
+// non-zero.
+double MeanAbsolutePercentageError(std::span<const double> actual,
+                                   std::span<const double> predicted);
+
+// Coefficient of determination. Returns 1.0 when actual is constant and
+// predictions match it exactly, 0.0 when actual is constant otherwise.
+double RSquared(std::span<const double> actual, std::span<const double> predicted);
+
+// Euclidean distance between two equal-length vectors.
+double EuclideanDistance(std::span<const double> a, std::span<const double> b);
+
+// Running mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t Count() const { return n_; }
+  double Mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double Variance() const;  // population variance
+  double StdDev() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_UTIL_STATS_H_

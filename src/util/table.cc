@@ -1,0 +1,93 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  NP_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  NP_CHECK_MSG(row.size() == headers_.size(),
+               "row width " << row.size() << " != header width " << headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      if (c + 1 < row.size()) {
+        os << "  ";
+      }
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') {
+      out += "\"\"";
+    } else {
+      out += ch;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << CsvEscape(row[c]);
+      if (c + 1 < row.size()) {
+        os << ",";
+      }
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+}  // namespace numaplace

@@ -1,0 +1,39 @@
+// ASCII table and CSV emission for the benchmark harnesses. Every bench binary
+// regenerates a paper table/figure as rows; TablePrinter renders them aligned
+// for the terminal, and the same rows can be dumped as CSV for plotting.
+#ifndef NUMAPLACE_SRC_UTIL_TABLE_H_
+#define NUMAPLACE_SRC_UTIL_TABLE_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace numaplace {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Row width must equal the header width.
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: format a double with the given precision.
+  static std::string Num(double value, int precision = 2);
+
+  // Render with column alignment and a separator line under the header.
+  void Print(std::ostream& os) const;
+
+  // RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t RowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_UTIL_TABLE_H_

@@ -1,0 +1,78 @@
+// Workload profiles: the per-application parameters that drive the
+// performance simulator (src/sim) and the migration model (src/migration).
+//
+// The paper runs real applications (NAS, Parsec, Metis, BLAST, gcc, Spark,
+// TPC-C/H on Postgres, WiredTiger) inside lxc containers on real NUMA
+// hardware. This environment has no NUMA hardware, so each application is
+// replaced by a profile of the physical quantities that determine how its
+// performance responds to placement — memory intensity, working-set sizes,
+// communication rate, SMT friendliness, cooperative sharing — and the
+// simulator maps (profile, placement) to throughput from first principles.
+// The *learning* problem the paper poses (predict the full performance
+// vector from two observations) is therefore preserved.
+#ifndef NUMAPLACE_SRC_WORKLOADS_PROFILE_H_
+#define NUMAPLACE_SRC_WORKLOADS_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+namespace numaplace {
+
+struct WorkloadProfile {
+  std::string name;
+
+  // --- Execution profile (performance simulator inputs) ---
+  // Fraction of work that touches memory beyond the L1 (0 = pure compute).
+  double mem_intensity = 0.2;
+  // Per-thread private working set and the per-thread L2-resident hot set.
+  double ws_private_mb = 1.0;
+  double ws_l2_mb = 0.15;
+  // Fraction of beyond-L1 accesses that target the hot set (and therefore
+  // hit L2 when the hot set fits); the remainder walk the full working set.
+  double l2_locality = 0.5;
+  // Working set shared by all threads; each L3 cache in use keeps its own
+  // copy of the hot part.
+  double ws_shared_mb = 0.0;
+  // DRAM traffic one thread generates at full speed if every access missed
+  // the caches (GB/s); cache hits filter this.
+  double bw_per_thread_gbps = 1.0;
+  // Sensitivity to cross-thread communication latency (0 = threads never
+  // talk, 1 = latency-bound).
+  double comm_intensity = 0.0;
+  // Combined throughput of two threads sharing an L2 group (SMT siblings on
+  // Intel, CMT module cores on AMD), relative to one thread running alone.
+  // 2.0 = perfect scaling, <2 = pipeline contention, >2 = cooperative
+  // sharing (prefetching for each other), as seen for kmeans in the paper.
+  double smt_combined = 1.7;
+  // Fraction of shared-working-set misses saved by co-locating threads
+  // (cooperative cache sharing, §1).
+  double cache_coop = 0.0;
+  // Fraction of progress gated on the slowest thread (barrier-style
+  // synchronization). Makes unbalanced mappings produce stragglers.
+  double barrier_sensitivity = 0.0;
+
+  // --- Memory footprint (migration model inputs; Table 2 data) ---
+  double anon_gb = 1.0;        // anonymous (process) memory
+  double page_cache_gb = 0.0;  // page cache associated with the container
+  int num_tasks = 16;          // threads + processes (freeze/thaw cost)
+  // Distinct processes (separate mm): each pays the cpuset-update walk that
+  // makes default Linux pathological for TPC-C (§7).
+  int num_processes = 1;
+  double avg_page_mappings = 1.0;  // mean rmap entries per page
+  double thp_fraction = 0.5;   // share of anon memory in transparent huge pages
+
+  // Reporting metric, e.g. "ops/s" or "transactions/s".
+  std::string metric = "ops/s";
+
+  double TotalMemoryGb() const { return anon_gb + page_cache_gb; }
+};
+
+// The 18 applications of the paper's evaluation (§6, Table 2).
+std::vector<WorkloadProfile> PaperWorkloads();
+
+// Looks up a paper workload by name; throws std::logic_error when absent.
+const WorkloadProfile& PaperWorkload(const std::string& name);
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_WORKLOADS_PROFILE_H_

@@ -1,0 +1,155 @@
+#include "src/workloads/synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+const std::vector<WorkloadArchetype>& AllArchetypes() {
+  static const std::vector<WorkloadArchetype> kAll = {
+      WorkloadArchetype::kComputeBound,     WorkloadArchetype::kLatencySensitive,
+      WorkloadArchetype::kBandwidthBound,   WorkloadArchetype::kCacheSensitive,
+      WorkloadArchetype::kSmtFriendly,      WorkloadArchetype::kBalancedMixed,
+  };
+  return kAll;
+}
+
+std::string ArchetypeName(WorkloadArchetype archetype) {
+  switch (archetype) {
+    case WorkloadArchetype::kComputeBound:
+      return "compute-bound";
+    case WorkloadArchetype::kLatencySensitive:
+      return "latency-sensitive";
+    case WorkloadArchetype::kBandwidthBound:
+      return "bandwidth-bound";
+    case WorkloadArchetype::kCacheSensitive:
+      return "cache-sensitive";
+    case WorkloadArchetype::kSmtFriendly:
+      return "smt-friendly";
+    case WorkloadArchetype::kBalancedMixed:
+      return "balanced-mixed";
+  }
+  NP_CHECK_MSG(false, "unhandled archetype");
+  __builtin_unreachable();
+}
+
+namespace {
+
+double Jitter(Rng& rng, double center, double rel, double lo, double hi) {
+  const double v = center * std::exp(rng.NextGaussian(0.0, rel));
+  return std::clamp(v, lo, hi);
+}
+
+double JitterLin(Rng& rng, double center, double abs, double lo, double hi) {
+  return std::clamp(center + rng.NextDouble(-abs, abs), lo, hi);
+}
+
+}  // namespace
+
+WorkloadProfile SampleWorkload(WorkloadArchetype archetype, Rng& rng) {
+  WorkloadProfile p;
+  switch (archetype) {
+    case WorkloadArchetype::kComputeBound:
+      p.mem_intensity = JitterLin(rng, 0.07, 0.05, 0.01, 0.2);
+      p.ws_private_mb = Jitter(rng, 0.6, 0.5, 0.05, 4.0);
+      p.ws_l2_mb = Jitter(rng, 0.06, 0.4, 0.01, 0.2);
+      p.l2_locality = JitterLin(rng, 0.85, 0.08, 0.6, 0.95);
+      p.ws_shared_mb = Jitter(rng, 1.0, 0.8, 0.0, 10.0);
+      p.bw_per_thread_gbps = Jitter(rng, 0.25, 0.4, 0.05, 0.8);
+      p.comm_intensity = JitterLin(rng, 0.03, 0.03, 0.0, 0.1);
+      p.smt_combined = JitterLin(rng, 1.85, 0.1, 1.6, 2.0);
+      p.cache_coop = JitterLin(rng, 0.05, 0.05, 0.0, 0.2);
+      p.barrier_sensitivity = JitterLin(rng, 0.05, 0.05, 0.0, 0.2);
+      break;
+    case WorkloadArchetype::kLatencySensitive:
+      p.mem_intensity = JitterLin(rng, 0.28, 0.08, 0.1, 0.45);
+      p.ws_private_mb = Jitter(rng, 0.8, 0.5, 0.1, 4.0);
+      p.ws_l2_mb = Jitter(rng, 0.15, 0.4, 0.03, 0.4);
+      p.l2_locality = JitterLin(rng, 0.5, 0.1, 0.3, 0.7);
+      p.ws_shared_mb = Jitter(rng, 250.0, 0.5, 30.0, 600.0);
+      p.bw_per_thread_gbps = Jitter(rng, 1.8, 0.3, 0.8, 3.0);
+      p.comm_intensity = JitterLin(rng, 0.6, 0.3, 0.3, 0.95);
+      p.smt_combined = JitterLin(rng, 1.6, 0.15, 1.35, 1.85);
+      p.cache_coop = JitterLin(rng, 0.25, 0.15, 0.0, 0.5);
+      p.barrier_sensitivity = JitterLin(rng, 0.15, 0.1, 0.0, 0.4);
+      break;
+    case WorkloadArchetype::kBandwidthBound:
+      p.mem_intensity = JitterLin(rng, 0.62, 0.1, 0.45, 0.8);
+      p.ws_private_mb = Jitter(rng, 16.0, 0.6, 2.0, 64.0);
+      p.ws_l2_mb = Jitter(rng, 0.5, 0.3, 0.2, 1.0);
+      p.l2_locality = JitterLin(rng, 0.3, 0.08, 0.15, 0.45);
+      p.ws_shared_mb = Jitter(rng, 80.0, 0.7, 5.0, 300.0);
+      p.bw_per_thread_gbps = Jitter(rng, 3.0, 0.25, 1.8, 5.0);
+      p.comm_intensity = JitterLin(rng, 0.3, 0.2, 0.0, 0.55);
+      p.smt_combined = JitterLin(rng, 1.35, 0.1, 1.15, 1.55);
+      p.cache_coop = JitterLin(rng, 0.0, 0.05, 0.0, 0.15);
+      p.barrier_sensitivity = JitterLin(rng, 0.45, 0.2, 0.1, 0.7);
+      break;
+    case WorkloadArchetype::kCacheSensitive:
+      p.mem_intensity = JitterLin(rng, 0.48, 0.1, 0.3, 0.65);
+      p.ws_private_mb = Jitter(rng, 5.0, 0.6, 1.0, 24.0);
+      p.ws_l2_mb = Jitter(rng, 0.2, 0.4, 0.05, 0.5);
+      p.l2_locality = JitterLin(rng, 0.3, 0.1, 0.15, 0.5);
+      p.ws_shared_mb = Jitter(rng, 350.0, 0.5, 80.0, 900.0);
+      p.bw_per_thread_gbps = Jitter(rng, 1.6, 0.3, 0.8, 3.0);
+      p.comm_intensity = JitterLin(rng, 0.12, 0.1, 0.0, 0.3);
+      p.smt_combined = JitterLin(rng, 1.5, 0.12, 1.3, 1.75);
+      p.cache_coop = JitterLin(rng, 0.35, 0.15, 0.1, 0.6);
+      p.barrier_sensitivity = JitterLin(rng, 0.1, 0.1, 0.0, 0.3);
+      break;
+    case WorkloadArchetype::kSmtFriendly:
+      p.mem_intensity = JitterLin(rng, 0.42, 0.1, 0.25, 0.6);
+      p.ws_private_mb = Jitter(rng, 3.0, 0.5, 0.5, 12.0);
+      p.ws_l2_mb = Jitter(rng, 0.3, 0.3, 0.1, 0.6);
+      p.l2_locality = JitterLin(rng, 0.6, 0.1, 0.4, 0.8);
+      p.ws_shared_mb = Jitter(rng, 50.0, 0.6, 5.0, 200.0);
+      p.bw_per_thread_gbps = Jitter(rng, 2.0, 0.3, 1.0, 3.5);
+      p.comm_intensity = JitterLin(rng, 0.06, 0.05, 0.0, 0.2);
+      p.smt_combined = JitterLin(rng, 2.1, 0.08, 1.95, 2.25);
+      p.cache_coop = JitterLin(rng, 0.5, 0.15, 0.25, 0.75);
+      p.barrier_sensitivity = JitterLin(rng, 0.2, 0.1, 0.0, 0.4);
+      break;
+    case WorkloadArchetype::kBalancedMixed:
+      p.mem_intensity = JitterLin(rng, 0.38, 0.15, 0.15, 0.6);
+      p.ws_private_mb = Jitter(rng, 10.0, 0.7, 1.0, 40.0);
+      p.ws_l2_mb = Jitter(rng, 0.3, 0.5, 0.05, 0.6);
+      p.l2_locality = JitterLin(rng, 0.5, 0.15, 0.25, 0.75);
+      p.ws_shared_mb = Jitter(rng, 150.0, 0.8, 10.0, 500.0);
+      p.bw_per_thread_gbps = Jitter(rng, 2.0, 0.4, 0.8, 3.5);
+      p.comm_intensity = JitterLin(rng, 0.25, 0.2, 0.0, 0.6);
+      p.smt_combined = JitterLin(rng, 1.6, 0.15, 1.3, 1.9);
+      p.cache_coop = JitterLin(rng, 0.1, 0.1, 0.0, 0.35);
+      p.barrier_sensitivity = JitterLin(rng, 0.25, 0.15, 0.0, 0.55);
+      break;
+  }
+  // Footprint fields only matter for migration experiments; give them
+  // plausible spreads anyway so any consumer sees realistic values.
+  p.anon_gb = Jitter(rng, 8.0, 0.9, 0.01, 40.0);
+  p.page_cache_gb = Jitter(rng, 2.0, 1.0, 0.0, 30.0);
+  p.num_tasks = 8 + static_cast<int>(rng.NextBelow(120));
+  p.num_processes = 1 + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(p.num_tasks)));
+  p.avg_page_mappings = JitterLin(rng, 1.2, 0.5, 1.0, 4.0);
+  p.thp_fraction = JitterLin(rng, 0.5, 0.3, 0.0, 0.9);
+  return p;
+}
+
+std::vector<WorkloadProfile> SampleTrainingWorkloads(int count, Rng& rng) {
+  NP_CHECK(count > 0);
+  std::vector<WorkloadProfile> out;
+  out.reserve(static_cast<size_t>(count));
+  const auto& archetypes = AllArchetypes();
+  for (int i = 0; i < count; ++i) {
+    const WorkloadArchetype archetype = archetypes[static_cast<size_t>(i) % archetypes.size()];
+    WorkloadProfile p = SampleWorkload(archetype, rng);
+    std::ostringstream name;
+    name << "synth-" << ArchetypeName(archetype) << "-" << i;
+    p.name = name.str();
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace numaplace

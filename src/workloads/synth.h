@@ -1,0 +1,43 @@
+// Synthetic workload generation for model training.
+//
+// The paper trains its Random Forest on executions of many applications; the
+// model works because workloads fall into a handful of natural categories
+// with similar performance-vector shapes (§5, Fig. 3). The generator below
+// samples profiles around six archetypes matching those categories, so the
+// training sets used for the Fig. 4 reproduction span the same behaviour
+// space the paper's benchmark suites do.
+#ifndef NUMAPLACE_SRC_WORKLOADS_SYNTH_H_
+#define NUMAPLACE_SRC_WORKLOADS_SYNTH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/workloads/profile.h"
+
+namespace numaplace {
+
+enum class WorkloadArchetype {
+  kComputeBound,     // placement-insensitive (swaptions-like)
+  kLatencySensitive, // cross-thread communication dominates (WTbtree-like)
+  kBandwidthBound,   // streaming, DRAM-limited (streamcluster/ft.C-like)
+  kCacheSensitive,   // large shared working set, L3-capacity bound (canneal)
+  kSmtFriendly,      // benefits from sharing L2 groups (kmeans-like)
+  kBalancedMixed,    // moderate everything (BLAST/postgres-like)
+};
+
+// All six archetypes, for iteration.
+const std::vector<WorkloadArchetype>& AllArchetypes();
+
+std::string ArchetypeName(WorkloadArchetype archetype);
+
+// Samples one profile near the archetype's center (lognormal-ish jitter on
+// sizes, clamped uniform jitter on rates).
+WorkloadProfile SampleWorkload(WorkloadArchetype archetype, Rng& rng);
+
+// Samples `count` profiles round-robin across all archetypes.
+std::vector<WorkloadProfile> SampleTrainingWorkloads(int count, Rng& rng);
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_WORKLOADS_SYNTH_H_

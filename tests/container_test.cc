@@ -1,0 +1,128 @@
+// Tests for the runtime placement controller (steps 1-4 of §1).
+#include <gtest/gtest.h>
+
+#include "src/container/controller.h"
+#include "src/core/important.h"
+#include "src/sim/perf_model.h"
+#include "src/topology/machines.h"
+#include "src/util/rng.h"
+#include "src/workloads/synth.h"
+
+namespace numaplace {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest()
+      : topo_(AmdOpteron6272()),
+        ips_(GenerateImportantPlacements(topo_, 16, true)),
+        sim_(topo_, 0.01, 3),
+        pipeline_(ips_, sim_, /*baseline_id=*/1, /*seed=*/23) {
+    PerfModelConfig config;
+    config.forest.num_trees = 60;
+    config.cv_trees = 25;
+    config.runs_per_workload = 2;
+    Rng rng(7);
+    model_ = pipeline_.TrainPerfAuto(SampleTrainingWorkloads(36, rng), config);
+  }
+
+  VirtualContainer MakeContainer(const std::string& workload, double goal,
+                                 bool latency_sensitive = false) const {
+    VirtualContainer c;
+    c.workload = PaperWorkload(workload);
+    c.vcpus = 16;
+    c.goal_fraction = goal;
+    c.latency_sensitive = latency_sensitive;
+    return c;
+  }
+
+  Topology topo_;
+  ImportantPlacementSet ips_;
+  PerformanceModel sim_;
+  ModelPipeline pipeline_;
+  TrainedPerfModel model_;
+};
+
+TEST_F(ControllerTest, ProducesACoherentTimeline) {
+  PlacementController controller(ips_, sim_, model_, 1);
+  const PlacementDecision d = controller.Place(MakeContainer("gcc", 1.0));
+  ASSERT_GE(d.timeline.size(), 3u);  // two probes + final event at minimum
+  double clock = 0.0;
+  for (const TimelineEvent& e : d.timeline) {
+    EXPECT_DOUBLE_EQ(e.start_seconds, clock);
+    EXPECT_GE(e.duration_seconds, 0.0);
+    clock += e.duration_seconds;
+    EXPECT_FALSE(e.description.empty());
+  }
+  EXPECT_DOUBLE_EQ(d.total_decision_seconds, clock);
+}
+
+TEST_F(ControllerTest, ChoosesAValidImportantPlacement) {
+  PlacementController controller(ips_, sim_, model_, 1);
+  for (const char* name : {"gcc", "WTbtree", "streamcluster", "kmeans"}) {
+    const PlacementDecision d = controller.Place(MakeContainer(name, 0.9));
+    EXPECT_NO_THROW(ips_.ById(d.chosen_placement_id)) << name;
+    EXPECT_EQ(d.predicted_relative.size(), ips_.placements.size()) << name;
+    EXPECT_GT(d.measured_abs_throughput, 0.0) << name;
+  }
+}
+
+TEST_F(ControllerTest, MeasuredThroughputTracksPrediction) {
+  PlacementController controller(ips_, sim_, model_, 1);
+  const PlacementDecision d = controller.Place(MakeContainer("wc", 1.0));
+  EXPECT_NEAR(d.measured_abs_throughput / d.predicted_abs_throughput, 1.0, 0.25);
+}
+
+TEST_F(ControllerTest, EasierGoalsAllowFewerNodes) {
+  PlacementController controller(ips_, sim_, model_, 1);
+  const PlacementDecision easy = controller.Place(MakeContainer("streamcluster", 0.5));
+  const PlacementDecision hard = controller.Place(MakeContainer("streamcluster", 1.1));
+  const int easy_nodes = ips_.ById(easy.chosen_placement_id).l3_score;
+  const int hard_nodes = ips_.ById(hard.chosen_placement_id).l3_score;
+  EXPECT_LE(easy_nodes, hard_nodes);
+}
+
+TEST_F(ControllerTest, LatencySensitiveContainersMigrateSlowlyButUnfrozen) {
+  PlacementController controller(ips_, sim_, model_, 1);
+  const PlacementDecision fast = controller.Place(MakeContainer("WTbtree", 1.0, false));
+  const PlacementDecision gentle = controller.Place(MakeContainer("WTbtree", 1.0, true));
+  // Same decisions, but the throttled path spends longer migrating whenever
+  // a migration happens at all.
+  double fast_migration = 0.0;
+  double gentle_migration = 0.0;
+  for (const TimelineEvent& e : fast.timeline) {
+    if (e.description.find("migrate") != std::string::npos) {
+      fast_migration += e.duration_seconds;
+    }
+  }
+  for (const TimelineEvent& e : gentle.timeline) {
+    if (e.description.find("migrate") != std::string::npos) {
+      gentle_migration += e.duration_seconds;
+    }
+  }
+  if (fast_migration > 0.0) {
+    EXPECT_GT(gentle_migration, fast_migration);
+  }
+}
+
+TEST_F(ControllerTest, ProbeTimeIsAccounted) {
+  PlacementController controller(ips_, sim_, model_, 1, /*probe_seconds=*/3.5);
+  const PlacementDecision d = controller.Place(MakeContainer("swaptions", 1.0));
+  double probe_time = 0.0;
+  for (const TimelineEvent& e : d.timeline) {
+    if (e.description.find("probe") != std::string::npos) {
+      probe_time += e.duration_seconds;
+    }
+  }
+  EXPECT_DOUBLE_EQ(probe_time, 7.0);  // two probes at 3.5 s
+}
+
+TEST_F(ControllerTest, RejectsMismatchedVcpuCount) {
+  PlacementController controller(ips_, sim_, model_, 1);
+  VirtualContainer c = MakeContainer("gcc", 1.0);
+  c.vcpus = 8;
+  EXPECT_THROW(controller.Place(c), std::logic_error);
+}
+
+}  // namespace
+}  // namespace numaplace

@@ -1,0 +1,144 @@
+// Tests for the §3 extension policies: random placement search and
+// interleaving with safe containers.
+#include <gtest/gtest.h>
+
+#include "src/core/important.h"
+#include "src/model/pipeline.h"
+#include "src/policy/extensions.h"
+#include "src/sim/perf_model.h"
+#include "src/topology/machines.h"
+#include "src/util/rng.h"
+#include "src/workloads/synth.h"
+
+namespace numaplace {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  ExtensionsTest()
+      : topo_(AmdOpteron6272()),
+        ips_(GenerateImportantPlacements(topo_, 16, true)),
+        solo_(topo_, 0.01, 3),
+        multi_(topo_, 0.01, 3),
+        pipeline_(ips_, solo_, 1, 11) {
+    ctx_.topo = &topo_;
+    ctx_.ips = &ips_;
+    ctx_.solo_sim = &solo_;
+    ctx_.multi_sim = &multi_;
+    ctx_.vcpus = 16;
+    ctx_.baseline_id = 1;
+
+    PerfModelConfig config;
+    config.forest.num_trees = 60;
+    config.cv_trees = 25;
+    config.runs_per_workload = 2;
+    Rng rng(21);
+    model_ = pipeline_.TrainPerfAuto(SampleTrainingWorkloads(36, rng), config);
+  }
+
+  Topology topo_;
+  ImportantPlacementSet ips_;
+  PerformanceModel solo_;
+  MultiTenantModel multi_;
+  ModelPipeline pipeline_;
+  TrainedPerfModel model_;
+  PolicyContext ctx_;
+};
+
+TEST_F(ExtensionsTest, RandomSearchFindsValidPlacements) {
+  RandomSearchPolicy policy(ctx_, /*samples=*/10);
+  Rng rng(5);
+  const auto result = policy.Search(PaperWorkload("gcc"), rng);
+  EXPECT_GT(result.best_throughput, 0.0);
+  EXPECT_EQ(result.best.NumVcpus(), 16);
+  EXPECT_TRUE(result.best.IsOneVcpuPerHwThread());
+  EXPECT_GT(result.samples_used, 0);
+  EXPECT_LE(result.samples_used, 10);
+}
+
+TEST_F(ExtensionsTest, RandomSearchQualityImprovesWithBudget) {
+  Rng rng(6);
+  const WorkloadProfile w = PaperWorkload("WTbtree");
+  double few_best = 0.0;
+  double many_best = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    few_best += RandomSearchPolicy(ctx_, 2).Search(w, rng).best_throughput;
+    many_best += RandomSearchPolicy(ctx_, 50).Search(w, rng).best_throughput;
+  }
+  EXPECT_GT(many_best, few_best);
+}
+
+TEST_F(ExtensionsTest, RandomSearchDecisionCostScalesWithSamples) {
+  Rng rng(7);
+  const WorkloadProfile w = PaperWorkload("postgres-tpch");  // heavy memory
+  const auto cheap = RandomSearchPolicy(ctx_, 3).Search(w, rng);
+  const auto costly = RandomSearchPolicy(ctx_, 30).Search(w, rng);
+  EXPECT_GT(costly.decision_cost_seconds, 3.0 * cheap.decision_cost_seconds);
+}
+
+TEST_F(ExtensionsTest, RandomSearchEvaluateReportsSingleInstance) {
+  RandomSearchPolicy policy(ctx_, 5);
+  Rng rng(8);
+  const PolicyResult r = policy.Evaluate(PaperWorkload("gcc"), 0.9, rng, 2);
+  EXPECT_EQ(r.instances, 1);
+  EXPECT_GE(r.violation_pct, 0.0);
+}
+
+TEST_F(ExtensionsTest, InterleavingAdmitsSafeFillersOnly) {
+  const WorkloadProfile safe = PaperWorkload("swaptions");
+  const WorkloadProfile noisy = PaperWorkload("streamcluster");
+  const WorkloadProfile primary = PaperWorkload("postgres-tpch");
+
+  const InterleavedMlPolicy with_safe(ctx_, &model_, &safe, 8);
+  const InterleavedMlPolicy with_noisy(ctx_, &model_, &noisy, 8);
+  const auto safe_result = with_safe.EvaluateDetailed(primary, 1.0);
+  const auto noisy_result = with_noisy.EvaluateDetailed(primary, 1.0);
+
+  // The admission check keeps the primaries safe in both cases...
+  EXPECT_LT(safe_result.primary.violation_pct, 5.0);
+  EXPECT_LT(noisy_result.primary.violation_pct, 5.0);
+  // ...and compute-bound fillers get at least as many slots as the
+  // bandwidth hog.
+  EXPECT_GE(safe_result.filler_instances, noisy_result.filler_instances);
+}
+
+TEST_F(ExtensionsTest, InterleavingNeverViolatesPrimaryGoal) {
+  const WorkloadProfile filler = PaperWorkload("swaptions");
+  const InterleavedMlPolicy policy(ctx_, &model_, &filler, 8);
+  for (const char* primary : {"WTbtree", "gcc", "kmeans"}) {
+    const auto r = policy.EvaluateDetailed(PaperWorkload(primary), 0.9);
+    EXPECT_LT(r.primary.violation_pct, 5.0) << primary;
+  }
+}
+
+TEST_F(ExtensionsTest, InterleavingWithFullMachineAdmitsNoFillers) {
+  // At an easy goal the ML policy packs 4 primaries over all 8 nodes/64
+  // cores; no idle threads remain for fillers.
+  const WorkloadProfile filler = PaperWorkload("swaptions");
+  const InterleavedMlPolicy policy(ctx_, &model_, &filler, 8);
+  const auto r = policy.EvaluateDetailed(PaperWorkload("gcc"), 0.5);
+  if (r.primary.instances == 4) {
+    EXPECT_EQ(r.filler_instances, 0);
+  }
+}
+
+TEST_F(ExtensionsTest, FillerPerformanceReportedWhenAdmitted) {
+  const WorkloadProfile filler = PaperWorkload("swaptions");
+  const InterleavedMlPolicy policy(ctx_, &model_, &filler, 8);
+  const auto r = policy.EvaluateDetailed(PaperWorkload("postgres-tpch"), 1.0);
+  if (r.filler_instances > 0) {
+    EXPECT_GT(r.filler_mean_perf_vs_solo, 0.3);
+    EXPECT_LE(r.filler_mean_perf_vs_solo, 1.05);
+  }
+}
+
+TEST_F(ExtensionsTest, ConstructorValidation) {
+  EXPECT_THROW(RandomSearchPolicy(ctx_, 0), std::logic_error);
+  const WorkloadProfile filler = PaperWorkload("swaptions");
+  EXPECT_THROW(InterleavedMlPolicy(ctx_, nullptr, &filler, 8), std::logic_error);
+  EXPECT_THROW(InterleavedMlPolicy(ctx_, &model_, nullptr, 8), std::logic_error);
+  EXPECT_THROW(InterleavedMlPolicy(ctx_, &model_, &filler, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace numaplace

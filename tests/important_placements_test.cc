@@ -1,0 +1,198 @@
+// The paper's headline structural results (§4): 13 important placements on
+// the AMD system with 16 vCPUs, 7 on the Intel system with 24 vCPUs, and the
+// specific Pareto relationships the paper walks through.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/core/concern.h"
+#include "src/core/important.h"
+#include "src/topology/machines.h"
+
+namespace numaplace {
+namespace {
+
+TEST(AmdImportantPlacements, ThirteenTotalWithPaperComposition) {
+  const Topology amd = AmdOpteron6272();
+  const ImportantPlacementSet set = GenerateImportantPlacements(amd, 16, true);
+
+  // "For our AMD system we have 13 of them: two 8-node placements (one
+  //  sharing L2 caches and one not), three 2-node placements ... and eight
+  //  4-node placements (half sharing L2 caches, half not)."
+  EXPECT_EQ(set.placements.size(), 13u);
+
+  std::map<int, int> by_l3;
+  for (const auto& p : set.placements) {
+    by_l3[p.l3_score]++;
+  }
+  EXPECT_EQ(by_l3[2], 3);
+  EXPECT_EQ(by_l3[4], 8);
+  EXPECT_EQ(by_l3[8], 2);
+
+  int four_node_sharing = 0;
+  int four_node_not = 0;
+  for (const auto& p : set.placements) {
+    if (p.l3_score == 4) {
+      (p.shares_l2 ? four_node_sharing : four_node_not)++;
+    }
+  }
+  EXPECT_EQ(four_node_sharing, 4);
+  EXPECT_EQ(four_node_not, 4);
+
+  // 2-node placements can only use the shared-L2 configuration (L2 score 8).
+  for (const auto& p : set.placements) {
+    if (p.l3_score == 2) {
+      EXPECT_EQ(p.l2_score, 8);
+      EXPECT_TRUE(p.shares_l2);
+    }
+  }
+
+  // 8-node: one sharing L2 (score 8), one not (score 16).
+  std::set<int> eight_node_l2;
+  for (const auto& p : set.placements) {
+    if (p.l3_score == 8) {
+      eight_node_l2.insert(p.l2_score);
+    }
+  }
+  EXPECT_EQ(eight_node_l2, (std::set<int>{8, 16}));
+}
+
+TEST(AmdImportantPlacements, PaperParetoWalkthrough) {
+  const Topology amd = AmdOpteron6272();
+  const ImportantPlacementSet set = GenerateImportantPlacements(amd, 16, true);
+
+  // {2,3,4,5} is the best 4-node placement...
+  double best_ic = -1.0;
+  NodeSet best_nodes;
+  for (const auto& p : set.placements) {
+    if (p.l3_score == 4 && p.interconnect_gbps > best_ic) {
+      best_ic = p.interconnect_gbps;
+      best_nodes = p.nodes;
+    }
+  }
+  EXPECT_EQ(best_nodes, (NodeSet{2, 3, 4, 5}));
+
+  // ...therefore {0,1,6,7} is also an important placement (its packing
+  // companion), and {0,2,4,6}/{1,3,5,7} are kept while {0,1,4,5}/{2,3,6,7}
+  // are removed.
+  std::set<NodeSet> four_node_sets;
+  for (const auto& p : set.placements) {
+    if (p.l3_score == 4) {
+      four_node_sets.insert(p.nodes);
+    }
+  }
+  EXPECT_TRUE(four_node_sets.count(NodeSet{0, 1, 6, 7}));
+  EXPECT_TRUE(four_node_sets.count(NodeSet{0, 2, 4, 6}));
+  EXPECT_TRUE(four_node_sets.count(NodeSet{1, 3, 5, 7}));
+  EXPECT_FALSE(four_node_sets.count(NodeSet{0, 1, 4, 5}));
+  EXPECT_FALSE(four_node_sets.count(NodeSet{2, 3, 6, 7}));
+  EXPECT_EQ(four_node_sets.size(), 4u);  // four interconnect classes
+
+  // Nodes (0,5) and (3,6) are two hops apart (the paper's packing example).
+  EXPECT_EQ(amd.HopDistance(0, 5), 2);
+  EXPECT_EQ(amd.HopDistance(3, 6), 2);
+
+  // The 8-node placement's interconnect score is 35 GB/s (score 35000 in the
+  // paper's MB/s units), and the example score vectors of §4 hold:
+  // [16, 8, 35000] without SMT-style sharing, [8, 8, 35000] with.
+  for (const auto& p : set.placements) {
+    if (p.l3_score == 8) {
+      EXPECT_NEAR(p.interconnect_gbps, 35.0, 1e-9);
+    }
+  }
+}
+
+TEST(AmdImportantPlacements, TwoNodeClassesAreBestSecondBestAndCompanion) {
+  const Topology amd = AmdOpteron6272();
+  const ImportantPlacementSet set = GenerateImportantPlacements(amd, 16, true);
+
+  std::vector<double> two_node_ic;
+  for (const auto& p : set.placements) {
+    if (p.l3_score == 2) {
+      two_node_ic.push_back(p.interconnect_gbps);
+    }
+  }
+  std::sort(two_node_ic.rbegin(), two_node_ic.rend());
+  ASSERT_EQ(two_node_ic.size(), 3u);
+  EXPECT_NEAR(two_node_ic[0], 3.52, 1e-9);  // best pair {2,3}
+  EXPECT_NEAR(two_node_ic[1], 3.51, 1e-9);  // second-best pair {4,5}
+  EXPECT_NEAR(two_node_ic[2], 3.50, 1e-9);  // companion pairs {0,1}/{6,7}
+}
+
+TEST(IntelImportantPlacements, SevenTotalWithPaperComposition) {
+  const Topology intel = IntelXeonE74830v3();
+  // The Intel system's interconnect is symmetric; the paper uses only the
+  // L2/SMT and L3 concerns there.
+  EXPECT_FALSE(InterconnectIsAsymmetric(intel));
+  const ImportantPlacementSet set = GenerateImportantPlacements(intel, 24, false);
+
+  // "With 24 virtual cores per container, it has seven important placements:
+  //  a one node placement sharing L2 caches, two 2-node placements, two
+  //  3-node placements, and two 4-node placements."
+  EXPECT_EQ(set.placements.size(), 7u);
+  std::map<int, int> by_l3;
+  for (const auto& p : set.placements) {
+    by_l3[p.l3_score]++;
+  }
+  EXPECT_EQ(by_l3[1], 1);
+  EXPECT_EQ(by_l3[2], 2);
+  EXPECT_EQ(by_l3[3], 2);
+  EXPECT_EQ(by_l3[4], 2);
+
+  // The single-node placement must share L2 (all 24 threads on 12 cores).
+  for (const auto& p : set.placements) {
+    if (p.l3_score == 1) {
+      EXPECT_TRUE(p.shares_l2);
+      EXPECT_EQ(p.l2_score, 12);
+    }
+  }
+}
+
+TEST(ImportantPlacements, AmdScoreVectorExampleFromPaper) {
+  // "for a 16-vCPU container in an eight-node placement without SMT the
+  //  score vector for the AMD system is [16, 8, 35000] ... with SMT
+  //  [8, 8, 35000]".
+  const Topology amd = AmdOpteron6272();
+  const ImportantPlacementSet set = GenerateImportantPlacements(amd, 16, true);
+  bool saw_unshared = false;
+  bool saw_shared = false;
+  for (const auto& p : set.placements) {
+    if (p.l3_score != 8) {
+      continue;
+    }
+    const Placement realized = Realize(p, amd, 16);
+    const ScoreVector score = ScoreOf(realized, amd);
+    EXPECT_EQ(score.l3_score, 8);
+    EXPECT_NEAR(score.interconnect_gbps, 35.0, 1e-9);
+    if (p.l2_score == 16) {
+      EXPECT_EQ(score.l2_score, 16);
+      saw_unshared = true;
+    } else {
+      EXPECT_EQ(score.l2_score, 8);
+      saw_shared = true;
+    }
+  }
+  EXPECT_TRUE(saw_unshared);
+  EXPECT_TRUE(saw_shared);
+}
+
+TEST(ImportantPlacements, RealizedPlacementsMatchTheirAdvertisedScores) {
+  for (bool amd : {true, false}) {
+    const Topology topo = amd ? AmdOpteron6272() : IntelXeonE74830v3();
+    const int vcpus = amd ? 16 : 24;
+    const ImportantPlacementSet set = GenerateImportantPlacements(topo, vcpus, amd);
+    for (const auto& p : set.placements) {
+      const Placement realized = Realize(p, topo, vcpus);
+      EXPECT_TRUE(realized.IsOneVcpuPerHwThread()) << p.ToString();
+      const ScoreVector score = ScoreOf(realized, topo);
+      EXPECT_EQ(score.l2_score, p.l2_score) << p.ToString();
+      EXPECT_EQ(score.l3_score, p.l3_score) << p.ToString();
+      EXPECT_NEAR(score.interconnect_gbps, p.interconnect_gbps, 1e-9) << p.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace numaplace

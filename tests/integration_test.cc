@@ -1,0 +1,127 @@
+// End-to-end integration: the full §1 workflow across modules, on both
+// machines — enumerate, train, persist, reload, place, pack — asserting the
+// cross-module contracts rather than per-module behaviour.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/container/controller.h"
+#include "src/core/concern.h"
+#include "src/core/important.h"
+#include "src/migration/migration.h"
+#include "src/model/pipeline.h"
+#include "src/policy/policies.h"
+#include "src/sim/perf_model.h"
+#include "src/topology/machines.h"
+#include "src/util/rng.h"
+#include "src/workloads/synth.h"
+
+namespace numaplace {
+namespace {
+
+struct MachineSetup {
+  std::string label;
+  Topology (*make)();
+  int vcpus;
+  int baseline_id;
+};
+
+void PrintTo(const MachineSetup& s, std::ostream* os) { *os << s.label; }
+
+class EndToEnd : public ::testing::TestWithParam<MachineSetup> {};
+
+TEST_P(EndToEnd, FullWorkflowProducesConsistentDecisions) {
+  const MachineSetup& setup = GetParam();
+  const Topology topo = setup.make();
+  const bool use_ic = InterconnectIsAsymmetric(topo);
+
+  // Step 1+2: concerns and important placements.
+  const ImportantPlacementSet ips =
+      GenerateImportantPlacements(topo, setup.vcpus, use_ic);
+  ASSERT_GE(ips.placements.size(), 3u);
+
+  // Step 3: train, persist, reload.
+  PerformanceModel sim(topo, 0.015, 3);
+  ModelPipeline pipeline(ips, sim, setup.baseline_id, 11);
+  Rng rng(21);
+  PerfModelConfig config;
+  config.forest.num_trees = 60;
+  config.cv_trees = 25;
+  config.runs_per_workload = 2;
+  const TrainedPerfModel trained =
+      pipeline.TrainPerfAuto(SampleTrainingWorkloads(48, rng), config);
+  std::stringstream buffer;
+  trained.SaveText(buffer);
+  const TrainedPerfModel model = TrainedPerfModel::LoadText(buffer);
+
+  // Step 4: the controller places unseen containers.
+  PlacementController controller(ips, sim, model, setup.baseline_id);
+  for (const char* name : {"WTbtree", "gcc", "streamcluster"}) {
+    VirtualContainer container;
+    container.workload = PaperWorkload(name);
+    container.vcpus = setup.vcpus;
+    container.goal_fraction = 0.95;
+    const PlacementDecision decision = controller.Place(container);
+
+    // The decision references a real placement, the prediction roughly
+    // matches the measurement, and the timeline is bounded by two probes
+    // plus two migrations of this container's memory. streamcluster is the
+    // documented outlier (EXPERIMENTS.md: no close training neighbour), so
+    // it only gets the structural checks.
+    const ImportantPlacement& chosen = ips.ById(decision.chosen_placement_id);
+    EXPECT_GE(chosen.NodeCount(), 1) << name;
+    if (std::string(name) != "streamcluster") {
+      EXPECT_NEAR(decision.measured_abs_throughput / decision.predicted_abs_throughput,
+                  1.0, 0.35)
+          << name;
+    }
+    const double max_migration =
+        2.0 * FastMigrator().Migrate(container.workload).seconds;
+    EXPECT_LE(decision.total_decision_seconds, 2 * 2.0 + max_migration + 1e-9) << name;
+  }
+
+  // The same model drives the packing policy without violations at a mild
+  // goal.
+  MultiTenantModel multi(topo, 0.015, 3);
+  PolicyContext ctx;
+  ctx.topo = &topo;
+  ctx.ips = &ips;
+  ctx.solo_sim = &sim;
+  ctx.multi_sim = &multi;
+  ctx.vcpus = setup.vcpus;
+  ctx.baseline_id = setup.baseline_id;
+  MlPolicy policy(ctx, &model);
+  Rng prng(5);
+  const PolicyResult r = policy.Evaluate(PaperWorkload("gcc"), 0.8, prng, 1);
+  EXPECT_GE(r.instances, 1);
+  EXPECT_LT(r.violation_pct, 8.0);
+}
+
+TEST_P(EndToEnd, BaselinePlacementPredictsAsUnity) {
+  const MachineSetup& setup = GetParam();
+  const Topology topo = setup.make();
+  const bool use_ic = InterconnectIsAsymmetric(topo);
+  const ImportantPlacementSet ips =
+      GenerateImportantPlacements(topo, setup.vcpus, use_ic);
+  PerformanceModel sim(topo, 0.0, 0);  // noise-free
+  ModelPipeline pipeline(ips, sim, setup.baseline_id, 11);
+  const PerformanceVector v = pipeline.MeasureVector(PaperWorkload("wc"), 0);
+  size_t baseline_index = 0;
+  for (size_t i = 0; i < ips.placements.size(); ++i) {
+    if (ips.placements[i].id == setup.baseline_id) {
+      baseline_index = i;
+    }
+  }
+  EXPECT_DOUBLE_EQ(v.relative[baseline_index], 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, EndToEnd,
+    ::testing::Values(MachineSetup{"amd", &AmdOpteron6272, 16, 1},
+                      MachineSetup{"intel", &IntelXeonE74830v3, 24, 2},
+                      MachineSetup{"zen", &AmdZenLike, 16, 1}),
+    [](const ::testing::TestParamInfo<MachineSetup>& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace numaplace

@@ -1,0 +1,174 @@
+// Migration model calibration against the paper's Table 2, plus structural
+// properties (monotonicity, page-cache accounting, throttled trade-off).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/migration/migration.h"
+#include "src/workloads/profile.h"
+
+namespace numaplace {
+namespace {
+
+struct Table2Row {
+  const char* name;
+  double fast_seconds;
+  double default_seconds;
+};
+
+// The paper's Table 2 (AMD system). swaptions's default time is reported as
+// "0.0" (below measurement resolution); it is checked separately.
+const std::vector<Table2Row> kTable2 = {
+    {"BLAST", 3.0, 5.9},         {"canneal", 0.3, 3.9},
+    {"fluidanimate", 0.3, 2.3},  {"freqmine", 0.3, 4.2},
+    {"gcc", 0.3, 2.8},           {"kmeans", 1.5, 6.5},
+    {"pca", 2.8, 10.0},          {"postgres-tpch", 5.8, 117.1},
+    {"postgres-tpcc", 14.9, 431.0}, {"spark-cc", 3.7, 139.9},
+    {"spark-pr-lj", 3.8, 137.0}, {"streamcluster", 0.1, 0.4},
+    {"ft.C", 1.3, 19.4},         {"dc.B", 5.4, 51.7},
+    {"wc", 3.4, 19.5},           {"wr", 3.6, 18.9},
+    {"WTbtree", 6.3, 43.8},
+};
+
+// Modeled times must land within 40% of the measured Table 2 values (the
+// paper itself reports run-to-run variation; the point is the shape), except
+// sub-second rows where a 0.15 s absolute tolerance applies.
+void ExpectClose(double modeled, double measured, const char* what) {
+  if (measured < 1.0) {
+    EXPECT_NEAR(modeled, measured, 0.15) << what;
+  } else {
+    EXPECT_GT(modeled, measured * 0.60) << what;
+    EXPECT_LT(modeled, measured * 1.40) << what;
+  }
+}
+
+TEST(Migration, FastTimesReproduceTable2) {
+  const FastMigrator fast;
+  for (const Table2Row& row : kTable2) {
+    const MigrationEstimate e = fast.Migrate(PaperWorkload(row.name));
+    ExpectClose(e.seconds, row.fast_seconds, row.name);
+  }
+}
+
+TEST(Migration, DefaultLinuxTimesReproduceTable2) {
+  const DefaultLinuxMigrator def;
+  for (const Table2Row& row : kTable2) {
+    const MigrationEstimate e = def.Migrate(PaperWorkload(row.name));
+    ExpectClose(e.seconds, row.default_seconds, row.name);
+  }
+}
+
+TEST(Migration, FastBeatsDefaultForAllRealWorkloads) {
+  const FastMigrator fast;
+  const DefaultLinuxMigrator def;
+  for (const Table2Row& row : kTable2) {
+    const WorkloadProfile& w = PaperWorkload(row.name);
+    EXPECT_LT(fast.Migrate(w).seconds, def.Migrate(w).seconds) << row.name;
+  }
+}
+
+TEST(Migration, SparkSpeedupIsOrderOfMagnitude) {
+  // "usually one order of magnitude faster than Default Linux (38x faster
+  //  for Spark)".
+  const FastMigrator fast;
+  const DefaultLinuxMigrator def;
+  const WorkloadProfile& spark = PaperWorkload("spark-cc");
+  const double speedup = def.Migrate(spark).seconds / fast.Migrate(spark).seconds;
+  EXPECT_GT(speedup, 20.0);
+  EXPECT_LT(speedup, 60.0);
+}
+
+TEST(Migration, TpccIsThePathologicalDefaultCase) {
+  // "Linux is especially inefficient for workloads with many processes such
+  //  as TPC-C" — TPC-C must be the slowest default-Linux migration.
+  const DefaultLinuxMigrator def;
+  const double tpcc = def.Migrate(PaperWorkload("postgres-tpcc")).seconds;
+  for (const Table2Row& row : kTable2) {
+    if (std::string(row.name) != "postgres-tpcc") {
+      EXPECT_GT(tpcc, def.Migrate(PaperWorkload(row.name)).seconds) << row.name;
+    }
+  }
+}
+
+TEST(Migration, PageCacheShareOfFastTimeMatchesPaper) {
+  // 93% for BLAST, 75% for TPC-C, 62% for TPC-H (§7).
+  const FastMigrator fast;
+  const auto share = [&](const char* name) {
+    const MigrationEstimate e = fast.Migrate(PaperWorkload(name));
+    return e.page_cache_seconds / (e.seconds - 0.0);
+  };
+  EXPECT_NEAR(share("BLAST"), 0.93, 0.03);
+  EXPECT_NEAR(share("postgres-tpcc"), 0.75, 0.03);
+  EXPECT_NEAR(share("postgres-tpch"), 0.62, 0.03);
+}
+
+TEST(Migration, DefaultLinuxSkipsPageCache) {
+  const DefaultLinuxMigrator def;
+  const MigrationEstimate e = def.Migrate(PaperWorkload("BLAST"));
+  EXPECT_FALSE(e.migrates_page_cache);
+  EXPECT_DOUBLE_EQ(e.page_cache_seconds, 0.0);
+}
+
+TEST(Migration, ThrottledWiredTigerMatchesPaperScenario) {
+  // "the overhead of migration for the WiredTiger workload is between 3%
+  //  and 6%, and the migration takes 60 seconds."
+  const ThrottledMigrator throttled(0.05);
+  const MigrationEstimate e = throttled.Migrate(PaperWorkload("WTbtree"));
+  EXPECT_GT(e.seconds, 45.0);
+  EXPECT_LT(e.seconds, 75.0);
+  EXPECT_GE(e.overhead_fraction, 0.03);
+  EXPECT_LE(e.overhead_fraction, 0.06);
+  EXPECT_FALSE(e.freezes_container);
+  EXPECT_TRUE(e.migrates_page_cache);
+}
+
+TEST(Migration, ThrottledTradesTimeForOverhead) {
+  const ThrottledMigrator gentle(0.03);
+  const ThrottledMigrator eager(0.2);
+  const WorkloadProfile& w = PaperWorkload("WTbtree");
+  EXPECT_GT(gentle.Migrate(w).seconds, eager.Migrate(w).seconds);
+  EXPECT_LT(gentle.Migrate(w).overhead_fraction, eager.Migrate(w).overhead_fraction);
+}
+
+TEST(Migration, TimeMonotoneInMemorySize) {
+  const FastMigrator fast;
+  const DefaultLinuxMigrator def;
+  WorkloadProfile small = PaperWorkload("gcc");
+  WorkloadProfile big = small;
+  big.anon_gb *= 4.0;
+  big.page_cache_gb *= 4.0;
+  EXPECT_GT(fast.Migrate(big).seconds, fast.Migrate(small).seconds);
+  EXPECT_GT(def.Migrate(big).seconds, def.Migrate(small).seconds);
+}
+
+TEST(Migration, MoreProcessesSlowDefaultLinuxOnly) {
+  WorkloadProfile few = PaperWorkload("gcc");
+  WorkloadProfile many = few;
+  many.num_processes = 150;
+  const DefaultLinuxMigrator def;
+  EXPECT_GT(def.Migrate(many).seconds, 2.0 * def.Migrate(few).seconds);
+  // The fast path keys on task count, not process count.
+  const FastMigrator fast;
+  EXPECT_NEAR(fast.Migrate(many).seconds, fast.Migrate(few).seconds, 1e-9);
+}
+
+TEST(Migration, ThpAndMappingsDriveDefaultRate) {
+  WorkloadProfile base = PaperWorkload("canneal");
+  const DefaultLinuxMigrator def;
+  WorkloadProfile hugepages = base;
+  hugepages.thp_fraction = 1.0;
+  EXPECT_LT(def.Migrate(hugepages).seconds, def.Migrate(base).seconds);
+  WorkloadProfile shared = base;
+  shared.avg_page_mappings = 4.0;
+  EXPECT_GT(def.Migrate(shared).seconds, def.Migrate(base).seconds);
+}
+
+TEST(Migration, SwaptionsIsNearInstant) {
+  const FastMigrator fast;
+  const DefaultLinuxMigrator def;
+  EXPECT_LT(fast.Migrate(PaperWorkload("swaptions")).seconds, 0.2);
+  EXPECT_LT(def.Migrate(PaperWorkload("swaptions")).seconds, 0.2);
+}
+
+}  // namespace
+}  // namespace numaplace

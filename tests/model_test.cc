@@ -1,0 +1,221 @@
+// Tests for the §5 model pipeline: measurement vectors, dataset
+// construction, input-pair search, prediction accuracy, HPE variant, and the
+// leave-one-workload-out harness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/core/important.h"
+#include "src/model/pipeline.h"
+#include "src/sim/hpe.h"
+#include "src/sim/perf_model.h"
+#include "src/topology/machines.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/workloads/synth.h"
+
+namespace numaplace {
+namespace {
+
+// Shared fixture: AMD machine, important placements, noisy simulator.
+class ModelPipelineTest : public ::testing::Test {
+ protected:
+  ModelPipelineTest()
+      : topo_(AmdOpteron6272()),
+        ips_(GenerateImportantPlacements(topo_, 16, true)),
+        sim_(topo_, 0.015, 99),
+        pipeline_(ips_, sim_, /*baseline_id=*/1, /*seed=*/7) {}
+
+  static PerfModelConfig FastConfig() {
+    PerfModelConfig config;
+    config.forest.num_trees = 50;
+    config.cv_trees = 25;
+    config.runs_per_workload = 2;
+    return config;
+  }
+
+  std::vector<WorkloadProfile> TrainingSet(int count) {
+    Rng rng(5);
+    return SampleTrainingWorkloads(count, rng);
+  }
+
+  Topology topo_;
+  ImportantPlacementSet ips_;
+  PerformanceModel sim_;
+  ModelPipeline pipeline_;
+};
+
+TEST_F(ModelPipelineTest, MeasureVectorIsRelativeToBaseline) {
+  const PerformanceVector v = pipeline_.MeasureVector(PaperWorkload("gcc"), 0);
+  ASSERT_EQ(v.relative.size(), ips_.placements.size());
+  // Entry for the baseline placement (id 1 = index 0 in our ordering).
+  size_t baseline_index = 0;
+  for (size_t i = 0; i < ips_.placements.size(); ++i) {
+    if (ips_.placements[i].id == 1) {
+      baseline_index = i;
+    }
+  }
+  EXPECT_DOUBLE_EQ(v.relative[baseline_index], 1.0);
+  for (double r : v.relative) {
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, 10.0);
+  }
+}
+
+TEST_F(ModelPipelineTest, MeasurementCacheIsConsistent) {
+  const WorkloadProfile w = PaperWorkload("kmeans");
+  const double first = pipeline_.MeasureAbsolute(w, 3, 5);
+  const double second = pipeline_.MeasureAbsolute(w, 3, 5);
+  EXPECT_DOUBLE_EQ(first, second);
+  // Different run index gives a different noisy measurement.
+  EXPECT_NE(pipeline_.MeasureAbsolute(w, 3, 6), first);
+}
+
+TEST_F(ModelPipelineTest, DatasetShape) {
+  const auto train = TrainingSet(12);
+  const PerfModelConfig config = FastConfig();
+  const Dataset d = pipeline_.BuildPerfDataset(train, 1, 8, config);
+  EXPECT_EQ(d.NumSamples(), train.size() * static_cast<size_t>(config.runs_per_workload));
+  // Features: the two normalized measurements plus their ratio.
+  EXPECT_EQ(d.NumFeatures(), 3u);
+  EXPECT_EQ(d.NumTargets(), ips_.placements.size());
+}
+
+TEST_F(ModelPipelineTest, TrainedModelPredictsHeldOutWorkloads) {
+  const auto train = TrainingSet(48);
+  const TrainedPerfModel model = pipeline_.TrainPerfAuto(train, FastConfig());
+  EXPECT_NE(model.input_a, model.input_b);
+
+  // Accuracy on the full paper catalog, none of which was trained on.
+  double total_mae = 0.0;
+  int count = 0;
+  for (const WorkloadProfile& w : PaperWorkloads()) {
+    const double pa = pipeline_.MeasureAbsolute(w, model.input_a, 500);
+    const double pb = pipeline_.MeasureAbsolute(w, model.input_b, 500);
+    const std::vector<double> pred = model.Predict(pa, pb);
+    const std::vector<double> actual = pipeline_.MeasureVector(w, 500).relative;
+    total_mae += MeanAbsoluteError(actual, pred);
+    ++count;
+  }
+  // The paper reports 4.4% mean error on AMD; grant the smaller test-sized
+  // training set a slack budget.
+  EXPECT_LT(total_mae / count, 0.12);
+}
+
+TEST_F(ModelPipelineTest, PredictionsRespondToProbeMeasurements) {
+  const auto train = TrainingSet(24);
+  const TrainedPerfModel model = pipeline_.TrainPerf(train, 1, 8, FastConfig());
+  // A container that speeds up strongly from input A to input B must get a
+  // higher predicted value at B's index than one that slows down.
+  size_t index_b = 0;
+  for (size_t i = 0; i < model.placement_ids.size(); ++i) {
+    if (model.placement_ids[i] == model.input_b) {
+      index_b = i;
+    }
+  }
+  const double unit = 1.0 / model.ipc_scale;  // 1.0 in feature space
+  const std::vector<double> rising = model.Predict(0.3 * unit, 0.6 * unit);
+  const std::vector<double> falling = model.Predict(0.3 * unit, 0.2 * unit);
+  EXPECT_GT(rising[index_b], falling[index_b]);
+}
+
+TEST_F(ModelPipelineTest, CrossValidationDiscriminatesInputPairs) {
+  const auto train = TrainingSet(24);
+  const PerfModelConfig config = FastConfig();
+  // Any valid pair produces a finite score; scores differ across pairs
+  // (otherwise the auto-search would be pointless).
+  const double e18 = pipeline_.CrossValidatedMae(train, 1, 8, config);
+  const double e23 = pipeline_.CrossValidatedMae(train, 2, 3, config);
+  EXPECT_GT(e18, 0.0);
+  EXPECT_GT(e23, 0.0);
+  EXPECT_NE(e18, e23);
+}
+
+TEST_F(ModelPipelineTest, HpeModelTrainsAndSelectsInformativeCounters) {
+  const auto train = TrainingSet(30);
+  HpeSampler sampler(sim_, 25, 13);
+  const TrainedHpeModel model =
+      pipeline_.TrainHpe(train, sampler, /*sample_placement_id=*/1, 6, FastConfig());
+  EXPECT_FALSE(model.selected_counters.empty());
+  EXPECT_LE(model.selected_counters.size(), 6u);
+  // Selected counters should be mostly informative ones (first 12), not the
+  // pure-noise tail.
+  int informative = 0;
+  for (size_t idx : model.selected_counters) {
+    if (idx < static_cast<size_t>(HpeSampler::kNumInformativeCounters)) {
+      ++informative;
+    }
+  }
+  EXPECT_GE(informative * 2, static_cast<int>(model.selected_counters.size()));
+
+  const std::vector<double> counters =
+      pipeline_.SampleHpe(sampler, PaperWorkload("gcc"), 1);
+  const std::vector<double> pred = model.Predict(counters);
+  EXPECT_EQ(pred.size(), ips_.placements.size());
+}
+
+TEST_F(ModelPipelineTest, PerfModelBeatsHpeModelAcrossTheCatalog) {
+  // The paper's central §6 claim: across the benchmark suite, the model fed
+  // two performance observations is noticeably more accurate than the model
+  // fed single-placement HPEs — even on the AMD system, where HPEs "produced
+  // good results overall".
+  const auto train = TrainingSet(60);
+  const PerfModelConfig config = FastConfig();
+  const TrainedPerfModel perf_model = pipeline_.TrainPerfAuto(train, config);
+  HpeSampler sampler(sim_, 25, 13);
+  const TrainedHpeModel hpe_model = pipeline_.TrainHpe(train, sampler, 1, 6, config);
+
+  double perf_mae_sum = 0.0;
+  double hpe_mae_sum = 0.0;
+  int count = 0;
+  for (const WorkloadProfile& w : PaperWorkloads()) {
+    const std::vector<double> actual = pipeline_.MeasureVector(w, 600).relative;
+    const double pa = pipeline_.MeasureAbsolute(w, perf_model.input_a, 600);
+    const double pb = pipeline_.MeasureAbsolute(w, perf_model.input_b, 600);
+    perf_mae_sum += MeanAbsoluteError(actual, perf_model.Predict(pa, pb));
+    const std::vector<double> counters = pipeline_.SampleHpe(sampler, w, 1);
+    hpe_mae_sum += MeanAbsoluteError(actual, hpe_model.Predict(counters));
+    ++count;
+  }
+  EXPECT_LT(perf_mae_sum / count, hpe_mae_sum / count);
+  // And the perf-observation model is in the paper's accuracy ballpark.
+  EXPECT_LT(perf_mae_sum / count, 0.12);
+}
+
+TEST_F(ModelPipelineTest, WorkloadFamilyGrouping) {
+  EXPECT_EQ(WorkloadFamily("spark-cc"), "spark");
+  EXPECT_EQ(WorkloadFamily("spark-pr-lj"), "spark");
+  EXPECT_EQ(WorkloadFamily("postgres-tpch"), "postgres");
+  EXPECT_EQ(WorkloadFamily("gcc"), "gcc");
+}
+
+TEST_F(ModelPipelineTest, LeaveOneOutProducesARowPerWorkload) {
+  // Small configuration to keep the test quick; the full run lives in the
+  // Fig. 4 benchmark.
+  std::vector<WorkloadProfile> catalog;
+  for (const char* name : {"gcc", "swaptions", "WTbtree", "streamcluster"}) {
+    catalog.push_back(PaperWorkload(name));
+  }
+  const auto synthetic = TrainingSet(24);
+  HpeSampler sampler(sim_, 25, 13);
+  const auto rows =
+      LeaveOneWorkloadOut(pipeline_, catalog, synthetic, sampler, FastConfig());
+  ASSERT_EQ(rows.size(), catalog.size());
+  for (const CrossValidationRow& row : rows) {
+    EXPECT_EQ(row.actual.size(), ips_.placements.size());
+    EXPECT_EQ(row.predicted_perf.size(), ips_.placements.size());
+    EXPECT_EQ(row.predicted_hpe.size(), ips_.placements.size());
+    EXPECT_GE(row.mae_perf, 0.0);
+    EXPECT_GE(row.mae_hpe, 0.0);
+    EXPECT_LT(row.mae_perf, 0.5) << row.workload;
+  }
+}
+
+TEST_F(ModelPipelineTest, RejectsInvalidConstruction) {
+  EXPECT_THROW(ModelPipeline(ips_, sim_, /*baseline_id=*/999, 1), std::logic_error);
+  EXPECT_THROW(pipeline_.BuildPerfDataset({}, 1, 1, FastConfig()), std::logic_error);
+}
+
+}  // namespace
+}  // namespace numaplace

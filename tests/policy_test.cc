@@ -1,0 +1,197 @@
+// Tests for the §7 packing policies: instance counts, goal violations, and
+// the orderings the paper reports in Fig. 5.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/important.h"
+#include "src/model/pipeline.h"
+#include "src/policy/policies.h"
+#include "src/sim/perf_model.h"
+#include "src/topology/machines.h"
+#include "src/util/rng.h"
+#include "src/workloads/synth.h"
+
+namespace numaplace {
+namespace {
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  PolicyTest()
+      : topo_(AmdOpteron6272()),
+        ips_(GenerateImportantPlacements(topo_, 16, true)),
+        solo_(topo_, 0.01, 3),
+        multi_(topo_, 0.01, 3),
+        pipeline_(ips_, solo_, /*baseline_id=*/1, /*seed=*/11) {
+    ctx_.topo = &topo_;
+    ctx_.ips = &ips_;
+    ctx_.solo_sim = &solo_;
+    ctx_.multi_sim = &multi_;
+    ctx_.vcpus = 16;
+    ctx_.baseline_id = 1;
+
+    PerfModelConfig config;
+    config.forest.num_trees = 60;
+    config.cv_trees = 25;
+    config.runs_per_workload = 2;
+    Rng rng(21);
+    model_ = pipeline_.TrainPerfAuto(SampleTrainingWorkloads(36, rng), config);
+  }
+
+  Topology topo_;
+  ImportantPlacementSet ips_;
+  PerformanceModel solo_;
+  MultiTenantModel multi_;
+  ModelPipeline pipeline_;
+  TrainedPerfModel model_;
+  PolicyContext ctx_;
+};
+
+TEST_F(PolicyTest, BaselineThroughputIsDeterministicAndPositive) {
+  const WorkloadProfile w = PaperWorkload("gcc");
+  const double a = BaselineThroughput(ctx_, w);
+  const double b = BaselineThroughput(ctx_, w);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_GT(a, 0.0);
+}
+
+TEST_F(PolicyTest, ConservativePacksExactlyOne) {
+  ConservativePolicy policy(ctx_);
+  Rng rng(31);
+  const PolicyResult r = policy.Evaluate(PaperWorkload("gcc"), 1.0, rng, 5);
+  EXPECT_EQ(r.instances, 1);
+  EXPECT_GE(r.violation_pct, 0.0);
+}
+
+TEST_F(PolicyTest, ConservativeCanViolateForFewNodeLovers) {
+  // The paper's surprise: the whole-machine Conservative policy can violate
+  // targets, because unpinned Linux maps vCPUs unevenly onto shared
+  // resources. WTbtree wants few nodes; spread over the machine at an
+  // ambitious goal it falls short (the non-zero Conservative stars in
+  // Fig. 5a).
+  ConservativePolicy policy(ctx_);
+  Rng rng(32);
+  const PolicyResult r = policy.Evaluate(PaperWorkload("WTbtree"), 1.1, rng, 10);
+  EXPECT_GT(r.violation_pct, 1.0);
+}
+
+TEST_F(PolicyTest, AggressivePacksMaximumInstances) {
+  AggressivePolicy policy(ctx_);
+  Rng rng(33);
+  const PolicyResult r = policy.Evaluate(PaperWorkload("streamcluster"), 1.0, rng, 3);
+  EXPECT_EQ(r.instances, 4);  // 64 cores / 16 vCPUs
+}
+
+TEST_F(PolicyTest, AggressiveViolatesWorstForContendedWorkloads) {
+  AggressivePolicy aggressive(ctx_);
+  SmartAggressivePolicy smart(ctx_);
+  Rng rng(34);
+  const WorkloadProfile w = PaperWorkload("WTbtree");
+  const PolicyResult ra = aggressive.Evaluate(w, 1.0, rng, 5);
+  const PolicyResult rs = smart.Evaluate(w, 1.0, rng, 1);
+  // Smart pins to the best minimum node sets; plain Aggressive shares nodes
+  // and unbalances -> worse violations (Fig. 5 ordering).
+  EXPECT_GT(ra.violation_pct, rs.violation_pct);
+}
+
+TEST_F(PolicyTest, SmartAggressiveUsesBestMinimumSets) {
+  SmartAggressivePolicy policy(ctx_);
+  Rng rng(35);
+  const PolicyResult r = policy.Evaluate(PaperWorkload("gcc"), 0.9, rng, 1);
+  EXPECT_EQ(r.instances, 4);  // four 2-node slots on the AMD machine
+}
+
+TEST_F(PolicyTest, MlMeetsGoalsWithNearZeroViolation) {
+  MlPolicy policy(ctx_, &model_);
+  Rng rng(36);
+  for (const char* name : {"gcc", "kmeans", "wc", "WTbtree"}) {
+    const PolicyResult r = policy.Evaluate(PaperWorkload(name), 0.9, rng, 1);
+    EXPECT_LT(r.violation_pct, 5.0) << name;
+    EXPECT_GE(r.instances, 1) << name;
+  }
+}
+
+TEST_F(PolicyTest, MlPacksMoreThanConservativeAtModestGoals) {
+  MlPolicy ml(ctx_, &model_);
+  Rng rng(37);
+  int ml_instances = 0;
+  for (const char* name : {"gcc", "swaptions", "kmeans"}) {
+    ml_instances += ml.Evaluate(PaperWorkload(name), 0.9, rng, 1).instances;
+  }
+  EXPECT_GT(ml_instances, 3);  // conservative would give exactly 3
+}
+
+TEST_F(PolicyTest, MlAllocatesMoreNodesForHarderGoals) {
+  MlPolicy policy(ctx_, &model_);
+  const WorkloadProfile w = PaperWorkload("streamcluster");  // scales with nodes
+  const ImportantPlacement& easy = policy.ChoosePlacement(w, 0.9);
+  const ImportantPlacement& hard = policy.ChoosePlacement(w, 1.1);
+  EXPECT_GE(hard.l3_score, easy.l3_score);
+}
+
+TEST_F(PolicyTest, DisjointRealizationsCoverDisjointNodeSets) {
+  for (const ImportantPlacement& ip : ips_.placements) {
+    const std::vector<Placement> slots = DisjointRealizations(ctx_, ip);
+    EXPECT_GE(slots.size(), 1u) << ip.ToString();
+    std::set<int> seen_nodes;
+    for (const Placement& slot : slots) {
+      for (int node : slot.NodesUsed(topo_)) {
+        EXPECT_TRUE(seen_nodes.insert(node).second) << "node reuse in " << ip.ToString();
+      }
+    }
+  }
+}
+
+TEST_F(PolicyTest, TwoNodeClassYieldsFourSlots) {
+  const auto two_node = ips_.WithL3Score(2);
+  ASSERT_FALSE(two_node.empty());
+  EXPECT_EQ(DisjointRealizations(ctx_, two_node[0]).size(), 4u);
+  const auto eight_node = ips_.WithL3Score(8);
+  ASSERT_FALSE(eight_node.empty());
+  EXPECT_EQ(DisjointRealizations(ctx_, eight_node[0]).size(), 1u);
+}
+
+TEST_F(PolicyTest, ViolationIsZeroWhenGoalTrivial) {
+  // A goal of 10% of baseline is met by any placement.
+  MlPolicy ml(ctx_, &model_);
+  SmartAggressivePolicy smart(ctx_);
+  Rng rng(38);
+  EXPECT_NEAR(ml.Evaluate(PaperWorkload("gcc"), 0.1, rng, 1).violation_pct, 0.0, 1e-9);
+  EXPECT_NEAR(smart.Evaluate(PaperWorkload("gcc"), 0.1, rng, 1).violation_pct, 0.0, 1e-9);
+}
+
+TEST_F(PolicyTest, IntelMachinePoliciesWork) {
+  // Same battery on the Intel box: 4 instances of 24 vCPUs.
+  const Topology intel = IntelXeonE74830v3();
+  const ImportantPlacementSet ips = GenerateImportantPlacements(intel, 24, false);
+  PerformanceModel solo(intel, 0.01, 5);
+  MultiTenantModel multi(intel, 0.01, 5);
+  PolicyContext ctx;
+  ctx.topo = &intel;
+  ctx.ips = &ips;
+  ctx.solo_sim = &solo;
+  ctx.multi_sim = &multi;
+  ctx.vcpus = 24;
+  ctx.baseline_id = 2;
+
+  Rng rng(39);
+  AggressivePolicy aggressive(ctx);
+  EXPECT_EQ(aggressive.Evaluate(PaperWorkload("wc"), 1.0, rng, 2).instances, 4);
+  SmartAggressivePolicy smart(ctx);
+  EXPECT_EQ(smart.Evaluate(PaperWorkload("wc"), 1.0, rng, 1).instances, 4);  // 1 node each
+
+  ModelPipeline pipeline(ips, solo, 2, 17);
+  PerfModelConfig config;
+  config.forest.num_trees = 60;
+  config.cv_trees = 25;
+  config.runs_per_workload = 3;
+  Rng trng(40);
+  const TrainedPerfModel model = pipeline.TrainPerfAuto(SampleTrainingWorkloads(48, trng), config);
+  MlPolicy ml(ctx, &model);
+  const PolicyResult r = ml.Evaluate(PaperWorkload("wc"), 0.9, rng, 1);
+  EXPECT_GE(r.instances, 1);
+  EXPECT_LT(r.violation_pct, 10.0);
+}
+
+}  // namespace
+}  // namespace numaplace

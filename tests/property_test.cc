@@ -1,0 +1,325 @@
+// Parameterized property sweeps across machines, vCPU counts and workloads:
+// invariants that must hold for ANY input the library accepts, not just the
+// paper's two evaluation systems.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "src/core/concern.h"
+#include "src/migration/migration.h"
+#include "src/core/important.h"
+#include "src/sim/perf_model.h"
+#include "src/topology/machines.h"
+#include "src/util/rng.h"
+#include "src/workloads/synth.h"
+
+namespace numaplace {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Enumeration invariants over (machine, vCPU count).
+// ---------------------------------------------------------------------------
+
+struct MachineCase {
+  std::string label;
+  Topology (*make)();
+  int vcpus;
+};
+
+void PrintTo(const MachineCase& c, std::ostream* os) { *os << c.label; }
+
+class EnumerationProperty : public ::testing::TestWithParam<MachineCase> {};
+
+TEST_P(EnumerationProperty, EveryImportantPlacementIsBalancedAndFeasible) {
+  const MachineCase& param = GetParam();
+  const Topology topo = param.make();
+  const bool use_ic = InterconnectIsAsymmetric(topo);
+  const ImportantPlacementSet set =
+      GenerateImportantPlacements(topo, param.vcpus, use_ic);
+  ASSERT_FALSE(set.placements.empty());
+  for (const ImportantPlacement& p : set.placements) {
+    // Balance: vCPUs divide evenly over nodes, L3 groups and L2 groups, and
+    // each finer level spreads evenly over the coarser one.
+    EXPECT_EQ(param.vcpus % p.NodeCount(), 0) << p.ToString();
+    EXPECT_EQ(param.vcpus % p.l3_score, 0) << p.ToString();
+    EXPECT_EQ(param.vcpus % p.l2_score, 0) << p.ToString();
+    EXPECT_EQ(p.l3_score % p.NodeCount(), 0) << p.ToString();
+    EXPECT_EQ(p.l2_score % p.l3_score, 0) << p.ToString();
+    // Feasibility: per-instance loads within capacity.
+    EXPECT_LE(param.vcpus / p.NodeCount(), topo.NodeCapacity()) << p.ToString();
+    EXPECT_LE(param.vcpus / p.l3_score, topo.L3GroupCapacity()) << p.ToString();
+    EXPECT_LE(param.vcpus / p.l2_score, topo.L2GroupCapacity()) << p.ToString();
+    EXPECT_LE(p.l3_score / p.NodeCount(), topo.L3GroupsPerNode()) << p.ToString();
+    // On classic one-L3-per-node machines, the L3 score IS the node count.
+    if (!topo.HasSplitL3()) {
+      EXPECT_EQ(static_cast<int>(p.nodes.size()), p.l3_score) << p.ToString();
+    }
+  }
+}
+
+TEST_P(EnumerationProperty, ScoreVectorsAreUniqueAcrossImportantPlacements) {
+  const MachineCase& param = GetParam();
+  const Topology topo = param.make();
+  const bool use_ic = InterconnectIsAsymmetric(topo);
+  const ImportantPlacementSet set =
+      GenerateImportantPlacements(topo, param.vcpus, use_ic);
+  std::set<std::tuple<int, int, int64_t>> seen;
+  for (const ImportantPlacement& p : set.placements) {
+    const auto key = std::make_tuple(
+        p.l2_score, p.l3_score,
+        static_cast<int64_t>(std::llround(p.interconnect_gbps * 1e6)));
+    EXPECT_TRUE(seen.insert(key).second)
+        << "duplicate score vector " << p.ToString();
+  }
+}
+
+TEST_P(EnumerationProperty, RealizationRoundTripsScores) {
+  const MachineCase& param = GetParam();
+  const Topology topo = param.make();
+  const bool use_ic = InterconnectIsAsymmetric(topo);
+  const ImportantPlacementSet set =
+      GenerateImportantPlacements(topo, param.vcpus, use_ic);
+  for (const ImportantPlacement& p : set.placements) {
+    const Placement realized = Realize(p, topo, param.vcpus);
+    EXPECT_TRUE(realized.IsOneVcpuPerHwThread()) << p.ToString();
+    const ScoreVector score = ScoreOf(realized, topo);
+    EXPECT_EQ(score.l2_score, p.l2_score) << p.ToString();
+    EXPECT_EQ(score.l3_score, p.l3_score) << p.ToString();
+    EXPECT_NEAR(score.interconnect_gbps, p.interconnect_gbps, 1e-9) << p.ToString();
+  }
+}
+
+TEST_P(EnumerationProperty, ParetoPackingsPartitionTheMachine) {
+  const MachineCase& param = GetParam();
+  const Topology topo = param.make();
+  const bool use_ic = InterconnectIsAsymmetric(topo);
+  const ImportantPlacementSet set =
+      GenerateImportantPlacements(topo, param.vcpus, use_ic);
+  ASSERT_FALSE(set.pareto_packings.empty());
+  for (const Packing& packing : set.pareto_packings) {
+    std::set<int> covered;
+    for (const NodeSet& part : packing) {
+      for (int node : part) {
+        EXPECT_TRUE(covered.insert(node).second) << "node reused in a packing";
+      }
+    }
+    EXPECT_EQ(covered.size(), static_cast<size_t>(topo.num_nodes()));
+  }
+}
+
+TEST_P(EnumerationProperty, EveryImportantPlacementAppearsInSomePacking) {
+  const MachineCase& param = GetParam();
+  const Topology topo = param.make();
+  const bool use_ic = InterconnectIsAsymmetric(topo);
+  const ImportantPlacementSet set =
+      GenerateImportantPlacements(topo, param.vcpus, use_ic);
+  for (const ImportantPlacement& p : set.placements) {
+    bool found = false;
+    for (const Packing& packing : set.pareto_packings) {
+      for (const NodeSet& part : packing) {
+        if (static_cast<int>(part.size()) != p.NodeCount()) {
+          continue;
+        }
+        if (!use_ic ||
+            std::abs(topo.AggregateBandwidth(part) - p.interconnect_gbps) < 1e-9) {
+          found = true;
+        }
+      }
+    }
+    EXPECT_TRUE(found) << p.ToString() << " not backed by any Pareto packing";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, EnumerationProperty,
+    ::testing::Values(
+        MachineCase{"amd16", &AmdOpteron6272, 16},
+        MachineCase{"amd32", &AmdOpteron6272, 32},
+        MachineCase{"amd64", &AmdOpteron6272, 64},
+        MachineCase{"amd8", &AmdOpteron6272, 8},
+        MachineCase{"intel24", &IntelXeonE74830v3, 24},
+        MachineCase{"intel48", &IntelXeonE74830v3, 48},
+        MachineCase{"intel96", &IntelXeonE74830v3, 96},
+        MachineCase{"intel12", &IntelXeonE74830v3, 12},
+        MachineCase{"zen16", &AmdZenLike, 16},
+        MachineCase{"zen32", &AmdZenLike, 32},
+        MachineCase{"cod12", &HaswellClusterOnDie, 12},
+        MachineCase{"cod36", &HaswellClusterOnDie, 36}),
+    [](const ::testing::TestParamInfo<MachineCase>& info) { return info.param.label; });
+
+// ---------------------------------------------------------------------------
+// Simulator physics invariants over workload archetypes.
+// ---------------------------------------------------------------------------
+
+class SimulatorProperty : public ::testing::TestWithParam<WorkloadArchetype> {
+ protected:
+  static Placement PlaceOn(const Topology& topo, const NodeSet& nodes, int vcpus,
+                           bool share_l2) {
+    ImportantPlacement ip;
+    ip.nodes = nodes;
+    ip.l3_score = static_cast<int>(nodes.size());
+    ip.l2_score = share_l2 ? vcpus / 2 : vcpus;
+    return RealizeOnNodes(ip, nodes, topo, vcpus);
+  }
+};
+
+TEST_P(SimulatorProperty, ThroughputIsPositiveAndFinite) {
+  const Topology amd = AmdOpteron6272();
+  PerformanceModel sim(amd);
+  Rng rng(101 + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 10; ++trial) {
+    const WorkloadProfile w = SampleWorkload(GetParam(), rng);
+    for (const NodeSet& nodes :
+         {NodeSet{0, 1}, NodeSet{2, 3, 4, 5}, NodeSet{0, 1, 2, 3, 4, 5, 6, 7}}) {
+      const PerfResult r = sim.Evaluate(w, PlaceOn(amd, nodes, 16, true));
+      EXPECT_GT(r.throughput_ops, 0.0);
+      EXPECT_TRUE(std::isfinite(r.throughput_ops));
+      EXPECT_GE(r.breakdown.l2_hit, 0.0);
+      EXPECT_LE(r.breakdown.l2_hit, 1.0);
+      EXPECT_GE(r.breakdown.l3_hit, 0.0);
+      EXPECT_LE(r.breakdown.l3_hit, 1.0);
+      EXPECT_GT(r.breakdown.bandwidth_factor, 0.0);
+      EXPECT_LE(r.breakdown.bandwidth_factor, 1.0);
+    }
+  }
+}
+
+TEST_P(SimulatorProperty, MoreCacheNeverHurtsHitRates) {
+  // Spreading the same thread count over more nodes cannot lower the
+  // per-thread L3 hit fraction for coop-free workloads (more aggregate cache,
+  // same demand per thread or less).
+  const Topology amd = AmdOpteron6272();
+  PerformanceModel sim(amd);
+  Rng rng(202 + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 10; ++trial) {
+    WorkloadProfile w = SampleWorkload(GetParam(), rng);
+    w.cache_coop = 0.0;  // coop rewards co-location; exclude it here
+    const PerfResult two = sim.Evaluate(w, PlaceOn(amd, {0, 1}, 16, true));
+    const PerfResult eight =
+        sim.Evaluate(w, PlaceOn(amd, {0, 1, 2, 3, 4, 5, 6, 7}, 16, true));
+    EXPECT_GE(eight.breakdown.l3_hit, two.breakdown.l3_hit - 1e-9);
+  }
+}
+
+TEST_P(SimulatorProperty, InterferenceNeverHelps) {
+  // Adding a co-tenant on the same nodes can only reduce throughput.
+  const Topology amd = AmdOpteron6272();
+  PerformanceModel solo(amd);
+  MultiTenantModel multi(amd);
+  Rng rng(303 + static_cast<uint64_t>(GetParam()));
+  const WorkloadProfile w = SampleWorkload(GetParam(), rng);
+  const WorkloadProfile noisy_neighbor = PaperWorkload("streamcluster");
+
+  const Placement mine = PlaceOn(amd, {0, 1}, 16, true);
+  Placement theirs;
+  for (int t : mine.hw_threads) {
+    theirs.hw_threads.push_back(t + 1);  // other module cores, same nodes
+  }
+  const double alone = solo.Evaluate(w, mine).throughput_ops;
+  const auto results = multi.Evaluate({{&w, mine}, {&noisy_neighbor, theirs}});
+  EXPECT_LE(results[0].throughput_ops, alone * 1.001);
+}
+
+TEST_P(SimulatorProperty, NoiseIsMultiplicativeAndSmall) {
+  const Topology intel = IntelXeonE74830v3();
+  PerformanceModel clean(intel);
+  PerformanceModel noisy(intel, 0.02, 77);
+  Rng rng(404 + static_cast<uint64_t>(GetParam()));
+  const WorkloadProfile w = SampleWorkload(GetParam(), rng);
+  const Placement p = PlaceOn(intel, {0, 1}, 24, true);
+  const double base = clean.Evaluate(w, p).throughput_ops;
+  for (uint64_t run = 0; run < 20; ++run) {
+    const double sample = noisy.Evaluate(w, p, run).throughput_ops;
+    EXPECT_NEAR(sample / base, 1.0, 0.15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Archetypes, SimulatorProperty,
+    ::testing::Values(WorkloadArchetype::kComputeBound,
+                      WorkloadArchetype::kLatencySensitive,
+                      WorkloadArchetype::kBandwidthBound,
+                      WorkloadArchetype::kCacheSensitive,
+                      WorkloadArchetype::kSmtFriendly,
+                      WorkloadArchetype::kBalancedMixed),
+    [](const ::testing::TestParamInfo<WorkloadArchetype>& info) {
+      std::string name = ArchetypeName(info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 sweep: balance/feasibility/completeness on a grid.
+// ---------------------------------------------------------------------------
+
+class ScoreGridProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ScoreGridProperty, GeneratedScoresAreExactlyTheValidOnes) {
+  const auto [vcpus, count, capacity] = GetParam();
+  const std::vector<int> scores = GenerateScores(vcpus, count, capacity);
+  std::set<int> generated(scores.begin(), scores.end());
+  EXPECT_EQ(generated.size(), scores.size()) << "duplicates";
+  EXPECT_TRUE(std::is_sorted(scores.begin(), scores.end()));
+  for (int s = 1; s <= count; ++s) {
+    const bool valid = vcpus % s == 0 && vcpus / s <= capacity;
+    EXPECT_EQ(generated.count(s) == 1, valid)
+        << "score " << s << " for v=" << vcpus << " count=" << count
+        << " cap=" << capacity;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ScoreGridProperty,
+                         ::testing::Combine(::testing::Values(4, 12, 16, 24, 36, 64),
+                                            ::testing::Values(4, 8, 32, 48),
+                                            ::testing::Values(1, 2, 8, 24)));
+
+// ---------------------------------------------------------------------------
+// Migration model invariants across the catalog.
+// ---------------------------------------------------------------------------
+
+class MigrationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MigrationProperty, EstimatesAreConsistent) {
+  const WorkloadProfile w = PaperWorkloads()[static_cast<size_t>(GetParam())];
+  const FastMigrator fast;
+  const DefaultLinuxMigrator def;
+  const ThrottledMigrator throttled(0.05);
+  for (const Migrator* migrator :
+       std::initializer_list<const Migrator*>{&fast, &def, &throttled}) {
+    const MigrationEstimate e = migrator->Migrate(w);
+    EXPECT_GE(e.seconds, 0.0) << migrator->name() << "/" << w.name;
+    EXPECT_GE(e.page_cache_seconds, 0.0);
+    EXPECT_LE(e.page_cache_seconds, e.seconds + 1e-9);
+    EXPECT_GE(e.overhead_fraction, 0.0);
+    EXPECT_LE(e.overhead_fraction, 1.0);
+    if (!e.migrates_page_cache) {
+      EXPECT_DOUBLE_EQ(e.page_cache_seconds, 0.0);
+    }
+  }
+  // The throttled path must be gentler but slower than freezing.
+  EXPECT_LT(throttled.Migrate(w).overhead_fraction, fast.Migrate(w).overhead_fraction);
+  if (w.TotalMemoryGb() > 1.0) {
+    EXPECT_GT(throttled.Migrate(w).seconds, fast.Migrate(w).seconds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, MigrationProperty, ::testing::Range(0, 18),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           std::string name =
+                               PaperWorkloads()[static_cast<size_t>(info.param)].name;
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) {
+                               ch = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace numaplace

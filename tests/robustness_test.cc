@@ -1,0 +1,219 @@
+// Robustness and edge-case coverage across modules: degenerate inputs,
+// boundary sizes, determinism guarantees, and misuse handling that the
+// per-module suites do not exercise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/core/important.h"
+#include "src/ml/forest.h"
+#include "src/ml/kmeans.h"
+#include "src/ml/tree.h"
+#include "src/policy/policies.h"
+#include "src/sim/perf_model.h"
+#include "src/topology/machines.h"
+#include "src/util/rng.h"
+#include "src/workloads/synth.h"
+
+namespace numaplace {
+namespace {
+
+// --- Enumeration edge cases ---
+
+TEST(EnumerationEdge, SingleVcpuContainer) {
+  // One vCPU: every score is 1; exactly one important placement per machine.
+  const Topology intel = IntelXeonE74830v3();
+  const ImportantPlacementSet set = GenerateImportantPlacements(intel, 1, false);
+  ASSERT_EQ(set.placements.size(), 1u);
+  EXPECT_EQ(set.placements[0].l3_score, 1);
+  EXPECT_EQ(set.placements[0].l2_score, 1);
+  const Placement p = Realize(set.placements[0], intel, 1);
+  EXPECT_EQ(p.NumVcpus(), 1);
+}
+
+TEST(EnumerationEdge, WholeMachineContainer) {
+  // vCPUs == hardware threads: only the full-machine placement is feasible.
+  const Topology amd = AmdOpteron6272();
+  const ImportantPlacementSet set = GenerateImportantPlacements(amd, 64, true);
+  for (const ImportantPlacement& p : set.placements) {
+    EXPECT_EQ(p.NodeCount(), 8);
+    EXPECT_EQ(p.l2_score, 32);  // every module carries 2 of the 64 vCPUs
+  }
+  const Placement p = Realize(set.placements[0], amd, 64);
+  EXPECT_TRUE(p.IsOneVcpuPerHwThread());
+  EXPECT_EQ(p.NumVcpus(), 64);
+}
+
+TEST(EnumerationEdge, PrimeVcpuCountsStillGetAPlacement) {
+  // 7 vCPUs on Intel: 7 mod s == 0 only for s=1 (one node, 7 of 48 L2
+  // groups... 7 mod l2s==0 only l2s in {1, 7}; capacity 2 -> l2s=7).
+  const Topology intel = IntelXeonE74830v3();
+  const ImportantPlacementSet set = GenerateImportantPlacements(intel, 7, false);
+  ASSERT_FALSE(set.placements.empty());
+  for (const ImportantPlacement& p : set.placements) {
+    EXPECT_EQ(7 % p.l3_score, 0);
+    EXPECT_EQ(7 % p.l2_score, 0);
+  }
+}
+
+TEST(EnumerationEdge, DeterministicAcrossCalls) {
+  const Topology amd = AmdOpteron6272();
+  const ImportantPlacementSet a = GenerateImportantPlacements(amd, 16, true);
+  const ImportantPlacementSet b = GenerateImportantPlacements(amd, 16, true);
+  ASSERT_EQ(a.placements.size(), b.placements.size());
+  for (size_t i = 0; i < a.placements.size(); ++i) {
+    EXPECT_EQ(a.placements[i].id, b.placements[i].id);
+    EXPECT_EQ(a.placements[i].nodes, b.placements[i].nodes);
+    EXPECT_EQ(a.placements[i].l2_score, b.placements[i].l2_score);
+  }
+}
+
+// --- Simulator degenerate placements ---
+
+TEST(SimulatorEdge, SingleThreadPlacement) {
+  const Topology amd = AmdOpteron6272();
+  PerformanceModel sim(amd);
+  const WorkloadProfile w = PaperWorkload("gcc");
+  Placement solo{{0}};
+  const PerfResult r = sim.Evaluate(w, solo);
+  EXPECT_GT(r.throughput_ops, 0.0);
+  EXPECT_DOUBLE_EQ(r.breakdown.mean_latency_ns, 0.0);  // no pairs
+  EXPECT_DOUBLE_EQ(r.breakdown.comm_factor,
+                   1.0 + w.comm_intensity * 0.0);  // latency 0 clamps to bonus cap
+}
+
+TEST(SimulatorEdge, OversubscribedHardwareThreadsSlowDown) {
+  const Topology amd = AmdOpteron6272();
+  PerformanceModel sim(amd);
+  const WorkloadProfile w = PaperWorkload("swaptions");
+  Placement spread{{0, 2, 4, 6}};   // four own cores
+  Placement stacked{{0, 0, 2, 2}};  // two vCPUs per hardware thread
+  EXPECT_GT(sim.Evaluate(w, spread).throughput_ops,
+            1.5 * sim.Evaluate(w, stacked).throughput_ops);
+}
+
+TEST(SimulatorEdge, ZeroMemoryWorkloadIgnoresCaches) {
+  const Topology amd = AmdOpteron6272();
+  PerformanceModel sim(amd);
+  WorkloadProfile w = PaperWorkload("swaptions");
+  w.mem_intensity = 0.0;
+  w.comm_intensity = 0.0;
+  const Placement two = Realize(
+      GenerateImportantPlacements(amd, 16, true).placements.front(), amd, 16);
+  const PerfResult r = sim.Evaluate(w, two);
+  // cost == 1, pipeline is the only factor.
+  EXPECT_NEAR(r.throughput_ops,
+              amd.perf().base_ops_per_thread * 16.0 * r.breakdown.pipeline_factor,
+              1.0);
+}
+
+// --- ML edge cases ---
+
+TEST(MlEdge, TreeWithSingleSample) {
+  Dataset d;
+  d.features = {{1.0}};
+  d.targets = {{5.0}};
+  RegressionTree tree;
+  Rng rng(1);
+  tree.Fit(d, TreeParams{}, rng);
+  EXPECT_DOUBLE_EQ(tree.Predict(std::vector<double>{42.0})[0], 5.0);
+}
+
+TEST(MlEdge, ForestSingleTreeSingleRow) {
+  Dataset d;
+  d.features = {{1.0}, {2.0}};
+  d.targets = {{1.0}, {3.0}};
+  RandomForest forest;
+  ForestParams params;
+  params.num_trees = 1;
+  params.seed = 1;
+  forest.Fit(d, params);
+  const std::vector<double> p = forest.Predict(std::vector<double>{1.5});
+  EXPECT_GE(p[0], 1.0);
+  EXPECT_LE(p[0], 3.0);
+}
+
+TEST(MlEdge, KMeansSinglePointPerCluster) {
+  std::vector<std::vector<double>> points = {{0.0}, {100.0}};
+  Rng rng(2);
+  const KMeansResult r = KMeans(points, 2, rng);
+  EXPECT_NE(r.assignments[0], r.assignments[1]);
+}
+
+TEST(MlEdge, KMeansIdenticalPointsDoNotCrash) {
+  std::vector<std::vector<double>> points(10, std::vector<double>{3.0, 3.0});
+  Rng rng(3);
+  const KMeansResult r = KMeans(points, 3, rng);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+TEST(MlEdge, ForestRejectsWrongQueryWidth) {
+  Dataset d;
+  d.features = {{1.0, 2.0}, {3.0, 4.0}};
+  d.targets = {{1.0}, {2.0}};
+  RandomForest forest;
+  ForestParams params;
+  params.num_trees = 2;
+  forest.Fit(d, params);
+  EXPECT_THROW(forest.Predict(std::vector<double>{1.0}), std::logic_error);
+}
+
+// --- Policy edge cases ---
+
+TEST(PolicyEdge, SmartAggressiveOnZenUsesWholeNodes) {
+  const Topology zen = AmdZenLike();
+  const ImportantPlacementSet ips = GenerateImportantPlacements(zen, 16, false);
+  PerformanceModel solo(zen);
+  MultiTenantModel multi(zen);
+  PolicyContext ctx;
+  ctx.topo = &zen;
+  ctx.ips = &ips;
+  ctx.solo_sim = &solo;
+  ctx.multi_sim = &multi;
+  ctx.vcpus = 16;
+  ctx.baseline_id = 1;
+  SmartAggressivePolicy policy(ctx);
+  Rng rng(4);
+  const PolicyResult r = policy.Evaluate(PaperWorkload("gcc"), 0.9, rng, 1);
+  EXPECT_EQ(r.instances, 2);  // 32 cores / 16 vCPUs, min set = 2 nodes
+}
+
+TEST(PolicyEdge, BaselineThroughputMatchesDirectSimulation) {
+  const Topology amd = AmdOpteron6272();
+  const ImportantPlacementSet ips = GenerateImportantPlacements(amd, 16, true);
+  PerformanceModel solo(amd, 0.05, 9);  // noisy sim must not affect the goal
+  MultiTenantModel multi(amd);
+  PolicyContext ctx;
+  ctx.topo = &amd;
+  ctx.ips = &ips;
+  ctx.solo_sim = &solo;
+  ctx.multi_sim = &multi;
+  ctx.vcpus = 16;
+  ctx.baseline_id = 1;
+  PerformanceModel noiseless(amd);
+  const WorkloadProfile w = PaperWorkload("wc");
+  const double direct =
+      noiseless.Evaluate(w, Realize(ips.ById(1), amd, 16)).throughput_ops;
+  EXPECT_DOUBLE_EQ(BaselineThroughput(ctx, w), direct);
+}
+
+// --- Rng distribution sanity ---
+
+TEST(RngEdge, NextBelowOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+  }
+}
+
+TEST(RngEdge, LargeBoundUnbiasedAtTails) {
+  Rng rng(6);
+  const uint64_t bound = (1ULL << 63) + 12345;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(bound), bound);
+  }
+}
+
+}  // namespace
+}  // namespace numaplace

@@ -1,0 +1,145 @@
+// Round-trip tests for model persistence: trees, forests and the full
+// TrainedPerfModel (train offline, load in the scheduler).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/important.h"
+#include "src/ml/forest.h"
+#include "src/ml/tree.h"
+#include "src/model/pipeline.h"
+#include "src/sim/perf_model.h"
+#include "src/topology/machines.h"
+#include "src/util/rng.h"
+#include "src/workloads/synth.h"
+
+namespace numaplace {
+namespace {
+
+Dataset MakeData(int n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextDouble(0.0, 10.0);
+    const double y = rng.NextDouble(0.0, 1.0);
+    d.features.push_back({x, y});
+    d.targets.push_back({2.0 * x + y, x - 3.0 * y});
+  }
+  return d;
+}
+
+TEST(TreeSerialize, RoundTripPreservesPredictions) {
+  const Dataset data = MakeData(200, 1);
+  RegressionTree tree;
+  Rng rng(2);
+  tree.Fit(data, TreeParams{}, rng);
+
+  std::stringstream buffer;
+  tree.SerializeTo(buffer);
+  RegressionTree loaded;
+  loaded.DeserializeFrom(buffer);
+
+  EXPECT_EQ(loaded.NumNodes(), tree.NumNodes());
+  Rng qrng(3);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> q = {qrng.NextDouble(0.0, 10.0), qrng.NextDouble()};
+    EXPECT_EQ(tree.Predict(q), loaded.Predict(q));
+  }
+}
+
+TEST(TreeSerialize, RejectsGarbageAndTruncation) {
+  RegressionTree tree;
+  std::stringstream garbage("not-a-tree 1 2");
+  EXPECT_THROW(tree.DeserializeFrom(garbage), std::logic_error);
+
+  const Dataset data = MakeData(50, 4);
+  RegressionTree fitted;
+  Rng rng(5);
+  fitted.Fit(data, TreeParams{}, rng);
+  std::stringstream buffer;
+  fitted.SerializeTo(buffer);
+  std::string text = buffer.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  RegressionTree broken;
+  EXPECT_THROW(broken.DeserializeFrom(truncated), std::logic_error);
+}
+
+TEST(TreeSerialize, UnfittedTreeCannotSerialize) {
+  RegressionTree tree;
+  std::stringstream buffer;
+  EXPECT_THROW(tree.SerializeTo(buffer), std::logic_error);
+}
+
+TEST(ForestSerialize, RoundTripPreservesPredictions) {
+  const Dataset data = MakeData(300, 6);
+  RandomForest forest;
+  ForestParams params;
+  params.num_trees = 30;
+  params.seed = 7;
+  forest.Fit(data, params);
+
+  std::stringstream buffer;
+  forest.SerializeTo(buffer);
+  RandomForest loaded;
+  loaded.DeserializeFrom(buffer);
+
+  EXPECT_EQ(loaded.NumTrees(), forest.NumTrees());
+  Rng qrng(8);
+  for (int i = 0; i < 30; ++i) {
+    const std::vector<double> q = {qrng.NextDouble(0.0, 10.0), qrng.NextDouble()};
+    EXPECT_EQ(forest.Predict(q), loaded.Predict(q));
+  }
+}
+
+TEST(ForestSerialize, OobUnavailableAfterLoad) {
+  const Dataset data = MakeData(100, 9);
+  RandomForest forest;
+  ForestParams params;
+  params.num_trees = 10;
+  params.seed = 10;
+  forest.Fit(data, params);
+  std::stringstream buffer;
+  forest.SerializeTo(buffer);
+  RandomForest loaded;
+  loaded.DeserializeFrom(buffer);
+  EXPECT_THROW(loaded.OutOfBagMae(data), std::logic_error);
+}
+
+TEST(ModelSerialize, FullModelRoundTrip) {
+  const Topology amd = AmdOpteron6272();
+  const ImportantPlacementSet ips = GenerateImportantPlacements(amd, 16, true);
+  PerformanceModel sim(amd, 0.015, 99);
+  ModelPipeline pipeline(ips, sim, 1, 7);
+  Rng rng(11);
+  PerfModelConfig config;
+  config.forest.num_trees = 30;
+  config.runs_per_workload = 2;
+  const TrainedPerfModel model =
+      pipeline.TrainPerf(SampleTrainingWorkloads(24, rng), 1, 13, config);
+
+  std::stringstream buffer;
+  model.SaveText(buffer);
+  const TrainedPerfModel loaded = TrainedPerfModel::LoadText(buffer);
+
+  EXPECT_EQ(loaded.input_a, model.input_a);
+  EXPECT_EQ(loaded.input_b, model.input_b);
+  EXPECT_EQ(loaded.baseline_id, model.baseline_id);
+  EXPECT_DOUBLE_EQ(loaded.ipc_scale, model.ipc_scale);
+  EXPECT_EQ(loaded.placement_ids, model.placement_ids);
+
+  // Identical predictions for unseen workloads.
+  for (const char* name : {"gcc", "WTbtree", "streamcluster"}) {
+    const WorkloadProfile& w = PaperWorkload(name);
+    const double pa = pipeline.MeasureAbsolute(w, model.input_a, 777);
+    const double pb = pipeline.MeasureAbsolute(w, model.input_b, 777);
+    EXPECT_EQ(model.Predict(pa, pb), loaded.Predict(pa, pb)) << name;
+  }
+}
+
+TEST(ModelSerialize, RejectsWrongFormatTag) {
+  std::stringstream buffer("some-other-format-v9\n1 2 3\n");
+  EXPECT_THROW(TrainedPerfModel::LoadText(buffer), std::logic_error);
+}
+
+}  // namespace
+}  // namespace numaplace

@@ -1,0 +1,120 @@
+// The §8 Zen scenario: machines where the L3 cache is shared at a finer
+// granularity than the memory controller. The concern hierarchy gains a
+// third level and the enumeration distinguishes placements by how many CCXs
+// they occupy per node — "without significant retooling by an expert".
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/core/concern.h"
+#include "src/core/important.h"
+#include "src/sim/perf_model.h"
+#include "src/topology/machines.h"
+#include "src/workloads/profile.h"
+
+namespace numaplace {
+namespace {
+
+TEST(SplitL3, ZenConcernSetIncludesMemoryController) {
+  const Topology zen = AmdZenLike();
+  ASSERT_TRUE(zen.HasSplitL3());
+  const auto concerns = ConcernsFor(zen, false);
+  ASSERT_EQ(concerns.size(), 3u);  // L2/SMT, L3, MemCtl (no interconnect)
+  EXPECT_EQ(concerns[0]->name(), "L2/SMT");
+  EXPECT_EQ(concerns[1]->name(), "L3");
+  EXPECT_EQ(concerns[2]->name(), "MemCtl");
+  EXPECT_TRUE(concerns[2]->AffectsCost());
+  EXPECT_TRUE(concerns[2]->InversePerfPossible());
+}
+
+TEST(SplitL3, ClassicMachinesDoNotGrowAConcern) {
+  EXPECT_EQ(ConcernsFor(AmdOpteron6272(), true).size(), 3u);   // L2, L3, IC
+  EXPECT_EQ(ConcernsFor(IntelXeonE74830v3(), false).size(), 2u);
+}
+
+TEST(SplitL3, ZenEnumerationDistinguishesCcxSharing) {
+  const Topology zen = AmdZenLike();
+  const ImportantPlacementSet set = GenerateImportantPlacements(zen, 16, false);
+  // 16 vCPUs on 4 nodes x 2 CCXs x 4 cores (capacity 4 per CCX, private L2):
+  //   2 nodes -> must use all 4 CCXs (4 per CCX);
+  //   4 nodes -> either 4 CCXs (4 per CCX, one per node) or all 8 (2 per CCX).
+  ASSERT_EQ(set.placements.size(), 3u);
+  std::set<std::pair<int, int>> classes;  // (node count, l3 score)
+  for (const ImportantPlacement& p : set.placements) {
+    classes.insert({p.NodeCount(), p.l3_score});
+    EXPECT_EQ(p.l2_score, 16);  // private L2s: one per vCPU, always
+  }
+  EXPECT_TRUE(classes.count({2, 4}));
+  EXPECT_TRUE(classes.count({4, 4}));
+  EXPECT_TRUE(classes.count({4, 8}));
+}
+
+TEST(SplitL3, ZenScoreVectorsRoundTrip) {
+  const Topology zen = AmdZenLike();
+  const ImportantPlacementSet set = GenerateImportantPlacements(zen, 16, false);
+  for (const ImportantPlacement& p : set.placements) {
+    const Placement realized = Realize(p, zen, 16);
+    EXPECT_TRUE(realized.IsOneVcpuPerHwThread());
+    const ScoreVector score = ScoreOf(realized, zen);
+    EXPECT_EQ(score.l3_score, p.l3_score) << p.ToString();
+    EXPECT_EQ(score.mem_score, p.NodeCount()) << p.ToString();
+    EXPECT_EQ(score.l2_score, p.l2_score) << p.ToString();
+    // Threads spread evenly over the used CCXs.
+    std::map<int, int> per_ccx;
+    for (int t : realized.hw_threads) {
+      per_ccx[zen.L3GroupOf(t)]++;
+    }
+    EXPECT_EQ(per_ccx.size(), static_cast<size_t>(p.l3_score));
+    for (const auto& [ccx, count] : per_ccx) {
+      EXPECT_EQ(count, 16 / p.l3_score);
+    }
+  }
+}
+
+TEST(SplitL3, CacheCapacityFollowsTheCcx) {
+  // A cache-sensitive workload sees twice the aggregate L3 when spread over
+  // all 8 CCXs instead of 4 — the simulator must price that in.
+  const Topology zen = AmdZenLike();
+  PerformanceModel sim(zen);
+  const ImportantPlacementSet set = GenerateImportantPlacements(zen, 16, false);
+  const ImportantPlacement* four_ccx = nullptr;
+  const ImportantPlacement* eight_ccx = nullptr;
+  for (const ImportantPlacement& p : set.placements) {
+    if (p.NodeCount() == 4 && p.l3_score == 4) {
+      four_ccx = &p;
+    }
+    if (p.NodeCount() == 4 && p.l3_score == 8) {
+      eight_ccx = &p;
+    }
+  }
+  ASSERT_NE(four_ccx, nullptr);
+  ASSERT_NE(eight_ccx, nullptr);
+
+  WorkloadProfile w = PaperWorkload("canneal");  // big shared WS, coop
+  w.cache_coop = 0.0;                            // isolate the capacity effect
+  w.comm_intensity = 0.0;                        // and the latency effect
+  const double four = sim.Evaluate(w, Realize(*four_ccx, zen, 16)).throughput_ops;
+  const double eight = sim.Evaluate(w, Realize(*eight_ccx, zen, 16)).throughput_ops;
+  EXPECT_GT(eight, four);
+
+  // A latency-bound workload prefers the tighter 4-CCX packing instead.
+  WorkloadProfile chatty = PaperWorkload("WTbtree");
+  const double four_chatty =
+      sim.Evaluate(chatty, Realize(*four_ccx, zen, 16)).throughput_ops;
+  const double eight_chatty =
+      sim.Evaluate(chatty, Realize(*eight_ccx, zen, 16)).throughput_ops;
+  // 4 CCXs over 4 nodes put 4 threads per CCX at 28ns instead of spreading
+  // pairs across CCXs at 60ns.
+  EXPECT_GT(four_chatty, eight_chatty);
+}
+
+TEST(SplitL3, ScoreVectorPrintsMemCtlOnlyWhenSplit) {
+  ScoreVector classic{8, 4, 4, 10.0};
+  EXPECT_EQ(classic.ToString().find("MemCtl"), std::string::npos);
+  ScoreVector split{16, 8, 4, 10.0};
+  EXPECT_NE(split.ToString().find("MemCtl"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace numaplace

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/topology/machines.h"
+#include "src/topology/topology.h"
+
+namespace numaplace {
+namespace {
+
+TEST(AmdTopology, MatchesPaperFigure2) {
+  const Topology amd = AmdOpteron6272();
+  EXPECT_EQ(amd.num_nodes(), 8);
+  EXPECT_EQ(amd.NumCores(), 64);
+  EXPECT_EQ(amd.NumHwThreads(), 64);   // no SMT threads; CMT pairs share L2
+  EXPECT_EQ(amd.NumL2Groups(), 32);    // "an L2Count of 32 for example"
+  EXPECT_EQ(amd.L2GroupCapacity(), 2);
+  EXPECT_EQ(amd.NodeCapacity(), 8);    // "eight hardware threads per L3 cache"
+  EXPECT_EQ(amd.L2GroupsPerNode(), 4);
+}
+
+TEST(IntelTopology, MatchesPaperFigure2) {
+  const Topology intel = IntelXeonE74830v3();
+  EXPECT_EQ(intel.num_nodes(), 4);
+  EXPECT_EQ(intel.NumCores(), 48);
+  EXPECT_EQ(intel.NumHwThreads(), 96);  // 12 cores/node with SMT
+  EXPECT_EQ(intel.NumL2Groups(), 48);
+  EXPECT_EQ(intel.L2GroupCapacity(), 2);
+  EXPECT_EQ(intel.NodeCapacity(), 24);
+}
+
+TEST(AmdTopology, LinkTableSumsTo35GBs) {
+  const Topology amd = AmdOpteron6272();
+  double total = 0.0;
+  for (const Link& link : amd.links()) {
+    total += link.bandwidth_gbps;
+  }
+  EXPECT_NEAR(total, 35.0, 1e-9);
+  std::vector<int> all(8);
+  std::iota(all.begin(), all.end(), 0);
+  EXPECT_NEAR(amd.AggregateBandwidth(all), 35.0, 1e-9);
+}
+
+TEST(AmdTopology, EveryNodeHasFourLinksAndDiameterTwo) {
+  const Topology amd = AmdOpteron6272();
+  for (int n = 0; n < 8; ++n) {
+    int degree = 0;
+    for (int m = 0; m < 8; ++m) {
+      if (amd.LinkBandwidth(n, m) > 0.0) {
+        ++degree;
+      }
+    }
+    EXPECT_EQ(degree, 4) << "node " << n;
+  }
+  int max_hops = 0;
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      max_hops = std::max(max_hops, amd.HopDistance(a, b));
+    }
+  }
+  EXPECT_EQ(max_hops, 2);
+}
+
+TEST(Topology, HwThreadLayoutAmd) {
+  const Topology amd = AmdOpteron6272();
+  // Thread 0..7 on node 0, thread 8 starts node 1.
+  EXPECT_EQ(amd.NodeOf(0), 0);
+  EXPECT_EQ(amd.NodeOf(7), 0);
+  EXPECT_EQ(amd.NodeOf(8), 1);
+  // CMT: threads 0,1 share an L2 group; 2,3 the next.
+  EXPECT_EQ(amd.L2GroupOf(0), amd.L2GroupOf(1));
+  EXPECT_NE(amd.L2GroupOf(1), amd.L2GroupOf(2));
+  // Distinct cores within the module.
+  EXPECT_NE(amd.CoreOf(0), amd.CoreOf(1));
+}
+
+TEST(Topology, HwThreadLayoutIntel) {
+  const Topology intel = IntelXeonE74830v3();
+  // SMT siblings 0,1 share a core (and therefore an L2 group).
+  EXPECT_EQ(intel.CoreOf(0), intel.CoreOf(1));
+  EXPECT_EQ(intel.L2GroupOf(0), intel.L2GroupOf(1));
+  EXPECT_NE(intel.CoreOf(1), intel.CoreOf(2));
+  EXPECT_EQ(intel.SmtSiblingIndexOf(0), 0);
+  EXPECT_EQ(intel.SmtSiblingIndexOf(1), 1);
+  // 24 threads per node.
+  EXPECT_EQ(intel.NodeOf(23), 0);
+  EXPECT_EQ(intel.NodeOf(24), 1);
+}
+
+TEST(Topology, HwThreadsOnNodeIsContiguousRange) {
+  const Topology intel = IntelXeonE74830v3();
+  const std::vector<int> threads = intel.HwThreadsOnNode(2);
+  ASSERT_EQ(threads.size(), 24u);
+  EXPECT_EQ(threads.front(), 48);
+  EXPECT_EQ(threads.back(), 71);
+}
+
+TEST(Topology, AggregateBandwidthOfSubsets) {
+  const Topology amd = AmdOpteron6272();
+  // Single node: no internal links.
+  const std::vector<int> one = {3};
+  EXPECT_DOUBLE_EQ(amd.AggregateBandwidth(one), 0.0);
+  // The paper's best 4-node set.
+  const std::vector<int> best = {2, 3, 4, 5};
+  EXPECT_NEAR(amd.AggregateBandwidth(best), 3.52 + 3.51 + 3.50 + 3.50, 1e-9);
+  // Unconnected pair contributes nothing.
+  const std::vector<int> unlinked = {0, 5};
+  EXPECT_DOUBLE_EQ(amd.AggregateBandwidth(unlinked), 0.0);
+}
+
+TEST(Topology, CommunicationLatencyOrdering) {
+  const Topology intel = IntelXeonE74830v3();
+  const double same_core = intel.CommunicationLatencyNs(0, 1);
+  const double same_node = intel.CommunicationLatencyNs(0, 2);
+  const double cross_node = intel.CommunicationLatencyNs(0, 24);
+  EXPECT_LT(same_core, same_node);
+  EXPECT_LT(same_node, cross_node);
+  EXPECT_DOUBLE_EQ(intel.CommunicationLatencyNs(5, 5), 0.0);
+
+  const Topology amd = AmdOpteron6272();
+  const double one_hop = amd.CommunicationLatencyNs(0, 8);        // nodes 0-1
+  const double two_hop = amd.CommunicationLatencyNs(0, 5 * 8);    // nodes 0-5
+  EXPECT_LT(one_hop, two_hop);
+}
+
+TEST(Topology, SymmetricMachineHelper) {
+  const Topology sym = SymmetricMachine(4, 4, 2, 1, 10.0);
+  EXPECT_EQ(sym.num_nodes(), 4);
+  EXPECT_EQ(sym.NumHwThreads(), 32);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a != b) {
+        EXPECT_DOUBLE_EQ(sym.LinkBandwidth(a, b), 10.0);
+        EXPECT_EQ(sym.HopDistance(a, b), 1);
+      }
+    }
+  }
+}
+
+TEST(Topology, RejectsInvalidConstruction) {
+  PerfParams perf;
+  // L2 group straddling nodes.
+  EXPECT_THROW(Topology("bad", 2, 3, 1, 2, {}, perf), std::logic_error);
+  // Self link.
+  EXPECT_THROW(Topology("bad", 2, 2, 1, 1, {{0, 0, 1.0}}, perf), std::logic_error);
+  // Duplicate link.
+  EXPECT_THROW(Topology("bad", 2, 2, 1, 1, {{0, 1, 1.0}, {1, 0, 2.0}}, perf),
+               std::logic_error);
+  // Non-positive bandwidth.
+  EXPECT_THROW(Topology("bad", 2, 2, 1, 1, {{0, 1, 0.0}}, perf), std::logic_error);
+  // Out-of-range node.
+  EXPECT_THROW(Topology("bad", 2, 2, 1, 1, {{0, 5, 1.0}}, perf), std::logic_error);
+}
+
+TEST(Topology, ExtensionMachinesConstruct) {
+  const Topology zen = AmdZenLike();
+  EXPECT_EQ(zen.num_nodes(), 4);
+  // Split L3 (§8): two 4-core CCXs per node, private per-core L2.
+  EXPECT_TRUE(zen.HasSplitL3());
+  EXPECT_EQ(zen.NumL3Groups(), 8);
+  EXPECT_EQ(zen.L3GroupCapacity(), 4);
+  EXPECT_EQ(zen.L3GroupsPerNode(), 2);
+  EXPECT_EQ(zen.L2GroupCapacity(), 1);
+  // Threads 0-3 share a CCX; thread 4 starts the next; node boundary at 8.
+  EXPECT_EQ(zen.L3GroupOf(0), zen.L3GroupOf(3));
+  EXPECT_NE(zen.L3GroupOf(3), zen.L3GroupOf(4));
+  EXPECT_EQ(zen.NodeOf(4), 0);
+  EXPECT_EQ(zen.NodeOf(8), 1);
+  // Cross-CCX latency exceeds intra-CCX latency on the same node.
+  EXPECT_LT(zen.CommunicationLatencyNs(0, 1), zen.CommunicationLatencyNs(0, 4));
+  EXPECT_LT(zen.CommunicationLatencyNs(0, 4), zen.CommunicationLatencyNs(0, 8));
+
+  const Topology cod = HaswellClusterOnDie();
+  EXPECT_EQ(cod.num_nodes(), 4);
+  EXPECT_FALSE(cod.HasSplitL3());
+  // Cluster-on-die is asymmetric: on-die link wider than cross-socket.
+  EXPECT_GT(cod.LinkBandwidth(0, 1), cod.LinkBandwidth(0, 2));
+
+  // Classic machines: one L3 per node, so the split-L3 accessors degenerate.
+  const Topology amd = AmdOpteron6272();
+  EXPECT_FALSE(amd.HasSplitL3());
+  EXPECT_EQ(amd.NumL3Groups(), amd.num_nodes());
+  EXPECT_EQ(amd.L3GroupCapacity(), amd.NodeCapacity());
+
+  // L2 groups straddling L3 groups are rejected.
+  PerfParams perf;
+  EXPECT_THROW(Topology("bad", 2, 8, 1, 4, {{0, 1, 1.0}}, perf, /*l3=*/2),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace numaplace

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace numaplace {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversAll) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBelow(5);
+    EXPECT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleRangeRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const double d = rng.NextDouble(-3.0, 5.5);
+    EXPECT_GE(d, -3.0);
+    EXPECT_LT(d, 5.5);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(rng.NextGaussian(10.0, 2.0));
+  }
+  EXPECT_NEAR(stats.Mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.StdDev(), 2.0, 0.1);
+}
+
+TEST(Rng, ForkStreamsAreIndependentOfDrawOrder) {
+  Rng parent1(99);
+  Rng parent2(99);
+  (void)parent2.NextU64();  // advance one parent
+  Rng child1 = parent1.Fork(3);
+  Rng child2 = parent2.Fork(3);
+  EXPECT_EQ(child1.NextU64(), child2.NextU64());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Stats, MeanVarianceBasics) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(StdDev(v), std::sqrt(1.25));
+}
+
+TEST(Stats, EmptyMeanIsZero) {
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 2.5);
+}
+
+TEST(Stats, MaeAndMape) {
+  const std::vector<double> actual = {1.0, 2.0};
+  const std::vector<double> predicted = {1.1, 1.8};
+  EXPECT_NEAR(MeanAbsoluteError(actual, predicted), 0.15, 1e-12);
+  EXPECT_NEAR(MeanAbsolutePercentageError(actual, predicted), 10.0, 1e-9);
+}
+
+TEST(Stats, RSquaredPerfectAndBaseline) {
+  const std::vector<double> actual = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(RSquared(actual, actual), 1.0);
+  const std::vector<double> mean_pred = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(RSquared(actual, mean_pred), 0.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  const std::vector<double> v = {3.0, 7.0, 1.0, 9.0, 4.0};
+  RunningStats rs;
+  for (double x : v) {
+    rs.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(rs.Mean(), Mean(v));
+  EXPECT_NEAR(rs.Variance(), Variance(v), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.Max(), 9.0);
+}
+
+TEST(Stats, EuclideanDistance) {
+  const std::vector<double> a = {0.0, 3.0};
+  const std::vector<double> b = {4.0, 0.0};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+}
+
+TEST(Check, ThrowsLogicErrorWithMessage) {
+  EXPECT_THROW(NP_CHECK(1 == 2), std::logic_error);
+  try {
+    NP_CHECK_MSG(false, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", TablePrinter::Num(1.5)});
+  table.AddRow({"b", "x"});
+  EXPECT_EQ(table.RowCount(), 2u);
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"has,comma", "has\"quote"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, RejectsMisshapenRow) {
+  TablePrinter table({"one"});
+  EXPECT_THROW(table.AddRow({"a", "b"}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace numaplace

@@ -1,0 +1,119 @@
+// Catalog integrity: the 18 paper workloads carry Table 2's memory data and
+// physically sensible execution profiles.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/workloads/profile.h"
+#include "src/workloads/synth.h"
+
+namespace numaplace {
+namespace {
+
+TEST(Catalog, HasAllEighteenPaperWorkloads) {
+  const auto catalog = PaperWorkloads();
+  EXPECT_EQ(catalog.size(), 18u);
+  const std::set<std::string> expected = {
+      "BLAST",       "canneal",       "fluidanimate", "freqmine",      "gcc",
+      "kmeans",      "pca",           "postgres-tpch", "postgres-tpcc", "spark-cc",
+      "spark-pr-lj", "streamcluster", "swaptions",    "ft.C",          "dc.B",
+      "wc",          "wr",            "WTbtree"};
+  std::set<std::string> actual;
+  for (const auto& w : catalog) {
+    actual.insert(w.name);
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Catalog, Table2MemoryTotalsMatchPaper) {
+  // Table 2's "Memory (GB)" column: anon + page cache.
+  const std::vector<std::pair<std::string, double>> table2 = {
+      {"BLAST", 18.5},        {"canneal", 1.1},       {"fluidanimate", 0.7},
+      {"freqmine", 1.3},      {"gcc", 1.4},           {"kmeans", 7.2},
+      {"pca", 12.0},          {"postgres-tpch", 26.8}, {"postgres-tpcc", 37.7},
+      {"spark-cc", 17.0},     {"spark-pr-lj", 17.1},  {"streamcluster", 0.1},
+      {"swaptions", 0.01},    {"ft.C", 5.0},          {"dc.B", 27.3},
+      {"wc", 15.4},           {"wr", 17.1},           {"WTbtree", 36.3}};
+  for (const auto& [name, gb] : table2) {
+    EXPECT_NEAR(PaperWorkload(name).TotalMemoryGb(), gb, 0.01) << name;
+  }
+}
+
+TEST(Catalog, PageCacheSharesMatchPaperPercentages) {
+  // §7: page-cache migration is 93% of fast-migration time for BLAST, 75%
+  // for TPC-C, 62% for TPC-H; time is proportional to bytes in our model.
+  const auto share = [](const WorkloadProfile& w) {
+    return w.page_cache_gb / w.TotalMemoryGb();
+  };
+  EXPECT_NEAR(share(PaperWorkload("BLAST")), 0.93, 0.01);
+  EXPECT_NEAR(share(PaperWorkload("postgres-tpcc")), 0.75, 0.01);
+  EXPECT_NEAR(share(PaperWorkload("postgres-tpch")), 0.62, 0.01);
+}
+
+TEST(Catalog, ProfilesWithinPhysicalRanges) {
+  for (const auto& w : PaperWorkloads()) {
+    EXPECT_GE(w.mem_intensity, 0.0) << w.name;
+    EXPECT_LE(w.mem_intensity, 1.0) << w.name;
+    EXPECT_GT(w.ws_private_mb, 0.0) << w.name;
+    EXPECT_GE(w.ws_shared_mb, 0.0) << w.name;
+    EXPECT_GE(w.comm_intensity, 0.0) << w.name;
+    EXPECT_LE(w.comm_intensity, 1.0) << w.name;
+    EXPECT_GT(w.smt_combined, 1.0) << w.name;
+    EXPECT_LE(w.smt_combined, 2.3) << w.name;
+    EXPECT_GE(w.cache_coop, 0.0) << w.name;
+    EXPECT_LE(w.cache_coop, 1.0) << w.name;
+    EXPECT_GE(w.l2_locality, 0.0) << w.name;
+    EXPECT_LE(w.l2_locality, 1.0) << w.name;
+    EXPECT_GE(w.barrier_sensitivity, 0.0) << w.name;
+    EXPECT_LE(w.barrier_sensitivity, 1.0) << w.name;
+    EXPECT_GE(w.num_tasks, 1) << w.name;
+    EXPECT_GE(w.num_processes, 1) << w.name;
+    EXPECT_LE(w.num_processes, w.num_tasks) << w.name;
+    EXPECT_GE(w.avg_page_mappings, 1.0) << w.name;
+    EXPECT_GE(w.thp_fraction, 0.0) << w.name;
+    EXPECT_LE(w.thp_fraction, 1.0) << w.name;
+  }
+}
+
+TEST(Catalog, SemanticSpotChecks) {
+  // WiredTiger is the paper's latency-sensitivity example; kmeans the
+  // SMT-friendly outlier; streamcluster the bandwidth hog; TPC-C the
+  // many-process migration pathology.
+  EXPECT_GT(PaperWorkload("WTbtree").comm_intensity, 0.6);
+  EXPECT_GT(PaperWorkload("kmeans").smt_combined, 2.0);
+  EXPECT_GT(PaperWorkload("streamcluster").bw_per_thread_gbps, 3.0);
+  EXPECT_GT(PaperWorkload("postgres-tpcc").num_processes, 100);
+  EXPECT_LT(PaperWorkload("swaptions").mem_intensity, 0.1);
+}
+
+TEST(Catalog, LookupThrowsOnUnknownName) {
+  EXPECT_THROW(PaperWorkload("no-such-workload"), std::logic_error);
+}
+
+TEST(Synth, RoundRobinCoversAllArchetypes) {
+  Rng rng(42);
+  const auto batch = SampleTrainingWorkloads(12, rng);
+  std::set<std::string> prefixes;
+  for (const auto& w : batch) {
+    prefixes.insert(w.name.substr(0, w.name.rfind('-')));
+  }
+  EXPECT_EQ(prefixes.size(), AllArchetypes().size());
+}
+
+TEST(Synth, NamesAreUnique) {
+  Rng rng(43);
+  const auto batch = SampleTrainingWorkloads(60, rng);
+  std::set<std::string> names;
+  for (const auto& w : batch) {
+    EXPECT_TRUE(names.insert(w.name).second) << "duplicate " << w.name;
+  }
+}
+
+TEST(Synth, ArchetypeNamesAreStable) {
+  for (WorkloadArchetype a : AllArchetypes()) {
+    EXPECT_FALSE(ArchetypeName(a).empty());
+  }
+}
+
+}  // namespace
+}  // namespace numaplace

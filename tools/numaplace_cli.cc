@@ -1,0 +1,179 @@
+// numaplace command-line tool.
+//
+// Subcommands:
+//   placements <machine> <vcpus>      list the important placements
+//   concerns <machine>                print the machine's scheduling concerns
+//   train <machine> <vcpus> <file>    train a model and save it to <file>
+//   predict <file> <perf_a> <perf_b>  load a model and predict the vector
+//                                     from two probe measurements
+//   migrate <workload>                estimate migration costs for a
+//                                     catalog workload
+//
+// Machines: amd (Opteron 6272), intel (Xeon E7-4830 v3), zen, cod.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/core/concern.h"
+#include "src/core/important.h"
+#include "src/migration/migration.h"
+#include "src/model/pipeline.h"
+#include "src/sim/perf_model.h"
+#include "src/topology/machines.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+#include "src/workloads/synth.h"
+
+namespace {
+
+using namespace numaplace;
+
+Topology MakeMachine(const std::string& name) {
+  if (name == "amd") {
+    return AmdOpteron6272();
+  }
+  if (name == "intel") {
+    return IntelXeonE74830v3();
+  }
+  if (name == "zen") {
+    return AmdZenLike();
+  }
+  if (name == "cod") {
+    return HaswellClusterOnDie();
+  }
+  std::fprintf(stderr, "unknown machine '%s' (expected amd|intel|zen|cod)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+int CmdPlacements(const std::string& machine_name, int vcpus) {
+  const Topology machine = MakeMachine(machine_name);
+  const bool use_ic = InterconnectIsAsymmetric(machine);
+  const ImportantPlacementSet set = GenerateImportantPlacements(machine, vcpus, use_ic);
+  std::printf("%s, %d vCPUs: %zu important placements\n", machine.name().c_str(), vcpus,
+              set.placements.size());
+  for (const ImportantPlacement& p : set.placements) {
+    std::printf("  %s\n", p.ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdConcerns(const std::string& machine_name) {
+  const Topology machine = MakeMachine(machine_name);
+  const bool use_ic = InterconnectIsAsymmetric(machine);
+  std::printf("%s\n", machine.name().c_str());
+  TablePrinter table({"concern", "resources", "cost?", "inverse perf possible?"});
+  for (const auto& concern : ConcernsFor(machine, use_ic)) {
+    table.AddRow({concern->name(), concern->resources(),
+                  concern->AffectsCost() ? "Y" : "N",
+                  concern->InversePerfPossible() ? "Y" : "N"});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdTrain(const std::string& machine_name, int vcpus, const std::string& path) {
+  const Topology machine = MakeMachine(machine_name);
+  const bool use_ic = InterconnectIsAsymmetric(machine);
+  const ImportantPlacementSet set = GenerateImportantPlacements(machine, vcpus, use_ic);
+  const int baseline_id = machine_name == "intel" ? 2 : 1;
+  PerformanceModel sim(machine, 0.015, 1);
+  ModelPipeline pipeline(set, sim, baseline_id, 42);
+  Rng rng(7);
+  PerfModelConfig config;
+  std::printf("training on 72 synthetic workloads (this takes a few seconds)...\n");
+  const TrainedPerfModel model =
+      pipeline.TrainPerfAuto(SampleTrainingWorkloads(72, rng), config);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  model.SaveText(out);
+  std::printf("saved model to %s (probe placements #%d and #%d, baseline #%d)\n",
+              path.c_str(), model.input_a, model.input_b, model.baseline_id);
+  return 0;
+}
+
+int CmdPredict(const std::string& path, double perf_a, double perf_b) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  const TrainedPerfModel model = TrainedPerfModel::LoadText(in);
+  const std::vector<double> predicted = model.Predict(perf_a, perf_b);
+  std::printf("probe placements: #%d (%.6g) and #%d (%.6g)\n", model.input_a, perf_a,
+              model.input_b, perf_b);
+  std::printf("predicted performance relative to baseline placement #%d:\n",
+              model.baseline_id);
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    std::printf("  placement #%-3d %.3f\n", model.placement_ids[i], predicted[i]);
+  }
+  return 0;
+}
+
+int CmdMigrate(const std::string& workload_name) {
+  const WorkloadProfile& w = PaperWorkload(workload_name);
+  const FastMigrator fast;
+  const DefaultLinuxMigrator def;
+  const ThrottledMigrator throttled(0.05);
+  std::printf("%s: %.2f GB (%.2f anon + %.2f page cache), %d tasks / %d processes\n",
+              w.name.c_str(), w.TotalMemoryGb(), w.anon_gb, w.page_cache_gb, w.num_tasks,
+              w.num_processes);
+  TablePrinter table({"migrator", "time (s)", "page cache", "freezes", "overhead"});
+  for (const Migrator* m :
+       std::initializer_list<const Migrator*>{&fast, &def, &throttled}) {
+    const MigrationEstimate e = m->Migrate(w);
+    table.AddRow({m->name(), TablePrinter::Num(e.seconds, 1),
+                  e.migrates_page_cache ? "migrated" : "left behind",
+                  e.freezes_container ? "yes" : "no",
+                  TablePrinter::Num(100.0 * e.overhead_fraction, 0) + "%"});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  numaplace_cli placements <amd|intel|zen|cod> <vcpus>\n"
+               "  numaplace_cli concerns <amd|intel|zen|cod>\n"
+               "  numaplace_cli train <amd|intel|zen|cod> <vcpus> <model-file>\n"
+               "  numaplace_cli predict <model-file> <perf_a> <perf_b>\n"
+               "  numaplace_cli migrate <workload>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "placements" && argc == 4) {
+      return CmdPlacements(argv[2], std::atoi(argv[3]));
+    }
+    if (command == "concerns" && argc == 3) {
+      return CmdConcerns(argv[2]);
+    }
+    if (command == "train" && argc == 5) {
+      return CmdTrain(argv[2], std::atoi(argv[3]), argv[4]);
+    }
+    if (command == "predict" && argc == 5) {
+      return CmdPredict(argv[2], std::atof(argv[3]), std::atof(argv[4]));
+    }
+    if (command == "migrate" && argc == 3) {
+      return CmdMigrate(argv[2]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  Usage();
+  return 2;
+}
