@@ -1,24 +1,9 @@
 #include "src/container/controller.h"
 
-#include <algorithm>
-#include <sstream>
-
+#include "src/model/registry.h"
 #include "src/util/check.h"
 
 namespace numaplace {
-
-namespace {
-
-bool SameNodes(const NodeSet& a, const NodeSet& b) { return a == b; }
-
-std::string DescribePlacement(const ImportantPlacement& ip) {
-  std::ostringstream os;
-  os << "placement #" << ip.id << " (" << ip.NodeCount() << " nodes, "
-     << (ip.shares_l2 ? "shared L2" : "private L2") << ")";
-  return os.str();
-}
-
-}  // namespace
 
 PlacementController::PlacementController(const ImportantPlacementSet& ips,
                                          const PerformanceModel& sim,
@@ -26,107 +11,58 @@ PlacementController::PlacementController(const ImportantPlacementSet& ips,
                                          double probe_seconds)
     : ips_(&ips),
       sim_(&sim),
-      model_(&model),
       baseline_id_(baseline_id),
-      probe_seconds_(probe_seconds),
-      fast_migrator_(),
-      throttled_migrator_() {
+      probe_seconds_(probe_seconds) {
   NP_CHECK(probe_seconds_ > 0.0);
+  registry_.Register(sim.topology().name(), ips.vcpus, model);
+  SchedulerConfig config;
+  config.probe_seconds = probe_seconds_;
+  config.baseline_id = baseline_id_;
+  // The paper's one-shot rule: when nothing meets the goal, take the highest
+  // prediction outright — there are no co-tenants to leave room for.
+  config.fallback_slack = 0.0;
+  scheduler_.emplace(sim.topology(), sim, &registry_, config);
+  scheduler_->ProvidePlacements(ips);
 }
 
 PlacementDecision PlacementController::Place(const VirtualContainer& container) const {
   NP_CHECK(container.vcpus == ips_->vcpus);
-  const Topology& topo = sim_->topology();
+  // Serializes access to the shared scheduler (and its fixed container id).
+  const std::lock_guard<std::mutex> lock(mutex_);
+
+  ContainerRequest request;
+  request.id = 0;
+  request.workload = container.workload;
+  request.vcpus = container.vcpus;
+  request.goal_fraction = container.goal_fraction;
+  request.latency_sensitive = container.latency_sensitive;
+
+  // Drop anything an exception in a previous Place() left behind.
+  registry_.Forget(request.id);
+  if (const ManagedContainer* stale = scheduler_->Find(request.id);
+      stale != nullptr && stale->state != ContainerState::kDeparted) {
+    scheduler_->Depart(request.id, /*now=*/0.0);
+  }
+
+  // One-shot view: the scheduler's occupancy map is empty between calls, so
+  // this arrival sees the whole machine, exactly as the paper's controller
+  // did. The scheduler owns the probe/predict/decide/migrate sequence; this
+  // adapter only translates the result.
+  const ScheduleOutcome outcome = scheduler_->Submit(request, /*now=*/0.0);
+  NP_CHECK_MSG(outcome.admitted, "an empty machine rejected a container");
+
   PlacementDecision decision;
-  double clock = 0.0;
-
-  auto add_event = [&](double duration, const std::string& what) {
-    decision.timeline.push_back({clock, duration, what});
-    clock += duration;
-  };
-
-  const Migrator& migrator =
-      container.latency_sensitive
-          ? static_cast<const Migrator&>(throttled_migrator_)
-          : static_cast<const Migrator&>(fast_migrator_);
-
-  // Probe A: the container starts in input placement A.
-  const ImportantPlacement& ip_a = ips_->ById(model_->input_a);
-  const ImportantPlacement& ip_b = ips_->ById(model_->input_b);
-  const Placement placement_a = Realize(ip_a, topo, container.vcpus);
-  const Placement placement_b = Realize(ip_b, topo, container.vcpus);
-
-  add_event(probe_seconds_, "probe in " + DescribePlacement(ip_a));
-  const double perf_a =
-      sim_->Evaluate(container.workload, placement_a, /*run=*/41).throughput_ops;
-
-  // Remap to B. vCPU remapping is cheap; memory follows only when the node
-  // sets differ.
-  if (!SameNodes(ip_a.nodes, ip_b.nodes)) {
-    const MigrationEstimate m = migrator.Migrate(container.workload);
-    add_event(m.seconds, "migrate memory to " + DescribePlacement(ip_b) + " (" +
-                             migrator.name() + ")");
-  }
-  add_event(probe_seconds_, "probe in " + DescribePlacement(ip_b));
-  const double perf_b =
-      sim_->Evaluate(container.workload, placement_b, /*run=*/42).throughput_ops;
-
-  // Predict the full vector and choose the cheapest placement meeting the
-  // goal (fewest nodes; ties to the higher prediction).
-  decision.predicted_relative = model_->Predict(perf_a, perf_b);
-
-  size_t index_a = 0;
-  size_t index_baseline = 0;
-  for (size_t i = 0; i < model_->placement_ids.size(); ++i) {
-    if (model_->placement_ids[i] == model_->input_a) {
-      index_a = i;
-    }
-    if (model_->placement_ids[i] == baseline_id_) {
-      index_baseline = i;
-    }
-  }
-  NP_CHECK(decision.predicted_relative[index_a] > 0.0);
-  const double abs_unit = perf_a / decision.predicted_relative[index_a];
-  const double goal =
-      container.goal_fraction * abs_unit * decision.predicted_relative[index_baseline];
-
-  const ImportantPlacement* chosen = nullptr;
-  double chosen_abs = 0.0;
-  for (size_t i = 0; i < model_->placement_ids.size(); ++i) {
-    const ImportantPlacement& ip = ips_->ById(model_->placement_ids[i]);
-    const double abs_pred = abs_unit * decision.predicted_relative[i];
-    const bool meets = abs_pred >= goal;
-    if (chosen == nullptr) {
-      chosen = &ip;
-      chosen_abs = abs_pred;
-      continue;
-    }
-    const bool chosen_meets = chosen_abs >= goal;
-    if (meets && (!chosen_meets || ip.NodeCount() < chosen->NodeCount() ||
-                  (ip.NodeCount() == chosen->NodeCount() && abs_pred > chosen_abs))) {
-      chosen = &ip;
-      chosen_abs = abs_pred;
-    } else if (!meets && !chosen_meets && abs_pred > chosen_abs) {
-      chosen = &ip;
-      chosen_abs = abs_pred;
-    }
-  }
-  NP_CHECK(chosen != nullptr);
-
-  if (!SameNodes(ip_b.nodes, chosen->nodes)) {
-    const MigrationEstimate m = migrator.Migrate(container.workload);
-    add_event(m.seconds, "migrate memory to final " + DescribePlacement(*chosen) + " (" +
-                             migrator.name() + ")");
-  } else {
-    add_event(0.0, "final " + DescribePlacement(*chosen) + " (no migration needed)");
-  }
-
-  decision.chosen_placement_id = chosen->id;
-  decision.predicted_abs_throughput = chosen_abs;
-  const Placement final_placement = Realize(*chosen, topo, container.vcpus);
+  decision.chosen_placement_id = outcome.placement_id;
+  const CachedPrediction* cached = registry_.FindPrediction(request.id);
+  NP_CHECK(cached != nullptr);
+  decision.predicted_relative = cached->predicted_relative;
+  decision.predicted_abs_throughput = outcome.predicted_abs_throughput;
+  decision.timeline = outcome.timeline;
+  decision.total_decision_seconds = outcome.decision_seconds;
   decision.measured_abs_throughput =
-      sim_->Evaluate(container.workload, final_placement, /*run=*/43).throughput_ops;
-  decision.total_decision_seconds = clock;
+      sim_->Evaluate(container.workload, outcome.placement, /*run=*/43).throughput_ops;
+  // One-shot: release the machine and the cached probes for the next call.
+  scheduler_->Depart(request.id, /*now=*/0.0);
   return decision;
 }
 

@@ -10,18 +10,23 @@
 //      placement meeting the operator's goal with the fewest nodes, and
 //      remaps the vCPUs — migrating memory when the node sets differ.
 //
-// The controller wires those steps to the simulator substrate and accounts
-// for probe time and migration cost explicitly, producing a timeline a
-// datacenter operator could audit.
+// The controller is the one-shot, single-container view of that pipeline:
+// since the multi-tenant refactor it is a thin adapter over the
+// MachineScheduler (src/scheduler), submitting one arrival to a scheduler
+// with an empty occupancy map. Code managing a stream of containers should
+// use MachineScheduler directly.
 #ifndef NUMAPLACE_SRC_CONTAINER_CONTROLLER_H_
 #define NUMAPLACE_SRC_CONTAINER_CONTROLLER_H_
 
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/core/important.h"
-#include "src/migration/migration.h"
 #include "src/model/pipeline.h"
+#include "src/model/registry.h"
+#include "src/scheduler/scheduler.h"
 #include "src/sim/perf_model.h"
 #include "src/workloads/profile.h"
 
@@ -35,12 +40,6 @@ struct VirtualContainer {
   double goal_fraction = 1.0;
   // Latency-sensitive containers use the throttled migrator (§7).
   bool latency_sensitive = false;
-};
-
-struct TimelineEvent {
-  double start_seconds = 0.0;
-  double duration_seconds = 0.0;
-  std::string description;
 };
 
 struct PlacementDecision {
@@ -59,18 +58,25 @@ class PlacementController {
                       const TrainedPerfModel& model, int baseline_id,
                       double probe_seconds = 2.0);
 
-  // Runs steps 4: probe, predict, decide, migrate. Returns the decision with
-  // a full timeline (probe runs, memory migrations, final placement).
+  // Runs step 4: probe, predict, decide, migrate, on an otherwise empty
+  // machine. Returns the decision with a full timeline (probe runs, memory
+  // migrations, final placement).
   PlacementDecision Place(const VirtualContainer& container) const;
 
  private:
   const ImportantPlacementSet* ips_;
   const PerformanceModel* sim_;
-  const TrainedPerfModel* model_;
   int baseline_id_;
   double probe_seconds_;
-  FastMigrator fast_migrator_;
-  ThrottledMigrator throttled_migrator_;
+  // One model copy and one scheduler, built at construction; each Place()
+  // call submits a container to the scheduler and departs it again, so the
+  // occupancy map is empty between calls (the one-shot view). The mutex
+  // keeps Place() safe to call concurrently, as the pre-scheduler stateless
+  // implementation was. The scheduler points into registry_, so the
+  // controller is neither copyable nor movable (the mutex enforces that).
+  mutable std::mutex mutex_;
+  mutable ModelRegistry registry_;
+  mutable std::optional<MachineScheduler> scheduler_;
 };
 
 }  // namespace numaplace

@@ -3,6 +3,8 @@
 #ifndef NUMAPLACE_SRC_CORE_PLACEMENT_H_
 #define NUMAPLACE_SRC_CORE_PLACEMENT_H_
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -37,6 +39,17 @@ struct Placement {
   std::string ToString() const;
 };
 
+// Interconnect scores are sums of measured link bandwidths, so two
+// realizations of one class can differ in the last bits depending on
+// accumulation order. This is the one tolerance everything comparing
+// bandwidths as class identity must share: absolute, matching the 1e-6 GB/s
+// quantum the dedup pipeline quantizes to (important.cc) — sub-quantum
+// differences are accumulation noise, anything at or above the quantum is a
+// genuinely different class.
+inline bool BandwidthNearlyEqual(double a, double b) {
+  return std::abs(a - b) < 1e-6;
+}
+
 // The vector of scheduling-concern scores identifying a placement class.
 // Placements with identical score vectors are deemed to perform identically
 // (§3 "Identically scored placements yield identical performance").
@@ -48,7 +61,13 @@ struct ScoreVector {
   int mem_score = 0;
   double interconnect_gbps = 0.0;
 
-  friend bool operator==(const ScoreVector&, const ScoreVector&) = default;
+  // Epsilon-tolerant on the interconnect score: exact floating-point
+  // comparison would split one class on rounding noise.
+  friend bool operator==(const ScoreVector& a, const ScoreVector& b) {
+    return a.l2_score == b.l2_score && a.l3_score == b.l3_score &&
+           a.mem_score == b.mem_score &&
+           BandwidthNearlyEqual(a.interconnect_gbps, b.interconnect_gbps);
+  }
   std::string ToString() const;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
+#include <string>
 
 #include "src/ml/selection.h"
 #include "src/util/check.h"
@@ -22,6 +24,18 @@ size_t IndexOf(const ImportantPlacementSet& ips, int id) {
   }
   NP_CHECK_MSG(false, "placement id " << id << " not in the important set");
   __builtin_unreachable();
+}
+
+// The measurement cache is keyed by workload name; a duplicate name would
+// silently alias two different workloads' measurements.
+void CheckUniqueWorkloadNames(const std::vector<WorkloadProfile>& workloads) {
+  std::set<std::string> names;
+  for (const WorkloadProfile& w : workloads) {
+    NP_CHECK_MSG(names.insert(w.name).second,
+                 "duplicate workload name '" << w.name
+                                             << "' in a training set — measurements are "
+                                                "cached per name and would be aliased");
+  }
 }
 
 }  // namespace
@@ -117,6 +131,7 @@ Dataset ModelPipeline::BuildPerfDataset(const std::vector<WorkloadProfile>& work
                                         int input_a, int input_b,
                                         const PerfModelConfig& config) const {
   NP_CHECK(input_a != input_b);
+  CheckUniqueWorkloadNames(workloads);
   const double scale = IpcScale();
   Dataset data;
   for (const WorkloadProfile& w : workloads) {
@@ -236,6 +251,7 @@ namespace {
 Dataset BuildHpeDataset(const ModelPipeline& pipeline, const HpeSampler& sampler,
                         const std::vector<WorkloadProfile>& workloads,
                         int sample_placement_id, const PerfModelConfig& config) {
+  CheckUniqueWorkloadNames(workloads);
   Dataset data;
   for (const WorkloadProfile& w : workloads) {
     const std::vector<double> counters =

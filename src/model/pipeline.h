@@ -156,7 +156,8 @@ class ModelPipeline {
 
   // Training sweeps re-measure the same (workload, placement, run) triples
   // thousands of times; measurements are deterministic per triple, so they
-  // are memoized. Keyed by workload *name*: names must be unique.
+  // are memoized. Keyed by workload *name*: dataset building CHECK-fails on
+  // duplicate names, which would otherwise alias cache entries.
   mutable std::map<std::tuple<std::string, int, uint64_t>, double> measurement_cache_;
 
   const ImportantPlacementSet* ips_;

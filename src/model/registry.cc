@@ -1,0 +1,61 @@
+#include "src/model/registry.h"
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+void ModelRegistry::Register(const std::string& machine, int vcpus,
+                             TrainedPerfModel model) {
+  NP_CHECK(vcpus > 0);
+  const auto [it, inserted] = models_.try_emplace({machine, vcpus}, std::move(model));
+  (void)it;
+  NP_CHECK_MSG(inserted, "a model for (" << machine << ", " << vcpus
+                                         << " vCPUs) is already registered");
+}
+
+void ModelRegistry::RegisterFromText(const std::string& machine, int vcpus,
+                                     std::istream& is) {
+  Register(machine, vcpus, TrainedPerfModel::LoadText(is));
+}
+
+void ModelRegistry::SaveTextTo(const std::string& machine, int vcpus,
+                               std::ostream& os) const {
+  Get(machine, vcpus).SaveText(os);
+}
+
+bool ModelRegistry::Has(const std::string& machine, int vcpus) const {
+  return models_.count({machine, vcpus}) > 0;
+}
+
+const TrainedPerfModel& ModelRegistry::Get(const std::string& machine, int vcpus) const {
+  const auto it = models_.find({machine, vcpus});
+  NP_CHECK_MSG(it != models_.end(),
+               "no model registered for (" << machine << ", " << vcpus << " vCPUs)");
+  return it->second;
+}
+
+const CachedPrediction& ModelRegistry::Predict(int container_id,
+                                               const std::string& machine, int vcpus,
+                                               double perf_a, double perf_b) {
+  NP_CHECK(container_id >= 0);
+  NP_CHECK_MSG(predictions_.count(container_id) == 0,
+               "container " << container_id
+                            << " already has a cached prediction; Forget() it first");
+  const TrainedPerfModel& model = Get(machine, vcpus);
+  CachedPrediction entry;
+  entry.perf_a = perf_a;
+  entry.perf_b = perf_b;
+  entry.input_a = model.input_a;
+  entry.input_b = model.input_b;
+  entry.predicted_relative = model.Predict(perf_a, perf_b);
+  return predictions_.emplace(container_id, std::move(entry)).first->second;
+}
+
+const CachedPrediction* ModelRegistry::FindPrediction(int container_id) const {
+  const auto it = predictions_.find(container_id);
+  return it == predictions_.end() ? nullptr : &it->second;
+}
+
+void ModelRegistry::Forget(int container_id) { predictions_.erase(container_id); }
+
+}  // namespace numaplace

@@ -1,0 +1,541 @@
+#include "src/scheduler/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+namespace {
+
+std::string DescribePlacement(const ImportantPlacement& ip) {
+  std::ostringstream os;
+  os << "placement #" << ip.id << " (" << ip.NodeCount() << " nodes, "
+     << (ip.shares_l2 ? "shared L2" : "private L2") << ")";
+  return os.str();
+}
+
+ContainerRequest RequestFromEvent(const TraceEvent& event) {
+  ContainerRequest request;
+  request.id = event.container_id;
+  request.workload = event.workload;
+  request.vcpus = event.vcpus;
+  request.goal_fraction = event.goal_fraction;
+  request.latency_sensitive = event.latency_sensitive;
+  return request;
+}
+
+size_t IndexOf(const std::vector<int>& placement_ids, int id) {
+  for (size_t i = 0; i < placement_ids.size(); ++i) {
+    if (placement_ids[i] == id) {
+      return i;
+    }
+  }
+  NP_CHECK_MSG(false, "placement id " << id << " not in the model's output order");
+  __builtin_unreachable();
+}
+
+}  // namespace
+
+MachineScheduler::MachineScheduler(const Topology& topo, const PerformanceModel& solo_sim,
+                                   ModelRegistry* registry, SchedulerConfig config)
+    : topo_(&topo),
+      solo_sim_(&solo_sim),
+      registry_(registry),
+      config_(config),
+      occupancy_(topo),
+      fast_migrator_(),
+      throttled_migrator_() {
+  NP_CHECK(registry_ != nullptr);
+  NP_CHECK(config_.probe_seconds > 0.0);
+  NP_CHECK(&solo_sim.topology() == &topo);
+}
+
+void MachineScheduler::ProvidePlacements(const ImportantPlacementSet& ips) {
+  NP_CHECK(ips.vcpus > 0);
+  placements_by_vcpus_.insert_or_assign(ips.vcpus, ips);
+}
+
+const ImportantPlacementSet& MachineScheduler::PlacementsFor(int vcpus) {
+  const auto it = placements_by_vcpus_.find(vcpus);
+  if (it != placements_by_vcpus_.end()) {
+    return it->second;
+  }
+  return placements_by_vcpus_
+      .emplace(vcpus, GenerateImportantPlacements(*topo_, vcpus,
+                                                  config_.use_interconnect_concern))
+      .first->second;
+}
+
+const Migrator& MachineScheduler::MigratorFor(const ContainerRequest& request) const {
+  return request.latency_sensitive ? static_cast<const Migrator&>(throttled_migrator_)
+                                   : static_cast<const Migrator&>(fast_migrator_);
+}
+
+void MachineScheduler::AdvanceClock(double now) {
+  NP_CHECK_MSG(now >= stats_.last_event_seconds - 1e-9,
+               "events must be submitted in time order");
+  const double dt = std::max(0.0, now - stats_.last_event_seconds);
+  stats_.busy_thread_seconds += occupancy_.BusyThreadCount() * dt;
+  stats_.last_event_seconds = std::max(stats_.last_event_seconds, now);
+}
+
+double MachineScheduler::BaselineAbsThroughput(const ContainerRequest& request) {
+  const ImportantPlacementSet& ips = PlacementsFor(request.vcpus);
+  const ImportantPlacement& baseline = ips.ById(config_.baseline_id);
+  const Placement realized = Realize(baseline, *topo_, request.vcpus);
+  // Run 0: a fixed noise draw, so the goal is a stable per-workload constant.
+  return solo_sim_->Evaluate(request.workload, realized, /*run=*/0).throughput_ops;
+}
+
+std::vector<size_t> MachineScheduler::RankCandidates(
+    const ImportantPlacementSet& ips, const std::vector<int>& placement_ids,
+    const std::vector<double>& predicted_abs, double goal_abs) const {
+  std::vector<size_t> order(placement_ids.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (config_.policy == SchedulerConfig::Policy::kFirstFit) {
+    // Fewest nodes that fit, id order within a node count.
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return ips.ById(placement_ids[a]).NodeCount() <
+             ips.ById(placement_ids[b]).NodeCount();
+    });
+    return order;
+  }
+  // The paper's decision rule: prefer placements predicted to meet the goal,
+  // among those the fewest NUMA nodes (ties to the higher prediction). When
+  // nothing meets the goal, the near-best predictions (within fallback_slack
+  // of the maximum) count as equally good and the fewest nodes among them
+  // wins: spending the whole machine on the last percent starves co-tenants.
+  double best_pred = 0.0;
+  for (double p : predicted_abs) {
+    best_pred = std::max(best_pred, p);
+  }
+  const double near_best = best_pred * (1.0 - config_.fallback_slack);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const bool meets_a = predicted_abs[a] >= goal_abs;
+    const bool meets_b = predicted_abs[b] >= goal_abs;
+    if (meets_a != meets_b) {
+      return meets_a;
+    }
+    const bool near_a = meets_a || predicted_abs[a] >= near_best;
+    const bool near_b = meets_b || predicted_abs[b] >= near_best;
+    if (near_a != near_b) {
+      return near_a;
+    }
+    if (near_a) {
+      const int nodes_a = ips.ById(placement_ids[a]).NodeCount();
+      const int nodes_b = ips.ById(placement_ids[b]).NodeCount();
+      if (nodes_a != nodes_b) {
+        return nodes_a < nodes_b;
+      }
+    }
+    return predicted_abs[a] > predicted_abs[b];
+  });
+  return order;
+}
+
+MachineScheduler::PredictionView MachineScheduler::BuildPredictionView(
+    const ManagedContainer& container, const CachedPrediction& cached) const {
+  const TrainedPerfModel& model =
+      registry_->Get(topo_->name(), container.request.vcpus);
+  PredictionView view;
+  view.placement_ids = model.placement_ids;
+  const size_t index_a = IndexOf(view.placement_ids, cached.input_a);
+  const size_t index_baseline = IndexOf(view.placement_ids, config_.baseline_id);
+  NP_CHECK(cached.predicted_relative[index_a] > 0.0);
+  const double abs_unit = cached.perf_a / cached.predicted_relative[index_a];
+  view.predicted_abs.reserve(view.placement_ids.size());
+  for (double rel : cached.predicted_relative) {
+    view.predicted_abs.push_back(abs_unit * rel);
+  }
+  view.decision_goal = container.request.goal_fraction * abs_unit *
+                       cached.predicted_relative[index_baseline];
+  return view;
+}
+
+ScheduleOutcome MachineScheduler::TryPlace(ManagedContainer& container, double now) {
+  NP_CHECK(container.state == ContainerState::kPending);
+  const ContainerRequest& request = container.request;
+  const ImportantPlacementSet& ips = PlacementsFor(request.vcpus);
+
+  ScheduleOutcome outcome;
+  outcome.container_id = request.id;
+  outcome.goal_abs_throughput = container.goal_abs_throughput;
+  double clock = 0.0;
+  const auto add_event = [&](double duration, const std::string& what) {
+    outcome.timeline.push_back({clock, duration, what});
+    clock += duration;
+  };
+
+  std::vector<int> placement_ids;
+  std::vector<double> predicted_abs;
+  double decision_goal = 0.0;
+  bool from_cache = false;
+
+  if (config_.policy == SchedulerConfig::Policy::kModel) {
+    const TrainedPerfModel& model = registry_->Get(topo_->name(), request.vcpus);
+    const CachedPrediction* cached = registry_->FindPrediction(request.id);
+    if (cached == nullptr) {
+      // Probe runs. Probe measurements are solo-machine properties of the
+      // workload — the same quantities the training pipeline measured — so
+      // they are taken on the canonical realization of the probe placements.
+      const ImportantPlacement& ip_a = ips.ById(model.input_a);
+      const ImportantPlacement& ip_b = ips.ById(model.input_b);
+      add_event(config_.probe_seconds, "probe in " + DescribePlacement(ip_a));
+      const double perf_a =
+          solo_sim_->Evaluate(request.workload, Realize(ip_a, *topo_, request.vcpus),
+                              /*run=*/41)
+              .throughput_ops;
+      if (ip_a.nodes != ip_b.nodes) {
+        const MigrationEstimate m = MigratorFor(request).Migrate(request.workload);
+        add_event(m.seconds, "migrate memory to " + DescribePlacement(ip_b) + " (" +
+                                 MigratorFor(request).name() + ")");
+      }
+      add_event(config_.probe_seconds, "probe in " + DescribePlacement(ip_b));
+      const double perf_b =
+          solo_sim_->Evaluate(request.workload, Realize(ip_b, *topo_, request.vcpus),
+                              /*run=*/42)
+              .throughput_ops;
+      stats_.probe_runs += 2;
+      cached = &registry_->Predict(request.id, topo_->name(), request.vcpus, perf_a,
+                                   perf_b);
+      container.memory_nodes = ip_b.nodes;  // memory sits where probe B ran
+    } else {
+      from_cache = true;
+    }
+
+    const PredictionView view = BuildPredictionView(container, *cached);
+    placement_ids = view.placement_ids;
+    predicted_abs = view.predicted_abs;
+    decision_goal = view.decision_goal;
+  } else {
+    placement_ids.reserve(ips.placements.size());
+    for (const ImportantPlacement& ip : ips.placements) {
+      placement_ids.push_back(ip.id);
+    }
+    predicted_abs.assign(placement_ids.size(), 0.0);
+  }
+
+  const std::vector<size_t> order =
+      RankCandidates(ips, placement_ids, predicted_abs, decision_goal);
+  for (size_t idx : order) {
+    const ImportantPlacement& ip = ips.ById(placement_ids[idx]);
+    const std::optional<Placement> realized =
+        RealizeAnywhereFree(ip, *topo_, request.vcpus, occupancy_);
+    if (!realized.has_value()) {
+      continue;
+    }
+
+    const NodeSet new_nodes = realized->NodesUsed(*topo_);
+    if (!container.memory_nodes.empty() && container.memory_nodes != new_nodes) {
+      const MigrationEstimate m = MigratorFor(request).Migrate(request.workload);
+      add_event(m.seconds, "migrate memory to final " + DescribePlacement(ip) + " (" +
+                               MigratorFor(request).name() + ")");
+    } else {
+      add_event(0.0, "final " + DescribePlacement(ip) + " (no migration needed)");
+    }
+
+    occupancy_.Acquire(request.id, *realized);
+    container.state = ContainerState::kRunning;
+    container.placement_id = ip.id;
+    container.placement = *realized;
+    container.memory_nodes = new_nodes;
+    container.predicted_abs_throughput = predicted_abs[idx];
+    container.meets_goal = config_.policy == SchedulerConfig::Policy::kModel &&
+                           predicted_abs[idx] >= decision_goal;
+    container.placed_seconds = now + clock;
+
+    outcome.admitted = true;
+    outcome.placement_id = ip.id;
+    outcome.placement = *realized;
+    outcome.predicted_abs_throughput = predicted_abs[idx];
+    outcome.meets_goal = container.meets_goal;
+    outcome.decision_seconds = clock;
+    // Only a committed decision counts as a cache hit; a failed admission
+    // retry consumed nothing.
+    outcome.reused_cached_probes = from_cache;
+    if (from_cache) {
+      ++stats_.cached_probe_reuses;
+    }
+    return outcome;
+  }
+
+  // Nothing realizable under the current occupancy: the container stays
+  // pending (its probes, if any, are cached for the admission retry).
+  outcome.decision_seconds = clock;
+  return outcome;
+}
+
+ScheduleOutcome MachineScheduler::Submit(const ContainerRequest& request, double now) {
+  NP_CHECK(request.id >= 0);
+  NP_CHECK(request.vcpus > 0);
+  NP_CHECK_MSG(request.vcpus <= topo_->NumHwThreads(),
+               "container larger than the machine");
+  NP_CHECK(request.goal_fraction > 0.0);
+  const auto it = containers_.find(request.id);
+  NP_CHECK_MSG(it == containers_.end() || it->second.state == ContainerState::kDeparted,
+               "container id " << request.id << " is already live");
+
+  AdvanceClock(now);
+  ++stats_.submitted;
+
+  ManagedContainer container;
+  container.request = request;
+  container.submit_seconds = now;
+  container.goal_abs_throughput = request.goal_fraction * BaselineAbsThroughput(request);
+  ManagedContainer& stored = containers_.insert_or_assign(request.id, container).first->second;
+
+  ScheduleOutcome outcome = TryPlace(stored, now);
+  if (outcome.admitted) {
+    ++stats_.admitted_immediately;
+  } else {
+    pending_.push_back(request.id);
+    ++stats_.queued;
+  }
+  return outcome;
+}
+
+std::vector<ScheduleOutcome> MachineScheduler::Depart(int container_id, double now) {
+  AdvanceClock(now);
+  const auto it = containers_.find(container_id);
+  NP_CHECK_MSG(it != containers_.end(), "unknown container " << container_id);
+  ManagedContainer& container = it->second;
+  NP_CHECK_MSG(container.state != ContainerState::kDeparted,
+               "container " << container_id << " departed twice");
+
+  if (container.state == ContainerState::kRunning) {
+    occupancy_.Release(container_id);
+  } else {
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), container_id),
+                   pending_.end());
+  }
+  container.state = ContainerState::kDeparted;
+  ++stats_.departed;
+  registry_->Forget(container_id);
+
+  if (!config_.replace_on_departure) {
+    return {};
+  }
+  return ReplacementPass(now);
+}
+
+std::vector<ScheduleOutcome> MachineScheduler::ReplacementPass(double now) {
+  std::vector<ScheduleOutcome> outcomes;
+
+  // Queue admission, FIFO by submit order.
+  std::vector<int> still_pending;
+  for (int id : pending_) {
+    ManagedContainer& container = containers_.at(id);
+    ScheduleOutcome outcome = TryPlace(container, now);
+    if (outcome.admitted) {
+      ++stats_.admitted_from_queue;
+      outcomes.push_back(std::move(outcome));
+    } else {
+      still_pending.push_back(id);
+    }
+  }
+  pending_ = std::move(still_pending);
+
+  // Upgrade degraded incumbents (model policy only: first-fit has no notion
+  // of a goal to upgrade toward).
+  if (config_.policy != SchedulerConfig::Policy::kModel) {
+    return outcomes;
+  }
+  for (auto& [id, container] : containers_) {
+    if (container.state != ContainerState::kRunning || container.meets_goal) {
+      continue;
+    }
+    const CachedPrediction* cached = registry_->FindPrediction(id);
+    NP_CHECK_MSG(cached != nullptr, "running container " << id << " lost its probes");
+    const ImportantPlacementSet& ips = PlacementsFor(container.request.vcpus);
+    const PredictionView view = BuildPredictionView(container, *cached);
+
+    // Search with the container's own threads treated as free: it can move
+    // onto any mix of its current and newly freed threads.
+    OccupancyMap scratch = occupancy_;
+    scratch.Release(id);
+    const std::vector<size_t> order =
+        RankCandidates(ips, view.placement_ids, view.predicted_abs, view.decision_goal);
+    for (size_t idx : order) {
+      const ImportantPlacement& ip = ips.ById(view.placement_ids[idx]);
+      const bool cand_meets = view.predicted_abs[idx] >= view.decision_goal;
+      // The rank is a preference order, not monotone in prediction (the
+      // near-best bucket sorts by node count), so keep scanning past
+      // not-better or unrealizable candidates; the margin gates each commit.
+      const bool better =
+          cand_meets || view.predicted_abs[idx] > container.predicted_abs_throughput *
+                                                      (1.0 + config_.upgrade_margin);
+      if (!better || ip.id == container.placement_id) {
+        continue;
+      }
+      const std::optional<Placement> realized =
+          RealizeAnywhereFree(ip, *topo_, container.request.vcpus, scratch);
+      if (!realized.has_value()) {
+        continue;
+      }
+
+      ScheduleOutcome outcome;
+      outcome.container_id = id;
+      outcome.admitted = true;
+      outcome.goal_abs_throughput = container.goal_abs_throughput;
+      outcome.reused_cached_probes = true;
+      ++stats_.cached_probe_reuses;
+      // Memory follows only when the node set changes; a same-node upgrade
+      // (different cache-sharing class) is a cheap vCPU remap.
+      const NodeSet new_nodes = realized->NodesUsed(*topo_);
+      if (container.memory_nodes != new_nodes) {
+        const MigrationEstimate m =
+            MigratorFor(container.request).Migrate(container.request.workload);
+        outcome.timeline.push_back({0.0, m.seconds,
+                                    "re-place to " + DescribePlacement(ip) + " (" +
+                                        MigratorFor(container.request).name() + ")"});
+        outcome.decision_seconds = m.seconds;
+      } else {
+        outcome.timeline.push_back(
+            {0.0, 0.0, "re-place to " + DescribePlacement(ip) + " (no migration needed)"});
+      }
+
+      occupancy_.Release(id);
+      occupancy_.Acquire(id, *realized);
+      container.placement_id = ip.id;
+      container.placement = *realized;
+      container.memory_nodes = new_nodes;
+      container.predicted_abs_throughput = view.predicted_abs[idx];
+      container.meets_goal = cand_meets;
+      container.placed_seconds = now + outcome.decision_seconds;
+      ++container.replacements;
+      ++stats_.upgrades;
+
+      outcome.placement_id = ip.id;
+      outcome.placement = *realized;
+      outcome.predicted_abs_throughput = view.predicted_abs[idx];
+      outcome.meets_goal = cand_meets;
+      outcomes.push_back(std::move(outcome));
+      break;
+    }
+  }
+  return outcomes;
+}
+
+std::vector<ScheduleOutcome> MachineScheduler::Replay(
+    const std::vector<TraceEvent>& trace) {
+  std::vector<ScheduleOutcome> outcomes;
+  for (const TraceEvent& event : trace) {
+    if (event.type == TraceEventType::kArrival) {
+      outcomes.push_back(Submit(RequestFromEvent(event), event.time_seconds));
+    } else {
+      std::vector<ScheduleOutcome> replaced = Depart(event.container_id, event.time_seconds);
+      outcomes.insert(outcomes.end(), std::make_move_iterator(replaced.begin()),
+                      std::make_move_iterator(replaced.end()));
+    }
+  }
+  return outcomes;
+}
+
+const ManagedContainer* MachineScheduler::Find(int container_id) const {
+  const auto it = containers_.find(container_id);
+  return it == containers_.end() ? nullptr : &it->second;
+}
+
+std::vector<int> MachineScheduler::RunningIds() const {
+  std::vector<int> out;
+  for (const auto& [id, container] : containers_) {
+    if (container.state == ContainerState::kRunning) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<int> MachineScheduler::PendingIds() const { return pending_; }
+
+double MachineScheduler::TimeAveragedUtilization() const {
+  if (stats_.last_event_seconds <= 0.0) {
+    return occupancy_.Utilization();
+  }
+  return stats_.busy_thread_seconds /
+         (static_cast<double>(topo_->NumHwThreads()) * stats_.last_event_seconds);
+}
+
+std::vector<MachineScheduler::TenantSnapshot> MachineScheduler::SnapshotPerformance(
+    const MultiTenantModel& multi) const {
+  std::vector<int> running = RunningIds();
+  if (running.empty()) {
+    return {};
+  }
+  std::vector<MultiTenantModel::Tenant> tenants;
+  tenants.reserve(running.size());
+  for (int id : running) {
+    const ManagedContainer& container = containers_.at(id);
+    tenants.push_back({&container.request.workload, container.placement});
+  }
+  const std::vector<PerfResult> results = multi.Evaluate(tenants);
+  std::vector<TenantSnapshot> out;
+  out.reserve(running.size());
+  for (size_t i = 0; i < running.size(); ++i) {
+    const ManagedContainer& container = containers_.at(running[i]);
+    out.push_back({running[i], results[i].throughput_ops,
+                   container.goal_abs_throughput});
+  }
+  return out;
+}
+
+TenancyReport ReplayWithEvaluation(MachineScheduler& scheduler,
+                                   const std::vector<TraceEvent>& trace,
+                                   const MultiTenantModel& multi) {
+  TenancyReport report;
+  double last_time = 0.0;
+  double attainment_weight = 0.0;
+  double at_goal_weight = 0.0;
+  double container_seconds = 0.0;
+
+  for (const TraceEvent& event : trace) {
+    const double dt = event.time_seconds - last_time;
+    if (dt > 0.0) {
+      for (const MachineScheduler::TenantSnapshot& snap :
+           scheduler.SnapshotPerformance(multi)) {
+        const double ratio =
+            snap.goal_abs_throughput > 0.0
+                ? std::min(1.0, snap.measured_abs_throughput / snap.goal_abs_throughput)
+                : 1.0;
+        attainment_weight += ratio * dt;
+        if (ratio >= 0.999) {
+          at_goal_weight += dt;
+        }
+        container_seconds += dt;
+      }
+      last_time = event.time_seconds;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    if (event.type == TraceEventType::kArrival) {
+      ScheduleOutcome outcome =
+          scheduler.Submit(RequestFromEvent(event), event.time_seconds);
+      if (outcome.admitted) {
+        ++report.decisions;
+      }
+      report.outcomes.push_back(std::move(outcome));
+    } else {
+      std::vector<ScheduleOutcome> replaced =
+          scheduler.Depart(event.container_id, event.time_seconds);
+      report.decisions += static_cast<int>(replaced.size());
+      report.outcomes.insert(report.outcomes.end(),
+                             std::make_move_iterator(replaced.begin()),
+                             std::make_move_iterator(replaced.end()));
+    }
+    report.wall_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  }
+
+  report.goal_attainment =
+      container_seconds > 0.0 ? attainment_weight / container_seconds : 1.0;
+  report.container_seconds_at_goal =
+      container_seconds > 0.0 ? at_goal_weight / container_seconds : 1.0;
+  report.mean_utilization = scheduler.TimeAveragedUtilization();
+  return report;
+}
+
+}  // namespace numaplace

@@ -7,6 +7,21 @@
 
 namespace numaplace {
 
+namespace {
+
+// Ids in [first, first + count), ascending — the layout formulas make every
+// resource's threads and subgroups a contiguous id range.
+std::vector<int> ContiguousRange(int first, int count) {
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(first + i);
+  }
+  return out;
+}
+
+}  // namespace
+
 Topology::Topology(std::string name, int num_nodes, int cores_per_node, int smt_per_core,
                    int cores_per_l2_group, std::vector<Link> links, PerfParams perf,
                    int cores_per_l3_group)
@@ -85,13 +100,27 @@ int Topology::SmtSiblingIndexOf(int hw_thread) const {
 
 std::vector<int> Topology::HwThreadsOnNode(int node) const {
   NP_CHECK(node >= 0 && node < num_nodes_);
-  std::vector<int> out;
-  out.reserve(static_cast<size_t>(NodeCapacity()));
-  const int first = node * NodeCapacity();
-  for (int t = 0; t < NodeCapacity(); ++t) {
-    out.push_back(first + t);
-  }
-  return out;
+  return ContiguousRange(node * NodeCapacity(), NodeCapacity());
+}
+
+std::vector<int> Topology::HwThreadsInL3Group(int l3_group) const {
+  NP_CHECK(l3_group >= 0 && l3_group < NumL3Groups());
+  return ContiguousRange(l3_group * L3GroupCapacity(), L3GroupCapacity());
+}
+
+std::vector<int> Topology::HwThreadsInL2Group(int l2_group) const {
+  NP_CHECK(l2_group >= 0 && l2_group < NumL2Groups());
+  return ContiguousRange(l2_group * L2GroupCapacity(), L2GroupCapacity());
+}
+
+std::vector<int> Topology::L3GroupsOnNode(int node) const {
+  NP_CHECK(node >= 0 && node < num_nodes_);
+  return ContiguousRange(node * L3GroupsPerNode(), L3GroupsPerNode());
+}
+
+std::vector<int> Topology::L2GroupsInL3Group(int l3_group) const {
+  NP_CHECK(l3_group >= 0 && l3_group < NumL3Groups());
+  return ContiguousRange(l3_group * L2GroupsPerL3Group(), L2GroupsPerL3Group());
 }
 
 double Topology::LinkBandwidth(int node_a, int node_b) const {

@@ -105,6 +105,14 @@ class Topology {
   // All hardware thread ids on the given node, ascending.
   std::vector<int> HwThreadsOnNode(int node) const;
 
+  // Structural enumeration used by occupancy-aware placement realization
+  // (src/core/occupancy.h): the hardware threads belonging to one cache
+  // group, and the group ids nested inside a coarser resource. All ascending.
+  std::vector<int> HwThreadsInL3Group(int l3_group) const;
+  std::vector<int> HwThreadsInL2Group(int l2_group) const;
+  std::vector<int> L3GroupsOnNode(int node) const;
+  std::vector<int> L2GroupsInL3Group(int l3_group) const;
+
   // Direct-link bandwidth between two distinct nodes; 0.0 when not adjacent.
   double LinkBandwidth(int node_a, int node_b) const;
 

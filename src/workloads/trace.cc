@@ -1,0 +1,75 @@
+#include "src/workloads/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/workloads/synth.h"
+
+namespace numaplace {
+
+namespace {
+
+double NextExponential(Rng& rng, double mean) {
+  // NextDouble() is in [0, 1); 1-u is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - rng.NextDouble());
+}
+
+}  // namespace
+
+std::vector<TraceEvent> GeneratePoissonTrace(const TraceConfig& config, Rng& rng) {
+  NP_CHECK(config.num_containers > 0);
+  NP_CHECK(config.mean_interarrival_seconds > 0.0);
+  NP_CHECK(config.mean_lifetime_seconds > 0.0);
+  NP_CHECK(config.vcpus > 0);
+  NP_CHECK(config.goal_fraction > 0.0);
+
+  const std::vector<WorkloadProfile> catalog =
+      config.use_catalog ? PaperWorkloads() : std::vector<WorkloadProfile>{};
+
+  std::vector<TraceEvent> events;
+  events.reserve(static_cast<size_t>(config.num_containers) * 2);
+  double clock = 0.0;
+  for (int i = 0; i < config.num_containers; ++i) {
+    clock += NextExponential(rng, config.mean_interarrival_seconds);
+    const int id = config.first_container_id + i;
+
+    TraceEvent arrival;
+    arrival.time_seconds = clock;
+    arrival.type = TraceEventType::kArrival;
+    arrival.container_id = id;
+    if (config.use_catalog) {
+      arrival.workload = catalog[rng.NextBelow(catalog.size())];
+    } else {
+      const std::vector<WorkloadArchetype>& archetypes = AllArchetypes();
+      arrival.workload =
+          SampleWorkload(archetypes[rng.NextBelow(archetypes.size())], rng);
+    }
+    // One container = one tenant; uniquify so per-name measurement caches and
+    // per-name dataset checks stay sound when the same application recurs.
+    arrival.workload.name += "#" + std::to_string(id);
+    arrival.vcpus = config.vcpus;
+    arrival.goal_fraction = config.goal_fraction;
+    arrival.latency_sensitive = rng.NextDouble() < config.latency_sensitive_fraction;
+    events.push_back(arrival);
+
+    TraceEvent departure;
+    departure.time_seconds = clock + NextExponential(rng, config.mean_lifetime_seconds);
+    departure.type = TraceEventType::kDeparture;
+    departure.container_id = id;
+    departure.vcpus = config.vcpus;
+    events.push_back(departure);
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.time_seconds != b.time_seconds) {
+                       return a.time_seconds < b.time_seconds;
+                     }
+                     return a.type == TraceEventType::kArrival &&
+                            b.type == TraceEventType::kDeparture;
+                   });
+  return events;
+}
+
+}  // namespace numaplace

@@ -1,0 +1,58 @@
+// Arrival/departure traces for the multi-tenant scheduler (src/scheduler).
+//
+// The paper evaluates one container at a time; a datacenter machine sees a
+// stream of them. The generator below produces the standard open-system
+// model: container arrivals form a Poisson process (exponential
+// inter-arrival times) and each container runs for an exponentially
+// distributed lifetime, the M/G/∞-style workload used throughout the
+// cluster-scheduling literature. Workloads are drawn either from the paper's
+// 18-application catalog or from the synthetic archetypes of src/workloads.
+#ifndef NUMAPLACE_SRC_WORKLOADS_TRACE_H_
+#define NUMAPLACE_SRC_WORKLOADS_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/workloads/profile.h"
+
+namespace numaplace {
+
+enum class TraceEventType { kArrival, kDeparture };
+
+struct TraceEvent {
+  double time_seconds = 0.0;
+  TraceEventType type = TraceEventType::kArrival;
+  int container_id = 0;
+  // Populated for arrivals; departures carry only the id.
+  WorkloadProfile workload;
+  int vcpus = 0;
+  double goal_fraction = 1.0;
+  bool latency_sensitive = false;
+};
+
+struct TraceConfig {
+  int num_containers = 32;
+  // Poisson arrival process: mean seconds between arrivals.
+  double mean_interarrival_seconds = 120.0;
+  // Exponential lifetime per container.
+  double mean_lifetime_seconds = 600.0;
+  int vcpus = 16;
+  double goal_fraction = 0.9;
+  // Probability a container is latency-sensitive (throttled migrator, §7).
+  double latency_sensitive_fraction = 0.25;
+  // Draw from the paper's application catalog instead of synthetic
+  // archetype samples.
+  bool use_catalog = true;
+  // Container ids start here (lets several traces share a registry).
+  int first_container_id = 1;
+};
+
+// Generates the event stream, sorted by time (arrival before departure on
+// ties). Each arrival has exactly one matching departure. Workload names are
+// uniquified with the container id so duplicate-name checks downstream hold.
+std::vector<TraceEvent> GeneratePoissonTrace(const TraceConfig& config, Rng& rng);
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_WORKLOADS_TRACE_H_

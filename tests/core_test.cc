@@ -148,6 +148,19 @@ TEST(Placement, ScoreVectorCountsDistinctResources) {
   EXPECT_NEAR(s2.interconnect_gbps, 3.50, 1e-9);
 }
 
+TEST(Placement, ScoreVectorComparisonToleratesRoundingNoise) {
+  const ScoreVector a = {4, 2, 2, 10.0};
+  // Same class, interconnect perturbed by accumulation-order noise.
+  const ScoreVector b = {4, 2, 2, 10.0 + 1e-9};
+  EXPECT_TRUE(a == b);
+  // A genuinely different bandwidth is still a different class.
+  const ScoreVector c = {4, 2, 2, 10.5};
+  EXPECT_FALSE(a == c);
+  // Integer scores always compare exactly.
+  const ScoreVector d = {4, 2, 3, 10.0};
+  EXPECT_FALSE(a == d);
+}
+
 TEST(Placement, DetectsOversubscription) {
   Placement balanced{{0, 1, 2}};
   EXPECT_TRUE(balanced.IsOneVcpuPerHwThread());

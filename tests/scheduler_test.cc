@@ -1,0 +1,316 @@
+// Tests for the multi-tenant MachineScheduler: concurrent containers with
+// disjoint hardware-thread sets, probe caching across re-placements, the
+// arrival -> probe -> place -> depart -> re-place lifecycle, and the split-L3
+// (Zen) topology.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/occupancy.h"
+#include "src/model/registry.h"
+#include "src/scheduler/scheduler.h"
+#include "src/sim/perf_model.h"
+#include "src/topology/machines.h"
+#include "src/util/rng.h"
+#include "src/workloads/synth.h"
+#include "src/workloads/trace.h"
+
+namespace numaplace {
+namespace {
+
+TrainedPerfModel TrainSmallModel(const ImportantPlacementSet& ips,
+                                 const PerformanceModel& sim, int baseline_id) {
+  ModelPipeline pipeline(ips, sim, baseline_id, /*seed=*/23);
+  PerfModelConfig config;
+  config.forest.num_trees = 60;
+  config.cv_trees = 25;
+  config.runs_per_workload = 2;
+  Rng rng(7);
+  return pipeline.TrainPerfAuto(SampleTrainingWorkloads(36, rng), config);
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest()
+      : topo_(AmdOpteron6272()),
+        ips_(GenerateImportantPlacements(topo_, 16, true)),
+        sim_(topo_, 0.01, 3),
+        model_(TrainSmallModel(ips_, sim_, /*baseline_id=*/1)) {
+    registry_.Register(topo_.name(), 16, model_);
+  }
+
+  MachineScheduler MakeScheduler() {
+    SchedulerConfig config;
+    config.baseline_id = 1;
+    MachineScheduler scheduler(topo_, sim_, &registry_, config);
+    scheduler.ProvidePlacements(ips_);
+    return scheduler;
+  }
+
+  ContainerRequest MakeRequest(int id, const std::string& workload, double goal) const {
+    ContainerRequest request;
+    request.id = id;
+    request.workload = PaperWorkload(workload);
+    request.workload.name += "#" + std::to_string(id);
+    request.vcpus = 16;
+    request.goal_fraction = goal;
+    return request;
+  }
+
+  Topology topo_;
+  ImportantPlacementSet ips_;
+  PerformanceModel sim_;
+  TrainedPerfModel model_;
+  ModelRegistry registry_;
+};
+
+TEST_F(SchedulerTest, PlacesConcurrentContainersOnDisjointThreads) {
+  MachineScheduler scheduler = MakeScheduler();
+  std::set<int> all_threads;
+  int total = 0;
+  int id = 1;
+  for (const char* name : {"gcc", "streamcluster", "kmeans"}) {
+    const ScheduleOutcome outcome = scheduler.Submit(MakeRequest(id, name, 0.9), 0.0);
+    ASSERT_TRUE(outcome.admitted) << name;
+    EXPECT_NO_THROW(ips_.ById(outcome.placement_id)) << name;
+    for (int t : outcome.placement.hw_threads) {
+      EXPECT_TRUE(all_threads.insert(t).second)
+          << "thread " << t << " assigned twice (container " << id << ")";
+    }
+    total += static_cast<int>(outcome.placement.hw_threads.size());
+    ++id;
+  }
+  EXPECT_EQ(total, 48);
+  EXPECT_EQ(scheduler.occupancy().BusyThreadCount(), 48);
+  EXPECT_EQ(scheduler.occupancy().NumContainers(), 3);
+  EXPECT_EQ(scheduler.RunningIds().size(), 3u);
+  // Occupancy agrees with the outcomes thread for thread.
+  for (int cid : scheduler.RunningIds()) {
+    const ManagedContainer* c = scheduler.Find(cid);
+    ASSERT_NE(c, nullptr);
+    std::vector<int> owned = scheduler.occupancy().ThreadsOf(cid);
+    std::vector<int> placed = c->placement.hw_threads;
+    std::sort(placed.begin(), placed.end());
+    EXPECT_EQ(owned, placed);
+  }
+}
+
+TEST_F(SchedulerTest, QueuedContainerIsAdmittedOnDepartureReusingProbes) {
+  MachineScheduler scheduler = MakeScheduler();
+  // Easy goals pick the fewest-node (2-node) placement; four of them fill
+  // the 8-node machine exactly.
+  for (int id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(scheduler.Submit(MakeRequest(id, "gcc", 0.5), 0.0).admitted);
+  }
+  EXPECT_EQ(scheduler.occupancy().FreeThreadCount(), 0);
+
+  const ScheduleOutcome queued = scheduler.Submit(MakeRequest(5, "gcc", 0.5), 10.0);
+  EXPECT_FALSE(queued.admitted);
+  EXPECT_EQ(scheduler.PendingIds(), std::vector<int>{5});
+  // The probes ran anyway and the prediction is cached for the retry.
+  EXPECT_NE(registry_.FindPrediction(5), nullptr);
+  const int probes_before = scheduler.stats().probe_runs;
+  EXPECT_EQ(probes_before, 10);  // five fresh probe pairs
+
+  const std::vector<ScheduleOutcome> replaced = scheduler.Depart(1, 20.0);
+  ASSERT_EQ(replaced.size(), 1u);
+  EXPECT_EQ(replaced[0].container_id, 5);
+  EXPECT_TRUE(replaced[0].admitted);
+  EXPECT_TRUE(replaced[0].reused_cached_probes);
+  EXPECT_EQ(scheduler.stats().probe_runs, probes_before);  // no re-probing
+  EXPECT_GE(scheduler.stats().cached_probe_reuses, 1);
+  EXPECT_TRUE(scheduler.PendingIds().empty());
+  EXPECT_EQ(scheduler.stats().admitted_from_queue, 1);
+}
+
+TEST_F(SchedulerTest, DegradedContainerIsUpgradedAfterDeparturesWithoutReprobing) {
+  MachineScheduler scheduler = MakeScheduler();
+  // Fill six nodes with easy containers, leaving two free.
+  for (int id = 1; id <= 3; ++id) {
+    ASSERT_TRUE(scheduler.Submit(MakeRequest(id, "gcc", 0.5), 0.0).admitted);
+  }
+  // A bandwidth-bound container with an unreachable goal is forced into the
+  // remaining two nodes, well below its best placement.
+  const ScheduleOutcome crowded =
+      scheduler.Submit(MakeRequest(9, "streamcluster", 1.1), 1.0);
+  ASSERT_TRUE(crowded.admitted);
+  EXPECT_FALSE(crowded.meets_goal);
+  const double crowded_predicted = crowded.predicted_abs_throughput;
+  const int probes_before = scheduler.stats().probe_runs;
+
+  // As capacity frees up, the re-placement pass migrates it to a better
+  // class using the cached probes.
+  scheduler.Depart(1, 2.0);
+  scheduler.Depart(2, 3.0);
+  scheduler.Depart(3, 4.0);
+
+  const ManagedContainer* upgraded = scheduler.Find(9);
+  ASSERT_NE(upgraded, nullptr);
+  EXPECT_EQ(upgraded->state, ContainerState::kRunning);
+  EXPECT_GE(upgraded->replacements, 1);
+  EXPECT_GT(upgraded->predicted_abs_throughput, crowded_predicted);
+  EXPECT_GE(scheduler.stats().upgrades, 1);
+  EXPECT_GE(scheduler.stats().cached_probe_reuses, 1);
+  EXPECT_EQ(scheduler.stats().probe_runs, probes_before);
+}
+
+TEST_F(SchedulerTest, TraceReplayRunsTheFullLifecycle) {
+  MachineScheduler scheduler = MakeScheduler();
+  TraceConfig config;
+  config.num_containers = 12;
+  config.mean_interarrival_seconds = 60.0;
+  config.mean_lifetime_seconds = 240.0;
+  config.vcpus = 16;
+  config.goal_fraction = 0.9;
+  Rng rng(5);
+  const std::vector<TraceEvent> trace = GeneratePoissonTrace(config, rng);
+  ASSERT_EQ(trace.size(), 24u);
+
+  const std::vector<ScheduleOutcome> outcomes = scheduler.Replay(trace);
+  EXPECT_GE(outcomes.size(), 12u);  // one per arrival plus re-placements
+
+  const SchedulerStats& stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 12);
+  EXPECT_EQ(stats.departed, 12);
+  EXPECT_EQ(stats.admitted_immediately + stats.queued, 12);
+  // Every container departed: the machine drains and the cache empties.
+  EXPECT_EQ(scheduler.occupancy().BusyThreadCount(), 0);
+  EXPECT_TRUE(scheduler.RunningIds().empty());
+  EXPECT_TRUE(scheduler.PendingIds().empty());
+  EXPECT_EQ(registry_.NumCachedPredictions(), 0u);
+  EXPECT_GT(scheduler.TimeAveragedUtilization(), 0.0);
+  EXPECT_LT(scheduler.TimeAveragedUtilization(), 1.0);
+}
+
+TEST_F(SchedulerTest, RejectsLiveDuplicateIdsAndUnknownDepartures) {
+  MachineScheduler scheduler = MakeScheduler();
+  ASSERT_TRUE(scheduler.Submit(MakeRequest(1, "gcc", 0.9), 0.0).admitted);
+  EXPECT_THROW(scheduler.Submit(MakeRequest(1, "wc", 0.9), 1.0), std::logic_error);
+  EXPECT_THROW(scheduler.Depart(99, 2.0), std::logic_error);
+  scheduler.Depart(1, 3.0);
+  EXPECT_THROW(scheduler.Depart(1, 4.0), std::logic_error);
+  // A departed id may be reused.
+  EXPECT_TRUE(scheduler.Submit(MakeRequest(1, "wc", 0.9), 5.0).admitted);
+}
+
+TEST(SchedulerZen, SplitL3LifecyclePreservesClassStructure) {
+  const Topology zen = AmdZenLike();
+  const ImportantPlacementSet ips = GenerateImportantPlacements(zen, 16, false);
+  PerformanceModel sim(zen, 0.01, 3);
+  const TrainedPerfModel model = TrainSmallModel(ips, sim, /*baseline_id=*/1);
+  ModelRegistry registry;
+  registry.Register(zen.name(), 16, model);
+
+  SchedulerConfig config;
+  config.baseline_id = 1;
+  config.use_interconnect_concern = false;
+  MachineScheduler scheduler(zen, sim, &registry, config);
+  scheduler.ProvidePlacements(ips);
+
+  const auto make_request = [&](int id, const char* workload) {
+    ContainerRequest request;
+    request.id = id;
+    request.workload = PaperWorkload(workload);
+    request.workload.name += "#" + std::to_string(id);
+    request.vcpus = 16;
+    request.goal_fraction = 0.8;
+    return request;
+  };
+
+  // Two 16-vCPU containers fill the 32-thread machine.
+  const ScheduleOutcome first = scheduler.Submit(make_request(1, "canneal"), 0.0);
+  const ScheduleOutcome second = scheduler.Submit(make_request(2, "gcc"), 1.0);
+  ASSERT_TRUE(first.admitted);
+  ASSERT_TRUE(second.admitted);
+  std::set<int> threads(first.placement.hw_threads.begin(),
+                        first.placement.hw_threads.end());
+  for (int t : second.placement.hw_threads) {
+    EXPECT_TRUE(threads.insert(t).second) << "thread " << t << " double-booked";
+  }
+  EXPECT_EQ(scheduler.occupancy().FreeThreadCount(), 0);
+
+  // Occupancy-constrained realization preserved each class's split-L3
+  // structure: the realized CCX (L3 group) count matches the class score.
+  for (const ScheduleOutcome* outcome : {&first, &second}) {
+    const ImportantPlacement& ip = ips.ById(outcome->placement_id);
+    const ScoreVector score = ScoreOf(outcome->placement, zen);
+    EXPECT_EQ(score.l3_score, ip.l3_score);
+    EXPECT_EQ(score.mem_score, ip.NodeCount());
+    EXPECT_EQ(score.l2_score, ip.l2_score);
+  }
+
+  // Third container queues, then is re-placed on departure with its cached
+  // probes — the full arrival -> probe -> place -> depart -> re-place loop
+  // on a split-L3 machine.
+  const ScheduleOutcome queued = scheduler.Submit(make_request(3, "streamcluster"), 1.0);
+  EXPECT_FALSE(queued.admitted);
+  const int probes_before = scheduler.stats().probe_runs;
+  const std::vector<ScheduleOutcome> replaced = scheduler.Depart(1, 2.0);
+  ASSERT_GE(replaced.size(), 1u);
+  EXPECT_EQ(replaced[0].container_id, 3);
+  EXPECT_TRUE(replaced[0].admitted);
+  EXPECT_TRUE(replaced[0].reused_cached_probes);
+  EXPECT_EQ(scheduler.stats().probe_runs, probes_before);
+  const ScoreVector score = ScoreOf(replaced[0].placement, zen);
+  EXPECT_EQ(score.l3_score, ips.ById(replaced[0].placement_id).l3_score);
+}
+
+TEST(OccupancyMap, AcquireReleaseAndFreeCapacityQueries) {
+  const Topology amd = AmdOpteron6272();
+  OccupancyMap occ(amd);
+  EXPECT_EQ(occ.FreeThreadCount(), amd.NumHwThreads());
+  EXPECT_EQ(occ.FullyFreeNodes().size(), 8u);
+
+  Placement p;
+  p.hw_threads = amd.HwThreadsOnNode(2);
+  occ.Acquire(7, p);
+  EXPECT_EQ(occ.BusyThreadCount(), amd.NodeCapacity());
+  EXPECT_EQ(occ.FreeThreadsOnNode(2), 0);
+  EXPECT_EQ(occ.FreeThreadsOnNode(3), amd.NodeCapacity());
+  EXPECT_EQ(occ.FullyFreeNodes().size(), 7u);
+  EXPECT_EQ(occ.OwnerOf(p.hw_threads[0]), 7);
+  EXPECT_EQ(occ.NumContainers(), 1);
+
+  // Double-booking is rejected and leaves the map unchanged.
+  Placement overlap;
+  overlap.hw_threads = {p.hw_threads[0]};
+  EXPECT_THROW(occ.Acquire(8, overlap), std::logic_error);
+  EXPECT_EQ(occ.BusyThreadCount(), amd.NodeCapacity());
+
+  EXPECT_EQ(occ.Release(7), amd.NodeCapacity());
+  EXPECT_EQ(occ.FreeThreadCount(), amd.NumHwThreads());
+  EXPECT_EQ(occ.Release(7), 0);
+}
+
+TEST(Trace, PoissonTraceIsWellFormed) {
+  TraceConfig config;
+  config.num_containers = 20;
+  Rng rng(11);
+  const std::vector<TraceEvent> trace = GeneratePoissonTrace(config, rng);
+  ASSERT_EQ(trace.size(), 40u);
+  double last = 0.0;
+  std::set<int> arrived;
+  std::set<int> departed;
+  std::set<std::string> names;
+  for (const TraceEvent& event : trace) {
+    EXPECT_GE(event.time_seconds, last);
+    last = event.time_seconds;
+    if (event.type == TraceEventType::kArrival) {
+      EXPECT_TRUE(arrived.insert(event.container_id).second);
+      EXPECT_TRUE(names.insert(event.workload.name).second)
+          << "duplicate workload name " << event.workload.name;
+      EXPECT_EQ(event.vcpus, config.vcpus);
+    } else {
+      EXPECT_TRUE(arrived.count(event.container_id))
+          << "departure before arrival for " << event.container_id;
+      EXPECT_TRUE(departed.insert(event.container_id).second);
+    }
+  }
+  EXPECT_EQ(arrived.size(), 20u);
+  EXPECT_EQ(departed.size(), 20u);
+}
+
+}  // namespace
+}  // namespace numaplace

@@ -8,23 +8,33 @@
 //                                     from two probe measurements
 //   migrate <workload>                estimate migration costs for a
 //                                     catalog workload
+//   schedule <machine> <vcpus> <containers> [seed]
+//                                     train a model, generate a Poisson
+//                                     arrival/departure trace and replay it
+//                                     through the multi-tenant scheduler,
+//                                     printing utilization and slowdowns
 //
 // Machines: amd (Opteron 6272), intel (Xeon E7-4830 v3), zen, cod.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 
 #include "src/core/concern.h"
 #include "src/core/important.h"
 #include "src/migration/migration.h"
 #include "src/model/pipeline.h"
+#include "src/model/registry.h"
+#include "src/scheduler/scheduler.h"
 #include "src/sim/perf_model.h"
 #include "src/topology/machines.h"
 #include "src/util/rng.h"
 #include "src/util/table.h"
 #include "src/workloads/synth.h"
+#include "src/workloads/trace.h"
 
 namespace {
 
@@ -136,6 +146,103 @@ int CmdMigrate(const std::string& workload_name) {
   return 0;
 }
 
+int CmdSchedule(const std::string& machine_name, int vcpus, int num_containers,
+                uint64_t seed) {
+  if (num_containers <= 0) {
+    std::fprintf(stderr, "need at least one container to schedule\n");
+    return 2;
+  }
+  const Topology machine = MakeMachine(machine_name);
+  const bool use_ic = InterconnectIsAsymmetric(machine);
+  const ImportantPlacementSet set = GenerateImportantPlacements(machine, vcpus, use_ic);
+  const int baseline_id = machine_name == "intel" ? 2 : 1;
+  PerformanceModel solo(machine, 0.015, 1);
+  MultiTenantModel multi(machine, 0.015, 1);
+
+  std::printf("training a model for (%s, %d vCPUs) on 72 synthetic workloads...\n",
+              machine.name().c_str(), vcpus);
+  ModelPipeline pipeline(set, solo, baseline_id, 42);
+  Rng train_rng(7);
+  PerfModelConfig model_config;
+  ModelRegistry registry;
+  registry.Register(machine.name(), vcpus,
+                    pipeline.TrainPerfAuto(SampleTrainingWorkloads(72, train_rng),
+                                           model_config));
+
+  SchedulerConfig sched_config;
+  sched_config.baseline_id = baseline_id;
+  sched_config.use_interconnect_concern = use_ic;
+  MachineScheduler scheduler(machine, solo, &registry, sched_config);
+  scheduler.ProvidePlacements(set);
+
+  TraceConfig trace_config;
+  trace_config.num_containers = num_containers;
+  trace_config.vcpus = vcpus;
+  trace_config.goal_fraction = 0.9;
+  trace_config.mean_interarrival_seconds = 120.0;
+  trace_config.mean_lifetime_seconds = 480.0;
+  Rng trace_rng(seed);
+  const std::vector<TraceEvent> trace = GeneratePoissonTrace(trace_config, trace_rng);
+  std::printf("replaying %zu events (%d containers, Poisson arrivals)...\n\n",
+              trace.size(), num_containers);
+
+  // Final per-container state by last outcome; the workload names carry the
+  // catalog application plus the container id.
+  std::map<int, std::string> workload_names;
+  for (const TraceEvent& event : trace) {
+    if (event.type == TraceEventType::kArrival) {
+      workload_names[event.container_id] = event.workload.name;
+    }
+  }
+
+  const TenancyReport report = ReplayWithEvaluation(scheduler, trace, multi);
+
+  TablePrinter containers({"container", "workload", "placed", "final placement",
+                           "re-places", "predicted/goal"});
+  std::map<int, const ScheduleOutcome*> last_outcome;
+  for (const ScheduleOutcome& outcome : report.outcomes) {
+    last_outcome[outcome.container_id] = &outcome;
+  }
+  for (const auto& [id, outcome] : last_outcome) {
+    const ManagedContainer* managed = scheduler.Find(id);
+    const int replacements = managed != nullptr ? managed->replacements : 0;
+    const double ratio = outcome->goal_abs_throughput > 0.0
+                             ? outcome->predicted_abs_throughput /
+                                   outcome->goal_abs_throughput
+                             : 0.0;
+    containers.AddRow({std::to_string(id), workload_names[id],
+                       outcome->admitted ? "yes" : "queued",
+                       outcome->admitted ? "#" + std::to_string(outcome->placement_id)
+                                         : "-",
+                       std::to_string(replacements),
+                       outcome->admitted ? TablePrinter::Num(ratio) : "-"});
+  }
+  containers.Print(std::cout);
+
+  const SchedulerStats& stats = scheduler.stats();
+  std::printf("\n");
+  TablePrinter summary({"metric", "value"});
+  summary.AddRow({"containers submitted", std::to_string(stats.submitted)});
+  summary.AddRow({"admitted immediately", std::to_string(stats.admitted_immediately)});
+  summary.AddRow({"queued, admitted later", std::to_string(stats.admitted_from_queue)});
+  summary.AddRow({"degraded-container upgrades", std::to_string(stats.upgrades)});
+  summary.AddRow({"probe runs", std::to_string(stats.probe_runs)});
+  summary.AddRow({"cached-probe reuses", std::to_string(stats.cached_probe_reuses)});
+  summary.AddRow({"machine utilization (time avg)",
+                  TablePrinter::Num(100.0 * report.mean_utilization, 1) + "%"});
+  summary.AddRow({"goal attainment (time avg)",
+                  TablePrinter::Num(100.0 * report.goal_attainment, 1) + "%"});
+  summary.AddRow({"container-seconds at goal",
+                  TablePrinter::Num(100.0 * report.container_seconds_at_goal, 1) + "%"});
+  summary.AddRow({"scheduling decisions", std::to_string(report.decisions)});
+  if (report.wall_seconds > 0.0) {
+    summary.AddRow({"decisions/sec (host)",
+                    TablePrinter::Num(report.decisions / report.wall_seconds, 0)});
+  }
+  summary.Print(std::cout);
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -143,7 +250,9 @@ void Usage() {
                "  numaplace_cli concerns <amd|intel|zen|cod>\n"
                "  numaplace_cli train <amd|intel|zen|cod> <vcpus> <model-file>\n"
                "  numaplace_cli predict <model-file> <perf_a> <perf_b>\n"
-               "  numaplace_cli migrate <workload>\n");
+               "  numaplace_cli migrate <workload>\n"
+               "  numaplace_cli schedule <amd|intel|zen|cod> <vcpus> <containers> "
+               "[seed]\n");
 }
 
 }  // namespace
@@ -169,6 +278,10 @@ int main(int argc, char** argv) {
     }
     if (command == "migrate" && argc == 3) {
       return CmdMigrate(argv[2]);
+    }
+    if (command == "schedule" && (argc == 5 || argc == 6)) {
+      const uint64_t seed = argc == 6 ? std::strtoull(argv[5], nullptr, 10) : 11;
+      return CmdSchedule(argv[2], std::atoi(argv[3]), std::atoi(argv[4]), seed);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
