@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_forest.dir/bench/bench_ablation_forest.cc.o"
+  "CMakeFiles/bench_ablation_forest.dir/bench/bench_ablation_forest.cc.o.d"
+  "bench/bench_ablation_forest"
+  "bench/bench_ablation_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_inputs.dir/bench/bench_ablation_inputs.cc.o"
+  "CMakeFiles/bench_ablation_inputs.dir/bench/bench_ablation_inputs.cc.o.d"
+  "bench/bench_ablation_inputs"
+  "bench/bench_ablation_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

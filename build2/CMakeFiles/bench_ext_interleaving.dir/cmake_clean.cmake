@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_interleaving.dir/bench/bench_ext_interleaving.cc.o"
+  "CMakeFiles/bench_ext_interleaving.dir/bench/bench_ext_interleaving.cc.o.d"
+  "bench/bench_ext_interleaving"
+  "bench/bench_ext_interleaving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_interleaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_search.dir/bench/bench_ext_search.cc.o"
+  "CMakeFiles/bench_ext_search.dir/bench/bench_ext_search.cc.o.d"
+  "bench/bench_ext_search"
+  "bench/bench_ext_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_wiredtiger.dir/bench/bench_fig1_wiredtiger.cc.o"
+  "CMakeFiles/bench_fig1_wiredtiger.dir/bench/bench_fig1_wiredtiger.cc.o.d"
+  "bench/bench_fig1_wiredtiger"
+  "bench/bench_fig1_wiredtiger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_wiredtiger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

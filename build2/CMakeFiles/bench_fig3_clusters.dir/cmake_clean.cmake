@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_clusters.dir/bench/bench_fig3_clusters.cc.o"
+  "CMakeFiles/bench_fig3_clusters.dir/bench/bench_fig3_clusters.cc.o.d"
+  "bench/bench_fig3_clusters"
+  "bench/bench_fig3_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

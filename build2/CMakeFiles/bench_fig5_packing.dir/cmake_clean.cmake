@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_packing.dir/bench/bench_fig5_packing.cc.o"
+  "CMakeFiles/bench_fig5_packing.dir/bench/bench_fig5_packing.cc.o.d"
+  "bench/bench_fig5_packing"
+  "bench/bench_fig5_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheduler_tenancy.dir/bench/bench_scheduler_tenancy.cc.o"
+  "CMakeFiles/bench_scheduler_tenancy.dir/bench/bench_scheduler_tenancy.cc.o.d"
+  "bench/bench_scheduler_tenancy"
+  "bench/bench_scheduler_tenancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduler_tenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

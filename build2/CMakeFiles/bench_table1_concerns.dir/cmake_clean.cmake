@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_concerns.dir/bench/bench_table1_concerns.cc.o"
+  "CMakeFiles/bench_table1_concerns.dir/bench/bench_table1_concerns.cc.o.d"
+  "bench/bench_table1_concerns"
+  "bench/bench_table1_concerns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_concerns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

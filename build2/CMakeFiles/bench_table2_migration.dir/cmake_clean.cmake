@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_migration.dir/bench/bench_table2_migration.cc.o"
+  "CMakeFiles/bench_table2_migration.dir/bench/bench_table2_migration.cc.o.d"
+  "bench/bench_table2_migration"
+  "bench/bench_table2_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

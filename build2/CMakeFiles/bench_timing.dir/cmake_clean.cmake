@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timing.dir/bench/bench_timing.cc.o"
+  "CMakeFiles/bench_timing.dir/bench/bench_timing.cc.o.d"
+  "bench/bench_timing"
+  "bench/bench_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

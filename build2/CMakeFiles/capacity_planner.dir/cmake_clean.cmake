@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_planner.dir/examples/capacity_planner.cpp.o"
+  "CMakeFiles/capacity_planner.dir/examples/capacity_planner.cpp.o.d"
+  "examples/capacity_planner"
+  "examples/capacity_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/container_test.dir/tests/container_test.cc.o"
+  "CMakeFiles/container_test.dir/tests/container_test.cc.o.d"
+  "container_test"
+  "container_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/container_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_machine.dir/examples/custom_machine.cpp.o"
+  "CMakeFiles/custom_machine.dir/examples/custom_machine.cpp.o.d"
+  "examples/custom_machine"
+  "examples/custom_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

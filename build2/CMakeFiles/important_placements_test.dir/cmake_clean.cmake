@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/important_placements_test.dir/tests/important_placements_test.cc.o"
+  "CMakeFiles/important_placements_test.dir/tests/important_placements_test.cc.o.d"
+  "important_placements_test"
+  "important_placements_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/important_placements_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

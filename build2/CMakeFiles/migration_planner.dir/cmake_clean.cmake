@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_planner.dir/examples/migration_planner.cpp.o"
+  "CMakeFiles/migration_planner.dir/examples/migration_planner.cpp.o.d"
+  "examples/migration_planner"
+  "examples/migration_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

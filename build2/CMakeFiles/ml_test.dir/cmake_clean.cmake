@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_test.dir/tests/ml_test.cc.o"
+  "CMakeFiles/ml_test.dir/tests/ml_test.cc.o.d"
+  "ml_test"
+  "ml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

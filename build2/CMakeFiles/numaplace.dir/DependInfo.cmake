@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/container/controller.cc" "CMakeFiles/numaplace.dir/src/container/controller.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/container/controller.cc.o.d"
+  "/root/repo/src/core/concern.cc" "CMakeFiles/numaplace.dir/src/core/concern.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/core/concern.cc.o.d"
+  "/root/repo/src/core/enumerate.cc" "CMakeFiles/numaplace.dir/src/core/enumerate.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/core/enumerate.cc.o.d"
+  "/root/repo/src/core/important.cc" "CMakeFiles/numaplace.dir/src/core/important.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/core/important.cc.o.d"
+  "/root/repo/src/core/occupancy.cc" "CMakeFiles/numaplace.dir/src/core/occupancy.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/core/occupancy.cc.o.d"
+  "/root/repo/src/core/placement.cc" "CMakeFiles/numaplace.dir/src/core/placement.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/core/placement.cc.o.d"
+  "/root/repo/src/migration/migration.cc" "CMakeFiles/numaplace.dir/src/migration/migration.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/migration/migration.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "CMakeFiles/numaplace.dir/src/ml/dataset.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/ml/dataset.cc.o.d"
+  "/root/repo/src/ml/forest.cc" "CMakeFiles/numaplace.dir/src/ml/forest.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/ml/forest.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "CMakeFiles/numaplace.dir/src/ml/kmeans.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/ml/kmeans.cc.o.d"
+  "/root/repo/src/ml/selection.cc" "CMakeFiles/numaplace.dir/src/ml/selection.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/ml/selection.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "CMakeFiles/numaplace.dir/src/ml/tree.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/ml/tree.cc.o.d"
+  "/root/repo/src/model/pipeline.cc" "CMakeFiles/numaplace.dir/src/model/pipeline.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/model/pipeline.cc.o.d"
+  "/root/repo/src/model/registry.cc" "CMakeFiles/numaplace.dir/src/model/registry.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/model/registry.cc.o.d"
+  "/root/repo/src/policy/extensions.cc" "CMakeFiles/numaplace.dir/src/policy/extensions.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/policy/extensions.cc.o.d"
+  "/root/repo/src/policy/policies.cc" "CMakeFiles/numaplace.dir/src/policy/policies.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/policy/policies.cc.o.d"
+  "/root/repo/src/scheduler/scheduler.cc" "CMakeFiles/numaplace.dir/src/scheduler/scheduler.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/scheduler/scheduler.cc.o.d"
+  "/root/repo/src/sim/hpe.cc" "CMakeFiles/numaplace.dir/src/sim/hpe.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/sim/hpe.cc.o.d"
+  "/root/repo/src/sim/linux_mapper.cc" "CMakeFiles/numaplace.dir/src/sim/linux_mapper.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/sim/linux_mapper.cc.o.d"
+  "/root/repo/src/sim/perf_model.cc" "CMakeFiles/numaplace.dir/src/sim/perf_model.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/sim/perf_model.cc.o.d"
+  "/root/repo/src/topology/machines.cc" "CMakeFiles/numaplace.dir/src/topology/machines.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/topology/machines.cc.o.d"
+  "/root/repo/src/topology/topology.cc" "CMakeFiles/numaplace.dir/src/topology/topology.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/topology/topology.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/numaplace.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/numaplace.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/numaplace.dir/src/util/table.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/util/table.cc.o.d"
+  "/root/repo/src/workloads/catalog.cc" "CMakeFiles/numaplace.dir/src/workloads/catalog.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/workloads/catalog.cc.o.d"
+  "/root/repo/src/workloads/synth.cc" "CMakeFiles/numaplace.dir/src/workloads/synth.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/workloads/synth.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "CMakeFiles/numaplace.dir/src/workloads/trace.cc.o" "gcc" "CMakeFiles/numaplace.dir/src/workloads/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numaplace_cli.dir/tools/numaplace_cli.cc.o"
+  "CMakeFiles/numaplace_cli.dir/tools/numaplace_cli.cc.o.d"
+  "numaplace_cli"
+  "numaplace_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numaplace_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

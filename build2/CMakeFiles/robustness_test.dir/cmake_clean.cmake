@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_test.dir/tests/robustness_test.cc.o"
+  "CMakeFiles/robustness_test.dir/tests/robustness_test.cc.o.d"
+  "robustness_test"
+  "robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_l3_test.dir/tests/split_l3_test.cc.o"
+  "CMakeFiles/split_l3_test.dir/tests/split_l3_test.cc.o.d"
+  "split_l3_test"
+  "split_l3_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_l3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for split_l3_test.
+# This may be replaced when dependencies are built.

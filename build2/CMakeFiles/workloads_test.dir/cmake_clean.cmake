@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_test.dir/tests/workloads_test.cc.o"
+  "CMakeFiles/workloads_test.dir/tests/workloads_test.cc.o.d"
+  "workloads_test"
+  "workloads_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
