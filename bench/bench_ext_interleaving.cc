@@ -30,7 +30,7 @@ int main() {
   const ImportantPlacementSet ips = GenerateImportantPlacements(amd, vcpus, true);
   PerformanceModel solo(amd, 0.01, 5);
   MultiTenantModel multi(amd, 0.01, 5);
-  PolicyContext ctx;
+  PackingContext ctx;
   ctx.topo = &amd;
   ctx.ips = &ips;
   ctx.solo_sim = &solo;

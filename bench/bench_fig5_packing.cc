@@ -3,6 +3,10 @@
 // Aggressive, Smart-Aggressive — at 90/100/110% goals, for the three
 // container types the paper uses (WiredTiger B-tree, Postgres TPC-H, Spark
 // PageRank) on both machines.
+//
+// The scheduler's pluggable policies (first-fit, best-fit, spread) join the
+// study through the ScheduledPackingPolicy adapter: the same decision rules
+// the multi-tenant scheduler runs online, packed and measured offline.
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -29,7 +33,7 @@ void RunMachine(bool amd) {
   const ImportantPlacementSet ips = GenerateImportantPlacements(topo, vcpus, amd);
   PerformanceModel solo(topo, 0.01, 5);
   MultiTenantModel multi(topo, 0.01, 5);
-  PolicyContext ctx;
+  PackingContext ctx;
   ctx.topo = &topo;
   ctx.ips = &ips;
   ctx.solo_sim = &solo;
@@ -51,7 +55,11 @@ void RunMachine(bool amd) {
   const AggressivePolicy aggressive(ctx);
   const SmartAggressivePolicy smart(ctx);
   const MlPolicy ml(ctx, &model);
-  const std::vector<const Policy*> policies = {&ml, &conservative, &aggressive, &smart};
+  const ScheduledPackingPolicy first_fit(ctx, MakePolicy("first-fit"));
+  const ScheduledPackingPolicy best_fit(ctx, MakePolicy("best-fit"));
+  const ScheduledPackingPolicy spread(ctx, MakePolicy("spread"));
+  const std::vector<const PackingPolicy*> policies = {
+      &ml, &conservative, &aggressive, &smart, &first_fit, &best_fit, &spread};
 
   const std::vector<const char*> containers = {"WTbtree", "postgres-tpch", "spark-pr-lj"};
   const std::vector<const char*> labels = {"WiredTiger", "Postgres(TPC-H)",
@@ -62,7 +70,7 @@ void RunMachine(bool amd) {
                 amd ? "AMD" : "Intel");
     TablePrinter table({"policy", "goal 90%: inst", "viol%", "goal 100%: inst", "viol%",
                         "goal 110%: inst", "viol%"});
-    for (const Policy* policy : policies) {
+    for (const PackingPolicy* policy : policies) {
       std::vector<std::string> row = {policy->name()};
       for (double goal : {0.9, 1.0, 1.1}) {
         Rng rng(97);

@@ -31,7 +31,7 @@ int main() {
 
   PerformanceModel solo(machine, 0.01, 2);
   MultiTenantModel multi(machine, 0.01, 2);
-  PolicyContext ctx;
+  PackingContext ctx;
   ctx.topo = &machine;
   ctx.ips = &placements;
   ctx.solo_sim = &solo;
@@ -48,7 +48,7 @@ int main() {
   const ConservativePolicy conservative(ctx);
   const SmartAggressivePolicy smart(ctx);
   const MlPolicy ml(ctx, &model);
-  const std::vector<const Policy*> policies = {&ml, &conservative, &smart};
+  const std::vector<const PackingPolicy*> policies = {&ml, &conservative, &smart};
 
   std::printf("Capacity plan: %d instances per container type, goal = %.0f%% of the\n",
               kFleetInstances, 100.0 * kGoal);
@@ -57,7 +57,7 @@ int main() {
   TablePrinter report({"container", "policy", "inst/machine", "machines for 100",
                        "goal violation"});
   for (const char* type : {"WTbtree", "postgres-tpch", "spark-pr-lj", "kmeans"}) {
-    for (const Policy* policy : policies) {
+    for (const PackingPolicy* policy : policies) {
       Rng trial_rng(99);
       const PolicyResult r =
           policy->Evaluate(PaperWorkload(type), kGoal, trial_rng, /*trials=*/4);

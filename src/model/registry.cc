@@ -51,6 +51,17 @@ const CachedPrediction& ModelRegistry::Predict(int container_id,
   return predictions_.emplace(container_id, std::move(entry)).first->second;
 }
 
+const CachedPrediction& ModelRegistry::PredictOrGet(int container_id,
+                                                    const std::string& machine,
+                                                    int vcpus, double perf_a,
+                                                    double perf_b) {
+  const CachedPrediction* cached = FindPrediction(container_id);
+  if (cached != nullptr) {
+    return *cached;
+  }
+  return Predict(container_id, machine, vcpus, perf_a, perf_b);
+}
+
 const CachedPrediction* ModelRegistry::FindPrediction(int container_id) const {
   const auto it = predictions_.find(container_id);
   return it == predictions_.end() ? nullptr : &it->second;

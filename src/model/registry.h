@@ -49,10 +49,18 @@ class ModelRegistry {
 
   // Runs the (machine, vcpus) model on the two probe measurements and caches
   // the result under `container_id`. CHECK-fails if the container already
-  // has a cached prediction (probes are paid once; callers must Forget()
-  // a departed container before reusing its id).
+  // has a cached prediction — probes are paid once, so a duplicate means the
+  // caller re-probed a live container or reused its id without Forget()ing
+  // it first (the Forget()-first contract). Decision paths that may be
+  // retried, like the departure re-placement pass, should use PredictOrGet.
   const CachedPrediction& Predict(int container_id, const std::string& machine, int vcpus,
                                   double perf_a, double perf_b);
+
+  // Like Predict, but when the container already has a cached prediction it
+  // is returned as-is and the probe measurements are ignored — safe to call
+  // from re-placement passes that cannot know whether probes were paid.
+  const CachedPrediction& PredictOrGet(int container_id, const std::string& machine,
+                                       int vcpus, double perf_a, double perf_b);
 
   // The cached prediction for a container, or nullptr when it never probed.
   const CachedPrediction* FindPrediction(int container_id) const;

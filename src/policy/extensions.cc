@@ -15,7 +15,7 @@ const std::string kInterleavedName = "ML (interleaved)";
 
 }  // namespace
 
-RandomSearchPolicy::RandomSearchPolicy(const PolicyContext& ctx, int samples,
+RandomSearchPolicy::RandomSearchPolicy(const PackingContext& ctx, int samples,
                                        double probe_seconds)
     : ctx_(ctx), samples_(samples), probe_seconds_(probe_seconds), mapper_(*ctx.topo, 0.0) {
   NP_CHECK(samples_ >= 1);
@@ -89,7 +89,7 @@ PolicyResult RandomSearchPolicy::Evaluate(const WorkloadProfile& workload,
   return result;
 }
 
-InterleavedMlPolicy::InterleavedMlPolicy(const PolicyContext& ctx,
+InterleavedMlPolicy::InterleavedMlPolicy(const PackingContext& ctx,
                                          const TrainedPerfModel* model,
                                          const WorkloadProfile* filler, int filler_vcpus)
     : ctx_(ctx), model_(model), filler_(filler), filler_vcpus_(filler_vcpus) {

@@ -25,12 +25,12 @@
 
 namespace numaplace {
 
-class RandomSearchPolicy final : public Policy {
+class RandomSearchPolicy final : public PackingPolicy {
  public:
   // `samples`: how many random placements each trial may measure. The probe
   // cost (samples x probe seconds + migrations) is reported via
   // DecisionCostSeconds, since it is the approach's Achilles heel.
-  RandomSearchPolicy(const PolicyContext& ctx, int samples,
+  RandomSearchPolicy(const PackingContext& ctx, int samples,
                      double probe_seconds = 2.0);
 
   const std::string& name() const override;
@@ -47,17 +47,17 @@ class RandomSearchPolicy final : public Policy {
   SearchResult Search(const WorkloadProfile& workload, Rng& rng) const;
 
  private:
-  PolicyContext ctx_;
+  PackingContext ctx_;
   int samples_;
   double probe_seconds_;
   LinuxMapper mapper_;
 };
 
-class InterleavedMlPolicy final : public Policy {
+class InterleavedMlPolicy final : public PackingPolicy {
  public:
   // `filler` is the "safe" container type offered the leftover threads; it
   // must outlive the policy, as must `model`.
-  InterleavedMlPolicy(const PolicyContext& ctx, const TrainedPerfModel* model,
+  InterleavedMlPolicy(const PackingContext& ctx, const TrainedPerfModel* model,
                       const WorkloadProfile* filler, int filler_vcpus);
 
   const std::string& name() const override;
@@ -76,7 +76,7 @@ class InterleavedMlPolicy final : public Policy {
                                   double goal_fraction) const;
 
  private:
-  PolicyContext ctx_;
+  PackingContext ctx_;
   const TrainedPerfModel* model_;
   const WorkloadProfile* filler_;
   int filler_vcpus_;

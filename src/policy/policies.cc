@@ -17,7 +17,7 @@ const std::string kAggressive = "Aggressive";
 const std::string kSmartAggressive = "Aggressive (Smart)";
 const std::string kMl = "ML";
 
-void ValidateContext(const PolicyContext& ctx) {
+void ValidateContext(const PackingContext& ctx) {
   NP_CHECK(ctx.topo != nullptr);
   NP_CHECK(ctx.ips != nullptr);
   NP_CHECK(ctx.solo_sim != nullptr);
@@ -47,13 +47,13 @@ struct OutcomeAccumulator {
   }
 };
 
-int MaxInstances(const PolicyContext& ctx) {
+int MaxInstances(const PackingContext& ctx) {
   return ctx.topo->NumHwThreads() / ctx.vcpus;
 }
 
 }  // namespace
 
-double BaselineThroughput(const PolicyContext& ctx, const WorkloadProfile& workload) {
+double BaselineThroughput(const PackingContext& ctx, const WorkloadProfile& workload) {
   ValidateContext(ctx);
   const ImportantPlacement& baseline = ctx.ips->ById(ctx.baseline_id);
   const Placement placement = Realize(baseline, *ctx.topo, ctx.vcpus);
@@ -62,7 +62,7 @@ double BaselineThroughput(const PolicyContext& ctx, const WorkloadProfile& workl
   return noiseless.Evaluate(workload, placement).throughput_ops;
 }
 
-std::vector<Placement> DisjointRealizations(const PolicyContext& ctx,
+std::vector<Placement> DisjointRealizations(const PackingContext& ctx,
                                             const ImportantPlacement& placement_class) {
   ValidateContext(ctx);
   const int m = placement_class.NodeCount();
@@ -100,7 +100,7 @@ std::vector<Placement> DisjointRealizations(const PolicyContext& ctx,
 
 // --- Conservative ---
 
-ConservativePolicy::ConservativePolicy(const PolicyContext& ctx, double mapper_imbalance)
+ConservativePolicy::ConservativePolicy(const PackingContext& ctx, double mapper_imbalance)
     : ctx_(ctx), mapper_(*ctx.topo, mapper_imbalance) {
   ValidateContext(ctx_);
 }
@@ -125,7 +125,7 @@ PolicyResult ConservativePolicy::Evaluate(const WorkloadProfile& workload,
 
 // --- Aggressive ---
 
-AggressivePolicy::AggressivePolicy(const PolicyContext& ctx, double mapper_imbalance)
+AggressivePolicy::AggressivePolicy(const PackingContext& ctx, double mapper_imbalance)
     : ctx_(ctx), mapper_(*ctx.topo, mapper_imbalance) {
   ValidateContext(ctx_);
 }
@@ -167,7 +167,7 @@ PolicyResult AggressivePolicy::Evaluate(const WorkloadProfile& workload,
 
 // --- Smart-Aggressive ---
 
-SmartAggressivePolicy::SmartAggressivePolicy(const PolicyContext& ctx) : ctx_(ctx) {
+SmartAggressivePolicy::SmartAggressivePolicy(const PackingContext& ctx) : ctx_(ctx) {
   ValidateContext(ctx_);
 }
 
@@ -214,76 +214,84 @@ PolicyResult SmartAggressivePolicy::Evaluate(const WorkloadProfile& workload,
   return result;
 }
 
-// --- ML ---
+// --- scheduling-policy adapter ---
 
-MlPolicy::MlPolicy(const PolicyContext& ctx, const TrainedPerfModel* model)
-    : ctx_(ctx), model_(model) {
+ScheduledPackingPolicy::ScheduledPackingPolicy(const PackingContext& ctx,
+                                               std::unique_ptr<SchedulingPolicy> policy,
+                                               const TrainedPerfModel* model)
+    : ctx_(ctx), policy_(std::move(policy)), model_(model) {
   ValidateContext(ctx_);
-  NP_CHECK(model_ != nullptr);
+  NP_CHECK(policy_ != nullptr);
+  NP_CHECK_MSG(!policy_->UsesModel() || model_ != nullptr,
+               "scheduling policy '" << policy_->name() << "' needs a trained model");
 }
 
-const std::string& MlPolicy::name() const { return kMl; }
+const std::string& ScheduledPackingPolicy::name() const { return policy_->name(); }
 
-const ImportantPlacement& MlPolicy::ChoosePlacement(const WorkloadProfile& workload,
-                                                    double goal_fraction) const {
-  // Probe the two input placements (steps 4 of §1: run briefly in two
-  // placements, feed the measurements to the model).
-  const Placement probe_a =
-      Realize(ctx_.ips->ById(model_->input_a), *ctx_.topo, ctx_.vcpus);
-  const Placement probe_b =
-      Realize(ctx_.ips->ById(model_->input_b), *ctx_.topo, ctx_.vcpus);
-  const double perf_a = ctx_.solo_sim->Evaluate(workload, probe_a, /*run=*/9001).throughput_ops;
-  const double perf_b = ctx_.solo_sim->Evaluate(workload, probe_b, /*run=*/9001).throughput_ops;
-  const std::vector<double> predicted = model_->Predict(perf_a, perf_b);
+const ImportantPlacement& ScheduledPackingPolicy::ChoosePlacement(
+    const WorkloadProfile& workload, double goal_fraction) const {
+  const OccupancyMap empty(*ctx_.topo);
+  std::vector<int> placement_ids;
+  std::vector<double> predicted_abs;
+  PolicyContext decision;
+  decision.topo = ctx_.topo;
+  decision.ips = ctx_.ips;
+  decision.occupancy = &empty;
+  decision.vcpus = ctx_.vcpus;
+  decision.placement_ids = &placement_ids;
+  decision.predicted_abs = &predicted_abs;
 
-  // Convert relative predictions to absolute via the probe measurement.
-  size_t index_a = 0;
-  for (size_t i = 0; i < model_->placement_ids.size(); ++i) {
-    if (model_->placement_ids[i] == model_->input_a) {
-      index_a = i;
-    }
-  }
-  NP_CHECK(predicted[index_a] > 0.0);
-  const double abs_baseline = perf_a / predicted[index_a];
+  if (policy_->UsesModel()) {
+    // Probe the two input placements (step 4 of §1: run briefly in two
+    // placements, feed the measurements to the model).
+    const Placement probe_a =
+        Realize(ctx_.ips->ById(model_->input_a), *ctx_.topo, ctx_.vcpus);
+    const Placement probe_b =
+        Realize(ctx_.ips->ById(model_->input_b), *ctx_.topo, ctx_.vcpus);
+    const double perf_a =
+        ctx_.solo_sim->Evaluate(workload, probe_a, /*run=*/9001).throughput_ops;
+    const double perf_b =
+        ctx_.solo_sim->Evaluate(workload, probe_b, /*run=*/9001).throughput_ops;
+    const std::vector<double> predicted = model_->Predict(perf_a, perf_b);
 
-  const double goal = goal_fraction * BaselineThroughput(ctx_, workload);
-
-  // Fewest nodes meeting the goal; among equals prefer the highest predicted
-  // performance. Falls back to the best-performing placement when the goal
-  // is unreachable.
-  // Require a small safety margin above the goal: predictions carry a few
-  // percent of error, and the operator's promise is "always meets the
-  // performance goal", not "meets it in expectation".
-  constexpr double kSafetyMargin = 1.04;
-  const ImportantPlacement* chosen = nullptr;
-  double chosen_pred = 0.0;
-  for (size_t i = 0; i < model_->placement_ids.size(); ++i) {
-    const ImportantPlacement& ip = ctx_.ips->ById(model_->placement_ids[i]);
-    const double abs_pred = abs_baseline * predicted[i];
-    if (abs_pred < goal * kSafetyMargin) {
-      continue;
-    }
-    if (chosen == nullptr || ip.NodeCount() < chosen->NodeCount() ||
-        (ip.NodeCount() == chosen->NodeCount() && abs_pred > chosen_pred)) {
-      chosen = &ip;
-      chosen_pred = abs_pred;
-    }
-  }
-  if (chosen == nullptr) {
-    // Goal unreachable: run in the best predicted placement.
-    size_t best_index = 0;
-    for (size_t i = 1; i < predicted.size(); ++i) {
-      if (predicted[i] > predicted[best_index]) {
-        best_index = i;
+    // Convert relative predictions to absolute via the probe measurement.
+    size_t index_a = 0;
+    for (size_t i = 0; i < model_->placement_ids.size(); ++i) {
+      if (model_->placement_ids[i] == model_->input_a) {
+        index_a = i;
       }
     }
-    chosen = &ctx_.ips->ById(model_->placement_ids[best_index]);
+    NP_CHECK(predicted[index_a] > 0.0);
+    const double abs_baseline = perf_a / predicted[index_a];
+
+    placement_ids = model_->placement_ids;
+    predicted_abs.reserve(predicted.size());
+    for (double rel : predicted) {
+      predicted_abs.push_back(abs_baseline * rel);
+    }
+    // Require a small safety margin above the goal: predictions carry a few
+    // percent of error, and the operator's promise is "always meets the
+    // performance goal", not "meets it in expectation". fallback_slack 0
+    // keeps the unreachable-goal fallback at "best prediction wins".
+    constexpr double kSafetyMargin = 1.04;
+    decision.goal_abs =
+        goal_fraction * BaselineThroughput(ctx_, workload) * kSafetyMargin;
+    decision.fallback_slack = 0.0;
+  } else {
+    ModelFreeCandidates(*ctx_.ips, placement_ids, predicted_abs);
   }
-  return *chosen;
+
+  const std::vector<size_t> order = policy_->RankForAdmission(decision);
+  NP_CHECK_MSG(!order.empty(), "policy '" << policy_->name() << "' ranked nothing");
+  NP_CHECK_MSG(order.front() < placement_ids.size(),
+               "policy '" << policy_->name() << "' ranked candidate index "
+                          << order.front() << " out of range");
+  return ctx_.ips->ById(placement_ids[order.front()]);
 }
 
-PolicyResult MlPolicy::Evaluate(const WorkloadProfile& workload, double goal_fraction,
-                                Rng& rng, int trials) const {
+PolicyResult ScheduledPackingPolicy::Evaluate(const WorkloadProfile& workload,
+                                              double goal_fraction, Rng& rng,
+                                              int trials) const {
   (void)rng;
   (void)trials;  // deterministic given the trained model
   const double goal = goal_fraction * BaselineThroughput(ctx_, workload);
@@ -302,6 +310,25 @@ PolicyResult MlPolicy::Evaluate(const WorkloadProfile& workload, double goal_fra
   result.policy = name();
   result.instances = static_cast<int>(slots.size());
   acc.FillResult(result);
+  return result;
+}
+
+// --- ML ---
+
+MlPolicy::MlPolicy(const PackingContext& ctx, const TrainedPerfModel* model)
+    : inner_(ctx, MakePolicy("model"), model) {}
+
+const std::string& MlPolicy::name() const { return kMl; }
+
+const ImportantPlacement& MlPolicy::ChoosePlacement(const WorkloadProfile& workload,
+                                                    double goal_fraction) const {
+  return inner_.ChoosePlacement(workload, goal_fraction);
+}
+
+PolicyResult MlPolicy::Evaluate(const WorkloadProfile& workload, double goal_fraction,
+                                Rng& rng, int trials) const {
+  PolicyResult result = inner_.Evaluate(workload, goal_fraction, rng, trials);
+  result.policy = name();  // the paper's label, not the registry name
   return result;
 }
 

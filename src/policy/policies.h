@@ -2,6 +2,15 @@
 // Aggressive, and Smart-Aggressive, evaluated by how many instances of a
 // container they pack per machine and how badly they violate a performance
 // goal expressed relative to the baseline placement.
+//
+// Since the pluggable-policy refactor the placement *decision* lives behind
+// the SchedulingPolicy interface (src/scheduler/policy.h), shared with the
+// multi-tenant MachineScheduler: ScheduledPackingPolicy evaluates any
+// registered SchedulingPolicy under the Fig. 5 packing study, and MlPolicy
+// is the "model" policy run through that adapter. PackingPolicy remains the
+// evaluation-side interface (how a policy's choices score on one machine);
+// Conservative/Aggressive pack unpinned containers and therefore bypass the
+// placement-class decision entirely.
 #ifndef NUMAPLACE_SRC_POLICY_POLICIES_H_
 #define NUMAPLACE_SRC_POLICY_POLICIES_H_
 
@@ -11,6 +20,7 @@
 
 #include "src/core/important.h"
 #include "src/model/pipeline.h"
+#include "src/scheduler/policy.h"
 #include "src/sim/linux_mapper.h"
 #include "src/sim/perf_model.h"
 #include "src/util/rng.h"
@@ -18,8 +28,9 @@
 
 namespace numaplace {
 
-// Everything a policy needs to know about the machine under management.
-struct PolicyContext {
+// Everything a packing evaluation needs to know about the machine under
+// management.
+struct PackingContext {
   const Topology* topo = nullptr;
   const ImportantPlacementSet* ips = nullptr;
   const PerformanceModel* solo_sim = nullptr;       // single-container model
@@ -38,9 +49,9 @@ struct PolicyResult {
   double mean_perf_vs_goal = 0.0;
 };
 
-class Policy {
+class PackingPolicy {
  public:
-  virtual ~Policy() = default;
+  virtual ~PackingPolicy() = default;
   virtual const std::string& name() const = 0;
   // Packs instances of `workload` under `goal_fraction` (e.g. 0.9, 1.0, 1.1
   // of the baseline-placement throughput) and measures the outcome.
@@ -51,57 +62,87 @@ class Policy {
 
 // Throughput of the container alone in the baseline placement — the
 // denominator of every goal.
-double BaselineThroughput(const PolicyContext& ctx, const WorkloadProfile& workload);
+double BaselineThroughput(const PackingContext& ctx, const WorkloadProfile& workload);
 
 // One instance per machine, vCPUs left for Linux to map (unpinned).
-class ConservativePolicy final : public Policy {
+class ConservativePolicy final : public PackingPolicy {
  public:
-  explicit ConservativePolicy(const PolicyContext& ctx, double mapper_imbalance = 0.3);
+  explicit ConservativePolicy(const PackingContext& ctx, double mapper_imbalance = 0.3);
   const std::string& name() const override;
   PolicyResult Evaluate(const WorkloadProfile& workload, double goal_fraction, Rng& rng,
                         int trials) const override;
 
  private:
-  PolicyContext ctx_;
+  PackingContext ctx_;
   LinuxMapper mapper_;
 };
 
 // As many instances as the machine has hardware threads for, all unpinned;
 // containers share NUMA nodes and interfere.
-class AggressivePolicy final : public Policy {
+class AggressivePolicy final : public PackingPolicy {
  public:
-  explicit AggressivePolicy(const PolicyContext& ctx, double mapper_imbalance = 0.3);
+  explicit AggressivePolicy(const PackingContext& ctx, double mapper_imbalance = 0.3);
   const std::string& name() const override;
   PolicyResult Evaluate(const WorkloadProfile& workload, double goal_fraction, Rng& rng,
                         int trials) const override;
 
  private:
-  PolicyContext ctx_;
+  PackingContext ctx_;
   LinuxMapper mapper_;
 };
 
 // Maximum instance count, but each instance pinned to the minimum node set
 // with the highest interconnect bandwidth ("requires an analysis of the
 // interconnect topology").
-class SmartAggressivePolicy final : public Policy {
+class SmartAggressivePolicy final : public PackingPolicy {
  public:
-  explicit SmartAggressivePolicy(const PolicyContext& ctx);
+  explicit SmartAggressivePolicy(const PackingContext& ctx);
   const std::string& name() const override;
   PolicyResult Evaluate(const WorkloadProfile& workload, double goal_fraction, Rng& rng,
                         int trials) const override;
 
  private:
-  PolicyContext ctx_;
+  PackingContext ctx_;
+};
+
+// Packs a machine with disjoint instances of whatever placement class a
+// SchedulingPolicy picks on an empty machine — the bridge between the
+// scheduler's pluggable decision API and the Fig. 5 packing study. When the
+// policy uses the model, the container is probed in the model's two input
+// placements and the goal carries the ML policy's safety margin; model-free
+// policies decide from the machine structure alone (goal 0).
+class ScheduledPackingPolicy : public PackingPolicy {
+ public:
+  // `policy` must be non-null; `model` must be non-null when the policy uses
+  // the model, and must outlive this object (as must everything in `ctx`).
+  ScheduledPackingPolicy(const PackingContext& ctx,
+                         std::unique_ptr<SchedulingPolicy> policy,
+                         const TrainedPerfModel* model = nullptr);
+
+  const std::string& name() const override;
+  PolicyResult Evaluate(const WorkloadProfile& workload, double goal_fraction, Rng& rng,
+                        int trials) const override;
+
+  // The placement class the wrapped SchedulingPolicy ranks first for this
+  // workload and goal on an empty machine.
+  const ImportantPlacement& ChoosePlacement(const WorkloadProfile& workload,
+                                            double goal_fraction) const;
+
+ private:
+  PackingContext ctx_;
+  std::unique_ptr<SchedulingPolicy> policy_;
+  const TrainedPerfModel* model_;
 };
 
 // The paper's policy: probe two placements, predict the full performance
 // vector with the trained model, allocate the fewest NUMA nodes that meet
 // the goal, and pack the remaining nodes with more instances of the same
-// placement class.
-class MlPolicy final : public Policy {
+// placement class. Implemented as the scheduler's "model" policy run
+// through the ScheduledPackingPolicy adapter, under the paper's name.
+class MlPolicy final : public PackingPolicy {
  public:
   // `model` must outlive the policy.
-  MlPolicy(const PolicyContext& ctx, const TrainedPerfModel* model);
+  MlPolicy(const PackingContext& ctx, const TrainedPerfModel* model);
   const std::string& name() const override;
   PolicyResult Evaluate(const WorkloadProfile& workload, double goal_fraction, Rng& rng,
                         int trials) const override;
@@ -112,13 +153,12 @@ class MlPolicy final : public Policy {
                                             double goal_fraction) const;
 
  private:
-  PolicyContext ctx_;
-  const TrainedPerfModel* model_;
+  ScheduledPackingPolicy inner_;
 };
 
 // Splits the machine into as many disjoint instances of the given placement
 // class as fit, using the Pareto packings (best parts first).
-std::vector<Placement> DisjointRealizations(const PolicyContext& ctx,
+std::vector<Placement> DisjointRealizations(const PackingContext& ctx,
                                             const ImportantPlacement& placement_class);
 
 }  // namespace numaplace

@@ -1,0 +1,249 @@
+#include "src/scheduler/policy.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+namespace {
+
+const std::string kModelName = "model";
+const std::string kFirstFitName = "first-fit";
+const std::string kBestFitName = "best-fit";
+const std::string kSpreadName = "spread";
+
+void ValidateContext(const PolicyContext& ctx) {
+  NP_CHECK(ctx.topo != nullptr);
+  NP_CHECK(ctx.ips != nullptr);
+  NP_CHECK(ctx.occupancy != nullptr);
+  NP_CHECK(ctx.vcpus > 0);
+  NP_CHECK(ctx.placement_ids != nullptr);
+  NP_CHECK(ctx.predicted_abs != nullptr);
+  NP_CHECK(ctx.predicted_abs->size() == ctx.placement_ids->size());
+}
+
+std::vector<size_t> IdentityOrder(size_t n) {
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+// Free hardware threads left on the nodes the candidate would land on, after
+// it lands there, or nullopt when the class has no realization on the
+// current free threads. The probe realization is discarded; the scheduler
+// re-realizes whichever candidate it commits.
+std::optional<int> LeftoverFreeThreads(const PolicyContext& ctx,
+                                       const ImportantPlacement& ip) {
+  const std::optional<Placement> realized =
+      RealizeAnywhereFree(ip, *ctx.topo, ctx.vcpus, *ctx.occupancy);
+  if (!realized.has_value()) {
+    return std::nullopt;
+  }
+  int free_on_nodes = 0;
+  for (int node : realized->NodesUsed(*ctx.topo)) {
+    free_on_nodes += ctx.occupancy->FreeThreadsOnNode(node);
+  }
+  return free_on_nodes - ctx.vcpus;
+}
+
+}  // namespace
+
+void ModelFreeCandidates(const ImportantPlacementSet& ips,
+                         std::vector<int>& placement_ids,
+                         std::vector<double>& predicted_abs) {
+  placement_ids.clear();
+  placement_ids.reserve(ips.placements.size());
+  for (const ImportantPlacement& ip : ips.placements) {
+    placement_ids.push_back(ip.id);
+  }
+  predicted_abs.assign(placement_ids.size(), 0.0);
+}
+
+// --- model ---
+
+const std::string& ModelPolicy::name() const { return kModelName; }
+
+std::vector<size_t> ModelPolicy::RankForAdmission(const PolicyContext& ctx) const {
+  ValidateContext(ctx);
+  std::vector<size_t> order = IdentityOrder(ctx.placement_ids->size());
+  double best_pred = 0.0;
+  for (double p : *ctx.predicted_abs) {
+    best_pred = std::max(best_pred, p);
+  }
+  const double near_best = best_pred * (1.0 - ctx.fallback_slack);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const bool meets_a = (*ctx.predicted_abs)[a] >= ctx.goal_abs;
+    const bool meets_b = (*ctx.predicted_abs)[b] >= ctx.goal_abs;
+    if (meets_a != meets_b) {
+      return meets_a;
+    }
+    const bool near_a = meets_a || (*ctx.predicted_abs)[a] >= near_best;
+    const bool near_b = meets_b || (*ctx.predicted_abs)[b] >= near_best;
+    if (near_a != near_b) {
+      return near_a;
+    }
+    if (near_a) {
+      const int nodes_a = ctx.ips->ById((*ctx.placement_ids)[a]).NodeCount();
+      const int nodes_b = ctx.ips->ById((*ctx.placement_ids)[b]).NodeCount();
+      if (nodes_a != nodes_b) {
+        return nodes_a < nodes_b;
+      }
+    }
+    return (*ctx.predicted_abs)[a] > (*ctx.predicted_abs)[b];
+  });
+  return order;
+}
+
+std::vector<size_t> ModelPolicy::ProposeUpgrades(const PolicyContext& ctx,
+                                                 const UpgradeState& incumbent) const {
+  if (incumbent.meets_goal) {
+    return {};
+  }
+  // The admission rank is a preference order, not monotone in prediction
+  // (the near-best bucket sorts by node count), so every candidate clearing
+  // the gain gate is proposed; the scheduler commits the first realizable.
+  std::vector<size_t> proposals;
+  for (size_t idx : RankForAdmission(ctx)) {
+    if ((*ctx.placement_ids)[idx] == incumbent.current_placement_id) {
+      continue;
+    }
+    const bool cand_meets = (*ctx.predicted_abs)[idx] >= ctx.goal_abs;
+    const bool better = cand_meets ||
+                        (*ctx.predicted_abs)[idx] >
+                            incumbent.current_predicted_abs *
+                                (1.0 + incumbent.upgrade_margin);
+    if (better) {
+      proposals.push_back(idx);
+    }
+  }
+  return proposals;
+}
+
+// --- first-fit ---
+
+const std::string& FirstFitPolicy::name() const { return kFirstFitName; }
+
+std::vector<size_t> FirstFitPolicy::RankForAdmission(const PolicyContext& ctx) const {
+  ValidateContext(ctx);
+  std::vector<size_t> order = IdentityOrder(ctx.placement_ids->size());
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return ctx.ips->ById((*ctx.placement_ids)[a]).NodeCount() <
+           ctx.ips->ById((*ctx.placement_ids)[b]).NodeCount();
+  });
+  return order;
+}
+
+// --- best-fit ---
+
+const std::string& BestFitPolicy::name() const { return kBestFitName; }
+
+std::vector<size_t> BestFitPolicy::RankForAdmission(const PolicyContext& ctx) const {
+  ValidateContext(ctx);
+  std::vector<size_t> order = IdentityOrder(ctx.placement_ids->size());
+  // Unrealizable candidates sort last (the scheduler would skip them anyway)
+  // ranked as infinitely loose fits.
+  std::vector<int> leftover(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    leftover[i] = LeftoverFreeThreads(ctx, ctx.ips->ById((*ctx.placement_ids)[i]))
+                      .value_or(std::numeric_limits<int>::max());
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (leftover[a] != leftover[b]) {
+      return leftover[a] < leftover[b];
+    }
+    return ctx.ips->ById((*ctx.placement_ids)[a]).NodeCount() <
+           ctx.ips->ById((*ctx.placement_ids)[b]).NodeCount();
+  });
+  return order;
+}
+
+// --- spread ---
+
+const std::string& SpreadPolicy::name() const { return kSpreadName; }
+
+std::vector<size_t> SpreadPolicy::RankForAdmission(const PolicyContext& ctx) const {
+  ValidateContext(ctx);
+  std::vector<size_t> order = IdentityOrder(ctx.placement_ids->size());
+  std::vector<int> leftover(order.size());
+  std::vector<char> realizable(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    const std::optional<int> left =
+        LeftoverFreeThreads(ctx, ctx.ips->ById((*ctx.placement_ids)[i]));
+    realizable[i] = left.has_value() ? 1 : 0;
+    leftover[i] = left.value_or(-1);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (realizable[a] != realizable[b]) {
+      return realizable[a] > realizable[b];
+    }
+    const int nodes_a = ctx.ips->ById((*ctx.placement_ids)[a]).NodeCount();
+    const int nodes_b = ctx.ips->ById((*ctx.placement_ids)[b]).NodeCount();
+    if (nodes_a != nodes_b) {
+      return nodes_a > nodes_b;
+    }
+    return leftover[a] > leftover[b];
+  });
+  return order;
+}
+
+// --- registry ---
+
+PolicyRegistry& PolicyRegistry::Global() {
+  static PolicyRegistry* registry = [] {
+    auto* r = new PolicyRegistry();
+    r->Register(kModelName, [] { return std::make_unique<ModelPolicy>(); });
+    r->Register(kFirstFitName, [] { return std::make_unique<FirstFitPolicy>(); });
+    r->Register(kBestFitName, [] { return std::make_unique<BestFitPolicy>(); });
+    r->Register(kSpreadName, [] { return std::make_unique<SpreadPolicy>(); });
+    return r;
+  }();
+  return *registry;
+}
+
+void PolicyRegistry::Register(const std::string& name, Factory factory) {
+  NP_CHECK(!name.empty());
+  NP_CHECK(factory != nullptr);
+  const auto [it, inserted] = factories_.try_emplace(name, std::move(factory));
+  (void)it;
+  NP_CHECK_MSG(inserted, "scheduling policy '" << name << "' is already registered");
+}
+
+bool PolicyRegistry::Has(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::unique_ptr<SchedulingPolicy> PolicyRegistry::Make(const std::string& name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::ostringstream known;
+    for (const auto& [key, factory] : factories_) {
+      (void)factory;
+      known << (known.tellp() > 0 ? ", " : "") << key;
+    }
+    NP_CHECK_MSG(false, "unknown scheduling policy '" << name << "' (registered: "
+                                                      << known.str() << ")");
+  }
+  std::unique_ptr<SchedulingPolicy> policy = it->second();
+  NP_CHECK_MSG(policy != nullptr, "factory for policy '" << name << "' returned null");
+  return policy;
+}
+
+std::vector<std::string> PolicyRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    (void)factory;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::unique_ptr<SchedulingPolicy> MakePolicy(const std::string& name) {
+  return PolicyRegistry::Global().Make(name);
+}
+
+}  // namespace numaplace

@@ -42,14 +42,21 @@ size_t IndexOf(const std::vector<int>& placement_ids, int id) {
 
 MachineScheduler::MachineScheduler(const Topology& topo, const PerformanceModel& solo_sim,
                                    ModelRegistry* registry, SchedulerConfig config)
+    : MachineScheduler(topo, solo_sim, registry, config, MakePolicy(config.policy)) {}
+
+MachineScheduler::MachineScheduler(const Topology& topo, const PerformanceModel& solo_sim,
+                                   ModelRegistry* registry, SchedulerConfig config,
+                                   std::unique_ptr<SchedulingPolicy> policy)
     : topo_(&topo),
       solo_sim_(&solo_sim),
       registry_(registry),
-      config_(config),
+      config_(std::move(config)),
+      policy_(std::move(policy)),
       occupancy_(topo),
       fast_migrator_(),
       throttled_migrator_() {
   NP_CHECK(registry_ != nullptr);
+  NP_CHECK(policy_ != nullptr);
   NP_CHECK(config_.probe_seconds > 0.0);
   NP_CHECK(&solo_sim.topology() == &topo);
 }
@@ -91,50 +98,20 @@ double MachineScheduler::BaselineAbsThroughput(const ContainerRequest& request) 
   return solo_sim_->Evaluate(request.workload, realized, /*run=*/0).throughput_ops;
 }
 
-std::vector<size_t> MachineScheduler::RankCandidates(
-    const ImportantPlacementSet& ips, const std::vector<int>& placement_ids,
-    const std::vector<double>& predicted_abs, double goal_abs) const {
-  std::vector<size_t> order(placement_ids.size());
-  std::iota(order.begin(), order.end(), 0);
-  if (config_.policy == SchedulerConfig::Policy::kFirstFit) {
-    // Fewest nodes that fit, id order within a node count.
-    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return ips.ById(placement_ids[a]).NodeCount() <
-             ips.ById(placement_ids[b]).NodeCount();
-    });
-    return order;
-  }
-  // The paper's decision rule: prefer placements predicted to meet the goal,
-  // among those the fewest NUMA nodes (ties to the higher prediction). When
-  // nothing meets the goal, the near-best predictions (within fallback_slack
-  // of the maximum) count as equally good and the fewest nodes among them
-  // wins: spending the whole machine on the last percent starves co-tenants.
-  double best_pred = 0.0;
-  for (double p : predicted_abs) {
-    best_pred = std::max(best_pred, p);
-  }
-  const double near_best = best_pred * (1.0 - config_.fallback_slack);
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    const bool meets_a = predicted_abs[a] >= goal_abs;
-    const bool meets_b = predicted_abs[b] >= goal_abs;
-    if (meets_a != meets_b) {
-      return meets_a;
-    }
-    const bool near_a = meets_a || predicted_abs[a] >= near_best;
-    const bool near_b = meets_b || predicted_abs[b] >= near_best;
-    if (near_a != near_b) {
-      return near_a;
-    }
-    if (near_a) {
-      const int nodes_a = ips.ById(placement_ids[a]).NodeCount();
-      const int nodes_b = ips.ById(placement_ids[b]).NodeCount();
-      if (nodes_a != nodes_b) {
-        return nodes_a < nodes_b;
-      }
-    }
-    return predicted_abs[a] > predicted_abs[b];
-  });
-  return order;
+PolicyContext MachineScheduler::MakePolicyContext(
+    const ImportantPlacementSet& ips, const OccupancyMap& occupancy, int vcpus,
+    const std::vector<int>& placement_ids, const std::vector<double>& predicted_abs,
+    double goal_abs) const {
+  PolicyContext ctx;
+  ctx.topo = topo_;
+  ctx.ips = &ips;
+  ctx.occupancy = &occupancy;
+  ctx.vcpus = vcpus;
+  ctx.placement_ids = &placement_ids;
+  ctx.predicted_abs = &predicted_abs;
+  ctx.goal_abs = goal_abs;
+  ctx.fallback_slack = config_.fallback_slack;
+  return ctx;
 }
 
 MachineScheduler::PredictionView MachineScheduler::BuildPredictionView(
@@ -175,7 +152,7 @@ ScheduleOutcome MachineScheduler::TryPlace(ManagedContainer& container, double n
   double decision_goal = 0.0;
   bool from_cache = false;
 
-  if (config_.policy == SchedulerConfig::Policy::kModel) {
+  if (policy_->UsesModel()) {
     const TrainedPerfModel& model = registry_->Get(topo_->name(), request.vcpus);
     const CachedPrediction* cached = registry_->FindPrediction(request.id);
     if (cached == nullptr) {
@@ -212,16 +189,17 @@ ScheduleOutcome MachineScheduler::TryPlace(ManagedContainer& container, double n
     predicted_abs = view.predicted_abs;
     decision_goal = view.decision_goal;
   } else {
-    placement_ids.reserve(ips.placements.size());
-    for (const ImportantPlacement& ip : ips.placements) {
-      placement_ids.push_back(ip.id);
-    }
-    predicted_abs.assign(placement_ids.size(), 0.0);
+    ModelFreeCandidates(ips, placement_ids, predicted_abs);
   }
 
-  const std::vector<size_t> order =
-      RankCandidates(ips, placement_ids, predicted_abs, decision_goal);
+  const PolicyContext ctx = MakePolicyContext(ips, occupancy_, request.vcpus,
+                                              placement_ids, predicted_abs,
+                                              decision_goal);
+  const std::vector<size_t> order = policy_->RankForAdmission(ctx);
   for (size_t idx : order) {
+    NP_CHECK_MSG(idx < placement_ids.size(),
+                 "policy '" << policy_->name() << "' ranked candidate index " << idx
+                            << " out of range");
     const ImportantPlacement& ip = ips.ById(placement_ids[idx]);
     const std::optional<Placement> realized =
         RealizeAnywhereFree(ip, *topo_, request.vcpus, occupancy_);
@@ -244,8 +222,7 @@ ScheduleOutcome MachineScheduler::TryPlace(ManagedContainer& container, double n
     container.placement = *realized;
     container.memory_nodes = new_nodes;
     container.predicted_abs_throughput = predicted_abs[idx];
-    container.meets_goal = config_.policy == SchedulerConfig::Policy::kModel &&
-                           predicted_abs[idx] >= decision_goal;
+    container.meets_goal = policy_->UsesModel() && predicted_abs[idx] >= decision_goal;
     container.placed_seconds = now + clock;
 
     outcome.admitted = true;
@@ -339,38 +316,57 @@ std::vector<ScheduleOutcome> MachineScheduler::ReplacementPass(double now) {
   }
   pending_ = std::move(still_pending);
 
-  // Upgrade degraded incumbents (model policy only: first-fit has no notion
-  // of a goal to upgrade toward).
-  if (config_.policy != SchedulerConfig::Policy::kModel) {
+  // Upgrade degraded incumbents. Policies that never upgrade (the default)
+  // skip the per-incumbent search outright; upgrading policies without the
+  // model see zero predictions and a zero goal, exactly as at admission.
+  if (!policy_->Upgrades()) {
     return outcomes;
   }
   for (auto& [id, container] : containers_) {
     if (container.state != ContainerState::kRunning || container.meets_goal) {
       continue;
     }
-    const CachedPrediction* cached = registry_->FindPrediction(id);
-    NP_CHECK_MSG(cached != nullptr, "running container " << id << " lost its probes");
     const ImportantPlacementSet& ips = PlacementsFor(container.request.vcpus);
-    const PredictionView view = BuildPredictionView(container, *cached);
+    std::vector<int> placement_ids;
+    std::vector<double> predicted_abs;
+    double decision_goal = 0.0;
+    if (policy_->UsesModel()) {
+      const CachedPrediction* cached = registry_->FindPrediction(id);
+      NP_CHECK_MSG(cached != nullptr, "running container " << id << " lost its probes");
+      PredictionView view = BuildPredictionView(container, *cached);
+      placement_ids = std::move(view.placement_ids);
+      predicted_abs = std::move(view.predicted_abs);
+      decision_goal = view.decision_goal;
+    } else {
+      ModelFreeCandidates(ips, placement_ids, predicted_abs);
+    }
 
     // Search with the container's own threads treated as free: it can move
     // onto any mix of its current and newly freed threads.
     OccupancyMap scratch = occupancy_;
     scratch.Release(id);
-    const std::vector<size_t> order =
-        RankCandidates(ips, view.placement_ids, view.predicted_abs, view.decision_goal);
-    for (size_t idx : order) {
-      const ImportantPlacement& ip = ips.ById(view.placement_ids[idx]);
-      const bool cand_meets = view.predicted_abs[idx] >= view.decision_goal;
-      // The rank is a preference order, not monotone in prediction (the
-      // near-best bucket sorts by node count), so keep scanning past
-      // not-better or unrealizable candidates; the margin gates each commit.
-      const bool better =
-          cand_meets || view.predicted_abs[idx] > container.predicted_abs_throughput *
-                                                      (1.0 + config_.upgrade_margin);
-      if (!better || ip.id == container.placement_id) {
+    const PolicyContext ctx = MakePolicyContext(ips, scratch, container.request.vcpus,
+                                                placement_ids, predicted_abs,
+                                                decision_goal);
+    UpgradeState incumbent;
+    incumbent.current_placement_id = container.placement_id;
+    incumbent.current_predicted_abs = container.predicted_abs_throughput;
+    incumbent.meets_goal = container.meets_goal;
+    incumbent.upgrade_margin = config_.upgrade_margin;
+    const std::vector<size_t> proposals = policy_->ProposeUpgrades(ctx, incumbent);
+    for (size_t idx : proposals) {
+      NP_CHECK_MSG(idx < placement_ids.size(),
+                   "policy '" << policy_->name() << "' proposed upgrade index " << idx
+                              << " out of range");
+      const ImportantPlacement& ip = ips.ById(placement_ids[idx]);
+      // A proposal of the incumbent's own class is never an upgrade, whatever
+      // the policy claims: committing it would re-realize the class on other
+      // threads and charge a pointless migration.
+      if (ip.id == container.placement_id) {
         continue;
       }
+      const bool cand_meets =
+          policy_->UsesModel() && predicted_abs[idx] >= decision_goal;
       const std::optional<Placement> realized =
           RealizeAnywhereFree(ip, *topo_, container.request.vcpus, scratch);
       if (!realized.has_value()) {
@@ -381,8 +377,12 @@ std::vector<ScheduleOutcome> MachineScheduler::ReplacementPass(double now) {
       outcome.container_id = id;
       outcome.admitted = true;
       outcome.goal_abs_throughput = container.goal_abs_throughput;
-      outcome.reused_cached_probes = true;
-      ++stats_.cached_probe_reuses;
+      // A model-driven re-place is served from the prediction cache; a
+      // structural one never probed.
+      if (policy_->UsesModel()) {
+        outcome.reused_cached_probes = true;
+        ++stats_.cached_probe_reuses;
+      }
       // Memory follows only when the node set changes; a same-node upgrade
       // (different cache-sharing class) is a cheap vCPU remap.
       const NodeSet new_nodes = realized->NodesUsed(*topo_);
@@ -403,7 +403,7 @@ std::vector<ScheduleOutcome> MachineScheduler::ReplacementPass(double now) {
       container.placement_id = ip.id;
       container.placement = *realized;
       container.memory_nodes = new_nodes;
-      container.predicted_abs_throughput = view.predicted_abs[idx];
+      container.predicted_abs_throughput = predicted_abs[idx];
       container.meets_goal = cand_meets;
       container.placed_seconds = now + outcome.decision_seconds;
       ++container.replacements;
@@ -411,7 +411,7 @@ std::vector<ScheduleOutcome> MachineScheduler::ReplacementPass(double now) {
 
       outcome.placement_id = ip.id;
       outcome.placement = *realized;
-      outcome.predicted_abs_throughput = view.predicted_abs[idx];
+      outcome.predicted_abs_throughput = predicted_abs[idx];
       outcome.meets_goal = cand_meets;
       outcomes.push_back(std::move(outcome));
       break;

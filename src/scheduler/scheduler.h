@@ -16,12 +16,14 @@
 //     was crowded when they arrived) are migrated up using the existing
 //     migrators and the cached predictions.
 //
-// A first-fit policy (fewest nodes that fit, no model) is built in as the
-// baseline the tenancy benchmark compares against.
+// Decision logic is delegated to a pluggable SchedulingPolicy
+// (src/scheduler/policy.h), selected by name through the PolicyRegistry —
+// the scheduler itself is policy-agnostic.
 #ifndef NUMAPLACE_SRC_SCHEDULER_SCHEDULER_H_
 #define NUMAPLACE_SRC_SCHEDULER_SCHEDULER_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +31,7 @@
 #include "src/core/occupancy.h"
 #include "src/migration/migration.h"
 #include "src/model/registry.h"
+#include "src/scheduler/policy.h"
 #include "src/sim/perf_model.h"
 #include "src/workloads/profile.h"
 #include "src/workloads/trace.h"
@@ -88,11 +91,9 @@ struct ManagedContainer {
 };
 
 struct SchedulerConfig {
-  enum class Policy {
-    kModel,     // probe, predict, fewest nodes meeting the goal (the paper)
-    kFirstFit,  // fewest nodes that fit, no probes, no upgrades (baseline)
-  };
-  Policy policy = Policy::kModel;
+  // Name of the SchedulingPolicy to instantiate through the PolicyRegistry
+  // ("model", "first-fit", "best-fit", "spread", or any registered plugin).
+  std::string policy = "model";
   double probe_seconds = 2.0;
   // The placement whose solo throughput defines every goal (the paper uses
   // #1 on the AMD system, #2 on the Intel system).
@@ -131,9 +132,16 @@ class MachineScheduler {
  public:
   // `topo`, `solo_sim` and `registry` must outlive the scheduler. The
   // registry must hold a model for (topo.name(), vcpus) of every submitted
-  // container size when the model policy is active.
+  // container size when the active policy uses the model. The policy is
+  // built from config.policy via the PolicyRegistry.
   MachineScheduler(const Topology& topo, const PerformanceModel& solo_sim,
                    ModelRegistry* registry, SchedulerConfig config = {});
+
+  // As above with an explicitly constructed (e.g. unregistered plugin)
+  // policy; config.policy is ignored.
+  MachineScheduler(const Topology& topo, const PerformanceModel& solo_sim,
+                   ModelRegistry* registry, SchedulerConfig config,
+                   std::unique_ptr<SchedulingPolicy> policy);
 
   // Injects a precomputed important-placement set for its vCPU count
   // (otherwise sets are generated lazily on first use of a size).
@@ -157,6 +165,7 @@ class MachineScheduler {
   const OccupancyMap& occupancy() const { return occupancy_; }
   const SchedulerStats& stats() const { return stats_; }
   const SchedulerConfig& config() const { return config_; }
+  const SchedulingPolicy& policy() const { return *policy_; }
 
   // nullptr when the id was never submitted (departed containers remain).
   const ManagedContainer* Find(int container_id) const;
@@ -198,11 +207,15 @@ class MachineScheduler {
   PredictionView BuildPredictionView(const ManagedContainer& container,
                                      const CachedPrediction& cached) const;
 
-  // Candidate placement indices in decision-preference order.
-  std::vector<size_t> RankCandidates(const ImportantPlacementSet& ips,
-                                     const std::vector<int>& placement_ids,
-                                     const std::vector<double>& predicted_abs,
-                                     double goal_abs) const;
+  // Assembles the context handed to the policy for one decision against the
+  // given occupancy view (the live map for admissions, a scratch map with
+  // the incumbent freed for upgrades). The context borrows every argument;
+  // all must outlive the policy call.
+  PolicyContext MakePolicyContext(const ImportantPlacementSet& ips,
+                                  const OccupancyMap& occupancy, int vcpus,
+                                  const std::vector<int>& placement_ids,
+                                  const std::vector<double>& predicted_abs,
+                                  double goal_abs) const;
 
   // Queue admission + degraded-container upgrades after capacity was freed.
   std::vector<ScheduleOutcome> ReplacementPass(double now);
@@ -213,6 +226,7 @@ class MachineScheduler {
   const PerformanceModel* solo_sim_;
   ModelRegistry* registry_;
   SchedulerConfig config_;
+  std::unique_ptr<SchedulingPolicy> policy_;
   OccupancyMap occupancy_;
   std::map<int, ImportantPlacementSet> placements_by_vcpus_;
   std::map<int, ManagedContainer> containers_;

@@ -42,7 +42,7 @@ class ExtensionsTest : public ::testing::Test {
   MultiTenantModel multi_;
   ModelPipeline pipeline_;
   TrainedPerfModel model_;
-  PolicyContext ctx_;
+  PackingContext ctx_;
 };
 
 TEST_F(ExtensionsTest, RandomSearchFindsValidPlacements) {

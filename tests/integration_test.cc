@@ -84,7 +84,7 @@ TEST_P(EndToEnd, FullWorkflowProducesConsistentDecisions) {
   // The same model drives the packing policy without violations at a mild
   // goal.
   MultiTenantModel multi(topo, 0.015, 3);
-  PolicyContext ctx;
+  PackingContext ctx;
   ctx.topo = &topo;
   ctx.ips = &ips;
   ctx.solo_sim = &sim;

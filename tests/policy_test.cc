@@ -44,7 +44,7 @@ class PolicyTest : public ::testing::Test {
   MultiTenantModel multi_;
   ModelPipeline pipeline_;
   TrainedPerfModel model_;
-  PolicyContext ctx_;
+  PackingContext ctx_;
 };
 
 TEST_F(PolicyTest, BaselineThroughputIsDeterministicAndPositive) {
@@ -166,7 +166,7 @@ TEST_F(PolicyTest, IntelMachinePoliciesWork) {
   const ImportantPlacementSet ips = GenerateImportantPlacements(intel, 24, false);
   PerformanceModel solo(intel, 0.01, 5);
   MultiTenantModel multi(intel, 0.01, 5);
-  PolicyContext ctx;
+  PackingContext ctx;
   ctx.topo = &intel;
   ctx.ips = &ips;
   ctx.solo_sim = &solo;

@@ -107,6 +107,30 @@ TEST_F(RegistryTest, PredictionCacheStoresAndForgets) {
   EXPECT_NO_THROW(registry.Predict(7, topo_.name(), 16, 1.5e6, 1.8e6));
 }
 
+TEST_F(RegistryTest, PredictOrGetReturnsTheCacheWithoutRepredicting) {
+  ModelRegistry registry;
+  registry.Register(topo_.name(), 16, model_);
+
+  // First call behaves exactly like Predict.
+  const CachedPrediction& fresh = registry.PredictOrGet(7, topo_.name(), 16, 1.5e6, 1.8e6);
+  EXPECT_DOUBLE_EQ(fresh.perf_a, 1.5e6);
+  EXPECT_EQ(registry.NumCachedPredictions(), 1u);
+
+  // A repeat — as a re-placement pass might issue — returns the cached entry
+  // untouched even with different (ignored) probe measurements, where
+  // Predict() would CHECK-fail on the duplicate id.
+  const CachedPrediction& again = registry.PredictOrGet(7, topo_.name(), 16, 9.9e6, 9.9e6);
+  EXPECT_EQ(&again, &fresh);
+  EXPECT_DOUBLE_EQ(again.perf_a, 1.5e6);
+  EXPECT_EQ(registry.NumCachedPredictions(), 1u);
+  EXPECT_THROW(registry.Predict(7, topo_.name(), 16, 1.5e6, 1.8e6), std::logic_error);
+
+  // Forget() restores the fresh-probe path (the Forget()-first contract).
+  registry.Forget(7);
+  const CachedPrediction& after = registry.PredictOrGet(7, topo_.name(), 16, 2.0e6, 2.2e6);
+  EXPECT_DOUBLE_EQ(after.perf_a, 2.0e6);
+}
+
 TEST_F(RegistryTest, PredictWithoutModelIsRejected) {
   ModelRegistry registry;
   EXPECT_THROW(registry.Predict(1, topo_.name(), 16, 1.0, 1.0), std::logic_error);

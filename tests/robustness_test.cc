@@ -166,7 +166,7 @@ TEST(PolicyEdge, SmartAggressiveOnZenUsesWholeNodes) {
   const ImportantPlacementSet ips = GenerateImportantPlacements(zen, 16, false);
   PerformanceModel solo(zen);
   MultiTenantModel multi(zen);
-  PolicyContext ctx;
+  PackingContext ctx;
   ctx.topo = &zen;
   ctx.ips = &ips;
   ctx.solo_sim = &solo;
@@ -184,7 +184,7 @@ TEST(PolicyEdge, BaselineThroughputMatchesDirectSimulation) {
   const ImportantPlacementSet ips = GenerateImportantPlacements(amd, 16, true);
   PerformanceModel solo(amd, 0.05, 9);  // noisy sim must not affect the goal
   MultiTenantModel multi(amd);
-  PolicyContext ctx;
+  PackingContext ctx;
   ctx.topo = &amd;
   ctx.ips = &ips;
   ctx.solo_sim = &solo;

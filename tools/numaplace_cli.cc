@@ -8,14 +8,18 @@
 //                                     from two probe measurements
 //   migrate <workload>                estimate migration costs for a
 //                                     catalog workload
-//   schedule <machine> <vcpus> <containers> [seed]
-//                                     train a model, generate a Poisson
-//                                     arrival/departure trace and replay it
-//                                     through the multi-tenant scheduler,
-//                                     printing utilization and slowdowns
+//   policies                          list the registered scheduling policies
+//   schedule <machine> <vcpus> <containers> [seed] [policy]
+//                                     generate a Poisson arrival/departure
+//                                     trace and replay it through the
+//                                     multi-tenant scheduler under the named
+//                                     policy (default "model", which trains
+//                                     a model first), printing utilization
+//                                     and slowdowns
 //
 // Machines: amd (Opteron 6272), intel (Xeon E7-4830 v3), zen, cod.
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,6 +32,7 @@
 #include "src/migration/migration.h"
 #include "src/model/pipeline.h"
 #include "src/model/registry.h"
+#include "src/scheduler/policy.h"
 #include "src/scheduler/scheduler.h"
 #include "src/sim/perf_model.h"
 #include "src/topology/machines.h"
@@ -146,10 +151,29 @@ int CmdMigrate(const std::string& workload_name) {
   return 0;
 }
 
+int CmdPolicies() {
+  std::printf("registered scheduling policies:\n");
+  for (const std::string& name : PolicyRegistry::Global().Names()) {
+    const std::unique_ptr<SchedulingPolicy> policy = MakePolicy(name);
+    std::printf("  %-10s %s\n", name.c_str(),
+                policy->UsesModel() ? "(probes and predicts with the trained model)"
+                                    : "(structural, no probes)");
+  }
+  return 0;
+}
+
 int CmdSchedule(const std::string& machine_name, int vcpus, int num_containers,
-                uint64_t seed) {
+                uint64_t seed, const std::string& policy_name) {
   if (num_containers <= 0) {
     std::fprintf(stderr, "need at least one container to schedule\n");
+    return 2;
+  }
+  if (!PolicyRegistry::Global().Has(policy_name)) {
+    std::fprintf(stderr, "unknown policy '%s'; registered:", policy_name.c_str());
+    for (const std::string& name : PolicyRegistry::Global().Names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
     return 2;
   }
   const Topology machine = MakeMachine(machine_name);
@@ -159,20 +183,23 @@ int CmdSchedule(const std::string& machine_name, int vcpus, int num_containers,
   PerformanceModel solo(machine, 0.015, 1);
   MultiTenantModel multi(machine, 0.015, 1);
 
-  std::printf("training a model for (%s, %d vCPUs) on 72 synthetic workloads...\n",
-              machine.name().c_str(), vcpus);
-  ModelPipeline pipeline(set, solo, baseline_id, 42);
-  Rng train_rng(7);
-  PerfModelConfig model_config;
   ModelRegistry registry;
-  registry.Register(machine.name(), vcpus,
-                    pipeline.TrainPerfAuto(SampleTrainingWorkloads(72, train_rng),
-                                           model_config));
-
   SchedulerConfig sched_config;
+  sched_config.policy = policy_name;
   sched_config.baseline_id = baseline_id;
   sched_config.use_interconnect_concern = use_ic;
-  MachineScheduler scheduler(machine, solo, &registry, sched_config);
+  std::unique_ptr<SchedulingPolicy> policy = MakePolicy(policy_name);
+  if (policy->UsesModel()) {
+    std::printf("training a model for (%s, %d vCPUs) on 72 synthetic workloads...\n",
+                machine.name().c_str(), vcpus);
+    ModelPipeline pipeline(set, solo, baseline_id, 42);
+    Rng train_rng(7);
+    PerfModelConfig model_config;
+    registry.Register(machine.name(), vcpus,
+                      pipeline.TrainPerfAuto(SampleTrainingWorkloads(72, train_rng),
+                                             model_config));
+  }
+  MachineScheduler scheduler(machine, solo, &registry, sched_config, std::move(policy));
   scheduler.ProvidePlacements(set);
 
   TraceConfig trace_config;
@@ -183,8 +210,8 @@ int CmdSchedule(const std::string& machine_name, int vcpus, int num_containers,
   trace_config.mean_lifetime_seconds = 480.0;
   Rng trace_rng(seed);
   const std::vector<TraceEvent> trace = GeneratePoissonTrace(trace_config, trace_rng);
-  std::printf("replaying %zu events (%d containers, Poisson arrivals)...\n\n",
-              trace.size(), num_containers);
+  std::printf("replaying %zu events (%d containers, Poisson arrivals, policy '%s')...\n\n",
+              trace.size(), num_containers, policy_name.c_str());
 
   // Final per-container state by last outcome; the workload names carry the
   // catalog application plus the container id.
@@ -251,8 +278,9 @@ void Usage() {
                "  numaplace_cli train <amd|intel|zen|cod> <vcpus> <model-file>\n"
                "  numaplace_cli predict <model-file> <perf_a> <perf_b>\n"
                "  numaplace_cli migrate <workload>\n"
+               "  numaplace_cli policies\n"
                "  numaplace_cli schedule <amd|intel|zen|cod> <vcpus> <containers> "
-               "[seed]\n");
+               "[seed] [policy]\n");
 }
 
 }  // namespace
@@ -279,9 +307,39 @@ int main(int argc, char** argv) {
     if (command == "migrate" && argc == 3) {
       return CmdMigrate(argv[2]);
     }
-    if (command == "schedule" && (argc == 5 || argc == 6)) {
-      const uint64_t seed = argc == 6 ? std::strtoull(argv[5], nullptr, 10) : 11;
-      return CmdSchedule(argv[2], std::atoi(argv[3]), std::atoi(argv[4]), seed);
+    if (command == "policies" && argc == 2) {
+      return CmdPolicies();
+    }
+    if (command == "schedule" && argc >= 5 && argc <= 7) {
+      // Optional trailing args in either order: a number is the trace seed, a
+      // word is the policy name. Two of the same kind is a usage error, not a
+      // silent overwrite.
+      uint64_t seed = 11;
+      std::string policy = "model";
+      bool have_seed = false;
+      bool have_policy = false;
+      for (int i = 5; i < argc; ++i) {
+        char* end = nullptr;
+        const uint64_t parsed = std::strtoull(argv[i], &end, 10);
+        if (end != nullptr && *end == '\0' && end != argv[i]) {
+          if (have_seed) {
+            std::fprintf(stderr, "two seeds given ('%" PRIu64 "' and '%s')\n", seed,
+                         argv[i]);
+            return 2;
+          }
+          seed = parsed;
+          have_seed = true;
+        } else {
+          if (have_policy) {
+            std::fprintf(stderr, "two policies given ('%s' and '%s')\n", policy.c_str(),
+                         argv[i]);
+            return 2;
+          }
+          policy = argv[i];
+          have_policy = true;
+        }
+      }
+      return CmdSchedule(argv[2], std::atoi(argv[3]), std::atoi(argv[4]), seed, policy);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
