@@ -19,7 +19,12 @@
 // must beat first-fit on goal attainment; first-fit and best-fit pack tight
 // node sets, and spread burns the whole machine per container (the
 // conservative operator).
+//
+// `--json <path>` additionally emits the per-policy numbers as JSON for the
+// BENCH_*.json perf trajectory.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -31,6 +36,7 @@
 #include "src/scheduler/scheduler.h"
 #include "src/sim/perf_model.h"
 #include "src/topology/machines.h"
+#include "src/util/json.h"
 #include "src/util/rng.h"
 #include "src/util/table.h"
 #include "src/workloads/synth.h"
@@ -46,7 +52,13 @@ struct PolicyRow {
   SchedulerStats stats;
 };
 
-void RunMachine(bool amd) {
+struct MachineRows {
+  std::string machine;   // short name for the JSON key
+  std::string topology;
+  std::vector<PolicyRow> rows;
+};
+
+MachineRows RunMachine(bool amd) {
   const Topology topo = amd ? AmdOpteron6272() : IntelXeonE74830v3();
   const int vcpus = amd ? 16 : 24;
   const int baseline_id = amd ? 1 : 2;
@@ -131,12 +143,66 @@ void RunMachine(bool amd) {
   std::printf("model vs first-fit goal attainment: %+.1f pp %s\n",
               100.0 * (model_attainment - ff_attainment),
               model_attainment > ff_attainment ? "(model wins)" : "(FIRST-FIT WINS?)");
+
+  return {amd ? "amd" : "intel", topo.name(), std::move(rows)};
+}
+
+void WriteJson(const std::string& path, const std::vector<MachineRows>& machines) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Field("bench", "bench_scheduler_tenancy");
+  json.Key("machines");
+  json.BeginArray();
+  for (const MachineRows& machine : machines) {
+    json.BeginObject();
+    json.Field("machine", machine.machine);
+    json.Field("topology", machine.topology);
+    json.Key("policies");
+    json.BeginArray();
+    for (const PolicyRow& row : machine.rows) {
+      json.BeginObject();
+      json.Field("policy", row.name);
+      json.Field("goal_attainment", row.report.goal_attainment);
+      json.Field("container_seconds_at_goal", row.report.container_seconds_at_goal);
+      json.Field("mean_utilization", row.report.mean_utilization);
+      json.Field("upgrades", row.stats.upgrades);
+      json.Field("probe_runs", row.stats.probe_runs);
+      json.Field("cached_probe_reuses", row.stats.cached_probe_reuses);
+      json.Field("decisions", row.report.decisions);
+      json.Field("wall_seconds", row.report.wall_seconds);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  out << "\n";
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace
 
-int main() {
-  RunMachine(/*amd=*/true);
-  RunMachine(/*amd=*/false);
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_scheduler_tenancy [--json <path>]\n");
+      return 2;
+    }
+  }
+  std::vector<MachineRows> machines;
+  machines.push_back(RunMachine(/*amd=*/true));
+  machines.push_back(RunMachine(/*amd=*/false));
+  if (!json_path.empty()) {
+    WriteJson(json_path, machines);
+  }
   return 0;
 }

@@ -1,0 +1,141 @@
+#include "src/cluster/dispatch.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+namespace {
+
+const std::string kLeastLoadedName = "least-loaded";
+const std::string kRoundRobinName = "round-robin";
+const std::string kBestPredictedName = "best-predicted";
+
+void ValidateContext(const DispatchContext& ctx) {
+  NP_CHECK(ctx.request != nullptr);
+  NP_CHECK(ctx.machines != nullptr);
+  NP_CHECK(!ctx.machines->empty());
+}
+
+std::vector<size_t> IdentityOrder(size_t n) {
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+// The shared tie-breaker: emptier machines first so dispatch pressure
+// spreads instead of piling onto machine 0.
+bool LessLoaded(const MachineCandidate& a, const MachineCandidate& b) {
+  if (a.utilization != b.utilization) {
+    return a.utilization < b.utilization;
+  }
+  if (a.pending != b.pending) {
+    return a.pending < b.pending;
+  }
+  if (a.free_threads != b.free_threads) {
+    return a.free_threads > b.free_threads;
+  }
+  return a.machine_id < b.machine_id;
+}
+
+}  // namespace
+
+// --- least-loaded ---
+
+const std::string& LeastLoadedDispatch::name() const { return kLeastLoadedName; }
+
+std::vector<size_t> LeastLoadedDispatch::Rank(const DispatchContext& ctx) {
+  ValidateContext(ctx);
+  std::vector<size_t> order = IdentityOrder(ctx.machines->size());
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return LessLoaded((*ctx.machines)[a], (*ctx.machines)[b]);
+  });
+  return order;
+}
+
+// --- round-robin ---
+
+const std::string& RoundRobinDispatch::name() const { return kRoundRobinName; }
+
+std::vector<size_t> RoundRobinDispatch::Rank(const DispatchContext& ctx) {
+  ValidateContext(ctx);
+  // The cursor cycles stable machine ids, not candidate indices: the fleet
+  // filters out machines a container cannot fit on, so index-based rotation
+  // would skew whenever the candidate list shrinks. Candidates arrive in
+  // ascending machine-id order; start from the first id at or past the
+  // cursor, wrapping to the lowest.
+  const size_t n = ctx.machines->size();
+  size_t start = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if ((*ctx.machines)[i].machine_id >= next_machine_id_) {
+      start = i;
+      break;
+    }
+  }
+  next_machine_id_ = (*ctx.machines)[start].machine_id + 1;
+  std::vector<size_t> order;
+  order.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    order.push_back((start + i) % n);
+  }
+  return order;
+}
+
+// --- best-predicted ---
+
+const std::string& BestPredictedDispatch::name() const { return kBestPredictedName; }
+
+std::vector<size_t> BestPredictedDispatch::Rank(const DispatchContext& ctx) {
+  ValidateContext(ctx);
+  // Margin of a machine's top candidate over the decision goal, saturated
+  // at 1: the previews are solo predictions, so headroom beyond the goal
+  // says nothing about multi-tenant interference — among machines predicted
+  // to meet the goal the differentiator is load, and the tie-break below
+  // routes to the emptiest of them. Machines with model-free policies
+  // preview zero prediction and zero goal; they get margin 0, ranking after
+  // any machine the model vouches for but before machines where nothing
+  // fits at all (which would queue the container).
+  const auto margin = [&](const MachineCandidate& m) {
+    NP_CHECK_MSG(m.preview_valid, "best-predicted dispatch needs previews");
+    if (!m.preview.realizable) {
+      return -1.0;
+    }
+    if (m.preview.goal_abs <= 0.0) {
+      return 0.0;
+    }
+    return std::min(1.0, m.preview.predicted_abs / m.preview.goal_abs);
+  };
+  std::vector<size_t> order = IdentityOrder(ctx.machines->size());
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const double margin_a = margin((*ctx.machines)[a]);
+    const double margin_b = margin((*ctx.machines)[b]);
+    if (margin_a != margin_b) {
+      return margin_a > margin_b;
+    }
+    return LessLoaded((*ctx.machines)[a], (*ctx.machines)[b]);
+  });
+  return order;
+}
+
+// --- registry ---
+
+DispatchRegistry& DispatchRegistry::Global() {
+  static DispatchRegistry* registry = [] {
+    auto* r = new DispatchRegistry();
+    r->Register(kLeastLoadedName, [] { return std::make_unique<LeastLoadedDispatch>(); });
+    r->Register(kRoundRobinName, [] { return std::make_unique<RoundRobinDispatch>(); });
+    r->Register(kBestPredictedName,
+                [] { return std::make_unique<BestPredictedDispatch>(); });
+    return r;
+  }();
+  return *registry;
+}
+
+std::unique_ptr<DispatchPolicy> MakeDispatchPolicy(const std::string& name) {
+  return DispatchRegistry::Global().Make(name);
+}
+
+}  // namespace numaplace

@@ -1,0 +1,119 @@
+// Pluggable fleet-level dispatch policies for the FleetScheduler.
+//
+// The paper answers "where on *this* machine should the container run"; a
+// datacenter answers "which machine" first. Machine-level decision logic is
+// already pluggable (src/scheduler/policy.h); this mirrors that design one
+// layer up: given a DispatchContext (the request plus a per-machine
+// candidate view — load, queue depth and, when the dispatcher asks for
+// them, each machine's own admission preview), a DispatchPolicy returns
+// machine indices in preference order. The FleetScheduler stays
+// dispatch-agnostic and owns all bookkeeping.
+//
+// Policies are constructible by name through the DispatchRegistry. Built in:
+//
+//   least-loaded    lowest busy-thread fraction (ties: shorter queue, more
+//                   free threads, lower machine id)
+//   round-robin     cycle machine ids in submission order, load-blind
+//   best-predicted  ask every machine's SchedulingPolicy for its top
+//                   candidate (probes paid once per topology group through
+//                   the shared ModelRegistry) and pick the machine with the
+//                   highest predicted throughput-vs-goal margin
+#ifndef NUMAPLACE_SRC_CLUSTER_DISPATCH_H_
+#define NUMAPLACE_SRC_CLUSTER_DISPATCH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/scheduler/scheduler.h"
+#include "src/util/registry.h"
+
+namespace numaplace {
+
+// One machine as seen by a dispatch decision. Pointers are non-owning and
+// valid only for the duration of the call.
+struct MachineCandidate {
+  int machine_id = 0;
+  const MachineScheduler* scheduler = nullptr;
+  double utilization = 0.0;  // instantaneous busy-thread fraction
+  int free_threads = 0;
+  int pending = 0;           // containers queued on the machine
+  // Populated by the fleet only when the dispatcher's NeedsPreviews() is
+  // true: what the machine's own SchedulingPolicy would commit right now.
+  bool preview_valid = false;
+  MachineScheduler::AdmissionPreview preview;
+};
+
+struct DispatchContext {
+  const ContainerRequest* request = nullptr;
+  const std::vector<MachineCandidate>* machines = nullptr;
+};
+
+class DispatchPolicy {
+ public:
+  virtual ~DispatchPolicy() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // Whether the fleet must probe the container once per topology group and
+  // attach per-machine admission previews before asking for a ranking.
+  virtual bool NeedsPreviews() const { return false; }
+
+  // Machine indices into *ctx.machines in preference order. When previews
+  // are available the fleet submits to the first ranked machine whose
+  // preview is realizable (falling back to the first-ranked machine, where
+  // the container queues); preview-less dispatchers commit to their first
+  // choice. May mutate policy state (round-robin's cursor), hence non-const.
+  virtual std::vector<size_t> Rank(const DispatchContext& ctx) = 0;
+};
+
+// Lowest instantaneous utilization first; ties go to the shorter queue, then
+// more free threads, then the lower machine id.
+class LeastLoadedDispatch final : public DispatchPolicy {
+ public:
+  const std::string& name() const override;
+  std::vector<size_t> Rank(const DispatchContext& ctx) override;
+};
+
+// Cycles through machine ids, one step per dispatch decision — the
+// load-blind baseline every comparison starts from. The cycle runs over
+// stable machine ids, so machines filtered from one decision (container too
+// large) do not skew the rotation of the next.
+class RoundRobinDispatch final : public DispatchPolicy {
+ public:
+  const std::string& name() const override;
+  std::vector<size_t> Rank(const DispatchContext& ctx) override;
+
+ private:
+  int next_machine_id_ = 0;
+};
+
+// Highest predicted margin (top candidate's predicted throughput / decision
+// goal, saturated at the goal) among machines whose preview is realizable,
+// ties toward the least-loaded machine; machines with model-free policies
+// rank by realizability alone, and unrealizable machines come last in
+// least-loaded order.
+class BestPredictedDispatch final : public DispatchPolicy {
+ public:
+  const std::string& name() const override;
+  bool NeedsPreviews() const override { return true; }
+  std::vector<size_t> Rank(const DispatchContext& ctx) override;
+};
+
+// Name -> factory registry, the same FactoryRegistry machinery as the
+// machine-level PolicyRegistry. The built-ins above are pre-registered;
+// plugins may Register additional names at startup.
+class DispatchRegistry : public FactoryRegistry<DispatchPolicy> {
+ public:
+  DispatchRegistry() : FactoryRegistry("dispatch policy") {}
+
+  // The process-wide registry (built-ins registered on first use).
+  static DispatchRegistry& Global();
+};
+
+// Shorthand for DispatchRegistry::Global().Make(name).
+std::unique_ptr<DispatchPolicy> MakeDispatchPolicy(const std::string& name);
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_CLUSTER_DISPATCH_H_

@@ -1,0 +1,467 @@
+#include "src/cluster/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+namespace {
+
+ContainerRequest RequestFromEvent(const TraceEvent& event) {
+  ContainerRequest request;
+  request.id = event.container_id;
+  request.workload = event.workload;
+  request.vcpus = event.vcpus;
+  request.goal_fraction = event.goal_fraction;
+  request.latency_sensitive = event.latency_sensitive;
+  return request;
+}
+
+}  // namespace
+
+FleetScheduler::FleetScheduler(std::vector<MachineSpec> specs, FleetConfig config)
+    : FleetScheduler(std::move(specs), config, MakeDispatchPolicy(config.dispatch)) {}
+
+FleetScheduler::FleetScheduler(std::vector<MachineSpec> specs, FleetConfig config,
+                               std::unique_ptr<DispatchPolicy> dispatch)
+    : config_(std::move(config)),
+      dispatch_(std::move(dispatch)),
+      fast_migrator_(),
+      throttled_migrator_() {
+  NP_CHECK(dispatch_ != nullptr);
+  NP_CHECK_MSG(!specs.empty(), "a fleet needs at least one machine");
+  NP_CHECK(config_.network_seconds_per_gb >= 0.0);
+  NP_CHECK(config_.rebalance_horizon_seconds > 0.0);
+  NP_CHECK(config_.rebalance_min_gain >= 0.0);
+  machines_.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    Machine machine;
+    machine.group = specs[i].topo.name();
+    machine.topo = std::make_unique<Topology>(std::move(specs[i].topo));
+    machine.solo = std::make_unique<PerformanceModel>(
+        *machine.topo, config_.noise_sigma, config_.noise_seed + i);
+    machine.multi = std::make_unique<MultiTenantModel>(
+        *machine.topo, config_.noise_sigma, config_.noise_seed + i);
+    Group& group = groups_[machine.group];
+    if (group.registry == nullptr) {
+      group.registry = std::make_unique<ModelRegistry>();
+    }
+    group.machine_ids.push_back(static_cast<int>(i));
+    machine.scheduler = std::make_unique<MachineScheduler>(
+        *machine.topo, *machine.solo, group.registry.get(), specs[i].scheduler);
+    machines_.push_back(std::move(machine));
+  }
+}
+
+MachineScheduler& FleetScheduler::machine(int machine_id) {
+  NP_CHECK(machine_id >= 0 && machine_id < NumMachines());
+  return *machines_[static_cast<size_t>(machine_id)].scheduler;
+}
+
+const MachineScheduler& FleetScheduler::machine(int machine_id) const {
+  NP_CHECK(machine_id >= 0 && machine_id < NumMachines());
+  return *machines_[static_cast<size_t>(machine_id)].scheduler;
+}
+
+const Topology& FleetScheduler::topology(int machine_id) const {
+  NP_CHECK(machine_id >= 0 && machine_id < NumMachines());
+  return *machines_[static_cast<size_t>(machine_id)].topo;
+}
+
+const MultiTenantModel& FleetScheduler::multi_model(int machine_id) const {
+  NP_CHECK(machine_id >= 0 && machine_id < NumMachines());
+  return *machines_[static_cast<size_t>(machine_id)].multi;
+}
+
+std::vector<std::string> FleetScheduler::GroupNames() const {
+  std::vector<std::string> names;
+  for (const Machine& machine : machines_) {
+    if (std::find(names.begin(), names.end(), machine.group) == names.end()) {
+      names.push_back(machine.group);
+    }
+  }
+  return names;
+}
+
+ModelRegistry& FleetScheduler::GroupRegistry(const std::string& group) {
+  const auto it = groups_.find(group);
+  NP_CHECK_MSG(it != groups_.end(), "no machine of topology '" << group << "' in the fleet");
+  return *it->second.registry;
+}
+
+void FleetScheduler::ProvidePlacements(const std::string& group,
+                                       const ImportantPlacementSet& ips) {
+  const auto it = groups_.find(group);
+  NP_CHECK_MSG(it != groups_.end(), "no machine of topology '" << group << "' in the fleet");
+  for (int m : it->second.machine_ids) {
+    machines_[static_cast<size_t>(m)].scheduler->ProvidePlacements(ips);
+  }
+}
+
+void FleetScheduler::SyncClocks(double now) {
+  for (Machine& machine : machines_) {
+    machine.scheduler->SyncClock(now);
+  }
+}
+
+const Migrator& FleetScheduler::MigratorFor(const ContainerRequest& request) const {
+  return request.latency_sensitive ? static_cast<const Migrator&>(throttled_migrator_)
+                                   : static_cast<const Migrator&>(fast_migrator_);
+}
+
+void FleetScheduler::EnsureGroupProbes(const std::string& group,
+                                       const ContainerRequest& request) {
+  for (int m : groups_.at(group).machine_ids) {
+    MachineScheduler& scheduler = *machines_[static_cast<size_t>(m)].scheduler;
+    if (!scheduler.policy().UsesModel()) {
+      continue;
+    }
+    // The group's first model-using machine probes on behalf of every
+    // machine sharing the registry; a cached prediction makes this a no-op.
+    const MachineScheduler::ProbeCharge charge = scheduler.EnsureProbes(request);
+    if (charge.ran) {
+      stats_.fleet_probe_runs += 2;
+      stats_.fleet_probe_seconds += charge.seconds;
+    }
+    return;
+  }
+}
+
+std::vector<MachineCandidate> FleetScheduler::BuildCandidates(
+    const ContainerRequest& request, bool with_previews) {
+  if (with_previews) {
+    for (const auto& [group, members] : groups_) {
+      const Topology& topo = *machines_[static_cast<size_t>(members.machine_ids.front())].topo;
+      if (request.vcpus <= topo.NumHwThreads()) {
+        EnsureGroupProbes(group, request);
+      }
+    }
+  }
+  std::vector<MachineCandidate> candidates;
+  candidates.reserve(machines_.size());
+  for (int m = 0; m < NumMachines(); ++m) {
+    Machine& machine = machines_[static_cast<size_t>(m)];
+    if (request.vcpus > machine.topo->NumHwThreads()) {
+      continue;  // a machine the container cannot fit on is not a candidate
+    }
+    MachineCandidate candidate;
+    candidate.machine_id = m;
+    candidate.scheduler = machine.scheduler.get();
+    candidate.utilization = machine.scheduler->occupancy().Utilization();
+    candidate.free_threads = machine.scheduler->occupancy().FreeThreadCount();
+    candidate.pending = static_cast<int>(machine.scheduler->PendingIds().size());
+    if (with_previews) {
+      candidate.preview = machine.scheduler->PreviewAdmission(request);
+      candidate.preview_valid = true;
+    }
+    candidates.push_back(std::move(candidate));
+  }
+  NP_CHECK_MSG(!candidates.empty(),
+               "container " << request.id << " (" << request.vcpus
+                            << " vCPUs) is larger than every machine in the fleet");
+  return candidates;
+}
+
+void FleetScheduler::RecordAdmission(const ScheduleOutcome& outcome, double now) {
+  if (!outcome.admitted || waiting_.erase(outcome.container_id) == 0) {
+    return;
+  }
+  stats_.queue_wait_seconds += now - submit_time_.at(outcome.container_id);
+  ++stats_.queue_admissions;
+}
+
+FleetOutcome FleetScheduler::Submit(const ContainerRequest& request, double now) {
+  NP_CHECK_MSG(MachineOf(request.id) == -1,
+               "container " << request.id << " is already live fleet-wide");
+  SyncClocks(now);
+  ++stats_.submitted;
+
+  std::vector<MachineCandidate> candidates =
+      BuildCandidates(request, dispatch_->NeedsPreviews());
+  DispatchContext ctx;
+  ctx.request = &request;
+  ctx.machines = &candidates;
+  const std::vector<size_t> order = dispatch_->Rank(ctx);
+  NP_CHECK_MSG(!order.empty(),
+               "dispatch policy '" << dispatch_->name() << "' ranked no machines");
+  size_t chosen = order.front();
+  NP_CHECK_MSG(chosen < candidates.size(), "dispatch policy '" << dispatch_->name()
+                                                               << "' ranked machine index "
+                                                               << chosen << " out of range");
+  if (dispatch_->NeedsPreviews()) {
+    // Prefer the best-ranked machine that can admit right now over queueing
+    // on the overall favorite.
+    for (size_t idx : order) {
+      NP_CHECK(idx < candidates.size());
+      if (candidates[idx].preview.realizable) {
+        chosen = idx;
+        break;
+      }
+    }
+  }
+  const int machine_id = candidates[chosen].machine_id;
+
+  ScheduleOutcome outcome =
+      machines_[static_cast<size_t>(machine_id)].scheduler->Submit(request, now);
+  machine_of_[request.id] = machine_id;
+  submit_time_[request.id] = now;
+  if (outcome.admitted) {
+    ++stats_.dispatched_immediately;
+  } else {
+    waiting_.insert(request.id);
+    ++stats_.queued;
+  }
+  return {machine_id, std::move(outcome)};
+}
+
+std::vector<FleetOutcome> FleetScheduler::Depart(int container_id, double now) {
+  const int machine_id = MachineOf(container_id);
+  NP_CHECK_MSG(machine_id >= 0,
+               "container " << container_id << " is not live on any machine");
+  SyncClocks(now);
+
+  std::vector<ScheduleOutcome> replaced =
+      machines_[static_cast<size_t>(machine_id)].scheduler->Depart(container_id, now);
+  // Dispatch previews may have cached probes in other topology groups too.
+  for (auto& [group, members] : groups_) {
+    members.registry->Forget(container_id);
+  }
+  machine_of_.erase(container_id);
+  waiting_.erase(container_id);
+  submit_time_.erase(container_id);
+
+  std::vector<FleetOutcome> outcomes;
+  outcomes.reserve(replaced.size());
+  for (ScheduleOutcome& outcome : replaced) {
+    RecordAdmission(outcome, now);
+    outcomes.push_back({machine_id, std::move(outcome)});
+  }
+  if (config_.rebalance_on_departure) {
+    RebalancePass(now, outcomes);
+  }
+  return outcomes;
+}
+
+void FleetScheduler::RebalancePass(double now, std::vector<FleetOutcome>& outcomes) {
+  if (machines_.size() < 2) {
+    return;
+  }
+  struct Mover {
+    int id = 0;
+    int from = 0;
+    bool queued = false;
+  };
+  // Queued containers first (oldest submission first, fleet-wide — the FIFO
+  // the per-machine queues honor locally), then degraded incumbents.
+  std::vector<Mover> movers;
+  for (int m = 0; m < NumMachines(); ++m) {
+    for (int id : machines_[static_cast<size_t>(m)].scheduler->PendingIds()) {
+      movers.push_back({id, m, true});
+    }
+  }
+  std::stable_sort(movers.begin(), movers.end(), [&](const Mover& a, const Mover& b) {
+    return submit_time_.at(a.id) < submit_time_.at(b.id);
+  });
+  for (int m = 0; m < NumMachines(); ++m) {
+    for (int id : machines_[static_cast<size_t>(m)].scheduler->RunningIds()) {
+      const ManagedContainer* c = machines_[static_cast<size_t>(m)].scheduler->Find(id);
+      if (!c->meets_goal && c->predicted_abs_throughput > 0.0) {
+        movers.push_back({id, m, false});
+      }
+    }
+  }
+
+  for (const Mover& mover : movers) {
+    // Re-check: an earlier move's source re-placement pass may have already
+    // admitted or upgraded this container.
+    if (MachineOf(mover.id) != mover.from) {
+      continue;
+    }
+    MachineScheduler& source = *machines_[static_cast<size_t>(mover.from)].scheduler;
+    const ManagedContainer* managed = source.Find(mover.id);
+    if (managed == nullptr ||
+        (mover.queued ? managed->state != ContainerState::kPending
+                      : managed->state != ContainerState::kRunning || managed->meets_goal)) {
+      continue;
+    }
+    const ContainerRequest request = managed->request;
+    const double current_abs = mover.queued ? 0.0 : managed->predicted_abs_throughput;
+
+    // Score every other machine the container fits on; keep the move with
+    // the largest gain-over-cost surplus.
+    int best_target = -1;
+    double best_surplus = 0.0;
+    RebalanceMove best_move;
+    for (int t = 0; t < NumMachines(); ++t) {
+      if (t == mover.from) {
+        continue;
+      }
+      Machine& target = machines_[static_cast<size_t>(t)];
+      if (request.vcpus > target.topo->NumHwThreads()) {
+        continue;
+      }
+      EnsureGroupProbes(target.group, request);
+      const MachineScheduler::AdmissionPreview preview =
+          target.scheduler->PreviewAdmission(request);
+      if (!preview.realizable) {
+        continue;
+      }
+      double gain_rate = 0.0;
+      if (mover.queued) {
+        // Running anywhere beats waiting. Under a model-free target policy
+        // the preview predicts nothing; credit the operator goal instead.
+        gain_rate = preview.predicted_abs > 0.0 ? preview.predicted_abs
+                                                : managed->goal_abs_throughput;
+      } else {
+        // A live incumbent only moves for a modeled, clearly better rate.
+        if (preview.predicted_abs <=
+            current_abs * (1.0 + config_.rebalance_min_gain)) {
+          continue;
+        }
+        gain_rate = preview.predicted_abs - current_abs;
+      }
+      if (gain_rate <= 0.0) {
+        continue;
+      }
+      // A queued mover never ran: it has no memory on the source machine,
+      // so there is nothing to migrate or copy and nothing it was producing
+      // — the move is free. A live incumbent pays the §7 migration estimate
+      // plus the network copy of its memory image, and loses
+      // overhead_fraction of its current rate for the whole copy.
+      double move_seconds = 0.0;
+      double network_seconds = 0.0;
+      double cost_ops = 0.0;
+      if (!mover.queued) {
+        const MigrationEstimate estimate = MigratorFor(request).Migrate(request.workload);
+        network_seconds = config_.network_seconds_per_gb * request.workload.TotalMemoryGb();
+        move_seconds = estimate.seconds + network_seconds;
+        cost_ops = move_seconds * estimate.overhead_fraction * current_abs;
+      }
+      const double gain_ops = gain_rate * config_.rebalance_horizon_seconds;
+      if (gain_ops <= cost_ops) {
+        continue;
+      }
+      const double surplus = gain_ops - cost_ops;
+      if (best_target < 0 || surplus > best_surplus) {
+        best_target = t;
+        best_surplus = surplus;
+        best_move = {mover.id,  mover.from, t,           mover.queued,
+                     gain_ops,  cost_ops,   move_seconds, network_seconds};
+      }
+    }
+    if (best_target < 0) {
+      continue;
+    }
+
+    // Commit: free the container on the source (keeping its probes — they
+    // travel with it when the target shares the topology group), then admit
+    // it on the target the preview vouched for.
+    std::vector<ScheduleOutcome> freed =
+        source.Depart(mover.id, now, /*forget_probes=*/false);
+    for (ScheduleOutcome& outcome : freed) {
+      RecordAdmission(outcome, now);
+      outcomes.push_back({mover.from, std::move(outcome)});
+    }
+    ScheduleOutcome moved =
+        machines_[static_cast<size_t>(best_target)].scheduler->Submit(request, now);
+    NP_CHECK_MSG(moved.admitted, "rebalance preview promised admission of container "
+                                     << mover.id << " on machine " << best_target);
+    machine_of_[mover.id] = best_target;
+    RecordAdmission(moved, now);
+    ++stats_.rebalance_moves;
+    stats_.cross_machine_move_seconds += best_move.move_seconds;
+    stats_.network_copy_seconds += best_move.network_seconds;
+    rebalance_log_.push_back(best_move);
+    outcomes.push_back({best_target, std::move(moved)});
+  }
+}
+
+int FleetScheduler::MachineOf(int container_id) const {
+  const auto it = machine_of_.find(container_id);
+  return it == machine_of_.end() ? -1 : it->second;
+}
+
+std::vector<double> FleetScheduler::TimeAveragedUtilizations() const {
+  std::vector<double> utilizations;
+  utilizations.reserve(machines_.size());
+  for (const Machine& machine : machines_) {
+    utilizations.push_back(machine.scheduler->TimeAveragedUtilization());
+  }
+  return utilizations;
+}
+
+FleetReport FleetScheduler::ReplayWithEvaluation(const std::vector<TraceEvent>& trace) {
+  FleetReport report;
+  double last_time = 0.0;
+  double attainment_weight = 0.0;
+  double at_goal_weight = 0.0;
+  double container_seconds = 0.0;
+
+  for (const TraceEvent& event : trace) {
+    const double dt = event.time_seconds - last_time;
+    if (dt > 0.0) {
+      for (const Machine& machine : machines_) {
+        for (const MachineScheduler::TenantSnapshot& snap :
+             machine.scheduler->SnapshotPerformance(*machine.multi)) {
+          const double ratio =
+              snap.goal_abs_throughput > 0.0
+                  ? std::min(1.0, snap.measured_abs_throughput / snap.goal_abs_throughput)
+                  : 1.0;
+          attainment_weight += ratio * dt;
+          if (ratio >= 0.999) {
+            at_goal_weight += dt;
+          }
+          container_seconds += dt;
+        }
+        // A queued container attains nothing while it waits.
+        container_seconds +=
+            static_cast<double>(machine.scheduler->PendingIds().size()) * dt;
+      }
+      last_time = event.time_seconds;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    if (event.type == TraceEventType::kArrival) {
+      FleetOutcome outcome = Submit(RequestFromEvent(event), event.time_seconds);
+      if (outcome.outcome.admitted) {
+        ++report.decisions;
+      }
+      report.outcomes.push_back(std::move(outcome));
+    } else {
+      std::vector<FleetOutcome> replaced = Depart(event.container_id, event.time_seconds);
+      report.decisions += static_cast<int>(replaced.size());
+      report.outcomes.insert(report.outcomes.end(),
+                             std::make_move_iterator(replaced.begin()),
+                             std::make_move_iterator(replaced.end()));
+    }
+    report.wall_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  }
+
+  report.goal_attainment =
+      container_seconds > 0.0 ? attainment_weight / container_seconds : 1.0;
+  report.container_seconds_at_goal =
+      container_seconds > 0.0 ? at_goal_weight / container_seconds : 1.0;
+  report.machine_utilizations = TimeAveragedUtilizations();
+  double busy_weight = 0.0;
+  double thread_weight = 0.0;
+  report.utilization_min = 1.0;
+  report.utilization_max = 0.0;
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    const double threads = machines_[m].topo->NumHwThreads();
+    busy_weight += report.machine_utilizations[m] * threads;
+    thread_weight += threads;
+    report.utilization_min = std::min(report.utilization_min, report.machine_utilizations[m]);
+    report.utilization_max = std::max(report.utilization_max, report.machine_utilizations[m]);
+  }
+  report.mean_utilization = thread_weight > 0.0 ? busy_weight / thread_weight : 0.0;
+  report.mean_queue_wait_seconds =
+      stats_.queue_admissions > 0
+          ? stats_.queue_wait_seconds / stats_.queue_admissions
+          : 0.0;
+  return report;
+}
+
+}  // namespace numaplace

@@ -1,0 +1,223 @@
+// Fleet layer: a cluster scheduler over N per-machine schedulers.
+//
+// The FleetScheduler owns one MachineScheduler per machine of a (possibly
+// heterogeneous) fleet and consumes a single merged arrival/departure trace:
+//
+//   * each arrival is routed to a machine by a pluggable DispatchPolicy
+//     (src/cluster/dispatch.h) — least-loaded, round-robin, or
+//     best-predicted, which asks every machine's own SchedulingPolicy for
+//     its top candidate and picks the highest predicted margin;
+//   * machines of the same topology share one ModelRegistry, so a
+//     container's two probe runs are paid once per topology group fleet-wide
+//     — dispatch previews, the dispatched machine's admission and any later
+//     same-group move all reuse the cached prediction;
+//   * departures first run the machine's own re-placement pass, then a
+//     cross-machine RebalancePass: queued containers and degraded
+//     incumbents are considered for a move to another machine, the move is
+//     charged with the §7 migration cost model (src/migration) plus a
+//     configurable network-copy penalty, and only moves whose predicted
+//     gain over the rebalance horizon beats that modeled cost are proposed.
+#ifndef NUMAPLACE_SRC_CLUSTER_FLEET_H_
+#define NUMAPLACE_SRC_CLUSTER_FLEET_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cluster/dispatch.h"
+#include "src/migration/migration.h"
+#include "src/model/registry.h"
+#include "src/scheduler/scheduler.h"
+#include "src/sim/perf_model.h"
+#include "src/topology/topology.h"
+#include "src/workloads/trace.h"
+
+namespace numaplace {
+
+// One machine of the fleet as configured by the caller. Machines with equal
+// topology names form a topology group sharing a ModelRegistry; the caller
+// registers one trained model per (group, vCPU count) via GroupRegistry().
+struct MachineSpec {
+  explicit MachineSpec(Topology machine_topo, SchedulerConfig scheduler_config = {})
+      : topo(std::move(machine_topo)), scheduler(std::move(scheduler_config)) {}
+
+  Topology topo;
+  // Per-machine scheduler configuration: policy name, baseline placement id
+  // (the paper uses #1 on AMD, #2 on Intel), interconnect concern, margins.
+  SchedulerConfig scheduler;
+};
+
+struct FleetConfig {
+  // Name of the DispatchPolicy to instantiate through the DispatchRegistry.
+  std::string dispatch = "least-loaded";
+  // Run the cross-machine RebalancePass after every departure.
+  bool rebalance_on_departure = true;
+  // Cross-machine moves copy the container's memory (anon + page cache) over
+  // the network; seconds per GB on top of the §7 migration estimate.
+  double network_seconds_per_gb = 0.5;
+  // A move's predicted throughput gain is credited over this horizon (the
+  // expected residual lifetime under the trace generator's exponential
+  // lifetimes) and must beat the ops lost while the move runs.
+  double rebalance_horizon_seconds = 600.0;
+  // A degraded incumbent moves only for at least this relative prediction
+  // gain (bounds cross-machine churn; queued containers are exempt — running
+  // anywhere beats waiting).
+  double rebalance_min_gain = 0.1;
+  // Measurement noise of the per-machine simulators; machine m draws from
+  // noise_seed + m, so identical boxes still measure like distinct hardware.
+  double noise_sigma = 0.01;
+  uint64_t noise_seed = 5;
+};
+
+// One committed cross-machine move, with the gain/cost model that justified
+// it. Invariant (asserted in tests/cluster_test.cc): predicted_gain_ops >
+// modeled_cost_ops for every logged move.
+struct RebalanceMove {
+  int container_id = 0;
+  int from_machine = 0;
+  int to_machine = 0;
+  bool was_queued = false;        // moved out of a queue rather than migrated live
+  double predicted_gain_ops = 0.0;  // throughput delta x rebalance horizon
+  double modeled_cost_ops = 0.0;    // ops lost while the move runs
+  double move_seconds = 0.0;        // §7 migration estimate + network copy
+  double network_seconds = 0.0;     // the network-copy share of move_seconds
+};
+
+struct FleetStats {
+  int submitted = 0;
+  int dispatched_immediately = 0;  // admitted by the dispatched machine at once
+  int queued = 0;                  // left waiting on the dispatched machine
+  int queue_admissions = 0;        // previously queued containers that got placed
+  double queue_wait_seconds = 0.0; // total wait of those admissions
+  int rebalance_moves = 0;
+  double cross_machine_move_seconds = 0.0;  // migration + network, all moves
+  double network_copy_seconds = 0.0;
+  int fleet_probe_runs = 0;        // dispatch/rebalance probes (per group)
+  double fleet_probe_seconds = 0.0;
+};
+
+// A machine-level outcome tagged with the machine that produced it.
+struct FleetOutcome {
+  int machine_id = 0;
+  ScheduleOutcome outcome;
+};
+
+// Fleet-wide evaluation of one replayed trace (the cluster analog of
+// TenancyReport). Queued containers count as attaining nothing — a fleet
+// that parks work in queues while other machines idle pays for it here.
+struct FleetReport {
+  double goal_attainment = 0.0;
+  double container_seconds_at_goal = 0.0;
+  double mean_utilization = 0.0;       // thread-weighted across machines
+  double utilization_min = 0.0;        // spread of per-machine time averages
+  double utilization_max = 0.0;
+  double mean_queue_wait_seconds = 0.0;
+  int decisions = 0;
+  double wall_seconds = 0.0;
+  std::vector<double> machine_utilizations;
+  std::vector<FleetOutcome> outcomes;
+};
+
+class FleetScheduler {
+ public:
+  // The dispatch policy is built from config.dispatch via the
+  // DispatchRegistry; the second form injects an explicitly constructed
+  // (e.g. unregistered plugin) dispatcher and ignores config.dispatch.
+  explicit FleetScheduler(std::vector<MachineSpec> specs, FleetConfig config = {});
+  FleetScheduler(std::vector<MachineSpec> specs, FleetConfig config,
+                 std::unique_ptr<DispatchPolicy> dispatch);
+
+  int NumMachines() const { return static_cast<int>(machines_.size()); }
+  MachineScheduler& machine(int machine_id);
+  const MachineScheduler& machine(int machine_id) const;
+  const Topology& topology(int machine_id) const;
+  const MultiTenantModel& multi_model(int machine_id) const;
+
+  // Topology-group names in machine order (deduplicated), and the shared
+  // registry of one group — register trained models here before submitting
+  // containers to machines whose policy uses the model.
+  std::vector<std::string> GroupNames() const;
+  ModelRegistry& GroupRegistry(const std::string& group);
+
+  // Injects a precomputed important-placement set into every machine of the
+  // group (otherwise each machine generates sets lazily).
+  void ProvidePlacements(const std::string& group, const ImportantPlacementSet& ips);
+
+  // Dispatches the container to a machine and submits it there; the
+  // container queues on that machine when nothing fits anywhere.
+  FleetOutcome Submit(const ContainerRequest& request, double now = 0.0);
+
+  // Routes the departure to the machine currently running (or queueing) the
+  // container, then runs that machine's re-placement pass and the fleet
+  // RebalancePass; returns every placement/migration performed.
+  std::vector<FleetOutcome> Depart(int container_id, double now = 0.0);
+
+  // Replays a merged, time-ordered fleet trace, evaluating every machine's
+  // co-running tenants with its multi-tenant model between events.
+  FleetReport ReplayWithEvaluation(const std::vector<TraceEvent>& trace);
+
+  // Machine currently holding the container (running or queued), -1 when
+  // the id is not live fleet-wide.
+  int MachineOf(int container_id) const;
+
+  const FleetStats& stats() const { return stats_; }
+  const std::vector<RebalanceMove>& rebalance_log() const { return rebalance_log_; }
+  const FleetConfig& config() const { return config_; }
+  const DispatchPolicy& dispatch() const { return *dispatch_; }
+
+  // Per-machine time-averaged utilizations, machine order.
+  std::vector<double> TimeAveragedUtilizations() const;
+
+ private:
+  struct Machine {
+    std::unique_ptr<Topology> topo;  // stable address: schedulers keep pointers
+    std::unique_ptr<PerformanceModel> solo;
+    std::unique_ptr<MultiTenantModel> multi;
+    std::unique_ptr<MachineScheduler> scheduler;
+    std::string group;
+  };
+  struct Group {
+    std::unique_ptr<ModelRegistry> registry;
+    std::vector<int> machine_ids;  // first entry runs the group's probes
+  };
+
+  // Advances every machine's stats clock to `now` so per-machine utilization
+  // averages integrate over the same span.
+  void SyncClocks(double now);
+
+  // Probes the container once for the group when its registry lacks a
+  // prediction and any machine needs the model, charging the fleet stats.
+  void EnsureGroupProbes(const std::string& group, const ContainerRequest& request);
+
+  // Candidate views for one dispatch decision; probes every group first when
+  // the dispatcher needs previews.
+  std::vector<MachineCandidate> BuildCandidates(const ContainerRequest& request,
+                                                bool with_previews);
+
+  // Queue-wait bookkeeping for an admission outcome observed at `now`.
+  void RecordAdmission(const ScheduleOutcome& outcome, double now);
+
+  // Cross-machine moves of queued and degraded containers; appends every
+  // placement it causes to `outcomes`.
+  void RebalancePass(double now, std::vector<FleetOutcome>& outcomes);
+
+  const Migrator& MigratorFor(const ContainerRequest& request) const;
+
+  FleetConfig config_;
+  std::unique_ptr<DispatchPolicy> dispatch_;
+  std::vector<Machine> machines_;
+  std::map<std::string, Group> groups_;
+  std::map<int, int> machine_of_;      // live containers only
+  std::map<int, double> submit_time_;
+  std::set<int> waiting_;              // submitted but not yet placed
+  FleetStats stats_;
+  std::vector<RebalanceMove> rebalance_log_;
+  FastMigrator fast_migrator_;
+  ThrottledMigrator throttled_migrator_;
+};
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_CLUSTER_FLEET_H_

@@ -204,44 +204,6 @@ PolicyRegistry& PolicyRegistry::Global() {
   return *registry;
 }
 
-void PolicyRegistry::Register(const std::string& name, Factory factory) {
-  NP_CHECK(!name.empty());
-  NP_CHECK(factory != nullptr);
-  const auto [it, inserted] = factories_.try_emplace(name, std::move(factory));
-  (void)it;
-  NP_CHECK_MSG(inserted, "scheduling policy '" << name << "' is already registered");
-}
-
-bool PolicyRegistry::Has(const std::string& name) const {
-  return factories_.count(name) > 0;
-}
-
-std::unique_ptr<SchedulingPolicy> PolicyRegistry::Make(const std::string& name) const {
-  const auto it = factories_.find(name);
-  if (it == factories_.end()) {
-    std::ostringstream known;
-    for (const auto& [key, factory] : factories_) {
-      (void)factory;
-      known << (known.tellp() > 0 ? ", " : "") << key;
-    }
-    NP_CHECK_MSG(false, "unknown scheduling policy '" << name << "' (registered: "
-                                                      << known.str() << ")");
-  }
-  std::unique_ptr<SchedulingPolicy> policy = it->second();
-  NP_CHECK_MSG(policy != nullptr, "factory for policy '" << name << "' returned null");
-  return policy;
-}
-
-std::vector<std::string> PolicyRegistry::Names() const {
-  std::vector<std::string> names;
-  names.reserve(factories_.size());
-  for (const auto& [name, factory] : factories_) {
-    (void)factory;
-    names.push_back(name);
-  }
-  return names;
-}
-
 std::unique_ptr<SchedulingPolicy> MakePolicy(const std::string& name) {
   return PolicyRegistry::Global().Make(name);
 }

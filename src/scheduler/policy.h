@@ -22,8 +22,6 @@
 #ifndef NUMAPLACE_SRC_SCHEDULER_POLICY_H_
 #define NUMAPLACE_SRC_SCHEDULER_POLICY_H_
 
-#include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +29,7 @@
 #include "src/core/important.h"
 #include "src/core/occupancy.h"
 #include "src/topology/topology.h"
+#include "src/util/registry.h"
 
 namespace numaplace {
 
@@ -148,27 +147,16 @@ class SpreadPolicy final : public SchedulingPolicy {
   std::vector<size_t> RankForAdmission(const PolicyContext& ctx) const override;
 };
 
-// Name -> factory registry. The built-in policies above are pre-registered;
-// plugins may Register additional names at startup.
-class PolicyRegistry {
+// Name -> factory registry (shared FactoryRegistry machinery: duplicate
+// names CHECK-fail, unknown names CHECK-fail listing what is registered).
+// The built-in policies above are pre-registered; plugins may Register
+// additional names at startup.
+class PolicyRegistry : public FactoryRegistry<SchedulingPolicy> {
  public:
-  using Factory = std::function<std::unique_ptr<SchedulingPolicy>()>;
+  PolicyRegistry() : FactoryRegistry("scheduling policy") {}
 
   // The process-wide registry (built-ins registered on first use).
   static PolicyRegistry& Global();
-
-  // CHECK-fails on a duplicate name: silently replacing a policy would make
-  // two benchmarks with the same config incomparable.
-  void Register(const std::string& name, Factory factory);
-
-  bool Has(const std::string& name) const;
-  // CHECK-fails on an unknown name, listing what is registered.
-  std::unique_ptr<SchedulingPolicy> Make(const std::string& name) const;
-  // Registered names, sorted.
-  std::vector<std::string> Names() const;
-
- private:
-  std::map<std::string, Factory> factories_;
 };
 
 // Shorthand for PolicyRegistry::Global().Make(name).

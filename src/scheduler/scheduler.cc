@@ -115,9 +115,8 @@ PolicyContext MachineScheduler::MakePolicyContext(
 }
 
 MachineScheduler::PredictionView MachineScheduler::BuildPredictionView(
-    const ManagedContainer& container, const CachedPrediction& cached) const {
-  const TrainedPerfModel& model =
-      registry_->Get(topo_->name(), container.request.vcpus);
+    const ContainerRequest& request, const CachedPrediction& cached) const {
+  const TrainedPerfModel& model = registry_->Get(topo_->name(), request.vcpus);
   PredictionView view;
   view.placement_ids = model.placement_ids;
   const size_t index_a = IndexOf(view.placement_ids, cached.input_a);
@@ -128,9 +127,91 @@ MachineScheduler::PredictionView MachineScheduler::BuildPredictionView(
   for (double rel : cached.predicted_relative) {
     view.predicted_abs.push_back(abs_unit * rel);
   }
-  view.decision_goal = container.request.goal_fraction * abs_unit *
+  view.decision_goal = request.goal_fraction * abs_unit *
                        cached.predicted_relative[index_baseline];
   return view;
+}
+
+MachineScheduler::ProbeCharge MachineScheduler::EnsureProbes(
+    const ContainerRequest& request) {
+  ProbeCharge charge;
+  if (!policy_->UsesModel() || registry_->FindPrediction(request.id) != nullptr) {
+    return charge;
+  }
+  const ImportantPlacementSet& ips = PlacementsFor(request.vcpus);
+  const TrainedPerfModel& model = registry_->Get(topo_->name(), request.vcpus);
+  const auto add_event = [&](double duration, const std::string& what) {
+    charge.timeline.push_back({charge.seconds, duration, what});
+    charge.seconds += duration;
+  };
+  // Probe measurements are solo-machine properties of the workload — the
+  // same quantities the training pipeline measured — so they are taken on
+  // the canonical realization of the probe placements.
+  const ImportantPlacement& ip_a = ips.ById(model.input_a);
+  const ImportantPlacement& ip_b = ips.ById(model.input_b);
+  add_event(config_.probe_seconds, "probe in " + DescribePlacement(ip_a));
+  const double perf_a =
+      solo_sim_->Evaluate(request.workload, Realize(ip_a, *topo_, request.vcpus),
+                          /*run=*/41)
+          .throughput_ops;
+  if (ip_a.nodes != ip_b.nodes) {
+    const MigrationEstimate m = MigratorFor(request).Migrate(request.workload);
+    add_event(m.seconds, "migrate memory to " + DescribePlacement(ip_b) + " (" +
+                             MigratorFor(request).name() + ")");
+  }
+  add_event(config_.probe_seconds, "probe in " + DescribePlacement(ip_b));
+  const double perf_b =
+      solo_sim_->Evaluate(request.workload, Realize(ip_b, *topo_, request.vcpus),
+                          /*run=*/42)
+          .throughput_ops;
+  stats_.probe_runs += 2;
+  registry_->Predict(request.id, topo_->name(), request.vcpus, perf_a, perf_b);
+  charge.ran = true;
+  charge.memory_nodes = ip_b.nodes;  // memory sits where probe B ran
+  return charge;
+}
+
+MachineScheduler::AdmissionPreview MachineScheduler::PreviewAdmission(
+    const ContainerRequest& request) {
+  NP_CHECK(request.vcpus > 0);
+  const ImportantPlacementSet& ips = PlacementsFor(request.vcpus);
+  std::vector<int> placement_ids;
+  std::vector<double> predicted_abs;
+  double decision_goal = 0.0;
+  if (policy_->UsesModel()) {
+    const CachedPrediction* cached = registry_->FindPrediction(request.id);
+    NP_CHECK_MSG(cached != nullptr, "PreviewAdmission for container "
+                                        << request.id
+                                        << " requires cached probes under a "
+                                           "model policy — call EnsureProbes first");
+    PredictionView view = BuildPredictionView(request, *cached);
+    placement_ids = std::move(view.placement_ids);
+    predicted_abs = std::move(view.predicted_abs);
+    decision_goal = view.decision_goal;
+  } else {
+    ModelFreeCandidates(ips, placement_ids, predicted_abs);
+  }
+
+  AdmissionPreview preview;
+  preview.goal_abs = decision_goal;
+  const PolicyContext ctx = MakePolicyContext(ips, occupancy_, request.vcpus,
+                                              placement_ids, predicted_abs,
+                                              decision_goal);
+  for (size_t idx : policy_->RankForAdmission(ctx)) {
+    NP_CHECK_MSG(idx < placement_ids.size(),
+                 "policy '" << policy_->name() << "' ranked candidate index " << idx
+                            << " out of range");
+    const ImportantPlacement& ip = ips.ById(placement_ids[idx]);
+    if (!RealizeAnywhereFree(ip, *topo_, request.vcpus, occupancy_).has_value()) {
+      continue;
+    }
+    preview.realizable = true;
+    preview.placement_id = ip.id;
+    preview.predicted_abs = predicted_abs[idx];
+    preview.meets_goal = policy_->UsesModel() && predicted_abs[idx] >= decision_goal;
+    break;
+  }
+  return preview;
 }
 
 ScheduleOutcome MachineScheduler::TryPlace(ManagedContainer& container, double now) {
@@ -153,38 +234,27 @@ ScheduleOutcome MachineScheduler::TryPlace(ManagedContainer& container, double n
   bool from_cache = false;
 
   if (policy_->UsesModel()) {
-    const TrainedPerfModel& model = registry_->Get(topo_->name(), request.vcpus);
     const CachedPrediction* cached = registry_->FindPrediction(request.id);
     if (cached == nullptr) {
-      // Probe runs. Probe measurements are solo-machine properties of the
-      // workload — the same quantities the training pipeline measured — so
-      // they are taken on the canonical realization of the probe placements.
-      const ImportantPlacement& ip_a = ips.ById(model.input_a);
-      const ImportantPlacement& ip_b = ips.ById(model.input_b);
-      add_event(config_.probe_seconds, "probe in " + DescribePlacement(ip_a));
-      const double perf_a =
-          solo_sim_->Evaluate(request.workload, Realize(ip_a, *topo_, request.vcpus),
-                              /*run=*/41)
-              .throughput_ops;
-      if (ip_a.nodes != ip_b.nodes) {
-        const MigrationEstimate m = MigratorFor(request).Migrate(request.workload);
-        add_event(m.seconds, "migrate memory to " + DescribePlacement(ip_b) + " (" +
-                                 MigratorFor(request).name() + ")");
+      const ProbeCharge charge = EnsureProbes(request);
+      for (const TimelineEvent& event : charge.timeline) {
+        outcome.timeline.push_back(
+            {clock + event.start_seconds, event.duration_seconds, event.description});
       }
-      add_event(config_.probe_seconds, "probe in " + DescribePlacement(ip_b));
-      const double perf_b =
-          solo_sim_->Evaluate(request.workload, Realize(ip_b, *topo_, request.vcpus),
-                              /*run=*/42)
-              .throughput_ops;
-      stats_.probe_runs += 2;
-      cached = &registry_->Predict(request.id, topo_->name(), request.vcpus, perf_a,
-                                   perf_b);
-      container.memory_nodes = ip_b.nodes;  // memory sits where probe B ran
+      clock += charge.seconds;
+      container.memory_nodes = charge.memory_nodes;
+      cached = registry_->FindPrediction(request.id);
+      NP_CHECK(cached != nullptr);
     } else {
+      // Probes were paid earlier — an admission retry on this machine, or a
+      // fleet dispatch/rebalance probe on a machine of the same topology
+      // group sharing this registry. When the container never ran here,
+      // memory_nodes stays empty: its memory lands wherever the first
+      // placement puts it, with no intra-machine migration charge.
       from_cache = true;
     }
 
-    const PredictionView view = BuildPredictionView(container, *cached);
+    const PredictionView view = BuildPredictionView(request, *cached);
     placement_ids = view.placement_ids;
     predicted_abs = view.predicted_abs;
     decision_goal = view.decision_goal;
@@ -275,7 +345,8 @@ ScheduleOutcome MachineScheduler::Submit(const ContainerRequest& request, double
   return outcome;
 }
 
-std::vector<ScheduleOutcome> MachineScheduler::Depart(int container_id, double now) {
+std::vector<ScheduleOutcome> MachineScheduler::Depart(int container_id, double now,
+                                                      bool forget_probes) {
   AdvanceClock(now);
   const auto it = containers_.find(container_id);
   NP_CHECK_MSG(it != containers_.end(), "unknown container " << container_id);
@@ -291,7 +362,9 @@ std::vector<ScheduleOutcome> MachineScheduler::Depart(int container_id, double n
   }
   container.state = ContainerState::kDeparted;
   ++stats_.departed;
-  registry_->Forget(container_id);
+  if (forget_probes) {
+    registry_->Forget(container_id);
+  }
 
   if (!config_.replace_on_departure) {
     return {};
@@ -333,7 +406,7 @@ std::vector<ScheduleOutcome> MachineScheduler::ReplacementPass(double now) {
     if (policy_->UsesModel()) {
       const CachedPrediction* cached = registry_->FindPrediction(id);
       NP_CHECK_MSG(cached != nullptr, "running container " << id << " lost its probes");
-      PredictionView view = BuildPredictionView(container, *cached);
+      PredictionView view = BuildPredictionView(container.request, *cached);
       placement_ids = std::move(view.placement_ids);
       predicted_abs = std::move(view.predicted_abs);
       decision_goal = view.decision_goal;

@@ -154,8 +154,41 @@ class MachineScheduler {
 
   // Removes a container (running or queued), freeing its threads, then runs
   // the re-placement pass; returns one outcome per container the pass placed
-  // or migrated.
-  std::vector<ScheduleOutcome> Depart(int container_id, double now = 0.0);
+  // or migrated. `forget_probes` drops the container's cached prediction
+  // (the default — a departed container never comes back); the fleet layer
+  // passes false when *moving* a container to another machine of the same
+  // topology so the probes it already paid for transfer with it.
+  std::vector<ScheduleOutcome> Depart(int container_id, double now = 0.0,
+                                      bool forget_probes = true);
+
+  // What probing the container cost (nothing on a cache hit or under a
+  // model-free policy).
+  struct ProbeCharge {
+    bool ran = false;             // probes actually executed
+    double seconds = 0.0;         // simulated probe + inter-probe migration time
+    NodeSet memory_nodes;         // where probe B left the container's memory
+    std::vector<TimelineEvent> timeline;
+  };
+
+  // Runs the model's two probe placements for the container and caches the
+  // prediction in the registry, unless the active policy is model-free or a
+  // prediction is already cached (then a no-op). The fleet dispatcher calls
+  // this once per topology group so machines sharing a registry never
+  // re-probe — probes are paid once fleet-wide.
+  ProbeCharge EnsureProbes(const ContainerRequest& request);
+
+  // What TryPlace would commit for the request right now, without mutating
+  // any state. Requires a cached prediction (see EnsureProbes) when the
+  // active policy uses the model. Model-free policies report zero
+  // predicted/goal throughput.
+  struct AdmissionPreview {
+    bool realizable = false;      // some ranked candidate fits the free threads
+    int placement_id = 0;
+    double predicted_abs = 0.0;
+    double goal_abs = 0.0;        // decision goal derived from the probes
+    bool meets_goal = false;
+  };
+  AdmissionPreview PreviewAdmission(const ContainerRequest& request);
 
   // Replays a trace (events must be time-ordered) and returns every outcome
   // in event order.
@@ -174,6 +207,12 @@ class MachineScheduler {
 
   // Time-averaged machine utilization over the replayed span, in [0, 1].
   double TimeAveragedUtilization() const;
+
+  // Advances the stats clock without processing an event, so machines that
+  // went a while without traffic still integrate busy-thread time up to
+  // `now`. The fleet layer syncs every machine on every fleet event to keep
+  // per-machine utilization averages comparable.
+  void SyncClock(double now) { AdvanceClock(now); }
 
   // Measured multi-tenant throughput of every running container under the
   // given co-location model, with its goal for slowdown reporting.
@@ -198,13 +237,14 @@ class MachineScheduler {
   ScheduleOutcome TryPlace(ManagedContainer& container, double now);
 
   // Absolute per-placement predictions and the decision goal derived from a
-  // container's cached probes (shared by placement and upgrade decisions).
+  // container's cached probes (shared by placement, upgrade and preview
+  // decisions).
   struct PredictionView {
     std::vector<int> placement_ids;
     std::vector<double> predicted_abs;
     double decision_goal = 0.0;
   };
-  PredictionView BuildPredictionView(const ManagedContainer& container,
+  PredictionView BuildPredictionView(const ContainerRequest& request,
                                      const CachedPrediction& cached) const;
 
   // Assembles the context handed to the policy for one decision against the

@@ -1,0 +1,149 @@
+#include "src/util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    NP_CHECK_MSG(!stack_.back().is_object,
+                 "object members need Key() (or Field()) before the value");
+    if (stack_.back().has_members) {
+      os_ << ",";
+    }
+    stack_.back().has_members = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  stack_.push_back({/*is_object=*/true, /*has_members=*/false});
+  os_ << "{";
+}
+
+void JsonWriter::EndObject() {
+  NP_CHECK(!stack_.empty() && stack_.back().is_object && !after_key_);
+  stack_.pop_back();
+  os_ << "}";
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  stack_.push_back({/*is_object=*/false, /*has_members=*/false});
+  os_ << "[";
+}
+
+void JsonWriter::EndArray() {
+  NP_CHECK(!stack_.empty() && !stack_.back().is_object && !after_key_);
+  stack_.pop_back();
+  os_ << "]";
+}
+
+void JsonWriter::Key(const std::string& key) {
+  NP_CHECK_MSG(!stack_.empty() && stack_.back().is_object && !after_key_,
+               "Key() is only valid directly inside an object");
+  if (stack_.back().has_members) {
+    os_ << ",";
+  }
+  stack_.back().has_members = true;
+  WriteEscaped(key);
+  os_ << ":";
+  after_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  WriteEscaped(value);
+}
+
+void JsonWriter::Number(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    os_ << "null";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  os_ << buffer;
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  os_ << value;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  os_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Field(const std::string& key, const std::string& value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::Field(const std::string& key, const char* value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::Field(const std::string& key, double value) {
+  Key(key);
+  Number(value);
+}
+
+void JsonWriter::Field(const std::string& key, int value) {
+  Key(key);
+  Int(value);
+}
+
+void JsonWriter::Field(const std::string& key, int64_t value) {
+  Key(key);
+  Int(value);
+}
+
+void JsonWriter::Field(const std::string& key, bool value) {
+  Key(key);
+  Bool(value);
+}
+
+void JsonWriter::WriteEscaped(const std::string& s) {
+  os_ << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os_ << "\\\"";
+        break;
+      case '\\':
+        os_ << "\\\\";
+        break;
+      case '\n':
+        os_ << "\\n";
+        break;
+      case '\r':
+        os_ << "\\r";
+        break;
+      case '\t':
+        os_ << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          os_ << buffer;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+}  // namespace numaplace

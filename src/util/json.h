@@ -1,0 +1,67 @@
+// Minimal streaming JSON emitter for machine-readable benchmark results.
+//
+// The bench binaries print human tables; perf-trajectory tooling wants the
+// same numbers as JSON (BENCH_*.json). This writer keeps a container stack
+// and inserts commas itself, so emission code reads top-to-bottom:
+//
+//   JsonWriter json(os);
+//   json.BeginObject();
+//   json.Field("bench", "bench_fleet");
+//   json.Key("results"); json.BeginArray(); ... json.EndArray();
+//   json.EndObject();
+//
+// Strings are escaped per RFC 8259; non-finite doubles emit null (JSON has
+// no NaN/Inf).
+#ifndef NUMAPLACE_SRC_UTIL_JSON_H_
+#define NUMAPLACE_SRC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace numaplace {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Object member key; must be followed by exactly one value (or container).
+  void Key(const std::string& key);
+
+  // Values (array elements, or the value after a Key()).
+  void String(const std::string& value);
+  void Number(double value);
+  void Int(int64_t value);
+  void Bool(bool value);
+
+  // Key() + value in one call.
+  void Field(const std::string& key, const std::string& value);
+  void Field(const std::string& key, const char* value);
+  void Field(const std::string& key, double value);
+  void Field(const std::string& key, int value);
+  void Field(const std::string& key, int64_t value);
+  void Field(const std::string& key, bool value);
+
+ private:
+  // Comma/expectation bookkeeping before emitting a value or key.
+  void BeforeValue();
+  void WriteEscaped(const std::string& s);
+
+  struct Frame {
+    bool is_object = false;
+    bool has_members = false;
+  };
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  bool after_key_ = false;
+};
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_UTIL_JSON_H_

@@ -1,0 +1,76 @@
+// Name -> factory registry machinery, shared by the scheduling-policy
+// registry (src/scheduler/policy.h) and the fleet-dispatch registry
+// (src/cluster/dispatch.h) so the two cannot drift apart in behavior:
+// duplicate registration CHECK-fails (silently replacing an implementation
+// would make two benchmarks with the same config incomparable), unknown
+// names CHECK-fail listing what is registered, Names() is sorted.
+#ifndef NUMAPLACE_SRC_UTIL_REGISTRY_H_
+#define NUMAPLACE_SRC_UTIL_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+template <typename Interface>
+class FactoryRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Interface>()>;
+
+  // `kind` names the registered thing in error messages, e.g. "scheduling
+  // policy".
+  explicit FactoryRegistry(std::string kind) : kind_(std::move(kind)) {}
+
+  void Register(const std::string& name, Factory factory) {
+    NP_CHECK(!name.empty());
+    NP_CHECK(factory != nullptr);
+    const auto [it, inserted] = factories_.try_emplace(name, std::move(factory));
+    (void)it;
+    NP_CHECK_MSG(inserted, kind_ << " '" << name << "' is already registered");
+  }
+
+  bool Has(const std::string& name) const { return factories_.count(name) > 0; }
+
+  std::unique_ptr<Interface> Make(const std::string& name) const {
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::ostringstream known;
+      for (const auto& [key, factory] : factories_) {
+        (void)factory;
+        known << (known.tellp() > 0 ? ", " : "") << key;
+      }
+      NP_CHECK_MSG(false, "unknown " << kind_ << " '" << name
+                                     << "' (registered: " << known.str() << ")");
+    }
+    std::unique_ptr<Interface> made = it->second();
+    NP_CHECK_MSG(made != nullptr, "factory for " << kind_ << " '" << name
+                                                 << "' returned null");
+    return made;
+  }
+
+  // Registered names, sorted (std::map order).
+  std::vector<std::string> Names() const {
+    std::vector<std::string> names;
+    names.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) {
+      (void)factory;
+      names.push_back(name);
+    }
+    return names;
+  }
+
+ private:
+  std::string kind_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_UTIL_REGISTRY_H_

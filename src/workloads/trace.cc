@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 
 #include "src/util/check.h"
 #include "src/workloads/synth.h"
@@ -13,6 +14,17 @@ namespace {
 double NextExponential(Rng& rng, double mean) {
   // NextDouble() is in [0, 1); 1-u is in (0, 1], so the log is finite.
   return -mean * std::log(1.0 - rng.NextDouble());
+}
+
+void SortEvents(std::vector<TraceEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.time_seconds != b.time_seconds) {
+                       return a.time_seconds < b.time_seconds;
+                     }
+                     return a.type == TraceEventType::kArrival &&
+                            b.type == TraceEventType::kDeparture;
+                   });
 }
 
 }  // namespace
@@ -61,15 +73,40 @@ std::vector<TraceEvent> GeneratePoissonTrace(const TraceConfig& config, Rng& rng
     events.push_back(departure);
   }
 
-  std::stable_sort(events.begin(), events.end(),
-                   [](const TraceEvent& a, const TraceEvent& b) {
-                     if (a.time_seconds != b.time_seconds) {
-                       return a.time_seconds < b.time_seconds;
-                     }
-                     return a.type == TraceEventType::kArrival &&
-                            b.type == TraceEventType::kDeparture;
-                   });
+  SortEvents(events);
   return events;
+}
+
+std::vector<TraceEvent> MergeTraces(const std::vector<std::vector<TraceEvent>>& traces) {
+  std::vector<TraceEvent> merged;
+  std::set<int> seen;
+  for (const std::vector<TraceEvent>& trace : traces) {
+    for (const TraceEvent& event : trace) {
+      if (event.type == TraceEventType::kArrival) {
+        NP_CHECK_MSG(seen.insert(event.container_id).second,
+                     "container id " << event.container_id
+                                     << " appears in two merged traces — give each "
+                                        "stream a disjoint first_container_id");
+      }
+      merged.push_back(event);
+    }
+  }
+  SortEvents(merged);
+  return merged;
+}
+
+std::vector<TraceEvent> GenerateFleetTrace(const TraceConfig& base, int num_streams,
+                                           Rng& rng) {
+  NP_CHECK(num_streams > 0);
+  std::vector<std::vector<TraceEvent>> streams;
+  streams.reserve(static_cast<size_t>(num_streams));
+  for (int s = 0; s < num_streams; ++s) {
+    TraceConfig config = base;
+    config.first_container_id = base.first_container_id + s * base.num_containers;
+    Rng stream_rng = rng.Fork(static_cast<uint64_t>(s));
+    streams.push_back(GeneratePoissonTrace(config, stream_rng));
+  }
+  return MergeTraces(streams);
 }
 
 }  // namespace numaplace

@@ -53,6 +53,22 @@ struct TraceConfig {
 // uniquified with the container id so duplicate-name checks downstream hold.
 std::vector<TraceEvent> GeneratePoissonTrace(const TraceConfig& config, Rng& rng);
 
+// Merges several time-sorted event streams into one time-sorted stream
+// (arrival before departure on ties, stable across streams). Container ids
+// must be disjoint across the inputs — the merged trace addresses one fleet-
+// wide id namespace — and a collision CHECK-fails.
+std::vector<TraceEvent> MergeTraces(const std::vector<std::vector<TraceEvent>>& traces);
+
+// Fleet workload: `num_streams` independent Poisson streams (one per tenant
+// population feeding the cluster), each a copy of `base` with a disjoint
+// container-id namespace carved out via TraceConfig::first_container_id
+// (stream s starts at base.first_container_id + s * base.num_containers),
+// merged into one trace of num_streams * base.num_containers containers.
+// Stream randomness forks deterministically from `rng`, so the result is a
+// pure function of (base, num_streams, rng seed).
+std::vector<TraceEvent> GenerateFleetTrace(const TraceConfig& base, int num_streams,
+                                           Rng& rng);
+
 }  // namespace numaplace
 
 #endif  // NUMAPLACE_SRC_WORKLOADS_TRACE_H_

@@ -1,0 +1,334 @@
+// Tests for the fleet layer (src/cluster): dispatch policy registry and
+// built-ins, probe sharing across machines of one topology group, and the
+// cross-machine RebalancePass — including the invariant that no committed
+// move's predicted gain is below its modeled migration + network cost.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/dispatch.h"
+#include "src/cluster/fleet.h"
+#include "src/model/pipeline.h"
+#include "src/scheduler/scheduler.h"
+#include "src/topology/machines.h"
+#include "src/util/rng.h"
+#include "src/workloads/synth.h"
+#include "src/workloads/trace.h"
+
+namespace numaplace {
+namespace {
+
+// One trained AMD model shared by every test in the binary (training is the
+// expensive part; the fleets themselves are cheap).
+struct AmdAssets {
+  Topology topo = AmdOpteron6272();
+  ImportantPlacementSet ips = GenerateImportantPlacements(topo, 16, true);
+  PerformanceModel sim{topo, 0.01, 3};
+  TrainedPerfModel model;
+
+  AmdAssets() {
+    ModelPipeline pipeline(ips, sim, /*baseline_id=*/1, /*seed=*/23);
+    PerfModelConfig config;
+    config.forest.num_trees = 60;
+    config.cv_trees = 25;
+    config.runs_per_workload = 2;
+    Rng rng(7);
+    model = pipeline.TrainPerfAuto(SampleTrainingWorkloads(36, rng), config);
+  }
+};
+
+const AmdAssets& Assets() {
+  static const AmdAssets* assets = new AmdAssets();
+  return *assets;
+}
+
+MachineSpec AmdSpec(const std::string& policy) {
+  MachineSpec spec(AmdOpteron6272());
+  spec.scheduler.policy = policy;
+  spec.scheduler.baseline_id = 1;
+  return spec;
+}
+
+FleetScheduler MakeAmdFleet(int num_machines, const std::string& machine_policy,
+                            FleetConfig config) {
+  const AmdAssets& assets = Assets();
+  std::vector<MachineSpec> specs(static_cast<size_t>(num_machines),
+                                 AmdSpec(machine_policy));
+  FleetScheduler fleet(std::move(specs), config);
+  fleet.GroupRegistry(assets.topo.name()).Register(assets.topo.name(), 16, assets.model);
+  fleet.ProvidePlacements(assets.topo.name(), assets.ips);
+  return fleet;
+}
+
+ContainerRequest MakeRequest(int id, const std::string& workload, double goal) {
+  ContainerRequest request;
+  request.id = id;
+  request.workload = PaperWorkload(workload);
+  request.workload.name += "#" + std::to_string(id);
+  request.vcpus = 16;
+  request.goal_fraction = goal;
+  return request;
+}
+
+int TotalProbeRuns(const FleetScheduler& fleet) {
+  int total = 0;
+  for (int m = 0; m < fleet.NumMachines(); ++m) {
+    total += fleet.machine(m).stats().probe_runs;
+  }
+  return total;
+}
+
+TEST(DispatchRegistry, BuiltInsAreRegisteredAndMisuseThrows) {
+  const std::vector<std::string> names = DispatchRegistry::Global().Names();
+  for (const char* builtin : {"least-loaded", "round-robin", "best-predicted"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), builtin), names.end()) << builtin;
+    EXPECT_TRUE(DispatchRegistry::Global().Has(builtin));
+  }
+  EXPECT_THROW(MakeDispatchPolicy("no-such-dispatch"), std::logic_error);
+  EXPECT_THROW(DispatchRegistry::Global().Register(
+                   "round-robin",
+                   [] { return std::unique_ptr<DispatchPolicy>(new RoundRobinDispatch()); }),
+               std::logic_error);
+  EXPECT_FALSE(MakeDispatchPolicy("round-robin")->NeedsPreviews());
+  EXPECT_TRUE(MakeDispatchPolicy("best-predicted")->NeedsPreviews());
+}
+
+TEST(FleetDispatch, RoundRobinCyclesMachines) {
+  FleetConfig config;
+  config.dispatch = "round-robin";
+  FleetScheduler fleet = MakeAmdFleet(3, "first-fit", config);
+  for (int id = 1; id <= 6; ++id) {
+    const FleetOutcome outcome = fleet.Submit(MakeRequest(id, "gcc", 0.5), id * 1.0);
+    EXPECT_TRUE(outcome.outcome.admitted);
+    EXPECT_EQ(outcome.machine_id, (id - 1) % 3) << "container " << id;
+    EXPECT_EQ(fleet.MachineOf(id), (id - 1) % 3);
+  }
+  EXPECT_EQ(fleet.stats().dispatched_immediately, 6);
+}
+
+TEST(FleetDispatch, RoundRobinCycleSurvivesTooSmallMachineFiltering) {
+  // Machine 0 (Zen, 32 threads) cannot fit a 48-vCPU container; the fleet
+  // filters it from that decision's candidates. The cycle must keep running
+  // over stable machine ids, not over the shrunken candidate list.
+  std::vector<MachineSpec> specs;
+  specs.emplace_back(AmdZenLike());
+  specs.emplace_back(AmdOpteron6272());
+  specs.emplace_back(AmdOpteron6272());
+  for (MachineSpec& spec : specs) {
+    spec.scheduler.policy = "first-fit";
+  }
+  FleetConfig config;
+  config.dispatch = "round-robin";
+  FleetScheduler fleet(specs, config);
+
+  const auto request = [](int id, int vcpus) {
+    ContainerRequest r = MakeRequest(id, "gcc", 0.5);
+    r.vcpus = vcpus;
+    return r;
+  };
+  EXPECT_EQ(fleet.Submit(request(1, 16), 0.0).machine_id, 0);
+  // 48 vCPUs: machine 0 is filtered out; the cursor (at machine 1) is
+  // unaffected by the filtering.
+  EXPECT_EQ(fleet.Submit(request(2, 48), 1.0).machine_id, 1);
+  EXPECT_EQ(fleet.Submit(request(3, 16), 2.0).machine_id, 2);
+  EXPECT_EQ(fleet.Submit(request(4, 16), 3.0).machine_id, 0);  // wrapped
+}
+
+TEST(FleetDispatch, LeastLoadedPicksTheEmptierMachine) {
+  FleetConfig config;
+  config.dispatch = "least-loaded";
+  FleetScheduler fleet = MakeAmdFleet(2, "first-fit", config);
+  // Ties break toward machine 0, then dispatch alternates with load.
+  EXPECT_EQ(fleet.Submit(MakeRequest(1, "gcc", 0.5), 0.0).machine_id, 0);
+  EXPECT_EQ(fleet.Submit(MakeRequest(2, "gcc", 0.5), 1.0).machine_id, 1);
+  EXPECT_EQ(fleet.Submit(MakeRequest(3, "gcc", 0.5), 2.0).machine_id, 0);
+  EXPECT_EQ(fleet.Submit(MakeRequest(4, "gcc", 0.5), 3.0).machine_id, 1);
+}
+
+TEST(FleetDispatch, BestPredictedPaysProbesOncePerTopologyGroup) {
+  FleetConfig config;
+  config.dispatch = "best-predicted";
+  FleetScheduler fleet = MakeAmdFleet(2, "model", config);
+  const FleetOutcome outcome = fleet.Submit(MakeRequest(1, "gcc", 0.9), 0.0);
+  ASSERT_TRUE(outcome.outcome.admitted);
+
+  // One probe pair total, run by the group's probe machine; the dispatched
+  // machine admits from the shared cache.
+  EXPECT_EQ(fleet.stats().fleet_probe_runs, 2);
+  EXPECT_GT(fleet.stats().fleet_probe_seconds, 0.0);
+  EXPECT_EQ(TotalProbeRuns(fleet), 2);
+  EXPECT_EQ(fleet.machine(outcome.machine_id).stats().cached_probe_reuses, 1);
+  EXPECT_EQ(fleet.GroupRegistry(Assets().topo.name()).NumCachedPredictions(), 1u);
+
+  // A true departure forgets the prediction in every group registry.
+  fleet.Depart(1, 5.0);
+  EXPECT_EQ(fleet.GroupRegistry(Assets().topo.name()).NumCachedPredictions(), 0u);
+  EXPECT_EQ(fleet.MachineOf(1), -1);
+}
+
+TEST(FleetDispatch, BestPredictedPrefersTheMachineWithHigherMargin) {
+  FleetConfig config;
+  config.dispatch = "best-predicted";
+  FleetScheduler fleet = MakeAmdFleet(2, "model", config);
+  // Crowd machine 0 (six of eight nodes) behind the fleet's back so only
+  // cramped classes are realizable there.
+  for (int id = 101; id <= 103; ++id) {
+    ASSERT_TRUE(fleet.machine(0).Submit(MakeRequest(id, "gcc", 0.5), 0.0).admitted);
+  }
+  // A bandwidth-hungry container predicts a far better margin on the empty
+  // machine 1 than on machine 0's two remaining nodes.
+  const FleetOutcome outcome = fleet.Submit(MakeRequest(1, "streamcluster", 1.0), 1.0);
+  ASSERT_TRUE(outcome.outcome.admitted);
+  EXPECT_EQ(outcome.machine_id, 1);
+  EXPECT_TRUE(outcome.outcome.reused_cached_probes);  // dispatch probe paid already
+}
+
+TEST(FleetRebalance, QueuedContainerMovesToTheMachineThatFreedCapacity) {
+  FleetConfig config;
+  config.dispatch = "least-loaded";
+  FleetScheduler fleet = MakeAmdFleet(2, "model", config);
+  // Eight easy containers fill both machines (four 2-node placements each).
+  for (int id = 1; id <= 8; ++id) {
+    ASSERT_TRUE(fleet.Submit(MakeRequest(id, "gcc", 0.5), id * 1.0).outcome.admitted);
+  }
+  const FleetOutcome queued = fleet.Submit(MakeRequest(9, "gcc", 0.5), 10.0);
+  EXPECT_FALSE(queued.outcome.admitted);
+  EXPECT_EQ(fleet.stats().queued, 1);
+  const int queue_machine = queued.machine_id;
+  const int other_machine = 1 - queue_machine;
+
+  // Depart a container on the *other* machine: its local re-placement pass
+  // cannot see the queue, so the fleet RebalancePass must move the waiter.
+  int victim = -1;
+  for (int id = 1; id <= 8; ++id) {
+    if (fleet.MachineOf(id) == other_machine) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  const std::vector<FleetOutcome> outcomes = fleet.Depart(victim, 20.0);
+
+  ASSERT_EQ(fleet.stats().rebalance_moves, 1);
+  const RebalanceMove& move = fleet.rebalance_log().front();
+  EXPECT_EQ(move.container_id, 9);
+  EXPECT_TRUE(move.was_queued);
+  EXPECT_EQ(move.from_machine, queue_machine);
+  EXPECT_EQ(move.to_machine, other_machine);
+  EXPECT_GT(move.predicted_gain_ops, move.modeled_cost_ops);
+  // A queued container never ran: no memory exists, so the move is free.
+  EXPECT_DOUBLE_EQ(move.move_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(move.modeled_cost_ops, 0.0);
+  EXPECT_EQ(fleet.MachineOf(9), other_machine);
+  EXPECT_EQ(fleet.stats().queue_admissions, 1);
+  EXPECT_DOUBLE_EQ(fleet.stats().queue_wait_seconds, 10.0);
+  // The move rides the probe cache — no fleet-wide re-probing.
+  EXPECT_EQ(TotalProbeRuns(fleet), 18);  // nine probe pairs at submission, none since
+  bool moved_reported = false;
+  for (const FleetOutcome& outcome : outcomes) {
+    if (outcome.outcome.container_id == 9) {
+      moved_reported = outcome.outcome.admitted && outcome.machine_id == other_machine;
+    }
+  }
+  EXPECT_TRUE(moved_reported);
+
+  // The moved container departs cleanly from its new machine.
+  fleet.Depart(9, 30.0);
+  EXPECT_EQ(fleet.MachineOf(9), -1);
+}
+
+TEST(FleetRebalance, DegradedContainerMovesOnlyWhenGainBeatsModeledCost) {
+  FleetConfig config;
+  config.dispatch = "least-loaded";
+  config.rebalance_min_gain = 0.05;
+  FleetScheduler fleet = MakeAmdFleet(2, "model", config);
+  // Least-loaded alternates: machine 0 gets {1,3,5,7}, machine 1 {2,4,6,8}.
+  // Container 7 is a bandwidth-bound workload with an unreachable goal,
+  // squeezed into machine 0's last two nodes — degraded.
+  for (int id = 1; id <= 6; ++id) {
+    ASSERT_TRUE(fleet.Submit(MakeRequest(id, "gcc", 0.5), id * 1.0).outcome.admitted);
+  }
+  const FleetOutcome crowded = fleet.Submit(MakeRequest(7, "streamcluster", 1.1), 7.0);
+  ASSERT_TRUE(crowded.outcome.admitted);
+  ASSERT_EQ(crowded.machine_id, 0);
+  ASSERT_FALSE(crowded.outcome.meets_goal);
+  const double crowded_predicted = crowded.outcome.predicted_abs_throughput;
+  ASSERT_TRUE(fleet.Submit(MakeRequest(8, "gcc", 0.5), 8.0).outcome.admitted);
+
+  // Two free nodes on machine 1 only fit the class it already has — the
+  // gain gate holds the container in place.
+  fleet.Depart(2, 10.0);
+  EXPECT_EQ(fleet.stats().rebalance_moves, 0);
+  EXPECT_EQ(fleet.MachineOf(7), 0);
+
+  // Four free nodes make a strictly better class realizable over there; the
+  // predicted gain now clears the migration + network cost.
+  fleet.Depart(4, 20.0);
+  ASSERT_EQ(fleet.stats().rebalance_moves, 1);
+  const RebalanceMove& move = fleet.rebalance_log().front();
+  EXPECT_EQ(move.container_id, 7);
+  EXPECT_FALSE(move.was_queued);
+  EXPECT_EQ(move.from_machine, 0);
+  EXPECT_EQ(move.to_machine, 1);
+  EXPECT_GT(move.predicted_gain_ops, move.modeled_cost_ops);
+  // A live incumbent pays the migration estimate plus the network copy.
+  EXPECT_GT(move.network_seconds, 0.0);
+  EXPECT_GT(move.move_seconds, move.network_seconds);
+  EXPECT_GT(move.modeled_cost_ops, 0.0);
+  EXPECT_EQ(fleet.MachineOf(7), 1);
+  const ManagedContainer* moved = fleet.machine(1).Find(7);
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(moved->state, ContainerState::kRunning);
+  EXPECT_GT(moved->predicted_abs_throughput,
+            crowded_predicted * (1.0 + config.rebalance_min_gain));
+}
+
+TEST(FleetRebalance, TraceReplayDrainsAndEveryMoveHasPositiveSurplus) {
+  FleetConfig config;
+  config.dispatch = "least-loaded";
+  FleetScheduler fleet = MakeAmdFleet(2, "model", config);
+
+  TraceConfig trace_config;
+  trace_config.num_containers = 6;
+  trace_config.vcpus = 16;
+  trace_config.goal_fraction = 1.0;
+  trace_config.mean_interarrival_seconds = 90.0;
+  trace_config.mean_lifetime_seconds = 360.0;
+  Rng rng(13);
+  const std::vector<TraceEvent> trace = GenerateFleetTrace(trace_config, 2, rng);
+  ASSERT_EQ(trace.size(), 24u);
+
+  const FleetReport report = fleet.ReplayWithEvaluation(trace);
+  EXPECT_EQ(fleet.stats().submitted, 12);
+  EXPECT_GT(report.decisions, 0);
+  EXPECT_GT(report.goal_attainment, 0.0);
+  EXPECT_LE(report.goal_attainment, 1.0);
+  EXPECT_GE(report.utilization_max, report.utilization_min);
+
+  // The §7-cost gate is an invariant of the pass, not a lucky trace: every
+  // committed move carried a strictly positive modeled surplus.
+  for (const RebalanceMove& move : fleet.rebalance_log()) {
+    EXPECT_GT(move.predicted_gain_ops, move.modeled_cost_ops)
+        << "container " << move.container_id << " moved " << move.from_machine
+        << " -> " << move.to_machine;
+    EXPECT_GE(move.move_seconds, move.network_seconds);
+  }
+
+  // Every container departed: machines drain and all group caches empty.
+  for (int m = 0; m < fleet.NumMachines(); ++m) {
+    EXPECT_TRUE(fleet.machine(m).RunningIds().empty()) << "machine " << m;
+    EXPECT_TRUE(fleet.machine(m).PendingIds().empty()) << "machine " << m;
+    EXPECT_EQ(fleet.machine(m).occupancy().BusyThreadCount(), 0) << "machine " << m;
+  }
+  for (const std::string& group : fleet.GroupNames()) {
+    EXPECT_EQ(fleet.GroupRegistry(group).NumCachedPredictions(), 0u) << group;
+  }
+  for (int id = 1; id <= 12; ++id) {
+    EXPECT_EQ(fleet.MachineOf(id), -1) << "container " << id;
+  }
+}
+
+}  // namespace
+}  // namespace numaplace

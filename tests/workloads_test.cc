@@ -1,11 +1,15 @@
 // Catalog integrity: the 18 paper workloads carry Table 2's memory data and
-// physically sensible execution profiles.
+// physically sensible execution profiles. Plus trace-generator guarantees
+// the fleet layer builds on: determinism under a fixed seed and disjoint
+// container-id namespaces via TraceConfig::first_container_id.
 #include <gtest/gtest.h>
 
 #include <set>
 
+#include "src/util/rng.h"
 #include "src/workloads/profile.h"
 #include "src/workloads/synth.h"
+#include "src/workloads/trace.h"
 
 namespace numaplace {
 namespace {
@@ -113,6 +117,97 @@ TEST(Synth, ArchetypeNamesAreStable) {
   for (WorkloadArchetype a : AllArchetypes()) {
     EXPECT_FALSE(ArchetypeName(a).empty());
   }
+}
+
+bool SameEvents(const std::vector<TraceEvent>& a, const std::vector<TraceEvent>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].time_seconds != b[i].time_seconds || a[i].type != b[i].type ||
+        a[i].container_id != b[i].container_id ||
+        a[i].workload.name != b[i].workload.name ||
+        a[i].latency_sensitive != b[i].latency_sensitive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(TraceGenerator, DeterministicUnderAFixedSeed) {
+  TraceConfig config;
+  config.num_containers = 25;
+  Rng rng_a(77);
+  Rng rng_b(77);
+  const std::vector<TraceEvent> first = GeneratePoissonTrace(config, rng_a);
+  const std::vector<TraceEvent> second = GeneratePoissonTrace(config, rng_b);
+  EXPECT_TRUE(SameEvents(first, second));
+
+  // A different seed produces a genuinely different stream.
+  Rng rng_c(78);
+  EXPECT_FALSE(SameEvents(first, GeneratePoissonTrace(config, rng_c)));
+}
+
+TEST(TraceGenerator, FirstContainerIdCarvesDisjointNamespaces) {
+  // Two traces meant to share one registry/scheduler: the second starts its
+  // ids where the first ends.
+  TraceConfig low;
+  low.num_containers = 15;
+  low.first_container_id = 1;
+  TraceConfig high = low;
+  high.first_container_id = low.first_container_id + low.num_containers;
+
+  Rng rng(5);
+  const std::vector<TraceEvent> first = GeneratePoissonTrace(low, rng);
+  const std::vector<TraceEvent> second = GeneratePoissonTrace(high, rng);
+  std::set<int> ids;
+  for (const std::vector<TraceEvent>* trace : {&first, &second}) {
+    for (const TraceEvent& event : *trace) {
+      if (event.type == TraceEventType::kArrival) {
+        EXPECT_TRUE(ids.insert(event.container_id).second)
+            << "container id " << event.container_id << " in both traces";
+      }
+    }
+  }
+  EXPECT_EQ(ids.size(), 30u);
+  EXPECT_EQ(*ids.begin(), 1);
+  EXPECT_EQ(*ids.rbegin(), 30);
+
+  // Merging is legal exactly because the namespaces are disjoint...
+  const std::vector<TraceEvent> merged = MergeTraces({first, second});
+  EXPECT_EQ(merged.size(), 60u);
+  double last = 0.0;
+  for (const TraceEvent& event : merged) {
+    EXPECT_GE(event.time_seconds, last);
+    last = event.time_seconds;
+  }
+  // ...and a collision is rejected rather than silently aliasing containers.
+  EXPECT_THROW(MergeTraces({first, first}), std::logic_error);
+}
+
+TEST(TraceGenerator, FleetTraceIsMergedDisjointAndDeterministic) {
+  TraceConfig base;
+  base.num_containers = 8;
+  base.first_container_id = 100;
+  Rng rng_a(21);
+  const std::vector<TraceEvent> fleet = GenerateFleetTrace(base, 3, rng_a);
+  ASSERT_EQ(fleet.size(), 48u);
+
+  std::set<int> ids;
+  double last = 0.0;
+  for (const TraceEvent& event : fleet) {
+    EXPECT_GE(event.time_seconds, last);
+    last = event.time_seconds;
+    if (event.type == TraceEventType::kArrival) {
+      EXPECT_TRUE(ids.insert(event.container_id).second);
+    }
+  }
+  EXPECT_EQ(ids.size(), 24u);
+  EXPECT_EQ(*ids.begin(), 100);   // stream 0 starts at base.first_container_id
+  EXPECT_EQ(*ids.rbegin(), 123);  // stream 2 ends at 100 + 3*8 - 1
+
+  Rng rng_b(21);
+  EXPECT_TRUE(SameEvents(fleet, GenerateFleetTrace(base, 3, rng_b)));
 }
 
 }  // namespace

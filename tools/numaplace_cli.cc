@@ -8,7 +8,8 @@
 //                                     from two probe measurements
 //   migrate <workload>                estimate migration costs for a
 //                                     catalog workload
-//   policies                          list the registered scheduling policies
+//   policies                          list the registered scheduling and
+//                                     dispatch policies
 //   schedule <machine> <vcpus> <containers> [seed] [policy]
 //                                     generate a Poisson arrival/departure
 //                                     trace and replay it through the
@@ -16,6 +17,16 @@
 //                                     policy (default "model", which trains
 //                                     a model first), printing utilization
 //                                     and slowdowns
+//   fleet <machines> <vcpus> <containers> [seed] [dispatch] [policy]
+//                                     build a fleet from a comma-separated
+//                                     machine list (e.g. amd,amd,intel),
+//                                     generate one merged trace with
+//                                     <containers> containers per machine,
+//                                     and replay it through the cluster
+//                                     scheduler under the named dispatch
+//                                     policy (default "least-loaded") with
+//                                     every machine running [policy]
+//                                     (default "model")
 //
 // Machines: amd (Opteron 6272), intel (Xeon E7-4830 v3), zen, cod.
 #include <algorithm>
@@ -27,6 +38,8 @@
 #include <map>
 #include <string>
 
+#include "src/cluster/dispatch.h"
+#include "src/cluster/fleet.h"
 #include "src/core/concern.h"
 #include "src/core/important.h"
 #include "src/migration/migration.h"
@@ -155,9 +168,17 @@ int CmdPolicies() {
   std::printf("registered scheduling policies:\n");
   for (const std::string& name : PolicyRegistry::Global().Names()) {
     const std::unique_ptr<SchedulingPolicy> policy = MakePolicy(name);
-    std::printf("  %-10s %s\n", name.c_str(),
+    std::printf("  %-14s %s\n", name.c_str(),
                 policy->UsesModel() ? "(probes and predicts with the trained model)"
                                     : "(structural, no probes)");
+  }
+  std::printf("registered fleet dispatch policies:\n");
+  for (const std::string& name : DispatchRegistry::Global().Names()) {
+    const std::unique_ptr<DispatchPolicy> dispatch = MakeDispatchPolicy(name);
+    std::printf("  %-14s %s\n", name.c_str(),
+                dispatch->NeedsPreviews()
+                    ? "(previews every machine's top candidate)"
+                    : "(load/order based, no previews)");
   }
   return 0;
 }
@@ -270,6 +291,155 @@ int CmdSchedule(const std::string& machine_name, int vcpus, int num_containers,
   return 0;
 }
 
+int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stream,
+             uint64_t seed, const std::string& dispatch_name,
+             const std::string& policy_name) {
+  if (containers_per_stream <= 0) {
+    std::fprintf(stderr, "need at least one container per machine stream\n");
+    return 2;
+  }
+  std::vector<std::string> machine_names;
+  std::string token;
+  for (char c : machines_csv + ",") {
+    if (c == ',') {
+      if (!token.empty()) {
+        machine_names.push_back(token);
+        token.clear();
+      }
+    } else {
+      token += c;
+    }
+  }
+  if (machine_names.empty()) {
+    std::fprintf(stderr, "empty machine list '%s'\n", machines_csv.c_str());
+    return 2;
+  }
+
+  // One baseline id per topology group, keyed the same way everywhere in
+  // this command (scheduler goals and model training must agree on it).
+  std::map<std::string, int> baseline_of_group;
+  std::vector<MachineSpec> specs;
+  for (const std::string& name : machine_names) {
+    MachineSpec spec(MakeMachine(name));
+    spec.scheduler.policy = policy_name;
+    spec.scheduler.baseline_id = name == "intel" ? 2 : 1;
+    spec.scheduler.use_interconnect_concern = InterconnectIsAsymmetric(spec.topo);
+    baseline_of_group[spec.topo.name()] = spec.scheduler.baseline_id;
+    specs.push_back(std::move(spec));
+  }
+  FleetConfig fleet_config;
+  fleet_config.dispatch = dispatch_name;
+  FleetScheduler fleet(std::move(specs), fleet_config);
+
+  // One placement set — and, for model policies, one trained model — per
+  // distinct topology group, shared by every machine of the group.
+  const bool uses_model = MakePolicy(policy_name)->UsesModel();
+  for (const std::string& group : fleet.GroupNames()) {
+    const Topology topo = [&] {
+      for (size_t m = 0; m < machine_names.size(); ++m) {
+        if (fleet.topology(static_cast<int>(m)).name() == group) {
+          return fleet.topology(static_cast<int>(m));
+        }
+      }
+      std::fprintf(stderr, "group '%s' has no machine\n", group.c_str());
+      std::exit(1);
+    }();
+    if (topo.NumHwThreads() < vcpus) {
+      // The fleet never dispatches a container to a machine it cannot fit
+      // on; this group only ever idles at this container size.
+      std::printf("note: %s (%d hw threads) cannot fit %d-vCPU containers\n",
+                  group.c_str(), topo.NumHwThreads(), vcpus);
+      continue;
+    }
+    const bool use_ic = InterconnectIsAsymmetric(topo);
+    const ImportantPlacementSet set = GenerateImportantPlacements(topo, vcpus, use_ic);
+    fleet.ProvidePlacements(group, set);
+    if (uses_model) {
+      std::printf("training a model for (%s, %d vCPUs) on 72 synthetic workloads...\n",
+                  group.c_str(), vcpus);
+      PerformanceModel sim(topo, 0.015, 1);
+      ModelPipeline pipeline(set, sim, baseline_of_group.at(group), 42);
+      Rng train_rng(7);
+      PerfModelConfig model_config;
+      fleet.GroupRegistry(group).Register(
+          group, vcpus,
+          pipeline.TrainPerfAuto(SampleTrainingWorkloads(72, train_rng), model_config));
+    }
+  }
+
+  TraceConfig trace_config;
+  trace_config.num_containers = containers_per_stream;
+  trace_config.vcpus = vcpus;
+  trace_config.goal_fraction = 0.9;
+  trace_config.mean_interarrival_seconds = 120.0;
+  trace_config.mean_lifetime_seconds = 480.0;
+  Rng trace_rng(seed);
+  const std::vector<TraceEvent> trace =
+      GenerateFleetTrace(trace_config, static_cast<int>(machine_names.size()), trace_rng);
+  std::printf("replaying %zu events (%zu containers, %zu machine streams, dispatch "
+              "'%s', machine policy '%s')...\n\n",
+              trace.size(), machine_names.size() * trace_config.num_containers,
+              machine_names.size(), dispatch_name.c_str(), policy_name.c_str());
+
+  const FleetReport report = fleet.ReplayWithEvaluation(trace);
+
+  TablePrinter machines({"machine", "topology", "submissions", "probe runs",
+                         "upgrades", "utilization"});
+  for (int m = 0; m < fleet.NumMachines(); ++m) {
+    const SchedulerStats& stats = fleet.machine(m).stats();
+    machines.AddRow({std::to_string(m), machine_names[static_cast<size_t>(m)],
+                     std::to_string(stats.submitted), std::to_string(stats.probe_runs),
+                     std::to_string(stats.upgrades),
+                     TablePrinter::Num(100.0 * report.machine_utilizations[m], 1) + "%"});
+  }
+  machines.Print(std::cout);
+
+  if (!fleet.rebalance_log().empty()) {
+    std::printf("\ncross-machine rebalance moves:\n");
+    TablePrinter moves({"container", "from", "to", "queued?", "move (s)",
+                        "network (s)", "gain (ops)", "cost (ops)"});
+    for (const RebalanceMove& move : fleet.rebalance_log()) {
+      moves.AddRow({std::to_string(move.container_id), std::to_string(move.from_machine),
+                    std::to_string(move.to_machine), move.was_queued ? "yes" : "no",
+                    TablePrinter::Num(move.move_seconds, 1),
+                    TablePrinter::Num(move.network_seconds, 1),
+                    TablePrinter::Num(move.predicted_gain_ops, 0),
+                    TablePrinter::Num(move.modeled_cost_ops, 0)});
+    }
+    moves.Print(std::cout);
+  }
+
+  const FleetStats& stats = fleet.stats();
+  std::printf("\n");
+  TablePrinter summary({"metric", "value"});
+  summary.AddRow({"containers submitted", std::to_string(stats.submitted)});
+  summary.AddRow({"dispatched & admitted at once",
+                  std::to_string(stats.dispatched_immediately)});
+  summary.AddRow({"queued on arrival", std::to_string(stats.queued)});
+  summary.AddRow({"queue admissions", std::to_string(stats.queue_admissions)});
+  summary.AddRow({"mean queue wait (s)",
+                  TablePrinter::Num(report.mean_queue_wait_seconds, 1)});
+  summary.AddRow({"rebalance moves", std::to_string(stats.rebalance_moves)});
+  summary.AddRow({"cross-machine move time (s)",
+                  TablePrinter::Num(stats.cross_machine_move_seconds, 1)});
+  summary.AddRow({"fleet goal attainment (time avg)",
+                  TablePrinter::Num(100.0 * report.goal_attainment, 1) + "%"});
+  summary.AddRow({"container-seconds at goal",
+                  TablePrinter::Num(100.0 * report.container_seconds_at_goal, 1) + "%"});
+  summary.AddRow({"mean utilization (thread-weighted)",
+                  TablePrinter::Num(100.0 * report.mean_utilization, 1) + "%"});
+  summary.AddRow({"utilization spread (max-min)",
+                  TablePrinter::Num(100.0 * (report.utilization_max -
+                                             report.utilization_min), 1) + "pp"});
+  summary.AddRow({"scheduling decisions", std::to_string(report.decisions)});
+  if (report.wall_seconds > 0.0) {
+    summary.AddRow({"decisions/sec (host)",
+                    TablePrinter::Num(report.decisions / report.wall_seconds, 0)});
+  }
+  summary.Print(std::cout);
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -280,7 +450,9 @@ void Usage() {
                "  numaplace_cli migrate <workload>\n"
                "  numaplace_cli policies\n"
                "  numaplace_cli schedule <amd|intel|zen|cod> <vcpus> <containers> "
-               "[seed] [policy]\n");
+               "[seed] [policy]\n"
+               "  numaplace_cli fleet <machine,machine,...> <vcpus> "
+               "<containers-per-machine> [seed] [dispatch] [policy]\n");
 }
 
 }  // namespace
@@ -340,6 +512,54 @@ int main(int argc, char** argv) {
         }
       }
       return CmdSchedule(argv[2], std::atoi(argv[3]), std::atoi(argv[4]), seed, policy);
+    }
+    if (command == "fleet" && argc >= 5 && argc <= 8) {
+      // Optional trailing args in any order: a number is the trace seed, a
+      // dispatch-policy name picks the dispatcher, a scheduling-policy name
+      // picks every machine's policy. Two of the same kind is a usage error.
+      uint64_t seed = 11;
+      std::string dispatch = "least-loaded";
+      std::string policy = "model";
+      bool have_seed = false;
+      bool have_dispatch = false;
+      bool have_policy = false;
+      for (int i = 5; i < argc; ++i) {
+        char* end = nullptr;
+        const uint64_t parsed = std::strtoull(argv[i], &end, 10);
+        if (end != nullptr && *end == '\0' && end != argv[i]) {
+          if (have_seed) {
+            std::fprintf(stderr, "two seeds given ('%" PRIu64 "' and '%s')\n", seed,
+                         argv[i]);
+            return 2;
+          }
+          seed = parsed;
+          have_seed = true;
+        } else if (DispatchRegistry::Global().Has(argv[i])) {
+          if (have_dispatch) {
+            std::fprintf(stderr, "two dispatch policies given ('%s' and '%s')\n",
+                         dispatch.c_str(), argv[i]);
+            return 2;
+          }
+          dispatch = argv[i];
+          have_dispatch = true;
+        } else if (PolicyRegistry::Global().Has(argv[i])) {
+          if (have_policy) {
+            std::fprintf(stderr, "two scheduling policies given ('%s' and '%s')\n",
+                         policy.c_str(), argv[i]);
+            return 2;
+          }
+          policy = argv[i];
+          have_policy = true;
+        } else {
+          std::fprintf(stderr,
+                       "'%s' is neither a seed, a dispatch policy nor a scheduling "
+                       "policy (see `numaplace_cli policies`)\n",
+                       argv[i]);
+          return 2;
+        }
+      }
+      return CmdFleet(argv[2], std::atoi(argv[3]), std::atoi(argv[4]), seed, dispatch,
+                      policy);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
