@@ -22,6 +22,15 @@
 // on goal attainment: best-predicted asks every machine's own policy for
 // its top candidate and routes to the best predicted margin.
 //
+// A second sweep runs failure scenarios on the amd+intel fleet: the same
+// trace replayed unperturbed (baseline), with machine 0 failing mid-trace,
+// and with machine 0 draining mid-trace (rejoining at the three-quarter
+// mark either way), per dispatch policy. Reported per scenario: goal
+// attainment and its damage vs. the baseline, evacuation latency (slowest
+// committed move), rehomed/requeued evacuees and total move cost. Every
+// committed move — rebalance and evacuation alike — must satisfy the
+// gain-beats-cost invariant; a violation fails the bench.
+//
 // Flags:
 //   --smoke        tiny trace + small forests (CI Release-mode exercise)
 //   --json <path>  machine-readable results for the BENCH_*.json trajectory
@@ -96,11 +105,13 @@ struct ResultRow {
   FleetReport report;
   FleetStats stats;
   int machine_probe_runs = 0;
+  std::vector<RebalanceMove> moves;
+  std::vector<EvacuationReport> evacuations;
 };
 
 ResultRow RunOne(const FleetDef& def, const std::string& dispatch_name,
                  const std::map<std::string, GroupAssets>& groups,
-                 const std::vector<TraceEvent>& trace) {
+                 const EventStream& trace) {
   std::vector<MachineSpec> specs;
   for (const std::string& name : def.machines) {
     const GroupAssets& group = groups.at(name);
@@ -127,12 +138,33 @@ ResultRow RunOne(const FleetDef& def, const std::string& dispatch_name,
   row.dispatch = dispatch_name;
   row.report = fleet.ReplayWithEvaluation(trace);
   row.stats = fleet.stats();
+  row.moves = fleet.rebalance_log();
+  row.evacuations = fleet.evacuation_log();
   // Every probe is charged to some machine's stats; stats_.fleet_probe_runs
   // is the subset the dispatcher/rebalancer triggered, not an extra count.
   for (int m = 0; m < fleet.NumMachines(); ++m) {
     row.machine_probe_runs += fleet.machine(m).stats().probe_runs;
   }
   return row;
+}
+
+// The acceptance gate on the §7 cost model: every committed cross-machine
+// move — departure rebalancing, drain, failover — carries a strictly
+// positive modeled surplus.
+int CountInvariantViolations(const ResultRow& row) {
+  int violations = 0;
+  for (const RebalanceMove& move : row.moves) {
+    if (move.predicted_gain_ops <= move.modeled_cost_ops) {
+      std::fprintf(stderr,
+                   "INVARIANT VIOLATION: container %d moved %d -> %d (%s) with gain "
+                   "%.1f <= cost %.1f\n",
+                   move.container_id, move.from_machine, move.to_machine,
+                   ToString(move.reason), move.predicted_gain_ops,
+                   move.modeled_cost_ops);
+      ++violations;
+    }
+  }
+  return violations;
 }
 
 void PrintRows(const std::vector<ResultRow>& rows) {
@@ -161,7 +193,54 @@ void PrintRows(const std::vector<ResultRow>& rows) {
   table.Print(std::cout);
 }
 
-void WriteJson(const std::string& path, const std::vector<ResultRow>& rows, bool smoke) {
+struct ScenarioRow {
+  std::string scenario;  // "baseline" | "fail" | "drain"
+  ResultRow run;
+  double damage_pp = 0.0;  // baseline attainment minus this scenario's
+};
+
+// Evacuation aggregates of one run (one fail/drain event => usually one
+// report, but the totals generalize).
+struct EvacuationTotals {
+  double latency_seconds = 0.0;  // slowest committed move across evacuations
+  int rehomed = 0;
+  int requeued = 0;
+  double move_seconds = 0.0;
+};
+
+EvacuationTotals TotalsOf(const ResultRow& run) {
+  EvacuationTotals totals;
+  for (const EvacuationReport& evacuation : run.evacuations) {
+    totals.latency_seconds = std::max(totals.latency_seconds,
+                                      evacuation.last_landing_seconds);
+    totals.rehomed += evacuation.rehomed;
+    totals.requeued += evacuation.requeued;
+    totals.move_seconds += evacuation.move_seconds_total;
+  }
+  return totals;
+}
+
+void PrintScenarioRows(const std::vector<ScenarioRow>& rows) {
+  TablePrinter table({"dispatch", "scenario", "goal attainment", "damage",
+                      "evac latency (s)", "rehomed", "requeued", "move cost (s)",
+                      "queue wait (s)"});
+  for (const ScenarioRow& row : rows) {
+    const EvacuationTotals totals = TotalsOf(row.run);
+    table.AddRow(
+        {row.run.dispatch, row.scenario,
+         TablePrinter::Num(100.0 * row.run.report.goal_attainment, 1) + "%",
+         row.scenario == "baseline" ? "-"
+                                    : TablePrinter::Num(row.damage_pp, 1) + "pp",
+         TablePrinter::Num(totals.latency_seconds, 1),
+         std::to_string(totals.rehomed), std::to_string(totals.requeued),
+         TablePrinter::Num(totals.move_seconds, 1),
+         TablePrinter::Num(row.run.report.mean_queue_wait_seconds, 1)});
+  }
+  table.Print(std::cout);
+}
+
+void WriteJson(const std::string& path, const std::vector<ResultRow>& rows,
+               const std::vector<ScenarioRow>& scenario_rows, bool smoke) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -199,6 +278,26 @@ void WriteJson(const std::string& path, const std::vector<ResultRow>& rows, bool
       json.Number(utilization);
     }
     json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("failure_scenarios");
+  json.BeginArray();
+  for (const ScenarioRow& row : scenario_rows) {
+    const EvacuationTotals totals = TotalsOf(row.run);
+    json.BeginObject();
+    json.Field("dispatch", row.run.dispatch);
+    json.Field("scenario", row.scenario);
+    json.Field("goal_attainment", row.run.report.goal_attainment);
+    json.Field("damage_pp", row.damage_pp);
+    json.Field("evacuation_latency_seconds", totals.latency_seconds);
+    json.Field("rehomed", totals.rehomed);
+    json.Field("requeued", totals.requeued);
+    json.Field("evacuation_move_seconds", totals.move_seconds);
+    json.Field("evacuation_requeues", row.run.stats.evacuation_requeues);
+    json.Field("evacuation_moves", row.run.stats.evacuation_moves);
+    json.Field("rebalance_moves", row.run.stats.rebalance_moves);
+    json.Field("mean_queue_wait_seconds", row.run.report.mean_queue_wait_seconds);
     json.EndObject();
   }
   json.EndArray();
@@ -244,6 +343,7 @@ int main(int argc, char** argv) {
   base.mean_lifetime_seconds = 500.0;
 
   std::vector<ResultRow> rows;
+  int failures = 0;
   for (const FleetDef& def : fleets) {
     std::printf("\nfleet %s — %d machines, %d containers per stream, goal %.0f%%\n",
                 def.label.c_str(), static_cast<int>(def.machines.size()),
@@ -251,17 +351,17 @@ int main(int argc, char** argv) {
     // The identical merged trace per fleet size: dispatch policies are the
     // only variable.
     Rng trace_rng(9);
-    const std::vector<TraceEvent> trace =
+    const EventStream trace =
         GenerateFleetTrace(base, static_cast<int>(def.machines.size()), trace_rng);
     for (const std::string& dispatch_name : DispatchRegistry::Global().Names()) {
       rows.push_back(RunOne(def, dispatch_name, groups, trace));
+      failures += CountInvariantViolations(rows.back());
     }
   }
   std::printf("\n");
   PrintRows(rows);
 
   // The comparative claim, fleet-level: informed dispatch beats load-blind.
-  int failures = 0;
   for (const FleetDef& def : fleets) {
     const auto attainment_of = [&](const std::string& dispatch_name) {
       for (const ResultRow& row : rows) {
@@ -283,8 +383,50 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Failure scenarios: the same trace on the amd+intel fleet, unperturbed
+  // vs. machine 0 (amd) failing or draining at mid-trace and rejoining at
+  // the three-quarter mark — how much goal attainment does an outage cost,
+  // and how fast does each dispatch policy land the evacuees?
+  const FleetDef& scenario_def = fleets.front();
+  Rng scenario_rng(9);
+  const EventStream scenario_trace = GenerateFleetTrace(
+      base, static_cast<int>(scenario_def.machines.size()), scenario_rng);
+  const double t_event = 0.5 * scenario_trace.EndTime();
+  const double t_rejoin = 0.75 * scenario_trace.EndTime();
+  std::printf("\nfailure scenarios on %s: machine 0 leaves at t=%.0fs, rejoins at "
+              "t=%.0fs\n\n",
+              scenario_def.label.c_str(), t_event, t_rejoin);
+
+  std::vector<ScenarioRow> scenario_rows;
+  for (const std::string& dispatch_name : DispatchRegistry::Global().Names()) {
+    double baseline_attainment = 0.0;
+    for (const char* scenario : {"baseline", "fail", "drain"}) {
+      EventStream trace = scenario_trace;
+      if (std::strcmp(scenario, "fail") == 0) {
+        trace = InjectMachineEvents(
+            std::move(trace),
+            {FleetEvent::Fail(t_event, 0), FleetEvent::Rejoin(t_rejoin, 0)});
+      } else if (std::strcmp(scenario, "drain") == 0) {
+        trace = InjectMachineEvents(
+            std::move(trace),
+            {FleetEvent::Drain(t_event, 0), FleetEvent::Rejoin(t_rejoin, 0)});
+      }
+      ScenarioRow row;
+      row.scenario = scenario;
+      row.run = RunOne(scenario_def, dispatch_name, groups, trace);
+      failures += CountInvariantViolations(row.run);
+      if (std::strcmp(scenario, "baseline") == 0) {
+        baseline_attainment = row.run.report.goal_attainment;
+      }
+      row.damage_pp =
+          100.0 * (baseline_attainment - row.run.report.goal_attainment);
+      scenario_rows.push_back(std::move(row));
+    }
+  }
+  PrintScenarioRows(scenario_rows);
+
   if (!json_path.empty()) {
-    WriteJson(json_path, rows, smoke);
+    WriteJson(json_path, rows, scenario_rows, smoke);
   }
   return failures == 0 ? 0 : 1;
 }

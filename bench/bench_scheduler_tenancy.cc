@@ -86,7 +86,7 @@ MachineRows RunMachine(bool amd) {
   trace_config.mean_interarrival_seconds = 240.0;
   trace_config.mean_lifetime_seconds = 450.0;
   Rng trace_rng(9);
-  const std::vector<TraceEvent> trace = GeneratePoissonTrace(trace_config, trace_rng);
+  const EventStream trace = GeneratePoissonTrace(trace_config, trace_rng);
 
   std::vector<PolicyRow> rows;
   for (const std::string& policy_name : PolicyRegistry::Global().Names()) {

@@ -7,20 +7,6 @@
 
 namespace numaplace {
 
-namespace {
-
-ContainerRequest RequestFromEvent(const TraceEvent& event) {
-  ContainerRequest request;
-  request.id = event.container_id;
-  request.workload = event.workload;
-  request.vcpus = event.vcpus;
-  request.goal_fraction = event.goal_fraction;
-  request.latency_sensitive = event.latency_sensitive;
-  return request;
-}
-
-}  // namespace
-
 FleetScheduler::FleetScheduler(std::vector<MachineSpec> specs, FleetConfig config)
     : FleetScheduler(std::move(specs), config, MakeDispatchPolicy(config.dispatch)) {}
 
@@ -75,6 +61,11 @@ const MultiTenantModel& FleetScheduler::multi_model(int machine_id) const {
   return *machines_[static_cast<size_t>(machine_id)].multi;
 }
 
+MachineAvailability FleetScheduler::availability(int machine_id) const {
+  NP_CHECK(machine_id >= 0 && machine_id < NumMachines());
+  return machines_[static_cast<size_t>(machine_id)].availability;
+}
+
 std::vector<std::string> FleetScheduler::GroupNames() const {
   std::vector<std::string> names;
   for (const Machine& machine : machines_) {
@@ -114,11 +105,16 @@ const Migrator& FleetScheduler::MigratorFor(const ContainerRequest& request) con
 void FleetScheduler::EnsureGroupProbes(const std::string& group,
                                        const ContainerRequest& request) {
   for (int m : groups_.at(group).machine_ids) {
-    MachineScheduler& scheduler = *machines_[static_cast<size_t>(m)].scheduler;
+    Machine& machine = machines_[static_cast<size_t>(m)];
+    // A failed or draining machine runs nothing, probes included.
+    if (machine.availability != MachineAvailability::kUp) {
+      continue;
+    }
+    MachineScheduler& scheduler = *machine.scheduler;
     if (!scheduler.policy().UsesModel()) {
       continue;
     }
-    // The group's first model-using machine probes on behalf of every
+    // The group's first model-using up machine probes on behalf of every
     // machine sharing the registry; a cached prediction makes this a no-op.
     const MachineScheduler::ProbeCharge charge = scheduler.EnsureProbes(request);
     if (charge.ran) {
@@ -133,18 +129,28 @@ std::vector<MachineCandidate> FleetScheduler::BuildCandidates(
     const ContainerRequest& request, bool with_previews) {
   if (with_previews) {
     for (const auto& [group, members] : groups_) {
-      const Topology& topo = *machines_[static_cast<size_t>(members.machine_ids.front())].topo;
-      if (request.vcpus <= topo.NumHwThreads()) {
-        EnsureGroupProbes(group, request);
+      // Probe a group only when an up machine of it could take the container.
+      for (int m : members.machine_ids) {
+        const Machine& machine = machines_[static_cast<size_t>(m)];
+        if (machine.availability == MachineAvailability::kUp &&
+            request.vcpus <= machine.topo->NumHwThreads()) {
+          EnsureGroupProbes(group, request);
+          break;
+        }
       }
     }
   }
   std::vector<MachineCandidate> candidates;
   candidates.reserve(machines_.size());
+  bool fits_any_topology = false;
   for (int m = 0; m < NumMachines(); ++m) {
     Machine& machine = machines_[static_cast<size_t>(m)];
     if (request.vcpus > machine.topo->NumHwThreads()) {
-      continue;  // a machine the container cannot fit on is not a candidate
+      continue;  // a machine the container cannot fit on is never a candidate
+    }
+    fits_any_topology = true;
+    if (machine.availability != MachineAvailability::kUp) {
+      continue;  // failed/draining machines receive no dispatches
     }
     MachineCandidate candidate;
     candidate.machine_id = m;
@@ -158,28 +164,15 @@ std::vector<MachineCandidate> FleetScheduler::BuildCandidates(
     }
     candidates.push_back(std::move(candidate));
   }
-  NP_CHECK_MSG(!candidates.empty(),
+  NP_CHECK_MSG(fits_any_topology,
                "container " << request.id << " (" << request.vcpus
                             << " vCPUs) is larger than every machine in the fleet");
   return candidates;
 }
 
-void FleetScheduler::RecordAdmission(const ScheduleOutcome& outcome, double now) {
-  if (!outcome.admitted || waiting_.erase(outcome.container_id) == 0) {
-    return;
-  }
-  stats_.queue_wait_seconds += now - submit_time_.at(outcome.container_id);
-  ++stats_.queue_admissions;
-}
-
-FleetOutcome FleetScheduler::Submit(const ContainerRequest& request, double now) {
-  NP_CHECK_MSG(MachineOf(request.id) == -1,
-               "container " << request.id << " is already live fleet-wide");
-  SyncClocks(now);
-  ++stats_.submitted;
-
-  std::vector<MachineCandidate> candidates =
-      BuildCandidates(request, dispatch_->NeedsPreviews());
+int FleetScheduler::ChooseMachine(const ContainerRequest& request,
+                                  std::vector<MachineCandidate>& candidates) {
+  NP_CHECK(!candidates.empty());
   DispatchContext ctx;
   ctx.request = &request;
   ctx.machines = &candidates;
@@ -201,26 +194,83 @@ FleetOutcome FleetScheduler::Submit(const ContainerRequest& request, double now)
       }
     }
   }
-  const int machine_id = candidates[chosen].machine_id;
+  return candidates[chosen].machine_id;
+}
+
+void FleetScheduler::RecordAdmission(const ScheduleOutcome& outcome, double now) {
+  if (!outcome.admitted || waiting_.erase(outcome.container_id) == 0) {
+    return;
+  }
+  stats_.queue_wait_seconds += now - submit_time_.at(outcome.container_id);
+  ++stats_.queue_admissions;
+}
+
+FleetOutcome FleetScheduler::Dispatch(const ContainerRequest& request, double now,
+                                      EventObserver* observer) {
+  std::vector<MachineCandidate> candidates =
+      BuildCandidates(request, dispatch_->NeedsPreviews());
+  if (candidates.empty()) {
+    // Every machine that could hold the container is failed or draining:
+    // wait fleet-wide until capacity returns (DrainUnplaced retries).
+    unplaced_[request.id] = request;
+    waiting_.insert(request.id);
+    ScheduleOutcome outcome;
+    outcome.container_id = request.id;
+    if (observer != nullptr) {
+      observer->OnQueued(kNoMachine, outcome, now);
+    }
+    return {kNoMachine, std::move(outcome)};
+  }
+  const int machine_id = ChooseMachine(request, candidates);
 
   ScheduleOutcome outcome =
       machines_[static_cast<size_t>(machine_id)].scheduler->Submit(request, now);
+  unplaced_.erase(request.id);
   machine_of_[request.id] = machine_id;
-  submit_time_[request.id] = now;
   if (outcome.admitted) {
-    ++stats_.dispatched_immediately;
+    RecordAdmission(outcome, now);
+    if (observer != nullptr) {
+      observer->OnAdmission(machine_id, outcome, now);
+    }
   } else {
     waiting_.insert(request.id);
-    ++stats_.queued;
+    if (observer != nullptr) {
+      observer->OnQueued(machine_id, outcome, now);
+    }
   }
   return {machine_id, std::move(outcome)};
 }
 
-std::vector<FleetOutcome> FleetScheduler::Depart(int container_id, double now) {
+FleetOutcome FleetScheduler::Submit(const ContainerRequest& request, double now,
+                                    EventObserver* observer) {
+  NP_CHECK_MSG(MachineOf(request.id) == kNoMachine && unplaced_.count(request.id) == 0,
+               "container " << request.id << " is already live fleet-wide");
+  SyncClocks(now);
+  ++stats_.submitted;
+  submit_time_[request.id] = now;
+  FleetOutcome outcome = Dispatch(request, now, observer);
+  if (outcome.outcome.admitted) {
+    ++stats_.dispatched_immediately;
+  } else {
+    ++stats_.queued;
+  }
+  return outcome;
+}
+
+void FleetScheduler::Depart(int container_id, double now, EventObserver* observer) {
+  SyncClocks(now);
+  if (unplaced_.erase(container_id) > 0) {
+    // Departed while waiting fleet-wide: nothing was held anywhere.
+    waiting_.erase(container_id);
+    submit_time_.erase(container_id);
+    for (auto& [group, members] : groups_) {
+      members.registry->Forget(container_id);
+    }
+    return;
+  }
   const int machine_id = MachineOf(container_id);
   NP_CHECK_MSG(machine_id >= 0,
                "container " << container_id << " is not live on any machine");
-  SyncClocks(now);
 
   std::vector<ScheduleOutcome> replaced =
       machines_[static_cast<size_t>(machine_id)].scheduler->Depart(container_id, now);
@@ -232,19 +282,217 @@ std::vector<FleetOutcome> FleetScheduler::Depart(int container_id, double now) {
   waiting_.erase(container_id);
   submit_time_.erase(container_id);
 
-  std::vector<FleetOutcome> outcomes;
-  outcomes.reserve(replaced.size());
-  for (ScheduleOutcome& outcome : replaced) {
+  for (const ScheduleOutcome& outcome : replaced) {
     RecordAdmission(outcome, now);
-    outcomes.push_back({machine_id, std::move(outcome)});
+    if (observer != nullptr) {
+      observer->OnAdmission(machine_id, outcome, now);
+    }
   }
   if (config_.rebalance_on_departure) {
-    RebalancePass(now, outcomes);
+    RebalancePass(now, observer);
   }
-  return outcomes;
 }
 
-void FleetScheduler::RebalancePass(double now, std::vector<FleetOutcome>& outcomes) {
+void FleetScheduler::SetAvailability(int machine_id, MachineAvailability availability,
+                                     double now, EventObserver* observer) {
+  machines_[static_cast<size_t>(machine_id)].availability = availability;
+  if (observer != nullptr) {
+    observer->OnMachineAvailability(machine_id, availability, now);
+  }
+}
+
+void FleetScheduler::Fail(int machine_id, double now, EventObserver* observer) {
+  NP_CHECK(machine_id >= 0 && machine_id < NumMachines());
+  NP_CHECK_MSG(availability(machine_id) != MachineAvailability::kFailed,
+               "machine " << machine_id << " already failed");
+  SyncClocks(now);
+  SetAvailability(machine_id, MachineAvailability::kFailed, now, observer);
+  Evacuate(machine_id, /*graceful=*/false, now, observer);
+}
+
+void FleetScheduler::Drain(int machine_id, double now, EventObserver* observer) {
+  NP_CHECK(machine_id >= 0 && machine_id < NumMachines());
+  NP_CHECK_MSG(availability(machine_id) == MachineAvailability::kUp,
+               "only an up machine can drain — machine "
+                   << machine_id << " is " << ToString(availability(machine_id)));
+  SyncClocks(now);
+  SetAvailability(machine_id, MachineAvailability::kDraining, now, observer);
+  Evacuate(machine_id, /*graceful=*/true, now, observer);
+}
+
+void FleetScheduler::Rejoin(int machine_id, double now, EventObserver* observer) {
+  NP_CHECK(machine_id >= 0 && machine_id < NumMachines());
+  NP_CHECK_MSG(availability(machine_id) != MachineAvailability::kUp,
+               "machine " << machine_id << " is already up");
+  SyncClocks(now);
+  SetAvailability(machine_id, MachineAvailability::kUp, now, observer);
+  // The returned (empty) capacity immediately serves waiting work.
+  RebalancePass(now, observer);
+}
+
+void FleetScheduler::Evacuate(int machine_id, bool graceful, double now,
+                              EventObserver* observer) {
+  MachineScheduler& source = *machines_[static_cast<size_t>(machine_id)].scheduler;
+
+  struct Evacuee {
+    ContainerRequest request;
+    bool was_queued = false;
+    double current_abs = 0.0;  // producing rate at evacuation time
+    double goal_abs = 0.0;
+  };
+  // Running containers first: they hold progress and were producing, so
+  // they get the survivors' last slots ahead of work that was already
+  // waiting (which the later requeue keeps in FIFO order anyway).
+  std::vector<Evacuee> evacuees;
+  for (int id : source.RunningIds()) {
+    const ManagedContainer* managed = source.Find(id);
+    evacuees.push_back({managed->request, false, managed->predicted_abs_throughput,
+                        managed->goal_abs_throughput});
+  }
+  for (int id : source.PendingIds()) {
+    const ManagedContainer* managed = source.Find(id);
+    evacuees.push_back({managed->request, true, 0.0, managed->goal_abs_throughput});
+  }
+
+  // Empty the machine first. No local re-placement pass — nothing may be
+  // re-admitted onto a machine leaving service — and probes are kept: they
+  // are group knowledge in the shared registry, not state on the machine.
+  for (const Evacuee& evacuee : evacuees) {
+    source.Depart(evacuee.request.id, now, /*forget_probes=*/false, /*replace=*/false);
+    machine_of_.erase(evacuee.request.id);
+  }
+
+  EvacuationReport report;
+  report.machine_id = machine_id;
+  report.reason =
+      graceful ? MachineAvailability::kDraining : MachineAvailability::kFailed;
+  report.start_seconds = now;
+  report.containers = static_cast<int>(evacuees.size());
+
+  for (const Evacuee& evacuee : evacuees) {
+    const ContainerRequest& request = evacuee.request;
+    // Best target by gain-over-cost surplus, as in the RebalancePass — but
+    // the counterfactual is not-running (the source is leaving service), so
+    // the whole predicted rate is the gain, for live evacuees too.
+    int best_target = -1;
+    double best_surplus = 0.0;
+    RebalanceMove best_move;
+    for (int t = 0; t < NumMachines(); ++t) {
+      Machine& target = machines_[static_cast<size_t>(t)];
+      if (t == machine_id || target.availability != MachineAvailability::kUp ||
+          request.vcpus > target.topo->NumHwThreads()) {
+        continue;
+      }
+      EnsureGroupProbes(target.group, request);
+      const MachineScheduler::AdmissionPreview preview =
+          target.scheduler->PreviewAdmission(request);
+      if (!preview.realizable) {
+        continue;
+      }
+      // Under a model-free target policy the preview predicts nothing;
+      // credit the operator goal instead.
+      const double gain_rate =
+          preview.predicted_abs > 0.0 ? preview.predicted_abs : evacuee.goal_abs;
+      if (gain_rate <= 0.0) {
+        continue;
+      }
+      // A graceful move of a live container pays the §7 migration estimate
+      // plus the network copy of its memory image, and loses
+      // overhead_fraction of its current rate for the whole copy. A failed
+      // machine's container lost its state: nothing to migrate or copy and
+      // nothing it was producing — the restart itself is free, the damage
+      // shows up as lost goal attainment and queueing.
+      double move_seconds = 0.0;
+      double network_seconds = 0.0;
+      double cost_ops = 0.0;
+      if (graceful && !evacuee.was_queued) {
+        const MigrationEstimate estimate = MigratorFor(request).Migrate(request.workload);
+        network_seconds = config_.network_seconds_per_gb * request.workload.TotalMemoryGb();
+        move_seconds = estimate.seconds + network_seconds;
+        cost_ops = move_seconds * estimate.overhead_fraction * evacuee.current_abs;
+      }
+      const double gain_ops = gain_rate * config_.rebalance_horizon_seconds;
+      if (gain_ops <= cost_ops) {
+        continue;
+      }
+      const double surplus = gain_ops - cost_ops;
+      if (best_target < 0 || surplus > best_surplus) {
+        best_target = t;
+        best_surplus = surplus;
+        best_move.container_id = request.id;
+        best_move.from_machine = machine_id;
+        best_move.to_machine = t;
+        best_move.was_queued = evacuee.was_queued;
+        best_move.reason = graceful ? RebalanceMove::Reason::kDrain
+                                    : RebalanceMove::Reason::kFailover;
+        best_move.predicted_gain_ops = gain_ops;
+        best_move.modeled_cost_ops = cost_ops;
+        best_move.move_seconds = move_seconds;
+        best_move.network_seconds = network_seconds;
+      }
+    }
+
+    if (best_target >= 0) {
+      ScheduleOutcome moved =
+          machines_[static_cast<size_t>(best_target)].scheduler->Submit(request, now);
+      NP_CHECK_MSG(moved.admitted, "evacuation preview promised admission of container "
+                                       << request.id << " on machine " << best_target);
+      machine_of_[request.id] = best_target;
+      RecordAdmission(moved, now);
+      ++stats_.evacuation_moves;
+      stats_.cross_machine_move_seconds += best_move.move_seconds;
+      stats_.network_copy_seconds += best_move.network_seconds;
+      rebalance_log_.push_back(best_move);
+      ++report.rehomed;
+      report.last_landing_seconds =
+          std::max(report.last_landing_seconds, best_move.move_seconds);
+      report.move_seconds_total += best_move.move_seconds;
+      report.network_seconds_total += best_move.network_seconds;
+      if (observer != nullptr) {
+        observer->OnAdmission(best_target, moved, now);
+        observer->OnMove(best_move, now);
+      }
+    } else {
+      // No target is worth a live migration (none realizable, or the copy
+      // costs more than the horizon returns): stop the container — dropping
+      // its memory image instead of copying it — and send it back through
+      // dispatch, where it restarts from scratch or waits. Any wait is
+      // measured from the disruption; Dispatch adds it to waiting_ only if
+      // it actually queues, so an instant restart never counts as a queue
+      // admission.
+      if (!evacuee.was_queued) {
+        submit_time_[request.id] = now;
+      }
+      const FleetOutcome redispatched = Dispatch(request, now, observer);
+      if (redispatched.outcome.admitted) {
+        ++report.rehomed;  // restarted on another machine, state lost
+      } else {
+        ++stats_.evacuation_requeues;
+        ++report.requeued;
+      }
+    }
+  }
+
+  ++stats_.evacuations;
+  evacuations_.push_back(report);
+  if (observer != nullptr) {
+    observer->OnEvacuation(report, now);
+  }
+}
+
+void FleetScheduler::DrainUnplaced(double now, EventObserver* observer) {
+  // UnplacedIds is oldest-submission-first — the FIFO the machine queues
+  // honor locally.
+  for (int id : UnplacedIds()) {
+    const ContainerRequest request = unplaced_.at(id);
+    // Dispatch moves the container onto a machine (even just its queue)
+    // whenever one is available again; otherwise it stays unplaced.
+    Dispatch(request, now, observer);
+  }
+}
+
+void FleetScheduler::RebalancePass(double now, EventObserver* observer) {
+  DrainUnplaced(now, observer);
   if (machines_.size() < 2) {
     return;
   }
@@ -289,8 +537,8 @@ void FleetScheduler::RebalancePass(double now, std::vector<FleetOutcome>& outcom
     const ContainerRequest request = managed->request;
     const double current_abs = mover.queued ? 0.0 : managed->predicted_abs_throughput;
 
-    // Score every other machine the container fits on; keep the move with
-    // the largest gain-over-cost surplus.
+    // Score every other up machine the container fits on; keep the move
+    // with the largest gain-over-cost surplus.
     int best_target = -1;
     double best_surplus = 0.0;
     RebalanceMove best_move;
@@ -299,7 +547,8 @@ void FleetScheduler::RebalancePass(double now, std::vector<FleetOutcome>& outcom
         continue;
       }
       Machine& target = machines_[static_cast<size_t>(t)];
-      if (request.vcpus > target.topo->NumHwThreads()) {
+      if (target.availability != MachineAvailability::kUp ||
+          request.vcpus > target.topo->NumHwThreads()) {
         continue;
       }
       EnsureGroupProbes(target.group, request);
@@ -347,8 +596,15 @@ void FleetScheduler::RebalancePass(double now, std::vector<FleetOutcome>& outcom
       if (best_target < 0 || surplus > best_surplus) {
         best_target = t;
         best_surplus = surplus;
-        best_move = {mover.id,  mover.from, t,           mover.queued,
-                     gain_ops,  cost_ops,   move_seconds, network_seconds};
+        best_move.container_id = mover.id;
+        best_move.from_machine = mover.from;
+        best_move.to_machine = t;
+        best_move.was_queued = mover.queued;
+        best_move.reason = RebalanceMove::Reason::kRebalance;
+        best_move.predicted_gain_ops = gain_ops;
+        best_move.modeled_cost_ops = cost_ops;
+        best_move.move_seconds = move_seconds;
+        best_move.network_seconds = network_seconds;
       }
     }
     if (best_target < 0) {
@@ -360,9 +616,11 @@ void FleetScheduler::RebalancePass(double now, std::vector<FleetOutcome>& outcom
     // it on the target the preview vouched for.
     std::vector<ScheduleOutcome> freed =
         source.Depart(mover.id, now, /*forget_probes=*/false);
-    for (ScheduleOutcome& outcome : freed) {
+    for (const ScheduleOutcome& outcome : freed) {
       RecordAdmission(outcome, now);
-      outcomes.push_back({mover.from, std::move(outcome)});
+      if (observer != nullptr) {
+        observer->OnAdmission(mover.from, outcome, now);
+      }
     }
     ScheduleOutcome moved =
         machines_[static_cast<size_t>(best_target)].scheduler->Submit(request, now);
@@ -374,13 +632,59 @@ void FleetScheduler::RebalancePass(double now, std::vector<FleetOutcome>& outcom
     stats_.cross_machine_move_seconds += best_move.move_seconds;
     stats_.network_copy_seconds += best_move.network_seconds;
     rebalance_log_.push_back(best_move);
-    outcomes.push_back({best_target, std::move(moved)});
+    if (observer != nullptr) {
+      observer->OnAdmission(best_target, moved, now);
+      observer->OnMove(best_move, now);
+    }
+  }
+}
+
+void FleetScheduler::Step(const FleetEvent& event, EventObserver* observer) {
+  const double now = event.time_seconds;
+  if (const ContainerArrival* arrival = event.arrival()) {
+    Submit(RequestFromArrival(*arrival), now, observer);
+    return;
+  }
+  if (const ContainerDeparture* departure = event.departure()) {
+    Depart(departure->container_id, now, observer);
+    return;
+  }
+  switch (event.kind()) {
+    case FleetEventKind::kMachineFail:
+      Fail(event.machine_id(), now, observer);
+      return;
+    case FleetEventKind::kMachineDrain:
+      Drain(event.machine_id(), now, observer);
+      return;
+    case FleetEventKind::kMachineRejoin:
+      Rejoin(event.machine_id(), now, observer);
+      return;
+    default:
+      NP_CHECK_MSG(false, "unhandled event kind " << ToString(event.kind()));
+  }
+}
+
+void FleetScheduler::Replay(const EventStream& trace, EventObserver* observer) {
+  for (const FleetEvent& event : trace) {
+    Step(event, observer);
   }
 }
 
 int FleetScheduler::MachineOf(int container_id) const {
   const auto it = machine_of_.find(container_id);
-  return it == machine_of_.end() ? -1 : it->second;
+  return it == machine_of_.end() ? kNoMachine : it->second;
+}
+
+std::vector<int> FleetScheduler::UnplacedIds() const {
+  std::vector<int> ids;
+  ids.reserve(unplaced_.size());
+  for (const auto& [id, request] : unplaced_) {
+    ids.push_back(id);
+  }
+  std::stable_sort(ids.begin(), ids.end(), [&](int a, int b) {
+    return submit_time_.at(a) < submit_time_.at(b);
+  });
+  return ids;
 }
 
 std::vector<double> FleetScheduler::TimeAveragedUtilizations() const {
@@ -392,14 +696,16 @@ std::vector<double> FleetScheduler::TimeAveragedUtilizations() const {
   return utilizations;
 }
 
-FleetReport FleetScheduler::ReplayWithEvaluation(const std::vector<TraceEvent>& trace) {
+FleetReport FleetScheduler::ReplayWithEvaluation(const EventStream& trace,
+                                                 EventObserver* observer) {
   FleetReport report;
+  AdmissionCounter counter(observer);
   double last_time = 0.0;
   double attainment_weight = 0.0;
   double at_goal_weight = 0.0;
   double container_seconds = 0.0;
 
-  for (const TraceEvent& event : trace) {
+  for (const FleetEvent& event : trace) {
     const double dt = event.time_seconds - last_time;
     if (dt > 0.0) {
       for (const Machine& machine : machines_) {
@@ -419,27 +725,18 @@ FleetReport FleetScheduler::ReplayWithEvaluation(const std::vector<TraceEvent>& 
         container_seconds +=
             static_cast<double>(machine.scheduler->PendingIds().size()) * dt;
       }
+      // Neither does one waiting fleet-wide for an available machine.
+      container_seconds += static_cast<double>(unplaced_.size()) * dt;
       last_time = event.time_seconds;
     }
 
     const auto start = std::chrono::steady_clock::now();
-    if (event.type == TraceEventType::kArrival) {
-      FleetOutcome outcome = Submit(RequestFromEvent(event), event.time_seconds);
-      if (outcome.outcome.admitted) {
-        ++report.decisions;
-      }
-      report.outcomes.push_back(std::move(outcome));
-    } else {
-      std::vector<FleetOutcome> replaced = Depart(event.container_id, event.time_seconds);
-      report.decisions += static_cast<int>(replaced.size());
-      report.outcomes.insert(report.outcomes.end(),
-                             std::make_move_iterator(replaced.begin()),
-                             std::make_move_iterator(replaced.end()));
-    }
+    Step(event, &counter);
     report.wall_seconds +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   }
 
+  report.decisions = counter.admissions;
   report.goal_attainment =
       container_seconds > 0.0 ? attainment_weight / container_seconds : 1.0;
   report.container_seconds_at_goal =

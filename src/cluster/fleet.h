@@ -1,22 +1,38 @@
 // Fleet layer: a cluster scheduler over N per-machine schedulers.
 //
 // The FleetScheduler owns one MachineScheduler per machine of a (possibly
-// heterogeneous) fleet and consumes a single merged arrival/departure trace:
+// heterogeneous) fleet and consumes a unified FleetEvent stream, one
+// Step() at a time:
 //
-//   * each arrival is routed to a machine by a pluggable DispatchPolicy
-//     (src/cluster/dispatch.h) — least-loaded, round-robin, or
-//     best-predicted, which asks every machine's own SchedulingPolicy for
-//     its top candidate and picks the highest predicted margin;
+//   * ContainerArrival is routed to an available machine by a pluggable
+//     DispatchPolicy (src/cluster/dispatch.h) — least-loaded, round-robin,
+//     or best-predicted, which asks every machine's own SchedulingPolicy
+//     for its top candidate and picks the highest predicted margin. When no
+//     available machine can hold the container at all, it waits fleet-wide
+//     (UnplacedIds) until capacity returns;
 //   * machines of the same topology share one ModelRegistry, so a
 //     container's two probe runs are paid once per topology group fleet-wide
 //     — dispatch previews, the dispatched machine's admission and any later
 //     same-group move all reuse the cached prediction;
-//   * departures first run the machine's own re-placement pass, then a
-//     cross-machine RebalancePass: queued containers and degraded
+//   * ContainerDeparture first runs the machine's own re-placement pass,
+//     then a cross-machine RebalancePass: queued containers and degraded
 //     incumbents are considered for a move to another machine, the move is
 //     charged with the §7 migration cost model (src/migration) plus a
 //     configurable network-copy penalty, and only moves whose predicted
-//     gain over the rebalance horizon beats that modeled cost are proposed.
+//     gain over the rebalance horizon beats that modeled cost are proposed;
+//   * MachineFail / MachineDrain take the machine out of dispatch and
+//     evacuate it through the same gain/cost machinery. A failed machine's
+//     containers lose their state: nothing to migrate or copy, so they are
+//     re-dispatched (instant restart in the model) or requeued. A draining
+//     machine's containers are alive: each pays the §7 migration estimate
+//     plus the network copy to move. Either way, evacuees no up machine can
+//     admit go back through dispatch and wait. MachineRejoin restores the
+//     machine and immediately runs a RebalancePass so waiting work lands on
+//     the returned capacity.
+//
+// Consumers watch admissions, queueing, moves, evacuations and availability
+// flips through the EventObserver (src/scheduler/events.h); Replay is a
+// thin loop over Step.
 #ifndef NUMAPLACE_SRC_CLUSTER_FLEET_H_
 #define NUMAPLACE_SRC_CLUSTER_FLEET_H_
 
@@ -29,6 +45,7 @@
 #include "src/cluster/dispatch.h"
 #include "src/migration/migration.h"
 #include "src/model/registry.h"
+#include "src/scheduler/events.h"
 #include "src/scheduler/scheduler.h"
 #include "src/sim/perf_model.h"
 #include "src/topology/topology.h"
@@ -71,42 +88,26 @@ struct FleetConfig {
   uint64_t noise_seed = 5;
 };
 
-// One committed cross-machine move, with the gain/cost model that justified
-// it. Invariant (asserted in tests/cluster_test.cc): predicted_gain_ops >
-// modeled_cost_ops for every logged move.
-struct RebalanceMove {
-  int container_id = 0;
-  int from_machine = 0;
-  int to_machine = 0;
-  bool was_queued = false;        // moved out of a queue rather than migrated live
-  double predicted_gain_ops = 0.0;  // throughput delta x rebalance horizon
-  double modeled_cost_ops = 0.0;    // ops lost while the move runs
-  double move_seconds = 0.0;        // §7 migration estimate + network copy
-  double network_seconds = 0.0;     // the network-copy share of move_seconds
-};
-
 struct FleetStats {
   int submitted = 0;
   int dispatched_immediately = 0;  // admitted by the dispatched machine at once
-  int queued = 0;                  // left waiting on the dispatched machine
+  int queued = 0;                  // left waiting at submission (machine or fleet)
   int queue_admissions = 0;        // previously queued containers that got placed
   double queue_wait_seconds = 0.0; // total wait of those admissions
-  int rebalance_moves = 0;
+  int rebalance_moves = 0;         // departure-triggered cross-machine moves
+  int evacuations = 0;             // machine fail/drain events processed
+  int evacuation_moves = 0;        // evacuees rehomed straight onto another machine
+  int evacuation_requeues = 0;     // evacuees sent back through dispatch to wait
   double cross_machine_move_seconds = 0.0;  // migration + network, all moves
   double network_copy_seconds = 0.0;
   int fleet_probe_runs = 0;        // dispatch/rebalance probes (per group)
   double fleet_probe_seconds = 0.0;
 };
 
-// A machine-level outcome tagged with the machine that produced it.
-struct FleetOutcome {
-  int machine_id = 0;
-  ScheduleOutcome outcome;
-};
-
 // Fleet-wide evaluation of one replayed trace (the cluster analog of
-// TenancyReport). Queued containers count as attaining nothing — a fleet
-// that parks work in queues while other machines idle pays for it here.
+// TenancyReport). Queued and fleet-wide-waiting containers count as
+// attaining nothing — a fleet that parks work while other machines idle
+// pays for it here. Per-decision outcomes flow through the observer.
 struct FleetReport {
   double goal_attainment = 0.0;
   double container_seconds_at_goal = 0.0;
@@ -117,7 +118,6 @@ struct FleetReport {
   int decisions = 0;
   double wall_seconds = 0.0;
   std::vector<double> machine_utilizations;
-  std::vector<FleetOutcome> outcomes;
 };
 
 class FleetScheduler {
@@ -134,6 +134,7 @@ class FleetScheduler {
   const MachineScheduler& machine(int machine_id) const;
   const Topology& topology(int machine_id) const;
   const MultiTenantModel& multi_model(int machine_id) const;
+  MachineAvailability availability(int machine_id) const;
 
   // Topology-group names in machine order (deduplicated), and the shared
   // registry of one group — register trained models here before submitting
@@ -145,25 +146,47 @@ class FleetScheduler {
   // group (otherwise each machine generates sets lazily).
   void ProvidePlacements(const std::string& group, const ImportantPlacementSet& ips);
 
-  // Dispatches the container to a machine and submits it there; the
-  // container queues on that machine when nothing fits anywhere.
-  FleetOutcome Submit(const ContainerRequest& request, double now = 0.0);
+  // Processes one FleetEvent — the core every other entry point loops over.
+  void Step(const FleetEvent& event, EventObserver* observer = nullptr);
 
-  // Routes the departure to the machine currently running (or queueing) the
-  // container, then runs that machine's re-placement pass and the fleet
-  // RebalancePass; returns every placement/migration performed.
-  std::vector<FleetOutcome> Depart(int container_id, double now = 0.0);
+  // Thin loop over Step.
+  void Replay(const EventStream& trace, EventObserver* observer = nullptr);
+
+  // Dispatches the container to an available machine and submits it there;
+  // the container queues on that machine when nothing fits anywhere, and
+  // waits fleet-wide (machine_id kNoMachine) when every machine that could
+  // hold it is failed or draining.
+  FleetOutcome Submit(const ContainerRequest& request, double now = 0.0,
+                      EventObserver* observer = nullptr);
+
+  // Removes the container (running, queued or waiting fleet-wide), then runs
+  // the departed machine's re-placement pass and the fleet RebalancePass;
+  // every placement and move is reported through the observer.
+  void Depart(int container_id, double now = 0.0, EventObserver* observer = nullptr);
+
+  // Machine lifecycle (the Step handlers for MachineFail / MachineDrain /
+  // MachineRejoin, also callable directly). Fail and Drain evacuate the
+  // machine; Rejoin restores it and rebalances waiting work onto it.
+  void Fail(int machine_id, double now = 0.0, EventObserver* observer = nullptr);
+  void Drain(int machine_id, double now = 0.0, EventObserver* observer = nullptr);
+  void Rejoin(int machine_id, double now = 0.0, EventObserver* observer = nullptr);
 
   // Replays a merged, time-ordered fleet trace, evaluating every machine's
   // co-running tenants with its multi-tenant model between events.
-  FleetReport ReplayWithEvaluation(const std::vector<TraceEvent>& trace);
+  FleetReport ReplayWithEvaluation(const EventStream& trace,
+                                   EventObserver* observer = nullptr);
 
-  // Machine currently holding the container (running or queued), -1 when
-  // the id is not live fleet-wide.
+  // Machine currently holding the container (running or queued), kNoMachine
+  // when the id waits fleet-wide or is not live at all.
   int MachineOf(int container_id) const;
+
+  // Containers waiting fleet-wide because no available machine fits them,
+  // oldest submission first.
+  std::vector<int> UnplacedIds() const;
 
   const FleetStats& stats() const { return stats_; }
   const std::vector<RebalanceMove>& rebalance_log() const { return rebalance_log_; }
+  const std::vector<EvacuationReport>& evacuation_log() const { return evacuations_; }
   const FleetConfig& config() const { return config_; }
   const DispatchPolicy& dispatch() const { return *dispatch_; }
 
@@ -177,10 +200,11 @@ class FleetScheduler {
     std::unique_ptr<MultiTenantModel> multi;
     std::unique_ptr<MachineScheduler> scheduler;
     std::string group;
+    MachineAvailability availability = MachineAvailability::kUp;
   };
   struct Group {
     std::unique_ptr<ModelRegistry> registry;
-    std::vector<int> machine_ids;  // first entry runs the group's probes
+    std::vector<int> machine_ids;  // first up machine runs the group's probes
   };
 
   // Advances every machine's stats clock to `now` so per-machine utilization
@@ -188,20 +212,45 @@ class FleetScheduler {
   void SyncClocks(double now);
 
   // Probes the container once for the group when its registry lacks a
-  // prediction and any machine needs the model, charging the fleet stats.
+  // prediction and any up machine needs the model, charging the fleet stats.
   void EnsureGroupProbes(const std::string& group, const ContainerRequest& request);
 
-  // Candidate views for one dispatch decision; probes every group first when
-  // the dispatcher needs previews.
+  // Candidate views (available machines the container fits on — possibly
+  // none) for one dispatch decision; probes every group first when the
+  // dispatcher needs previews. CHECK-fails only when the container is larger
+  // than every machine of the fleet, up or not — a configuration error.
   std::vector<MachineCandidate> BuildCandidates(const ContainerRequest& request,
                                                 bool with_previews);
+
+  // Runs the dispatch policy over the candidates (non-empty) and returns
+  // the chosen machine id.
+  int ChooseMachine(const ContainerRequest& request,
+                    std::vector<MachineCandidate>& candidates);
+
+  // Dispatch core shared by Submit, evacuation requeues and the unplaced
+  // drain: routes through the dispatch policy, queueing on the chosen
+  // machine or fleet-wide when no available machine fits. The container's
+  // submit_time_ entry must already exist.
+  FleetOutcome Dispatch(const ContainerRequest& request, double now,
+                        EventObserver* observer);
 
   // Queue-wait bookkeeping for an admission outcome observed at `now`.
   void RecordAdmission(const ScheduleOutcome& outcome, double now);
 
-  // Cross-machine moves of queued and degraded containers; appends every
-  // placement it causes to `outcomes`.
-  void RebalancePass(double now, std::vector<FleetOutcome>& outcomes);
+  // Re-dispatches fleet-wide waiting containers whenever capacity may have
+  // returned (start of every RebalancePass).
+  void DrainUnplaced(double now, EventObserver* observer);
+
+  // Cross-machine moves of queued and degraded containers.
+  void RebalancePass(double now, EventObserver* observer);
+
+  // Availability flip + evacuation/rebalance shared by Fail/Drain/Rejoin.
+  void SetAvailability(int machine_id, MachineAvailability availability, double now,
+                       EventObserver* observer);
+
+  // Empties a failed (graceful=false) or draining (graceful=true) machine,
+  // rehoming every container it can and requeueing the rest.
+  void Evacuate(int machine_id, bool graceful, double now, EventObserver* observer);
 
   const Migrator& MigratorFor(const ContainerRequest& request) const;
 
@@ -209,11 +258,13 @@ class FleetScheduler {
   std::unique_ptr<DispatchPolicy> dispatch_;
   std::vector<Machine> machines_;
   std::map<std::string, Group> groups_;
-  std::map<int, int> machine_of_;      // live containers only
+  std::map<int, int> machine_of_;      // containers live on some machine
+  std::map<int, ContainerRequest> unplaced_;  // waiting fleet-wide, no machine
   std::map<int, double> submit_time_;
   std::set<int> waiting_;              // submitted but not yet placed
   FleetStats stats_;
   std::vector<RebalanceMove> rebalance_log_;
+  std::vector<EvacuationReport> evacuations_;
   FastMigrator fast_migrator_;
   ThrottledMigrator throttled_migrator_;
 };

@@ -1,0 +1,29 @@
+#include "src/scheduler/events.h"
+
+namespace numaplace {
+
+const char* ToString(MachineAvailability availability) {
+  switch (availability) {
+    case MachineAvailability::kUp:
+      return "up";
+    case MachineAvailability::kDraining:
+      return "draining";
+    case MachineAvailability::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+const char* ToString(RebalanceMove::Reason reason) {
+  switch (reason) {
+    case RebalanceMove::Reason::kRebalance:
+      return "rebalance";
+    case RebalanceMove::Reason::kDrain:
+      return "drain";
+    case RebalanceMove::Reason::kFailover:
+      return "failover";
+  }
+  return "unknown";
+}
+
+}  // namespace numaplace

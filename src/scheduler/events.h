@@ -1,0 +1,222 @@
+// Outcome side of the unified fleet event API.
+//
+// src/workloads/trace.h defines what goes *into* a scheduler (FleetEvent,
+// EventStream); this header defines what comes *out*: the outcome records a
+// Step() produces and the EventObserver interface through which consumers
+// watch them happen. Benches, the CLI and tests attach an observer instead
+// of collecting returned vectors, so the machine scheduler, the fleet
+// scheduler and any future layer report through one channel:
+//
+//   OnAdmission    a container was placed (initial admission, queue
+//                  admission, upgrade, or the landing half of a move)
+//   OnQueued       a container is waiting (on a machine's queue, or
+//                  fleet-wide when machine_id is kNoMachine)
+//   OnMove         a committed cross-machine move with its gain/cost model
+//   OnEvacuation   a machine was emptied by a fail or drain event
+//   OnMachineAvailability   a machine changed availability
+//
+// The move/evacuation/availability callbacks only fire from the fleet layer
+// (a single MachineScheduler has no machine namespace); all types here are
+// plain data so the machine layer can reference them without depending on
+// src/cluster.
+#ifndef NUMAPLACE_SRC_SCHEDULER_EVENTS_H_
+#define NUMAPLACE_SRC_SCHEDULER_EVENTS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/placement.h"
+#include "src/workloads/trace.h"
+
+namespace numaplace {
+
+// Machine id for outcomes attached to no machine: the fleet reports it for
+// containers waiting fleet-wide because no available machine fits them, and
+// MachineOf() returns it for ids not live anywhere. A standalone
+// MachineScheduler always reports machine id 0.
+inline constexpr int kNoMachine = -1;
+
+// One step of a scheduling decision, in seconds relative to decision start.
+struct TimelineEvent {
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  std::string description;
+};
+
+// What a scheduler did in response to one event for one container.
+struct ScheduleOutcome {
+  int container_id = 0;
+  bool admitted = false;  // false: queued until capacity frees up
+  int placement_id = 0;   // chosen important placement (0 when queued)
+  Placement placement;
+  double predicted_abs_throughput = 0.0;  // 0 under the first-fit policy
+  double goal_abs_throughput = 0.0;       // goal_fraction x solo baseline
+  bool meets_goal = false;                // predicted to meet the goal
+  bool reused_cached_probes = false;      // no probe runs were needed
+  double decision_seconds = 0.0;          // probes + migrations
+  std::vector<TimelineEvent> timeline;
+};
+
+enum class MachineAvailability { kUp, kDraining, kFailed };
+
+const char* ToString(MachineAvailability availability);
+
+// One committed cross-machine move, with the gain/cost model that justified
+// it. Invariant (asserted in tests/cluster_test.cc): predicted_gain_ops >
+// modeled_cost_ops for every logged move, evacuations included.
+struct RebalanceMove {
+  enum class Reason {
+    kRebalance,  // departure freed capacity somewhere better
+    kDrain,      // graceful evacuation: live migration off a draining machine
+    kFailover,   // state-lost evacuation: re-dispatch off a failed machine
+  };
+
+  int container_id = 0;
+  int from_machine = 0;
+  int to_machine = 0;
+  bool was_queued = false;        // moved out of a queue rather than migrated live
+  Reason reason = Reason::kRebalance;
+  double predicted_gain_ops = 0.0;  // throughput delta x rebalance horizon
+  double modeled_cost_ops = 0.0;    // ops lost while the move runs
+  double move_seconds = 0.0;        // §7 migration estimate + network copy
+  double network_seconds = 0.0;     // the network-copy share of move_seconds
+};
+
+const char* ToString(RebalanceMove::Reason reason);
+
+// Summary of one machine evacuation (fail or drain event).
+struct EvacuationReport {
+  int machine_id = 0;
+  // kFailed or kDraining — which event emptied the machine.
+  MachineAvailability reason = MachineAvailability::kFailed;
+  double start_seconds = 0.0;
+  int containers = 0;  // live containers (running + queued) the machine held
+  // Placed on another machine by the evacuation pass — via a gain-gated
+  // move, or via an instant restart when no live migration was worth its
+  // modeled cost.
+  int rehomed = 0;
+  int requeued = 0;    // sent back through dispatch and left waiting
+  // Evacuation latency: completion offset of the slowest committed move.
+  // Zero for a pure state-lost failover — restarts are instant in the
+  // model; the damage shows up as queueing and goal attainment instead.
+  double last_landing_seconds = 0.0;
+  double move_seconds_total = 0.0;
+  double network_seconds_total = 0.0;
+};
+
+// Consumer interface for Step()/Replay(). Default implementations ignore
+// everything, so observers override only what they care about. `now` is the
+// stream time of the event that produced the callback.
+class EventObserver {
+ public:
+  virtual ~EventObserver() = default;
+
+  virtual void OnAdmission(int /*machine_id*/, const ScheduleOutcome& /*outcome*/,
+                           double /*now*/) {}
+  virtual void OnQueued(int /*machine_id*/, const ScheduleOutcome& /*outcome*/,
+                        double /*now*/) {}
+  virtual void OnMove(const RebalanceMove& /*move*/, double /*now*/) {}
+  virtual void OnEvacuation(const EvacuationReport& /*report*/, double /*now*/) {}
+  virtual void OnMachineAvailability(int /*machine_id*/,
+                                     MachineAvailability /*availability*/,
+                                     double /*now*/) {}
+};
+
+// Forwards every callback to `next` (which may be null); base class for
+// observers that tap some callbacks and pass everything through.
+class ForwardingObserver : public EventObserver {
+ public:
+  explicit ForwardingObserver(EventObserver* next) : next_(next) {}
+
+  void OnAdmission(int machine_id, const ScheduleOutcome& outcome,
+                   double now) override {
+    if (next_ != nullptr) {
+      next_->OnAdmission(machine_id, outcome, now);
+    }
+  }
+  void OnQueued(int machine_id, const ScheduleOutcome& outcome, double now) override {
+    if (next_ != nullptr) {
+      next_->OnQueued(machine_id, outcome, now);
+    }
+  }
+  void OnMove(const RebalanceMove& move, double now) override {
+    if (next_ != nullptr) {
+      next_->OnMove(move, now);
+    }
+  }
+  void OnEvacuation(const EvacuationReport& report, double now) override {
+    if (next_ != nullptr) {
+      next_->OnEvacuation(report, now);
+    }
+  }
+  void OnMachineAvailability(int machine_id, MachineAvailability availability,
+                             double now) override {
+    if (next_ != nullptr) {
+      next_->OnMachineAvailability(machine_id, availability, now);
+    }
+  }
+
+ private:
+  EventObserver* next_;
+};
+
+// Counts committed placements while forwarding everything — the
+// ReplayWithEvaluation implementations use it for their `decisions` tally.
+class AdmissionCounter final : public ForwardingObserver {
+ public:
+  using ForwardingObserver::ForwardingObserver;
+
+  void OnAdmission(int machine_id, const ScheduleOutcome& outcome,
+                   double now) override {
+    ++admissions;
+    ForwardingObserver::OnAdmission(machine_id, outcome, now);
+  }
+
+  int admissions = 0;
+};
+
+// A machine-level outcome tagged with the machine that produced it
+// (kNoMachine for fleet-wide waits).
+struct FleetOutcome {
+  int machine_id = 0;
+  ScheduleOutcome outcome;
+};
+
+// Records everything it observes, in callback order — the observer tests
+// and the CLI use to replace the old returned-vector APIs.
+class OutcomeRecorder : public EventObserver {
+ public:
+  void OnAdmission(int machine_id, const ScheduleOutcome& outcome,
+                   double now) override {
+    (void)now;
+    outcomes.push_back({machine_id, outcome});
+  }
+  void OnQueued(int machine_id, const ScheduleOutcome& outcome, double now) override {
+    (void)now;
+    outcomes.push_back({machine_id, outcome});
+  }
+  void OnMove(const RebalanceMove& move, double now) override {
+    (void)now;
+    moves.push_back(move);
+  }
+  void OnEvacuation(const EvacuationReport& report, double now) override {
+    (void)now;
+    evacuations.push_back(report);
+  }
+  void OnMachineAvailability(int machine_id, MachineAvailability availability,
+                             double now) override {
+    (void)now;
+    availability_changes.emplace_back(machine_id, availability);
+  }
+
+  // Admissions (outcome.admitted) and queueings, interleaved in event order.
+  std::vector<FleetOutcome> outcomes;
+  std::vector<RebalanceMove> moves;
+  std::vector<EvacuationReport> evacuations;
+  std::vector<std::pair<int, MachineAvailability>> availability_changes;
+};
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_SCHEDULER_EVENTS_H_

@@ -18,16 +18,6 @@ std::string DescribePlacement(const ImportantPlacement& ip) {
   return os.str();
 }
 
-ContainerRequest RequestFromEvent(const TraceEvent& event) {
-  ContainerRequest request;
-  request.id = event.container_id;
-  request.workload = event.workload;
-  request.vcpus = event.vcpus;
-  request.goal_fraction = event.goal_fraction;
-  request.latency_sensitive = event.latency_sensitive;
-  return request;
-}
-
 size_t IndexOf(const std::vector<int>& placement_ids, int id) {
   for (size_t i = 0; i < placement_ids.size(); ++i) {
     if (placement_ids[i] == id) {
@@ -39,6 +29,16 @@ size_t IndexOf(const std::vector<int>& placement_ids, int id) {
 }
 
 }  // namespace
+
+ContainerRequest RequestFromArrival(const ContainerArrival& arrival) {
+  ContainerRequest request;
+  request.id = arrival.container_id;
+  request.workload = arrival.workload;
+  request.vcpus = arrival.vcpus;
+  request.goal_fraction = arrival.goal_fraction;
+  request.latency_sensitive = arrival.latency_sensitive;
+  return request;
+}
 
 MachineScheduler::MachineScheduler(const Topology& topo, const PerformanceModel& solo_sim,
                                    ModelRegistry* registry, SchedulerConfig config)
@@ -346,7 +346,7 @@ ScheduleOutcome MachineScheduler::Submit(const ContainerRequest& request, double
 }
 
 std::vector<ScheduleOutcome> MachineScheduler::Depart(int container_id, double now,
-                                                      bool forget_probes) {
+                                                      bool forget_probes, bool replace) {
   AdvanceClock(now);
   const auto it = containers_.find(container_id);
   NP_CHECK_MSG(it != containers_.end(), "unknown container " << container_id);
@@ -366,7 +366,7 @@ std::vector<ScheduleOutcome> MachineScheduler::Depart(int container_id, double n
     registry_->Forget(container_id);
   }
 
-  if (!config_.replace_on_departure) {
+  if (!replace || !config_.replace_on_departure) {
     return {};
   }
   return ReplacementPass(now);
@@ -493,19 +493,42 @@ std::vector<ScheduleOutcome> MachineScheduler::ReplacementPass(double now) {
   return outcomes;
 }
 
-std::vector<ScheduleOutcome> MachineScheduler::Replay(
-    const std::vector<TraceEvent>& trace) {
-  std::vector<ScheduleOutcome> outcomes;
-  for (const TraceEvent& event : trace) {
-    if (event.type == TraceEventType::kArrival) {
-      outcomes.push_back(Submit(RequestFromEvent(event), event.time_seconds));
-    } else {
-      std::vector<ScheduleOutcome> replaced = Depart(event.container_id, event.time_seconds);
-      outcomes.insert(outcomes.end(), std::make_move_iterator(replaced.begin()),
-                      std::make_move_iterator(replaced.end()));
+void MachineScheduler::Step(const FleetEvent& event, EventObserver* observer) {
+  if (const ContainerArrival* arrival = event.arrival()) {
+    const ScheduleOutcome outcome =
+        Submit(RequestFromArrival(*arrival), event.time_seconds);
+    if (observer != nullptr) {
+      if (outcome.admitted) {
+        observer->OnAdmission(0, outcome, event.time_seconds);
+      } else {
+        observer->OnQueued(0, outcome, event.time_seconds);
+      }
     }
+    return;
   }
-  return outcomes;
+  if (const ContainerDeparture* departure = event.departure()) {
+    const std::vector<ScheduleOutcome> replaced =
+        Depart(departure->container_id, event.time_seconds);
+    if (observer != nullptr) {
+      // Everything the re-placement pass reports is a committed placement or
+      // upgrade.
+      for (const ScheduleOutcome& outcome : replaced) {
+        observer->OnAdmission(0, outcome, event.time_seconds);
+      }
+    }
+    return;
+  }
+  NP_CHECK_MSG(false, ToString(event.kind())
+                          << " event at t=" << event.time_seconds
+                          << " addresses a fleet — a single MachineScheduler has "
+                             "no machine namespace; route it through "
+                             "FleetScheduler::Step");
+}
+
+void MachineScheduler::Replay(const EventStream& trace, EventObserver* observer) {
+  for (const FleetEvent& event : trace) {
+    Step(event, observer);
+  }
 }
 
 const ManagedContainer* MachineScheduler::Find(int container_id) const {
@@ -557,15 +580,17 @@ std::vector<MachineScheduler::TenantSnapshot> MachineScheduler::SnapshotPerforma
 }
 
 TenancyReport ReplayWithEvaluation(MachineScheduler& scheduler,
-                                   const std::vector<TraceEvent>& trace,
-                                   const MultiTenantModel& multi) {
+                                   const EventStream& trace,
+                                   const MultiTenantModel& multi,
+                                   EventObserver* observer) {
   TenancyReport report;
+  AdmissionCounter counter(observer);
   double last_time = 0.0;
   double attainment_weight = 0.0;
   double at_goal_weight = 0.0;
   double container_seconds = 0.0;
 
-  for (const TraceEvent& event : trace) {
+  for (const FleetEvent& event : trace) {
     const double dt = event.time_seconds - last_time;
     if (dt > 0.0) {
       for (const MachineScheduler::TenantSnapshot& snap :
@@ -584,25 +609,12 @@ TenancyReport ReplayWithEvaluation(MachineScheduler& scheduler,
     }
 
     const auto start = std::chrono::steady_clock::now();
-    if (event.type == TraceEventType::kArrival) {
-      ScheduleOutcome outcome =
-          scheduler.Submit(RequestFromEvent(event), event.time_seconds);
-      if (outcome.admitted) {
-        ++report.decisions;
-      }
-      report.outcomes.push_back(std::move(outcome));
-    } else {
-      std::vector<ScheduleOutcome> replaced =
-          scheduler.Depart(event.container_id, event.time_seconds);
-      report.decisions += static_cast<int>(replaced.size());
-      report.outcomes.insert(report.outcomes.end(),
-                             std::make_move_iterator(replaced.begin()),
-                             std::make_move_iterator(replaced.end()));
-    }
+    scheduler.Step(event, &counter);
     report.wall_seconds +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   }
 
+  report.decisions = counter.admissions;
   report.goal_attainment =
       container_seconds > 0.0 ? attainment_weight / container_seconds : 1.0;
   report.container_seconds_at_goal =

@@ -31,19 +31,13 @@
 #include "src/core/occupancy.h"
 #include "src/migration/migration.h"
 #include "src/model/registry.h"
+#include "src/scheduler/events.h"
 #include "src/scheduler/policy.h"
 #include "src/sim/perf_model.h"
 #include "src/workloads/profile.h"
 #include "src/workloads/trace.h"
 
 namespace numaplace {
-
-// One step of a scheduling decision, in seconds relative to decision start.
-struct TimelineEvent {
-  double start_seconds = 0.0;
-  double duration_seconds = 0.0;
-  std::string description;
-};
 
 // A container as submitted to the scheduler.
 struct ContainerRequest {
@@ -56,21 +50,10 @@ struct ContainerRequest {
   bool latency_sensitive = false;
 };
 
-enum class ContainerState { kPending, kRunning, kDeparted };
+// The request a ContainerArrival event carries, as both schedulers submit it.
+ContainerRequest RequestFromArrival(const ContainerArrival& arrival);
 
-// What the scheduler did in response to one event for one container.
-struct ScheduleOutcome {
-  int container_id = 0;
-  bool admitted = false;  // false: queued until capacity frees up
-  int placement_id = 0;   // chosen important placement (0 when queued)
-  Placement placement;
-  double predicted_abs_throughput = 0.0;  // 0 under the first-fit policy
-  double goal_abs_throughput = 0.0;       // goal_fraction x solo baseline
-  bool meets_goal = false;                // predicted to meet the goal
-  bool reused_cached_probes = false;      // no probe runs were needed
-  double decision_seconds = 0.0;          // probes + migrations
-  std::vector<TimelineEvent> timeline;
-};
+enum class ContainerState { kPending, kRunning, kDeparted };
 
 // Scheduler-side record of a container.
 struct ManagedContainer {
@@ -157,9 +140,12 @@ class MachineScheduler {
   // or migrated. `forget_probes` drops the container's cached prediction
   // (the default — a departed container never comes back); the fleet layer
   // passes false when *moving* a container to another machine of the same
-  // topology so the probes it already paid for transfer with it.
+  // topology so the probes it already paid for transfer with it. `replace`
+  // false skips the re-placement pass regardless of config — the fleet
+  // passes it when emptying a failed or draining machine, whose queue must
+  // not be re-admitted onto the machine being evacuated.
   std::vector<ScheduleOutcome> Depart(int container_id, double now = 0.0,
-                                      bool forget_probes = true);
+                                      bool forget_probes = true, bool replace = true);
 
   // What probing the container cost (nothing on a cache hit or under a
   // model-free policy).
@@ -190,9 +176,15 @@ class MachineScheduler {
   };
   AdmissionPreview PreviewAdmission(const ContainerRequest& request);
 
-  // Replays a trace (events must be time-ordered) and returns every outcome
-  // in event order.
-  std::vector<ScheduleOutcome> Replay(const std::vector<TraceEvent>& trace);
+  // Processes one FleetEvent: arrivals submit, departures free capacity and
+  // run the re-placement pass, and every outcome is reported through the
+  // observer (machine_id 0 — a standalone scheduler has no fleet
+  // namespace). Machine events CHECK-fail: they address a fleet; route them
+  // through FleetScheduler::Step.
+  void Step(const FleetEvent& event, EventObserver* observer = nullptr);
+
+  // Thin loop over Step.
+  void Replay(const EventStream& trace, EventObserver* observer = nullptr);
 
   const Topology& topology() const { return *topo_; }
   const OccupancyMap& occupancy() const { return occupancy_; }
@@ -278,7 +270,8 @@ class MachineScheduler {
 
 // Replays a trace while evaluating the co-running tenants with the
 // multi-tenant model between events, producing the aggregate numbers the
-// tenancy benchmark and the CLI `schedule` mode report.
+// tenancy benchmark and the CLI `schedule` mode report. Per-decision
+// outcomes flow through the optional observer, not the report.
 struct TenancyReport {
   // Time-weighted mean over running containers of
   // min(1, measured / goal): 1.0 = every container met its goal whenever it
@@ -290,12 +283,12 @@ struct TenancyReport {
   double mean_utilization = 0.0;  // time-averaged busy-thread fraction
   int decisions = 0;              // placements + upgrades performed
   double wall_seconds = 0.0;      // host time spent deciding (for decisions/s)
-  std::vector<ScheduleOutcome> outcomes;
 };
 
 TenancyReport ReplayWithEvaluation(MachineScheduler& scheduler,
-                                   const std::vector<TraceEvent>& trace,
-                                   const MultiTenantModel& multi);
+                                   const EventStream& trace,
+                                   const MultiTenantModel& multi,
+                                   EventObserver* observer = nullptr);
 
 }  // namespace numaplace
 

@@ -16,20 +16,89 @@ double NextExponential(Rng& rng, double mean) {
   return -mean * std::log(1.0 - rng.NextDouble());
 }
 
-void SortEvents(std::vector<TraceEvent>& events) {
-  std::stable_sort(events.begin(), events.end(),
-                   [](const TraceEvent& a, const TraceEvent& b) {
-                     if (a.time_seconds != b.time_seconds) {
-                       return a.time_seconds < b.time_seconds;
-                     }
-                     return a.type == TraceEventType::kArrival &&
-                            b.type == TraceEventType::kDeparture;
-                   });
-}
-
 }  // namespace
 
-std::vector<TraceEvent> GeneratePoissonTrace(const TraceConfig& config, Rng& rng) {
+const char* ToString(FleetEventKind kind) {
+  switch (kind) {
+    case FleetEventKind::kMachineFail:
+      return "machine-fail";
+    case FleetEventKind::kMachineDrain:
+      return "machine-drain";
+    case FleetEventKind::kMachineRejoin:
+      return "machine-rejoin";
+    case FleetEventKind::kContainerArrival:
+      return "arrival";
+    case FleetEventKind::kContainerDeparture:
+      return "departure";
+  }
+  return "unknown";
+}
+
+int FleetEvent::machine_id() const {
+  if (const MachineFail* fail = std::get_if<MachineFail>(&payload)) {
+    return fail->machine_id;
+  }
+  if (const MachineDrain* drain = std::get_if<MachineDrain>(&payload)) {
+    return drain->machine_id;
+  }
+  if (const MachineRejoin* rejoin = std::get_if<MachineRejoin>(&payload)) {
+    return rejoin->machine_id;
+  }
+  NP_CHECK_MSG(false, ToString(kind()) << " event at t=" << time_seconds
+                                       << " carries no machine id");
+  __builtin_unreachable();
+}
+
+int FleetEvent::container_id() const {
+  if (const ContainerArrival* a = arrival()) {
+    return a->container_id;
+  }
+  if (const ContainerDeparture* d = departure()) {
+    return d->container_id;
+  }
+  NP_CHECK_MSG(false, ToString(kind()) << " event at t=" << time_seconds
+                                       << " carries no container id");
+  __builtin_unreachable();
+}
+
+FleetEvent FleetEvent::Arrival(double time_seconds, ContainerArrival arrival) {
+  return {time_seconds, Payload{std::move(arrival)}};
+}
+
+FleetEvent FleetEvent::Departure(double time_seconds, int container_id) {
+  return {time_seconds, Payload{ContainerDeparture{container_id}}};
+}
+
+FleetEvent FleetEvent::Fail(double time_seconds, int machine_id) {
+  return {time_seconds, Payload{MachineFail{machine_id}}};
+}
+
+FleetEvent FleetEvent::Drain(double time_seconds, int machine_id) {
+  return {time_seconds, Payload{MachineDrain{machine_id}}};
+}
+
+FleetEvent FleetEvent::Rejoin(double time_seconds, int machine_id) {
+  return {time_seconds, Payload{MachineRejoin{machine_id}}};
+}
+
+bool CanonicalBefore(const FleetEvent& a, const FleetEvent& b) {
+  if (a.time_seconds != b.time_seconds) {
+    return a.time_seconds < b.time_seconds;
+  }
+  return a.payload.index() < b.payload.index();
+}
+
+EventStream::EventStream(std::vector<FleetEvent> events) : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(), CanonicalBefore);
+}
+
+void EventStream::Append(FleetEvent event) {
+  const auto position =
+      std::upper_bound(events_.begin(), events_.end(), event, CanonicalBefore);
+  events_.insert(position, std::move(event));
+}
+
+EventStream GeneratePoissonTrace(const TraceConfig& config, Rng& rng) {
   NP_CHECK(config.num_containers > 0);
   NP_CHECK(config.mean_interarrival_seconds > 0.0);
   NP_CHECK(config.mean_lifetime_seconds > 0.0);
@@ -39,16 +108,14 @@ std::vector<TraceEvent> GeneratePoissonTrace(const TraceConfig& config, Rng& rng
   const std::vector<WorkloadProfile> catalog =
       config.use_catalog ? PaperWorkloads() : std::vector<WorkloadProfile>{};
 
-  std::vector<TraceEvent> events;
+  std::vector<FleetEvent> events;
   events.reserve(static_cast<size_t>(config.num_containers) * 2);
   double clock = 0.0;
   for (int i = 0; i < config.num_containers; ++i) {
     clock += NextExponential(rng, config.mean_interarrival_seconds);
     const int id = config.first_container_id + i;
 
-    TraceEvent arrival;
-    arrival.time_seconds = clock;
-    arrival.type = TraceEventType::kArrival;
+    ContainerArrival arrival;
     arrival.container_id = id;
     if (config.use_catalog) {
       arrival.workload = catalog[rng.NextBelow(catalog.size())];
@@ -63,42 +130,35 @@ std::vector<TraceEvent> GeneratePoissonTrace(const TraceConfig& config, Rng& rng
     arrival.vcpus = config.vcpus;
     arrival.goal_fraction = config.goal_fraction;
     arrival.latency_sensitive = rng.NextDouble() < config.latency_sensitive_fraction;
-    events.push_back(arrival);
+    events.push_back(FleetEvent::Arrival(clock, std::move(arrival)));
 
-    TraceEvent departure;
-    departure.time_seconds = clock + NextExponential(rng, config.mean_lifetime_seconds);
-    departure.type = TraceEventType::kDeparture;
-    departure.container_id = id;
-    departure.vcpus = config.vcpus;
-    events.push_back(departure);
+    events.push_back(FleetEvent::Departure(
+        clock + NextExponential(rng, config.mean_lifetime_seconds), id));
   }
 
-  SortEvents(events);
-  return events;
+  return EventStream(std::move(events));
 }
 
-std::vector<TraceEvent> MergeTraces(const std::vector<std::vector<TraceEvent>>& traces) {
-  std::vector<TraceEvent> merged;
+EventStream MergeTraces(const std::vector<EventStream>& traces) {
+  std::vector<FleetEvent> merged;
   std::set<int> seen;
-  for (const std::vector<TraceEvent>& trace : traces) {
-    for (const TraceEvent& event : trace) {
-      if (event.type == TraceEventType::kArrival) {
-        NP_CHECK_MSG(seen.insert(event.container_id).second,
-                     "container id " << event.container_id
+  for (const EventStream& trace : traces) {
+    for (const FleetEvent& event : trace) {
+      if (const ContainerArrival* arrival = event.arrival()) {
+        NP_CHECK_MSG(seen.insert(arrival->container_id).second,
+                     "container id " << arrival->container_id
                                      << " appears in two merged traces — give each "
                                         "stream a disjoint first_container_id");
       }
       merged.push_back(event);
     }
   }
-  SortEvents(merged);
-  return merged;
+  return EventStream(std::move(merged));
 }
 
-std::vector<TraceEvent> GenerateFleetTrace(const TraceConfig& base, int num_streams,
-                                           Rng& rng) {
+EventStream GenerateFleetTrace(const TraceConfig& base, int num_streams, Rng& rng) {
   NP_CHECK(num_streams > 0);
-  std::vector<std::vector<TraceEvent>> streams;
+  std::vector<EventStream> streams;
   streams.reserve(static_cast<size_t>(num_streams));
   for (int s = 0; s < num_streams; ++s) {
     TraceConfig config = base;
@@ -107,6 +167,19 @@ std::vector<TraceEvent> GenerateFleetTrace(const TraceConfig& base, int num_stre
     streams.push_back(GeneratePoissonTrace(config, stream_rng));
   }
   return MergeTraces(streams);
+}
+
+EventStream InjectMachineEvents(EventStream stream,
+                                const std::vector<FleetEvent>& machine_events) {
+  for (const FleetEvent& event : machine_events) {
+    NP_CHECK_MSG(event.IsMachineEvent(),
+                 "InjectMachineEvents takes machine fail/drain/rejoin events, got "
+                     << ToString(event.kind()) << " at t=" << event.time_seconds);
+    NP_CHECK(event.machine_id() >= 0);
+    NP_CHECK(event.time_seconds >= 0.0);
+    stream.Append(event);
+  }
+  return stream;
 }
 
 }  // namespace numaplace

@@ -1,16 +1,27 @@
-// Arrival/departure traces for the multi-tenant scheduler (src/scheduler).
+// Unified fleet event model and trace generators.
 //
 // The paper evaluates one container at a time; a datacenter machine sees a
-// stream of them. The generator below produces the standard open-system
-// model: container arrivals form a Poisson process (exponential
-// inter-arrival times) and each container runs for an exponentially
-// distributed lifetime, the M/G/∞-style workload used throughout the
-// cluster-scheduling literature. Workloads are drawn either from the paper's
-// 18-application catalog or from the synthetic archetypes of src/workloads.
+// stream of them, and a datacenter *fleet* additionally sees machines fail,
+// drain for maintenance and rejoin. Every such happening is one FleetEvent —
+// a typed variant of
+//
+//   ContainerArrival / ContainerDeparture   container traffic
+//   MachineFail / MachineDrain / MachineRejoin   machine lifecycle
+//
+// carried in a time-sorted EventStream. Schedulers consume streams one
+// FleetEvent at a time through their Step() entry points (src/scheduler,
+// src/cluster); the generators below produce container traffic as the
+// standard open-system model (Poisson arrivals, exponential lifetimes, the
+// M/G/∞-style workload of the cluster-scheduling literature), and
+// InjectMachineEvents folds scripted machine events into a generated stream.
+// Workloads are drawn either from the paper's 18-application catalog or from
+// the synthetic archetypes of src/workloads.
 #ifndef NUMAPLACE_SRC_WORKLOADS_TRACE_H_
 #define NUMAPLACE_SRC_WORKLOADS_TRACE_H_
 
+#include <cstddef>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "src/util/rng.h"
@@ -18,17 +29,112 @@
 
 namespace numaplace {
 
-enum class TraceEventType { kArrival, kDeparture };
-
-struct TraceEvent {
-  double time_seconds = 0.0;
-  TraceEventType type = TraceEventType::kArrival;
+// A container entering the system, with everything a scheduler needs to
+// admit it.
+struct ContainerArrival {
   int container_id = 0;
-  // Populated for arrivals; departures carry only the id.
   WorkloadProfile workload;
   int vcpus = 0;
   double goal_fraction = 1.0;
   bool latency_sensitive = false;
+};
+
+// A container leaving the system (it carries only the id — the scheduler
+// owns the rest of its state).
+struct ContainerDeparture {
+  int container_id = 0;
+};
+
+// The machine dies: its containers lose their state and must be re-dispatched
+// from scratch elsewhere.
+struct MachineFail {
+  int machine_id = 0;
+};
+
+// The machine leaves service gracefully (maintenance): its containers are
+// alive and migrate off under the §7 migration + network-copy cost model.
+struct MachineDrain {
+  int machine_id = 0;
+};
+
+// A failed or drained machine returns to service, empty.
+struct MachineRejoin {
+  int machine_id = 0;
+};
+
+// Kinds in canonical same-time processing order (== the variant alternative
+// order): machine availability settles before the container traffic of that
+// instant — a machine failing at t must not receive t's arrivals, and one
+// rejoining at t may — and arrivals precede departures, the tie-break the
+// generators have always guaranteed.
+enum class FleetEventKind {
+  kMachineFail = 0,
+  kMachineDrain = 1,
+  kMachineRejoin = 2,
+  kContainerArrival = 3,
+  kContainerDeparture = 4,
+};
+
+const char* ToString(FleetEventKind kind);
+
+struct FleetEvent {
+  using Payload = std::variant<MachineFail, MachineDrain, MachineRejoin,
+                               ContainerArrival, ContainerDeparture>;
+
+  double time_seconds = 0.0;
+  Payload payload;
+
+  FleetEventKind kind() const { return static_cast<FleetEventKind>(payload.index()); }
+  bool IsMachineEvent() const { return payload.index() <= 2; }
+  bool IsContainerEvent() const { return !IsMachineEvent(); }
+
+  // nullptr when the event is of a different kind.
+  const ContainerArrival* arrival() const {
+    return std::get_if<ContainerArrival>(&payload);
+  }
+  const ContainerDeparture* departure() const {
+    return std::get_if<ContainerDeparture>(&payload);
+  }
+
+  // CHECK-fails when the event is not of the matching family.
+  int machine_id() const;
+  int container_id() const;
+
+  static FleetEvent Arrival(double time_seconds, ContainerArrival arrival);
+  static FleetEvent Departure(double time_seconds, int container_id);
+  static FleetEvent Fail(double time_seconds, int machine_id);
+  static FleetEvent Drain(double time_seconds, int machine_id);
+  static FleetEvent Rejoin(double time_seconds, int machine_id);
+};
+
+// Canonical event order: time, then FleetEventKind. Returns false for
+// events equal under both, so std::stable_sort preserves insertion order
+// there (cross-stream merge stability).
+bool CanonicalBefore(const FleetEvent& a, const FleetEvent& b);
+
+// A time-sorted sequence of FleetEvents. Construction and Append() maintain
+// canonical order, so consumers can always replay front-to-back.
+class EventStream {
+ public:
+  EventStream() = default;
+  // Takes any event order and canonical-sorts it (stable).
+  explicit EventStream(std::vector<FleetEvent> events);
+
+  // Inserts in canonical order, after existing events with the same
+  // (time, kind).
+  void Append(FleetEvent event);
+
+  const std::vector<FleetEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const FleetEvent& operator[](size_t i) const { return events_[i]; }
+  std::vector<FleetEvent>::const_iterator begin() const { return events_.begin(); }
+  std::vector<FleetEvent>::const_iterator end() const { return events_.end(); }
+  // Time of the last event (0 when empty) — the stream's horizon.
+  double EndTime() const { return events_.empty() ? 0.0 : events_.back().time_seconds; }
+
+ private:
+  std::vector<FleetEvent> events_;
 };
 
 struct TraceConfig {
@@ -48,16 +154,16 @@ struct TraceConfig {
   int first_container_id = 1;
 };
 
-// Generates the event stream, sorted by time (arrival before departure on
-// ties). Each arrival has exactly one matching departure. Workload names are
-// uniquified with the container id so duplicate-name checks downstream hold.
-std::vector<TraceEvent> GeneratePoissonTrace(const TraceConfig& config, Rng& rng);
+// Generates the container event stream. Each arrival has exactly one
+// matching departure. Workload names are uniquified with the container id so
+// duplicate-name checks downstream hold.
+EventStream GeneratePoissonTrace(const TraceConfig& config, Rng& rng);
 
-// Merges several time-sorted event streams into one time-sorted stream
-// (arrival before departure on ties, stable across streams). Container ids
-// must be disjoint across the inputs — the merged trace addresses one fleet-
-// wide id namespace — and a collision CHECK-fails.
-std::vector<TraceEvent> MergeTraces(const std::vector<std::vector<TraceEvent>>& traces);
+// Merges several streams into one canonical-order stream, stable across
+// inputs (at equal time and kind, stream i's events precede stream j's for
+// i < j). Container ids must be disjoint across the inputs — the merged
+// trace addresses one fleet-wide id namespace — and a collision CHECK-fails.
+EventStream MergeTraces(const std::vector<EventStream>& traces);
 
 // Fleet workload: `num_streams` independent Poisson streams (one per tenant
 // population feeding the cluster), each a copy of `base` with a disjoint
@@ -66,8 +172,14 @@ std::vector<TraceEvent> MergeTraces(const std::vector<std::vector<TraceEvent>>& 
 // merged into one trace of num_streams * base.num_containers containers.
 // Stream randomness forks deterministically from `rng`, so the result is a
 // pure function of (base, num_streams, rng seed).
-std::vector<TraceEvent> GenerateFleetTrace(const TraceConfig& base, int num_streams,
-                                           Rng& rng);
+EventStream GenerateFleetTrace(const TraceConfig& base, int num_streams, Rng& rng);
+
+// Folds scripted machine lifecycle events into a generated stream — the
+// injector behind the CLI's --fail/--drain/--rejoin flags and the failure
+// scenarios of bench_fleet. Every injected event must be a machine event
+// with a non-negative machine id and time; container events CHECK-fail.
+EventStream InjectMachineEvents(EventStream stream,
+                                const std::vector<FleetEvent>& machine_events);
 
 }  // namespace numaplace
 

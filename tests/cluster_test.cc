@@ -209,12 +209,14 @@ TEST(FleetRebalance, QueuedContainerMovesToTheMachineThatFreedCapacity) {
     }
   }
   ASSERT_GE(victim, 0);
-  const std::vector<FleetOutcome> outcomes = fleet.Depart(victim, 20.0);
+  OutcomeRecorder recorder;
+  fleet.Depart(victim, 20.0, &recorder);
 
   ASSERT_EQ(fleet.stats().rebalance_moves, 1);
   const RebalanceMove& move = fleet.rebalance_log().front();
   EXPECT_EQ(move.container_id, 9);
   EXPECT_TRUE(move.was_queued);
+  EXPECT_EQ(move.reason, RebalanceMove::Reason::kRebalance);
   EXPECT_EQ(move.from_machine, queue_machine);
   EXPECT_EQ(move.to_machine, other_machine);
   EXPECT_GT(move.predicted_gain_ops, move.modeled_cost_ops);
@@ -226,13 +228,16 @@ TEST(FleetRebalance, QueuedContainerMovesToTheMachineThatFreedCapacity) {
   EXPECT_DOUBLE_EQ(fleet.stats().queue_wait_seconds, 10.0);
   // The move rides the probe cache — no fleet-wide re-probing.
   EXPECT_EQ(TotalProbeRuns(fleet), 18);  // nine probe pairs at submission, none since
+  // The observer saw both the landing admission and the move itself.
   bool moved_reported = false;
-  for (const FleetOutcome& outcome : outcomes) {
+  for (const FleetOutcome& outcome : recorder.outcomes) {
     if (outcome.outcome.container_id == 9) {
       moved_reported = outcome.outcome.admitted && outcome.machine_id == other_machine;
     }
   }
   EXPECT_TRUE(moved_reported);
+  ASSERT_EQ(recorder.moves.size(), 1u);
+  EXPECT_EQ(recorder.moves[0].container_id, 9);
 
   // The moved container departs cleanly from its new machine.
   fleet.Depart(9, 30.0);
@@ -297,7 +302,7 @@ TEST(FleetRebalance, TraceReplayDrainsAndEveryMoveHasPositiveSurplus) {
   trace_config.mean_interarrival_seconds = 90.0;
   trace_config.mean_lifetime_seconds = 360.0;
   Rng rng(13);
-  const std::vector<TraceEvent> trace = GenerateFleetTrace(trace_config, 2, rng);
+  const EventStream trace = GenerateFleetTrace(trace_config, 2, rng);
   ASSERT_EQ(trace.size(), 24u);
 
   const FleetReport report = fleet.ReplayWithEvaluation(trace);
@@ -327,6 +332,232 @@ TEST(FleetRebalance, TraceReplayDrainsAndEveryMoveHasPositiveSurplus) {
   }
   for (int id = 1; id <= 12; ++id) {
     EXPECT_EQ(fleet.MachineOf(id), -1) << "container " << id;
+  }
+}
+
+TEST(FleetEvents, FailEvacuatesStateLostAndRejoinRestoresDispatch) {
+  FleetConfig config;
+  config.dispatch = "least-loaded";
+  FleetScheduler fleet = MakeAmdFleet(2, "model", config);
+  // Least-loaded alternates: container 1 on machine 0, container 2 on 1.
+  ASSERT_EQ(fleet.Submit(MakeRequest(1, "gcc", 0.5), 1.0).machine_id, 0);
+  ASSERT_EQ(fleet.Submit(MakeRequest(2, "gcc", 0.5), 2.0).machine_id, 1);
+
+  OutcomeRecorder recorder;
+  fleet.Fail(0, 10.0, &recorder);
+
+  EXPECT_EQ(fleet.availability(0), MachineAvailability::kFailed);
+  EXPECT_EQ(fleet.availability(1), MachineAvailability::kUp);
+  // Container 1 restarted on the survivor; the failed machine is empty.
+  EXPECT_EQ(fleet.MachineOf(1), 1);
+  EXPECT_TRUE(fleet.machine(0).RunningIds().empty());
+  EXPECT_TRUE(fleet.machine(0).PendingIds().empty());
+  EXPECT_EQ(fleet.machine(1).RunningIds().size(), 2u);
+
+  // Fail = state lost: nothing to migrate or copy, the move itself is free,
+  // and it still clears the gain-beats-cost gate.
+  ASSERT_EQ(fleet.stats().evacuation_moves, 1);
+  ASSERT_EQ(fleet.rebalance_log().size(), 1u);
+  const RebalanceMove& move = fleet.rebalance_log().front();
+  EXPECT_EQ(move.container_id, 1);
+  EXPECT_EQ(move.reason, RebalanceMove::Reason::kFailover);
+  EXPECT_FALSE(move.was_queued);
+  EXPECT_DOUBLE_EQ(move.move_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(move.modeled_cost_ops, 0.0);
+  EXPECT_GT(move.predicted_gain_ops, move.modeled_cost_ops);
+
+  ASSERT_EQ(fleet.evacuation_log().size(), 1u);
+  const EvacuationReport& report = fleet.evacuation_log().front();
+  EXPECT_EQ(report.machine_id, 0);
+  EXPECT_EQ(report.reason, MachineAvailability::kFailed);
+  EXPECT_EQ(report.containers, 1);
+  EXPECT_EQ(report.rehomed, 1);
+  EXPECT_EQ(report.requeued, 0);
+  EXPECT_DOUBLE_EQ(report.last_landing_seconds, 0.0);
+
+  // The observer saw the availability flip, the move and the evacuation.
+  ASSERT_EQ(recorder.availability_changes.size(), 1u);
+  EXPECT_EQ(recorder.availability_changes[0].first, 0);
+  EXPECT_EQ(recorder.availability_changes[0].second, MachineAvailability::kFailed);
+  EXPECT_EQ(recorder.moves.size(), 1u);
+  EXPECT_EQ(recorder.evacuations.size(), 1u);
+
+  // A failed machine receives no dispatches...
+  EXPECT_EQ(fleet.Submit(MakeRequest(3, "gcc", 0.5), 11.0).machine_id, 1);
+  // ...and failing it twice, or draining it, is API misuse.
+  EXPECT_THROW(fleet.Fail(0, 12.0), std::logic_error);
+  EXPECT_THROW(fleet.Drain(0, 12.0), std::logic_error);
+
+  // Rejoin restores it to dispatch (least-loaded now prefers the empty box).
+  fleet.Rejoin(0, 20.0);
+  EXPECT_EQ(fleet.availability(0), MachineAvailability::kUp);
+  EXPECT_THROW(fleet.Rejoin(0, 21.0), std::logic_error);
+  EXPECT_EQ(fleet.Submit(MakeRequest(4, "gcc", 0.5), 22.0).machine_id, 0);
+}
+
+TEST(FleetEvents, DrainMovesLiveContainersUnderTheMigrationCostModel) {
+  FleetConfig config;
+  config.dispatch = "least-loaded";
+  FleetScheduler fleet = MakeAmdFleet(2, "model", config);
+  // postgres-tpch carries ~27 GB of memory: the graceful move must charge a
+  // visible migration + network-copy cost.
+  ASSERT_EQ(fleet.Submit(MakeRequest(1, "postgres-tpch", 0.5), 1.0).machine_id, 0);
+  ASSERT_EQ(fleet.Submit(MakeRequest(2, "gcc", 0.5), 2.0).machine_id, 1);
+
+  OutcomeRecorder recorder;
+  fleet.Drain(0, 10.0, &recorder);
+
+  EXPECT_EQ(fleet.availability(0), MachineAvailability::kDraining);
+  EXPECT_EQ(fleet.MachineOf(1), 1);
+  EXPECT_TRUE(fleet.machine(0).RunningIds().empty());
+
+  ASSERT_EQ(fleet.rebalance_log().size(), 1u);
+  const RebalanceMove& move = fleet.rebalance_log().front();
+  EXPECT_EQ(move.reason, RebalanceMove::Reason::kDrain);
+  EXPECT_FALSE(move.was_queued);
+  // Graceful = the container is alive: §7 migration plus the network copy,
+  // and the modeled cost is the rate lost while the move runs — yet the
+  // gain (running at all on the survivor) still beats it.
+  EXPECT_GT(move.network_seconds, 0.0);
+  EXPECT_GT(move.move_seconds, move.network_seconds);
+  EXPECT_GT(move.modeled_cost_ops, 0.0);
+  EXPECT_GT(move.predicted_gain_ops, move.modeled_cost_ops);
+
+  ASSERT_EQ(fleet.evacuation_log().size(), 1u);
+  const EvacuationReport& report = fleet.evacuation_log().front();
+  EXPECT_EQ(report.reason, MachineAvailability::kDraining);
+  EXPECT_EQ(report.rehomed, 1);
+  EXPECT_DOUBLE_EQ(report.last_landing_seconds, move.move_seconds);
+  EXPECT_DOUBLE_EQ(report.move_seconds_total, move.move_seconds);
+
+  // Draining a draining machine is misuse; failing it is legal (a machine
+  // can die mid-drain) and finds nothing left to evacuate.
+  EXPECT_THROW(fleet.Drain(0, 11.0), std::logic_error);
+  fleet.Fail(0, 12.0);
+  EXPECT_EQ(fleet.availability(0), MachineAvailability::kFailed);
+  ASSERT_EQ(fleet.evacuation_log().size(), 2u);
+  EXPECT_EQ(fleet.evacuation_log().back().containers, 0);
+}
+
+TEST(FleetEvents, FullSurvivorRequeuesEvacueesAndDepartureLandsThem) {
+  FleetConfig config;
+  config.dispatch = "least-loaded";
+  FleetScheduler fleet = MakeAmdFleet(2, "model", config);
+  // Eight easy containers fill both machines (four 2-node placements each).
+  for (int id = 1; id <= 8; ++id) {
+    ASSERT_TRUE(fleet.Submit(MakeRequest(id, "gcc", 0.5), id * 1.0).outcome.admitted);
+  }
+
+  fleet.Fail(0, 10.0);
+  ASSERT_EQ(fleet.evacuation_log().size(), 1u);
+  const EvacuationReport& report = fleet.evacuation_log().front();
+  EXPECT_EQ(report.containers, 4);
+  EXPECT_EQ(report.rehomed, 0);  // the survivor is full
+  EXPECT_EQ(report.requeued, 4);
+  EXPECT_EQ(fleet.stats().evacuation_requeues, 4);
+  // The evacuees now wait in the survivor's queue, not fleet-wide.
+  EXPECT_EQ(fleet.machine(1).PendingIds().size(), 4u);
+  EXPECT_TRUE(fleet.UnplacedIds().empty());
+  for (int id : {1, 3, 5, 7}) {
+    EXPECT_EQ(fleet.MachineOf(id), 1) << "container " << id;
+  }
+
+  // A departure on the survivor admits one of them through its own
+  // re-placement pass.
+  fleet.Depart(2, 20.0);
+  EXPECT_EQ(fleet.machine(1).PendingIds().size(), 3u);
+  EXPECT_GE(fleet.stats().queue_admissions, 1);
+}
+
+TEST(FleetEvents, NoAvailableMachineParksArrivalsFleetWideUntilRejoin) {
+  FleetConfig config;
+  config.dispatch = "least-loaded";
+  FleetScheduler fleet = MakeAmdFleet(2, "model", config);
+  fleet.Fail(0, 1.0);
+  fleet.Fail(1, 2.0);
+
+  OutcomeRecorder recorder;
+  const FleetOutcome parked = fleet.Submit(MakeRequest(1, "gcc", 0.5), 3.0, &recorder);
+  EXPECT_FALSE(parked.outcome.admitted);
+  EXPECT_EQ(parked.machine_id, kNoMachine);
+  EXPECT_EQ(fleet.MachineOf(1), kNoMachine);
+  ASSERT_EQ(fleet.UnplacedIds().size(), 1u);
+  EXPECT_EQ(fleet.UnplacedIds().front(), 1);
+  ASSERT_EQ(recorder.outcomes.size(), 1u);
+  EXPECT_EQ(recorder.outcomes[0].machine_id, kNoMachine);
+
+  // Fleet-wide waiters can still depart cleanly.
+  fleet.Submit(MakeRequest(2, "gcc", 0.5), 4.0);
+  EXPECT_EQ(fleet.UnplacedIds().size(), 2u);
+  fleet.Depart(1, 5.0);
+  ASSERT_EQ(fleet.UnplacedIds().size(), 1u);
+  EXPECT_EQ(fleet.UnplacedIds().front(), 2);
+
+  // Rejoin drains the fleet-wide queue onto the returned capacity and the
+  // wait is credited to the queue stats.
+  fleet.Rejoin(0, 10.0, &recorder);
+  EXPECT_TRUE(fleet.UnplacedIds().empty());
+  EXPECT_EQ(fleet.MachineOf(2), 0);
+  const ManagedContainer* landed = fleet.machine(0).Find(2);
+  ASSERT_NE(landed, nullptr);
+  EXPECT_EQ(landed->state, ContainerState::kRunning);
+  EXPECT_EQ(fleet.stats().queue_admissions, 1);
+  EXPECT_DOUBLE_EQ(fleet.stats().queue_wait_seconds, 6.0);  // waited 4.0 -> 10.0
+}
+
+TEST(FleetEvents, ReplayWithInjectedFailureKeepsInvariantsAndDrains) {
+  FleetConfig config;
+  config.dispatch = "least-loaded";
+  FleetScheduler fleet = MakeAmdFleet(2, "model", config);
+
+  TraceConfig trace_config;
+  trace_config.num_containers = 6;
+  trace_config.vcpus = 16;
+  trace_config.goal_fraction = 1.0;
+  trace_config.mean_interarrival_seconds = 90.0;
+  trace_config.mean_lifetime_seconds = 360.0;
+  Rng rng(13);
+  EventStream trace = GenerateFleetTrace(trace_config, 2, rng);
+  // Machine 0 fails mid-trace and returns at the three-quarter mark.
+  trace = InjectMachineEvents(std::move(trace),
+                              {FleetEvent::Fail(0.5 * trace.EndTime(), 0),
+                               FleetEvent::Rejoin(0.75 * trace.EndTime(), 0)});
+
+  OutcomeRecorder recorder;
+  const FleetReport report = fleet.ReplayWithEvaluation(trace, &recorder);
+  EXPECT_EQ(fleet.stats().submitted, 12);
+  EXPECT_EQ(fleet.stats().evacuations, 1);
+  EXPECT_GT(report.decisions, 0);
+  EXPECT_GT(report.goal_attainment, 0.0);
+  EXPECT_LE(report.goal_attainment, 1.0);
+
+  // The gain-beats-cost gate holds for every committed move — departure
+  // rebalancing and evacuations alike.
+  for (const RebalanceMove& move : fleet.rebalance_log()) {
+    EXPECT_GT(move.predicted_gain_ops, move.modeled_cost_ops)
+        << "container " << move.container_id << " moved " << move.from_machine
+        << " -> " << move.to_machine << " (" << ToString(move.reason) << ")";
+    EXPECT_GE(move.move_seconds, move.network_seconds);
+  }
+  // The observer saw exactly the logged moves and evacuation.
+  EXPECT_EQ(recorder.moves.size(), fleet.rebalance_log().size());
+  EXPECT_EQ(recorder.evacuations.size(), 1u);
+  ASSERT_EQ(recorder.availability_changes.size(), 2u);
+  EXPECT_EQ(recorder.availability_changes[0].second, MachineAvailability::kFailed);
+  EXPECT_EQ(recorder.availability_changes[1].second, MachineAvailability::kUp);
+
+  // Every container departed: machines drain, no fleet-wide waiters remain
+  // and all group caches empty.
+  for (int m = 0; m < fleet.NumMachines(); ++m) {
+    EXPECT_TRUE(fleet.machine(m).RunningIds().empty()) << "machine " << m;
+    EXPECT_TRUE(fleet.machine(m).PendingIds().empty()) << "machine " << m;
+  }
+  EXPECT_TRUE(fleet.UnplacedIds().empty());
+  for (const std::string& group : fleet.GroupNames()) {
+    EXPECT_EQ(fleet.GroupRegistry(group).NumCachedPredictions(), 0u) << group;
+  }
+  for (int id = 1; id <= 12; ++id) {
+    EXPECT_EQ(fleet.MachineOf(id), kNoMachine) << "container " << id;
   }
 }
 

@@ -165,11 +165,16 @@ TEST_F(SchedulerTest, TraceReplayRunsTheFullLifecycle) {
   config.vcpus = 16;
   config.goal_fraction = 0.9;
   Rng rng(5);
-  const std::vector<TraceEvent> trace = GeneratePoissonTrace(config, rng);
+  const EventStream trace = GeneratePoissonTrace(config, rng);
   ASSERT_EQ(trace.size(), 24u);
 
-  const std::vector<ScheduleOutcome> outcomes = scheduler.Replay(trace);
-  EXPECT_GE(outcomes.size(), 12u);  // one per arrival plus re-placements
+  OutcomeRecorder recorder;
+  scheduler.Replay(trace, &recorder);
+  // One admission or queueing per arrival, plus re-placements.
+  EXPECT_GE(recorder.outcomes.size(), 12u);
+  for (const FleetOutcome& outcome : recorder.outcomes) {
+    EXPECT_EQ(outcome.machine_id, 0);  // a standalone scheduler is machine 0
+  }
 
   const SchedulerStats& stats = scheduler.stats();
   EXPECT_EQ(stats.submitted, 12);
@@ -182,6 +187,32 @@ TEST_F(SchedulerTest, TraceReplayRunsTheFullLifecycle) {
   EXPECT_EQ(registry_.NumCachedPredictions(), 0u);
   EXPECT_GT(scheduler.TimeAveragedUtilization(), 0.0);
   EXPECT_LT(scheduler.TimeAveragedUtilization(), 1.0);
+}
+
+TEST_F(SchedulerTest, StepRoutesContainerEventsAndRejectsMachineEvents) {
+  MachineScheduler scheduler = MakeScheduler();
+
+  ContainerArrival arrival;
+  arrival.container_id = 1;
+  arrival.workload = PaperWorkload("gcc");
+  arrival.workload.name += "#1";
+  arrival.vcpus = 16;
+  arrival.goal_fraction = 0.9;
+
+  OutcomeRecorder recorder;
+  scheduler.Step(FleetEvent::Arrival(0.0, arrival), &recorder);
+  ASSERT_EQ(recorder.outcomes.size(), 1u);
+  EXPECT_TRUE(recorder.outcomes[0].outcome.admitted);
+  EXPECT_EQ(recorder.outcomes[0].outcome.container_id, 1);
+
+  scheduler.Step(FleetEvent::Departure(5.0, 1), &recorder);
+  EXPECT_TRUE(scheduler.RunningIds().empty());
+  EXPECT_EQ(scheduler.stats().departed, 1);
+
+  // Machine lifecycle events address a fleet, not a single machine.
+  EXPECT_THROW(scheduler.Step(FleetEvent::Fail(6.0, 0)), std::logic_error);
+  EXPECT_THROW(scheduler.Step(FleetEvent::Drain(6.0, 0)), std::logic_error);
+  EXPECT_THROW(scheduler.Step(FleetEvent::Rejoin(6.0, 0)), std::logic_error);
 }
 
 TEST_F(SchedulerTest, RejectsLiveDuplicateIdsAndUnknownDepartures) {
@@ -288,24 +319,26 @@ TEST(Trace, PoissonTraceIsWellFormed) {
   TraceConfig config;
   config.num_containers = 20;
   Rng rng(11);
-  const std::vector<TraceEvent> trace = GeneratePoissonTrace(config, rng);
+  const EventStream trace = GeneratePoissonTrace(config, rng);
   ASSERT_EQ(trace.size(), 40u);
   double last = 0.0;
   std::set<int> arrived;
   std::set<int> departed;
   std::set<std::string> names;
-  for (const TraceEvent& event : trace) {
+  for (const FleetEvent& event : trace) {
     EXPECT_GE(event.time_seconds, last);
     last = event.time_seconds;
-    if (event.type == TraceEventType::kArrival) {
-      EXPECT_TRUE(arrived.insert(event.container_id).second);
-      EXPECT_TRUE(names.insert(event.workload.name).second)
-          << "duplicate workload name " << event.workload.name;
-      EXPECT_EQ(event.vcpus, config.vcpus);
+    if (const ContainerArrival* arrival = event.arrival()) {
+      EXPECT_TRUE(arrived.insert(arrival->container_id).second);
+      EXPECT_TRUE(names.insert(arrival->workload.name).second)
+          << "duplicate workload name " << arrival->workload.name;
+      EXPECT_EQ(arrival->vcpus, config.vcpus);
     } else {
-      EXPECT_TRUE(arrived.count(event.container_id))
-          << "departure before arrival for " << event.container_id;
-      EXPECT_TRUE(departed.insert(event.container_id).second);
+      const ContainerDeparture* departure = event.departure();
+      ASSERT_NE(departure, nullptr);
+      EXPECT_TRUE(arrived.count(departure->container_id))
+          << "departure before arrival for " << departure->container_id;
+      EXPECT_TRUE(departed.insert(departure->container_id).second);
     }
   }
   EXPECT_EQ(arrived.size(), 20u);

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <vector>
 
 #include "src/util/check.h"
+#include "src/util/json.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
@@ -175,6 +177,68 @@ TEST(Table, CsvEscapesSpecialCharacters) {
 TEST(Table, RejectsMisshapenRow) {
   TablePrinter table({"one"});
   EXPECT_THROW(table.AddRow({"a", "b"}), std::logic_error);
+}
+
+TEST(Json, EmitsObjectsArraysAndScalars) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Field("name", "bench");
+  json.Field("count", 3);
+  json.Field("ratio", 0.5);
+  json.Field("ok", true);
+  json.Key("values");
+  json.BeginArray();
+  json.Number(1.0);
+  json.Int(int64_t{2});
+  json.String("three");
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(os.str(),
+            "{\"name\":\"bench\",\"count\":3,\"ratio\":0.5,\"ok\":true,"
+            "\"values\":[1,2,\"three\"]}");
+}
+
+TEST(Json, EscapesStringsPerRfc8259) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginArray();
+  json.String("quote\" backslash\\ newline\n tab\t bell\x07");
+  json.EndArray();
+  EXPECT_EQ(os.str(), "[\"quote\\\" backslash\\\\ newline\\n tab\\t bell\\u0007\"]");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNullNotInvalidTokens) {
+  // Regression guard: "nan"/"inf" are not JSON — a consumer of BENCH_*.json
+  // would reject the whole document. Non-finite doubles must emit null.
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Field("nan", std::numeric_limits<double>::quiet_NaN());
+  json.Field("inf", std::numeric_limits<double>::infinity());
+  json.Field("ninf", -std::numeric_limits<double>::infinity());
+  json.Key("mixed");
+  json.BeginArray();
+  json.Number(std::numeric_limits<double>::quiet_NaN());
+  json.Number(1.5);
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(os.str(),
+            "{\"nan\":null,\"inf\":null,\"ninf\":null,\"mixed\":[null,1.5]}");
+}
+
+TEST(Json, MisuseIsRejected) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  // An object member needs Key() before its value...
+  EXPECT_THROW(json.Number(1.0), std::logic_error);
+  // ...and Key() is only valid directly inside an object.
+  json.Key("list");
+  json.BeginArray();
+  EXPECT_THROW(json.Key("nested"), std::logic_error);
+  // Closing the wrong container kind is misuse too.
+  EXPECT_THROW(json.EndObject(), std::logic_error);
 }
 
 }  // namespace

@@ -119,19 +119,40 @@ TEST(Synth, ArchetypeNamesAreStable) {
   }
 }
 
-bool SameEvents(const std::vector<TraceEvent>& a, const std::vector<TraceEvent>& b) {
+bool SameEvents(const EventStream& a, const EventStream& b) {
   if (a.size() != b.size()) {
     return false;
   }
   for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i].time_seconds != b[i].time_seconds || a[i].type != b[i].type ||
-        a[i].container_id != b[i].container_id ||
-        a[i].workload.name != b[i].workload.name ||
-        a[i].latency_sensitive != b[i].latency_sensitive) {
+    if (a[i].time_seconds != b[i].time_seconds || a[i].kind() != b[i].kind()) {
+      return false;
+    }
+    if (a[i].IsMachineEvent()) {
+      if (a[i].machine_id() != b[i].machine_id()) {
+        return false;
+      }
+      continue;
+    }
+    if (a[i].container_id() != b[i].container_id()) {
+      return false;
+    }
+    const ContainerArrival* arrival_a = a[i].arrival();
+    const ContainerArrival* arrival_b = b[i].arrival();
+    if (arrival_a != nullptr &&
+        (arrival_a->workload.name != arrival_b->workload.name ||
+         arrival_a->latency_sensitive != arrival_b->latency_sensitive)) {
       return false;
     }
   }
   return true;
+}
+
+ContainerArrival MakeArrival(int id) {
+  ContainerArrival arrival;
+  arrival.container_id = id;
+  arrival.workload.name = "w#" + std::to_string(id);
+  arrival.vcpus = 4;
+  return arrival;
 }
 
 TEST(TraceGenerator, DeterministicUnderAFixedSeed) {
@@ -139,8 +160,8 @@ TEST(TraceGenerator, DeterministicUnderAFixedSeed) {
   config.num_containers = 25;
   Rng rng_a(77);
   Rng rng_b(77);
-  const std::vector<TraceEvent> first = GeneratePoissonTrace(config, rng_a);
-  const std::vector<TraceEvent> second = GeneratePoissonTrace(config, rng_b);
+  const EventStream first = GeneratePoissonTrace(config, rng_a);
+  const EventStream second = GeneratePoissonTrace(config, rng_b);
   EXPECT_TRUE(SameEvents(first, second));
 
   // A different seed produces a genuinely different stream.
@@ -158,14 +179,14 @@ TEST(TraceGenerator, FirstContainerIdCarvesDisjointNamespaces) {
   high.first_container_id = low.first_container_id + low.num_containers;
 
   Rng rng(5);
-  const std::vector<TraceEvent> first = GeneratePoissonTrace(low, rng);
-  const std::vector<TraceEvent> second = GeneratePoissonTrace(high, rng);
+  const EventStream first = GeneratePoissonTrace(low, rng);
+  const EventStream second = GeneratePoissonTrace(high, rng);
   std::set<int> ids;
-  for (const std::vector<TraceEvent>* trace : {&first, &second}) {
-    for (const TraceEvent& event : *trace) {
-      if (event.type == TraceEventType::kArrival) {
-        EXPECT_TRUE(ids.insert(event.container_id).second)
-            << "container id " << event.container_id << " in both traces";
+  for (const EventStream* trace : {&first, &second}) {
+    for (const FleetEvent& event : *trace) {
+      if (const ContainerArrival* arrival = event.arrival()) {
+        EXPECT_TRUE(ids.insert(arrival->container_id).second)
+            << "container id " << arrival->container_id << " in both traces";
       }
     }
   }
@@ -174,10 +195,10 @@ TEST(TraceGenerator, FirstContainerIdCarvesDisjointNamespaces) {
   EXPECT_EQ(*ids.rbegin(), 30);
 
   // Merging is legal exactly because the namespaces are disjoint...
-  const std::vector<TraceEvent> merged = MergeTraces({first, second});
+  const EventStream merged = MergeTraces({first, second});
   EXPECT_EQ(merged.size(), 60u);
   double last = 0.0;
-  for (const TraceEvent& event : merged) {
+  for (const FleetEvent& event : merged) {
     EXPECT_GE(event.time_seconds, last);
     last = event.time_seconds;
   }
@@ -190,16 +211,16 @@ TEST(TraceGenerator, FleetTraceIsMergedDisjointAndDeterministic) {
   base.num_containers = 8;
   base.first_container_id = 100;
   Rng rng_a(21);
-  const std::vector<TraceEvent> fleet = GenerateFleetTrace(base, 3, rng_a);
+  const EventStream fleet = GenerateFleetTrace(base, 3, rng_a);
   ASSERT_EQ(fleet.size(), 48u);
 
   std::set<int> ids;
   double last = 0.0;
-  for (const TraceEvent& event : fleet) {
+  for (const FleetEvent& event : fleet) {
     EXPECT_GE(event.time_seconds, last);
     last = event.time_seconds;
-    if (event.type == TraceEventType::kArrival) {
-      EXPECT_TRUE(ids.insert(event.container_id).second);
+    if (const ContainerArrival* arrival = event.arrival()) {
+      EXPECT_TRUE(ids.insert(arrival->container_id).second);
     }
   }
   EXPECT_EQ(ids.size(), 24u);
@@ -208,6 +229,105 @@ TEST(TraceGenerator, FleetTraceIsMergedDisjointAndDeterministic) {
 
   Rng rng_b(21);
   EXPECT_TRUE(SameEvents(fleet, GenerateFleetTrace(base, 3, rng_b)));
+}
+
+TEST(EventStream, CanonicalOrderAtOneInstant) {
+  // All five kinds at the same time, appended in reverse canonical order:
+  // machine availability settles first (fail, drain, rejoin), then arrivals,
+  // then departures.
+  EventStream stream;
+  stream.Append(FleetEvent::Departure(10.0, 7));
+  stream.Append(FleetEvent::Arrival(10.0, MakeArrival(1)));
+  stream.Append(FleetEvent::Rejoin(10.0, 2));
+  stream.Append(FleetEvent::Drain(10.0, 1));
+  stream.Append(FleetEvent::Fail(10.0, 0));
+  ASSERT_EQ(stream.size(), 5u);
+  EXPECT_EQ(stream[0].kind(), FleetEventKind::kMachineFail);
+  EXPECT_EQ(stream[1].kind(), FleetEventKind::kMachineDrain);
+  EXPECT_EQ(stream[2].kind(), FleetEventKind::kMachineRejoin);
+  EXPECT_EQ(stream[3].kind(), FleetEventKind::kContainerArrival);
+  EXPECT_EQ(stream[4].kind(), FleetEventKind::kContainerDeparture);
+  EXPECT_EQ(stream.EndTime(), 10.0);
+}
+
+TEST(MergeTraces, ArrivalPrecedesDepartureOnTiesAcrossStreams) {
+  // Stream a's departure and stream b's arrival collide at t=5: the arrival
+  // must come first in the merged stream even though stream a is listed
+  // first.
+  const EventStream a(std::vector<FleetEvent>{
+      FleetEvent::Arrival(1.0, MakeArrival(1)), FleetEvent::Departure(5.0, 1)});
+  const EventStream b(std::vector<FleetEvent>{
+      FleetEvent::Arrival(5.0, MakeArrival(10)), FleetEvent::Departure(9.0, 10)});
+  const EventStream merged = MergeTraces({a, b});
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].container_id(), 1);
+  EXPECT_EQ(merged[0].kind(), FleetEventKind::kContainerArrival);
+  EXPECT_EQ(merged[1].container_id(), 10);
+  EXPECT_EQ(merged[1].kind(), FleetEventKind::kContainerArrival);
+  EXPECT_EQ(merged[2].container_id(), 1);
+  EXPECT_EQ(merged[2].kind(), FleetEventKind::kContainerDeparture);
+  EXPECT_EQ(merged[3].container_id(), 10);
+}
+
+TEST(MergeTraces, StableAcrossStreamsAtEqualTimeAndKind) {
+  // Three streams with arrivals at the identical instant: the merge keeps
+  // stream order, whichever way the streams are listed.
+  const EventStream s1(std::vector<FleetEvent>{FleetEvent::Arrival(3.0, MakeArrival(1))});
+  const EventStream s2(std::vector<FleetEvent>{FleetEvent::Arrival(3.0, MakeArrival(2))});
+  const EventStream s3(std::vector<FleetEvent>{FleetEvent::Arrival(3.0, MakeArrival(3))});
+
+  const EventStream forward = MergeTraces({s1, s2, s3});
+  ASSERT_EQ(forward.size(), 3u);
+  EXPECT_EQ(forward[0].container_id(), 1);
+  EXPECT_EQ(forward[1].container_id(), 2);
+  EXPECT_EQ(forward[2].container_id(), 3);
+
+  const EventStream backward = MergeTraces({s3, s2, s1});
+  EXPECT_EQ(backward[0].container_id(), 3);
+  EXPECT_EQ(backward[1].container_id(), 2);
+  EXPECT_EQ(backward[2].container_id(), 1);
+}
+
+TEST(InjectMachineEvents, InterleavesInCanonicalOrder) {
+  TraceConfig config;
+  config.num_containers = 6;
+  Rng rng(3);
+  const EventStream trace = GeneratePoissonTrace(config, rng);
+  ASSERT_FALSE(trace.empty());
+
+  // Collide a fail with the first arrival's exact timestamp and put a rejoin
+  // strictly inside the stream: the fail must precede the same-time arrival,
+  // and the whole stream must stay canonically sorted.
+  const double first_arrival_time = trace[0].time_seconds;
+  const double mid_time = trace.EndTime() * 0.5;
+  const EventStream injected = InjectMachineEvents(
+      trace, {FleetEvent::Rejoin(mid_time, 0), FleetEvent::Fail(first_arrival_time, 0)});
+  ASSERT_EQ(injected.size(), trace.size() + 2);
+
+  EXPECT_EQ(injected[0].kind(), FleetEventKind::kMachineFail);
+  EXPECT_EQ(injected[0].time_seconds, first_arrival_time);
+  EXPECT_EQ(injected[1].kind(), FleetEventKind::kContainerArrival);
+
+  for (size_t i = 1; i < injected.size(); ++i) {
+    EXPECT_FALSE(CanonicalBefore(injected[i], injected[i - 1]))
+        << "event " << i << " out of canonical order";
+  }
+  bool saw_rejoin = false;
+  for (const FleetEvent& event : injected) {
+    if (event.kind() == FleetEventKind::kMachineRejoin) {
+      saw_rejoin = true;
+      EXPECT_EQ(event.time_seconds, mid_time);
+    }
+  }
+  EXPECT_TRUE(saw_rejoin);
+
+  // Container events are not machine events; the injector rejects them, as
+  // it does negative machine ids.
+  EXPECT_THROW(
+      InjectMachineEvents(trace, {FleetEvent::Arrival(1.0, MakeArrival(99))}),
+      std::logic_error);
+  EXPECT_THROW(InjectMachineEvents(trace, {FleetEvent::Fail(1.0, -1)}),
+               std::logic_error);
 }
 
 }  // namespace
