@@ -18,11 +18,15 @@
 //                                     a model first), printing utilization
 //                                     and slowdowns
 //   fleet <machines> <vcpus> <containers> [seed] [dispatch] [policy]
+//         [--fail <machine>@<t>] [--drain <machine>@<t>] [--rejoin <machine>@<t>]
 //                                     build a fleet from a comma-separated
 //                                     machine list (e.g. amd,amd,intel),
 //                                     generate one merged trace with
 //                                     <containers> containers per machine,
-//                                     and replay it through the cluster
+//                                     inject any scripted machine
+//                                     fail/drain/rejoin events (repeatable
+//                                     flags, times in trace seconds), and
+//                                     replay it through the cluster
 //                                     scheduler under the named dispatch
 //                                     policy (default "least-loaded") with
 //                                     every machine running [policy]
@@ -37,6 +41,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/cluster/dispatch.h"
 #include "src/cluster/fleet.h"
@@ -230,26 +235,27 @@ int CmdSchedule(const std::string& machine_name, int vcpus, int num_containers,
   trace_config.mean_interarrival_seconds = 120.0;
   trace_config.mean_lifetime_seconds = 480.0;
   Rng trace_rng(seed);
-  const std::vector<TraceEvent> trace = GeneratePoissonTrace(trace_config, trace_rng);
+  const EventStream trace = GeneratePoissonTrace(trace_config, trace_rng);
   std::printf("replaying %zu events (%d containers, Poisson arrivals, policy '%s')...\n\n",
               trace.size(), num_containers, policy_name.c_str());
 
   // Final per-container state by last outcome; the workload names carry the
   // catalog application plus the container id.
   std::map<int, std::string> workload_names;
-  for (const TraceEvent& event : trace) {
-    if (event.type == TraceEventType::kArrival) {
-      workload_names[event.container_id] = event.workload.name;
+  for (const FleetEvent& event : trace) {
+    if (const ContainerArrival* arrival = event.arrival()) {
+      workload_names[arrival->container_id] = arrival->workload.name;
     }
   }
 
-  const TenancyReport report = ReplayWithEvaluation(scheduler, trace, multi);
+  OutcomeRecorder recorder;
+  const TenancyReport report = ReplayWithEvaluation(scheduler, trace, multi, &recorder);
 
   TablePrinter containers({"container", "workload", "placed", "final placement",
                            "re-places", "predicted/goal"});
   std::map<int, const ScheduleOutcome*> last_outcome;
-  for (const ScheduleOutcome& outcome : report.outcomes) {
-    last_outcome[outcome.container_id] = &outcome;
+  for (const FleetOutcome& fleet_outcome : recorder.outcomes) {
+    last_outcome[fleet_outcome.outcome.container_id] = &fleet_outcome.outcome;
   }
   for (const auto& [id, outcome] : last_outcome) {
     const ManagedContainer* managed = scheduler.Find(id);
@@ -293,7 +299,8 @@ int CmdSchedule(const std::string& machine_name, int vcpus, int num_containers,
 
 int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stream,
              uint64_t seed, const std::string& dispatch_name,
-             const std::string& policy_name) {
+             const std::string& policy_name,
+             const std::vector<FleetEvent>& machine_events) {
   if (containers_per_stream <= 0) {
     std::fprintf(stderr, "need at least one container per machine stream\n");
     return 2;
@@ -373,34 +380,67 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
   trace_config.goal_fraction = 0.9;
   trace_config.mean_interarrival_seconds = 120.0;
   trace_config.mean_lifetime_seconds = 480.0;
+  for (const FleetEvent& event : machine_events) {
+    if (event.machine_id() >= fleet.NumMachines()) {
+      const char* flag = event.kind() == FleetEventKind::kMachineFail    ? "fail"
+                         : event.kind() == FleetEventKind::kMachineDrain ? "drain"
+                                                                         : "rejoin";
+      std::fprintf(stderr, "--%s targets machine %d, but the fleet has machines 0..%d\n",
+                   flag, event.machine_id(), fleet.NumMachines() - 1);
+      return 2;
+    }
+  }
+
   Rng trace_rng(seed);
-  const std::vector<TraceEvent> trace =
-      GenerateFleetTrace(trace_config, static_cast<int>(machine_names.size()), trace_rng);
-  std::printf("replaying %zu events (%zu containers, %zu machine streams, dispatch "
-              "'%s', machine policy '%s')...\n\n",
+  const EventStream trace = InjectMachineEvents(
+      GenerateFleetTrace(trace_config, static_cast<int>(machine_names.size()), trace_rng),
+      machine_events);
+  std::printf("replaying %zu events (%zu containers, %zu machine streams, %zu machine "
+              "events, dispatch '%s', machine policy '%s')...\n\n",
               trace.size(), machine_names.size() * trace_config.num_containers,
-              machine_names.size(), dispatch_name.c_str(), policy_name.c_str());
+              machine_names.size(), machine_events.size(), dispatch_name.c_str(),
+              policy_name.c_str());
 
   const FleetReport report = fleet.ReplayWithEvaluation(trace);
 
-  TablePrinter machines({"machine", "topology", "submissions", "probe runs",
-                         "upgrades", "utilization"});
+  TablePrinter machines({"machine", "topology", "availability", "submissions",
+                         "probe runs", "upgrades", "utilization"});
   for (int m = 0; m < fleet.NumMachines(); ++m) {
     const SchedulerStats& stats = fleet.machine(m).stats();
     machines.AddRow({std::to_string(m), machine_names[static_cast<size_t>(m)],
+                     ToString(fleet.availability(m)),
                      std::to_string(stats.submitted), std::to_string(stats.probe_runs),
                      std::to_string(stats.upgrades),
                      TablePrinter::Num(100.0 * report.machine_utilizations[m], 1) + "%"});
   }
   machines.Print(std::cout);
 
+  if (!fleet.evacuation_log().empty()) {
+    std::printf("\nmachine evacuations:\n");
+    TablePrinter evacuations({"machine", "reason", "at (s)", "containers", "rehomed",
+                              "requeued", "latency (s)", "move cost (s)"});
+    for (const EvacuationReport& evacuation : fleet.evacuation_log()) {
+      evacuations.AddRow({std::to_string(evacuation.machine_id),
+                          evacuation.reason == MachineAvailability::kFailed ? "fail"
+                                                                            : "drain",
+                          TablePrinter::Num(evacuation.start_seconds, 0),
+                          std::to_string(evacuation.containers),
+                          std::to_string(evacuation.rehomed),
+                          std::to_string(evacuation.requeued),
+                          TablePrinter::Num(evacuation.last_landing_seconds, 1),
+                          TablePrinter::Num(evacuation.move_seconds_total, 1)});
+    }
+    evacuations.Print(std::cout);
+  }
+
   if (!fleet.rebalance_log().empty()) {
-    std::printf("\ncross-machine rebalance moves:\n");
-    TablePrinter moves({"container", "from", "to", "queued?", "move (s)",
+    std::printf("\ncross-machine moves:\n");
+    TablePrinter moves({"container", "from", "to", "reason", "queued?", "move (s)",
                         "network (s)", "gain (ops)", "cost (ops)"});
     for (const RebalanceMove& move : fleet.rebalance_log()) {
       moves.AddRow({std::to_string(move.container_id), std::to_string(move.from_machine),
-                    std::to_string(move.to_machine), move.was_queued ? "yes" : "no",
+                    std::to_string(move.to_machine), ToString(move.reason),
+                    move.was_queued ? "yes" : "no",
                     TablePrinter::Num(move.move_seconds, 1),
                     TablePrinter::Num(move.network_seconds, 1),
                     TablePrinter::Num(move.predicted_gain_ops, 0),
@@ -420,6 +460,11 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
   summary.AddRow({"mean queue wait (s)",
                   TablePrinter::Num(report.mean_queue_wait_seconds, 1)});
   summary.AddRow({"rebalance moves", std::to_string(stats.rebalance_moves)});
+  if (stats.evacuations > 0) {
+    summary.AddRow({"machine evacuations", std::to_string(stats.evacuations)});
+    summary.AddRow({"evacuation moves", std::to_string(stats.evacuation_moves)});
+    summary.AddRow({"evacuation requeues", std::to_string(stats.evacuation_requeues)});
+  }
   summary.AddRow({"cross-machine move time (s)",
                   TablePrinter::Num(stats.cross_machine_move_seconds, 1)});
   summary.AddRow({"fleet goal attainment (time avg)",
@@ -440,6 +485,26 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
   return 0;
 }
 
+// Parses a "<machine>@<seconds>" machine-event spec (e.g. --fail 1@900).
+bool ParseMachineEventSpec(const char* spec, int* machine_id, double* time_seconds) {
+  const char* at = std::strchr(spec, '@');
+  if (at == nullptr || at == spec || *(at + 1) == '\0') {
+    return false;
+  }
+  char* end = nullptr;
+  const long machine = std::strtol(spec, &end, 10);
+  if (end != at || machine < 0) {
+    return false;
+  }
+  const double time = std::strtod(at + 1, &end);
+  if (*end != '\0' || time < 0.0) {
+    return false;
+  }
+  *machine_id = static_cast<int>(machine);
+  *time_seconds = time;
+  return true;
+}
+
 void Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -452,7 +517,9 @@ void Usage() {
                "  numaplace_cli schedule <amd|intel|zen|cod> <vcpus> <containers> "
                "[seed] [policy]\n"
                "  numaplace_cli fleet <machine,machine,...> <vcpus> "
-               "<containers-per-machine> [seed] [dispatch] [policy]\n");
+               "<containers-per-machine> [seed] [dispatch] [policy]\n"
+               "                [--fail <machine>@<t>] [--drain <machine>@<t>] "
+               "[--rejoin <machine>@<t>]\n");
 }
 
 }  // namespace
@@ -513,17 +580,41 @@ int main(int argc, char** argv) {
       }
       return CmdSchedule(argv[2], std::atoi(argv[3]), std::atoi(argv[4]), seed, policy);
     }
-    if (command == "fleet" && argc >= 5 && argc <= 8) {
+    if (command == "fleet" && argc >= 5) {
       // Optional trailing args in any order: a number is the trace seed, a
       // dispatch-policy name picks the dispatcher, a scheduling-policy name
-      // picks every machine's policy. Two of the same kind is a usage error.
+      // picks every machine's policy, and repeatable --fail/--drain/--rejoin
+      // flags script machine events. Two of the same kind is a usage error.
       uint64_t seed = 11;
       std::string dispatch = "least-loaded";
       std::string policy = "model";
+      std::vector<FleetEvent> machine_events;
       bool have_seed = false;
       bool have_dispatch = false;
       bool have_policy = false;
       for (int i = 5; i < argc; ++i) {
+        const bool is_fail = std::strcmp(argv[i], "--fail") == 0;
+        const bool is_drain = std::strcmp(argv[i], "--drain") == 0;
+        const bool is_rejoin = std::strcmp(argv[i], "--rejoin") == 0;
+        if (is_fail || is_drain || is_rejoin) {
+          int machine_id = 0;
+          double time_seconds = 0.0;
+          if (i + 1 >= argc ||
+              !ParseMachineEventSpec(argv[i + 1], &machine_id, &time_seconds)) {
+            std::fprintf(stderr, "%s needs a <machine>@<seconds> spec (e.g. %s 1@900)\n",
+                         argv[i], argv[i]);
+            return 2;
+          }
+          ++i;
+          if (is_fail) {
+            machine_events.push_back(FleetEvent::Fail(time_seconds, machine_id));
+          } else if (is_drain) {
+            machine_events.push_back(FleetEvent::Drain(time_seconds, machine_id));
+          } else {
+            machine_events.push_back(FleetEvent::Rejoin(time_seconds, machine_id));
+          }
+          continue;
+        }
         char* end = nullptr;
         const uint64_t parsed = std::strtoull(argv[i], &end, 10);
         if (end != nullptr && *end == '\0' && end != argv[i]) {
@@ -559,7 +650,7 @@ int main(int argc, char** argv) {
         }
       }
       return CmdFleet(argv[2], std::atoi(argv[3]), std::atoi(argv[4]), seed, dispatch,
-                      policy);
+                      policy, machine_events);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
