@@ -31,6 +31,16 @@
 // committed move — rebalance and evacuation alike — must satisfy the
 // gain-beats-cost invariant; a violation fails the bench.
 //
+// A third sweep scales mixed fleets 16 -> 256 machines and compares the
+// sharded dispatcher (cells sampled power-of-two-choices style, previews
+// only within the sample) against the flat least-loaded and best-predicted
+// walks: goal-attainment loss vs. dispatch decision throughput and preview
+// count. Departure rebalancing is off for this sweep — its flat
+// all-machines scan is identical across dispatchers and would swamp the
+// dispatch cost being measured. In full mode the sweep enforces the scaling
+// claim: at the largest fleet, sharded must deliver >= 4x the decision
+// throughput of flat best-predicted within 1pp of its goal attainment.
+//
 // Flags:
 //   --smoke        tiny trace + small forests (CI Release-mode exercise)
 //   --json <path>  machine-readable results for the BENCH_*.json trajectory
@@ -111,7 +121,7 @@ struct ResultRow {
 
 ResultRow RunOne(const FleetDef& def, const std::string& dispatch_name,
                  const std::map<std::string, GroupAssets>& groups,
-                 const EventStream& trace) {
+                 const EventStream& trace, bool rebalance_on_departure = true) {
   std::vector<MachineSpec> specs;
   for (const std::string& name : def.machines) {
     const GroupAssets& group = groups.at(name);
@@ -123,6 +133,7 @@ ResultRow RunOne(const FleetDef& def, const std::string& dispatch_name,
   }
   FleetConfig config;
   config.dispatch = dispatch_name;
+  config.rebalance_on_departure = rebalance_on_departure;
   FleetScheduler fleet(std::move(specs), config);
   for (const auto& [name, group] : groups) {
     if (std::find(def.machines.begin(), def.machines.end(), name) == def.machines.end()) {
@@ -239,8 +250,54 @@ void PrintScenarioRows(const std::vector<ScenarioRow>& rows) {
   table.Print(std::cout);
 }
 
+// One run of the 16 -> 256 machine scaling sweep (rebalance-on-departure
+// off: the dispatch decision is the variable under test).
+struct SweepRow {
+  int num_machines = 0;
+  std::string dispatch;
+  FleetReport report;
+  FleetStats stats;
+
+  double DecisionsPerSecond() const {
+    return report.wall_seconds > 0.0 ? report.decisions / report.wall_seconds : 0.0;
+  }
+  double PreviewsPerDecision() const {
+    return report.decisions > 0
+               ? static_cast<double>(stats.dispatch_previews) / report.decisions
+               : 0.0;
+  }
+};
+
+// A mixed fleet of n machines, amd/intel alternating — every cell of the
+// sharded dispatcher's modulo assignment sees both topology groups.
+FleetDef MixedFleet(int n) {
+  FleetDef def;
+  def.label = std::to_string(n) + " machines";
+  for (int i = 0; i < n; ++i) {
+    def.machines.push_back(i % 2 == 0 ? "amd" : "intel");
+  }
+  return def;
+}
+
+void PrintSweepRows(const std::vector<SweepRow>& rows) {
+  TablePrinter table({"machines", "dispatch", "goal attainment", "queued",
+                      "queue wait (s)", "previews", "previews/decision",
+                      "decisions/s"});
+  for (const SweepRow& row : rows) {
+    table.AddRow({std::to_string(row.num_machines), row.dispatch,
+                  TablePrinter::Num(100.0 * row.report.goal_attainment, 1) + "%",
+                  std::to_string(row.stats.queue_admissions),
+                  TablePrinter::Num(row.report.mean_queue_wait_seconds, 1),
+                  std::to_string(row.stats.dispatch_previews),
+                  TablePrinter::Num(row.PreviewsPerDecision(), 1),
+                  TablePrinter::Num(row.DecisionsPerSecond(), 0)});
+  }
+  table.Print(std::cout);
+}
+
 void WriteJson(const std::string& path, const std::vector<ResultRow>& rows,
-               const std::vector<ScenarioRow>& scenario_rows, bool smoke) {
+               const std::vector<ScenarioRow>& scenario_rows,
+               const std::vector<SweepRow>& sweep_rows, bool smoke) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -298,6 +355,25 @@ void WriteJson(const std::string& path, const std::vector<ResultRow>& rows,
     json.Field("evacuation_moves", row.run.stats.evacuation_moves);
     json.Field("rebalance_moves", row.run.stats.rebalance_moves);
     json.Field("mean_queue_wait_seconds", row.run.report.mean_queue_wait_seconds);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("sharded_sweep");
+  json.BeginArray();
+  for (const SweepRow& row : sweep_rows) {
+    json.BeginObject();
+    json.Field("num_machines", row.num_machines);
+    json.Field("dispatch", row.dispatch);
+    json.Field("goal_attainment", row.report.goal_attainment);
+    json.Field("container_seconds_at_goal", row.report.container_seconds_at_goal);
+    json.Field("mean_utilization", row.report.mean_utilization);
+    json.Field("mean_queue_wait_seconds", row.report.mean_queue_wait_seconds);
+    json.Field("queue_admissions", row.stats.queue_admissions);
+    json.Field("dispatch_previews", row.stats.dispatch_previews);
+    json.Field("previews_per_decision", row.PreviewsPerDecision());
+    json.Field("decisions", row.report.decisions);
+    json.Field("wall_seconds", row.report.wall_seconds);
+    json.Field("decisions_per_second", row.DecisionsPerSecond());
     json.EndObject();
   }
   json.EndArray();
@@ -425,8 +501,75 @@ int main(int argc, char** argv) {
   }
   PrintScenarioRows(scenario_rows);
 
+  // Scaling sweep: mixed fleets 16 -> 256 machines (4 in smoke mode), the
+  // sharded dispatcher against the flat walks on the identical trace per
+  // size. Departure rebalancing is off — its all-machines scan is the same
+  // for every dispatcher and would bury the dispatch cost under test. The
+  // trace is lighter per machine than the head-to-head above so the largest
+  // fleet stays tractable.
+  const std::vector<int> sweep_sizes = smoke ? std::vector<int>{4}
+                                             : std::vector<int>{16, 64, 256};
+  TraceConfig sweep_base = base;
+  sweep_base.num_containers = smoke ? 2 : 6;
+  std::printf("\nsharded dispatch sweep — %d containers per machine stream, "
+              "rebalance off\n",
+              sweep_base.num_containers);
+  std::vector<SweepRow> sweep_rows;
+  for (int n : sweep_sizes) {
+    const FleetDef def = MixedFleet(n);
+    Rng sweep_rng(21);
+    const EventStream trace = GenerateFleetTrace(sweep_base, n, sweep_rng);
+    for (const char* dispatch_name : {"least-loaded", "best-predicted", "sharded"}) {
+      ResultRow run = RunOne(def, dispatch_name, groups, trace,
+                             /*rebalance_on_departure=*/false);
+      failures += CountInvariantViolations(run);
+      sweep_rows.push_back({n, dispatch_name, run.report, run.stats});
+    }
+  }
+  std::printf("\n");
+  PrintSweepRows(sweep_rows);
+
+  // The scaling claim at every size, enforced at the largest in full mode:
+  // sharded >= 4x flat best-predicted decision throughput within 1pp of its
+  // goal attainment.
+  const auto sweep_of = [&](int n, const char* dispatch_name) -> const SweepRow& {
+    for (const SweepRow& row : sweep_rows) {
+      if (row.num_machines == n && row.dispatch == dispatch_name) {
+        return row;
+      }
+    }
+    std::fprintf(stderr, "sweep row (%d, %s) missing\n", n, dispatch_name);
+    std::exit(1);
+  };
+  for (int n : sweep_sizes) {
+    const SweepRow& flat = sweep_of(n, "best-predicted");
+    const SweepRow& shard = sweep_of(n, "sharded");
+    const double speedup = flat.DecisionsPerSecond() > 0.0
+                               ? shard.DecisionsPerSecond() / flat.DecisionsPerSecond()
+                               : 0.0;
+    const double loss_pp =
+        100.0 * (flat.report.goal_attainment - shard.report.goal_attainment);
+    std::printf("%d machines: sharded vs best-predicted: %.1fx decision throughput, "
+                "%+.2fpp attainment delta, previews/decision %.1f vs %.1f\n",
+                n, speedup, -loss_pp, shard.PreviewsPerDecision(),
+                flat.PreviewsPerDecision());
+    if (!smoke && n == sweep_sizes.back()) {
+      if (speedup < 4.0) {
+        std::fprintf(stderr, "FAIL: sharded speedup %.1fx < 4x at %d machines\n",
+                     speedup, n);
+        ++failures;
+      }
+      if (loss_pp > 1.0) {
+        std::fprintf(stderr, "FAIL: sharded attainment loss %.2fpp > 1pp at %d "
+                             "machines\n",
+                     loss_pp, n);
+        ++failures;
+      }
+    }
+  }
+
   if (!json_path.empty()) {
-    WriteJson(json_path, rows, scenario_rows, smoke);
+    WriteJson(json_path, rows, scenario_rows, sweep_rows, smoke);
   }
   return failures == 0 ? 0 : 1;
 }

@@ -1,8 +1,10 @@
 #include "src/cluster/dispatch.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <sstream>
+#include <utility>
 
 #include "src/util/check.h"
 
@@ -13,6 +15,7 @@ namespace {
 const std::string kLeastLoadedName = "least-loaded";
 const std::string kRoundRobinName = "round-robin";
 const std::string kBestPredictedName = "best-predicted";
+const std::string kShardedName = "sharded";
 
 void ValidateContext(const DispatchContext& ctx) {
   NP_CHECK(ctx.request != nullptr);
@@ -120,6 +123,107 @@ std::vector<size_t> BestPredictedDispatch::Rank(const DispatchContext& ctx) {
   return order;
 }
 
+// --- sharded ---
+
+ShardedDispatchPolicy::ShardedDispatchPolicy(ShardedDispatchConfig config)
+    : config_(std::move(config)),
+      inner_(MakeDispatchPolicy(config_.inner)),
+      rng_(config_.seed) {
+  NP_CHECK_MSG(config_.cells >= 0,
+               "sharded dispatch cell count cannot be negative (0 = auto)");
+  NP_CHECK_MSG(config_.probes >= 1,
+               "sharded dispatch samples at least one cell per decision");
+  NP_CHECK_MSG(config_.inner != kShardedName,
+               "sharded dispatch cannot nest itself as the inner ranking");
+}
+
+const std::string& ShardedDispatchPolicy::name() const { return kShardedName; }
+
+bool ShardedDispatchPolicy::NeedsPreviews() const { return inner_->NeedsPreviews(); }
+
+void ShardedDispatchPolicy::BindMembership(
+    const std::vector<MachineMembership>* membership) {
+  NP_CHECK(membership != nullptr);
+  NP_CHECK_MSG(!membership->empty(), "sharded dispatch needs at least one machine");
+  membership_ = membership;
+  inner_->BindMembership(membership);
+
+  const int n = static_cast<int>(membership->size());
+  int num_cells = config_.cells;
+  if (num_cells == 0) {
+    num_cells = static_cast<int>(std::lround(std::sqrt(static_cast<double>(n))));
+  }
+  num_cells = std::max(1, std::min(num_cells, n));
+  cells_.assign(static_cast<size_t>(num_cells), {});
+  cell_of_.assign(static_cast<size_t>(n), 0);
+  // Modulo assignment interleaves machine ids across cells, so a fleet built
+  // from repeating heterogeneous blocks (amd,intel,amd,intel,...) spreads
+  // every topology group over every cell.
+  for (int m = 0; m < n; ++m) {
+    NP_CHECK_MSG((*membership)[static_cast<size_t>(m)].machine_id == m,
+                 "membership view must be in machine-id order");
+    const int cell = m % num_cells;
+    cells_[static_cast<size_t>(cell)].push_back(m);
+    cell_of_[static_cast<size_t>(m)] = cell;
+  }
+}
+
+int ShardedDispatchPolicy::CellOf(int machine_id) const {
+  NP_CHECK(machine_id >= 0 && machine_id < static_cast<int>(cell_of_.size()));
+  return cell_of_[static_cast<size_t>(machine_id)];
+}
+
+std::vector<int> ShardedDispatchPolicy::Preselect(const ContainerRequest& request) {
+  NP_CHECK_MSG(membership_ != nullptr,
+               "sharded dispatch is fleet-owned: BindMembership must run before "
+               "the first decision");
+  // Level one, eligibility: cells that still hold an up machine the
+  // container fits on.
+  std::vector<int> eligible;
+  for (int c = 0; c < NumCells(); ++c) {
+    for (int m : cells_[static_cast<size_t>(c)]) {
+      const MachineMembership& member = (*membership_)[static_cast<size_t>(m)];
+      if (member.availability == MachineAvailability::kUp &&
+          request.vcpus <= member.hw_threads) {
+        eligible.push_back(c);
+        break;
+      }
+    }
+  }
+  last_sampled_.clear();
+  if (eligible.empty()) {
+    // Nothing is dispatchable anywhere: hand the decision back to the fleet
+    // (full candidate build, which parks the container fleet-wide).
+    return {};
+  }
+  // Sample d distinct eligible cells uniformly (partial Fisher-Yates) —
+  // the power-of-d-choices step, one level up from machines. The "choice"
+  // among the sampled cells is left to the inner dispatcher's per-machine
+  // comparison over their union (load or predicted margin), a strictly
+  // sharper signal than any cell-aggregate statistic.
+  const size_t d = std::min(static_cast<size_t>(config_.probes), eligible.size());
+  for (size_t i = 0; i < d; ++i) {
+    const size_t j =
+        i + static_cast<size_t>(rng_.NextBelow(static_cast<uint64_t>(eligible.size() - i)));
+    std::swap(eligible[i], eligible[j]);
+  }
+  eligible.resize(d);
+  std::vector<int> machines;
+  for (int c : eligible) {
+    last_sampled_.push_back(c);
+    for (int m : cells_[static_cast<size_t>(c)]) {
+      machines.push_back(m);
+    }
+  }
+  return machines;
+}
+
+std::vector<size_t> ShardedDispatchPolicy::Rank(const DispatchContext& ctx) {
+  // Level two: the inner dispatcher picks the best machine within the union
+  // of the sampled cells (the fleet built candidates only for them).
+  return inner_->Rank(ctx);
+}
+
 // --- registry ---
 
 DispatchRegistry& DispatchRegistry::Global() {
@@ -129,6 +233,7 @@ DispatchRegistry& DispatchRegistry::Global() {
     r->Register(kRoundRobinName, [] { return std::make_unique<RoundRobinDispatch>(); });
     r->Register(kBestPredictedName,
                 [] { return std::make_unique<BestPredictedDispatch>(); });
+    r->Register(kShardedName, [] { return std::make_unique<ShardedDispatchPolicy>(); });
     return r;
   }();
   return *registry;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <numeric>
 
 #include "src/util/check.h"
 
@@ -39,6 +40,19 @@ FleetScheduler::FleetScheduler(std::vector<MachineSpec> specs, FleetConfig confi
         *machine.topo, *machine.solo, group.registry.get(), specs[i].scheduler);
     machines_.push_back(std::move(machine));
   }
+  // The long-lived membership view for cell-aware dispatchers: built once
+  // (heap-allocated, so the address the policy holds survives moving the
+  // fleet) and kept current by SetAvailability.
+  membership_ = std::make_unique<std::vector<MachineMembership>>();
+  membership_->reserve(machines_.size());
+  for (int m = 0; m < NumMachines(); ++m) {
+    MachineMembership member;
+    member.machine_id = m;
+    member.hw_threads = machines_[static_cast<size_t>(m)].topo->NumHwThreads();
+    member.scheduler = machines_[static_cast<size_t>(m)].scheduler.get();
+    membership_->push_back(member);
+  }
+  dispatch_->BindMembership(membership_.get());
 }
 
 MachineScheduler& FleetScheduler::machine(int machine_id) {
@@ -126,24 +140,43 @@ void FleetScheduler::EnsureGroupProbes(const std::string& group,
 }
 
 std::vector<MachineCandidate> FleetScheduler::BuildCandidates(
-    const ContainerRequest& request, bool with_previews) {
+    const ContainerRequest& request, bool with_previews,
+    const std::vector<int>* only) {
+  // The machine ids under consideration, ascending (round-robin's cursor
+  // relies on candidates arriving in machine-id order).
+  std::vector<int> machine_ids;
+  if (only != nullptr) {
+    machine_ids = *only;
+    std::sort(machine_ids.begin(), machine_ids.end());
+    machine_ids.erase(std::unique(machine_ids.begin(), machine_ids.end()),
+                      machine_ids.end());
+    for (int m : machine_ids) {
+      NP_CHECK_MSG(m >= 0 && m < NumMachines(), "dispatch policy '"
+                                                    << dispatch_->name()
+                                                    << "' preselected machine " << m
+                                                    << " out of range");
+    }
+  } else {
+    machine_ids.resize(static_cast<size_t>(NumMachines()));
+    std::iota(machine_ids.begin(), machine_ids.end(), 0);
+  }
   if (with_previews) {
-    for (const auto& [group, members] : groups_) {
-      // Probe a group only when an up machine of it could take the container.
-      for (int m : members.machine_ids) {
-        const Machine& machine = machines_[static_cast<size_t>(m)];
-        if (machine.availability == MachineAvailability::kUp &&
-            request.vcpus <= machine.topo->NumHwThreads()) {
-          EnsureGroupProbes(group, request);
-          break;
-        }
+    // Probe a group only when an up machine of it under consideration could
+    // take the container — a preselection never probes groups outside it.
+    std::set<std::string> probed;
+    for (int m : machine_ids) {
+      const Machine& machine = machines_[static_cast<size_t>(m)];
+      if (machine.availability == MachineAvailability::kUp &&
+          request.vcpus <= machine.topo->NumHwThreads() &&
+          probed.insert(machine.group).second) {
+        EnsureGroupProbes(machine.group, request);
       }
     }
   }
   std::vector<MachineCandidate> candidates;
-  candidates.reserve(machines_.size());
+  candidates.reserve(machine_ids.size());
   bool fits_any_topology = false;
-  for (int m = 0; m < NumMachines(); ++m) {
+  for (int m : machine_ids) {
     Machine& machine = machines_[static_cast<size_t>(m)];
     if (request.vcpus > machine.topo->NumHwThreads()) {
       continue;  // a machine the container cannot fit on is never a candidate
@@ -161,10 +194,13 @@ std::vector<MachineCandidate> FleetScheduler::BuildCandidates(
     if (with_previews) {
       candidate.preview = machine.scheduler->PreviewAdmission(request);
       candidate.preview_valid = true;
+      ++stats_.dispatch_previews;
     }
     candidates.push_back(std::move(candidate));
   }
-  NP_CHECK_MSG(fits_any_topology,
+  // Only a full build can prove a configuration error; a preselection that
+  // fits nothing falls back to a full build in Dispatch.
+  NP_CHECK_MSG(fits_any_topology || only != nullptr,
                "container " << request.id << " (" << request.vcpus
                             << " vCPUs) is larger than every machine in the fleet");
   return candidates;
@@ -207,8 +243,15 @@ void FleetScheduler::RecordAdmission(const ScheduleOutcome& outcome, double now)
 
 FleetOutcome FleetScheduler::Dispatch(const ContainerRequest& request, double now,
                                       EventObserver* observer) {
+  const std::vector<int> preselected = dispatch_->Preselect(request);
   std::vector<MachineCandidate> candidates =
-      BuildCandidates(request, dispatch_->NeedsPreviews());
+      BuildCandidates(request, dispatch_->NeedsPreviews(),
+                      preselected.empty() ? nullptr : &preselected);
+  if (candidates.empty() && !preselected.empty()) {
+    // A preselection (e.g. sharded cells) that yields no candidate must not
+    // park the container while a machine outside it could take it.
+    candidates = BuildCandidates(request, dispatch_->NeedsPreviews());
+  }
   if (candidates.empty()) {
     // Every machine that could hold the container is failed or draining:
     // wait fleet-wide until capacity returns (DrainUnplaced retries).
@@ -296,6 +339,10 @@ void FleetScheduler::Depart(int container_id, double now, EventObserver* observe
 void FleetScheduler::SetAvailability(int machine_id, MachineAvailability availability,
                                      double now, EventObserver* observer) {
   machines_[static_cast<size_t>(machine_id)].availability = availability;
+  // Keep the dispatch policy's membership view current: cell-aware
+  // dispatchers read this in place instead of being rebuilt, so cell
+  // assignments survive fail/drain/rejoin cycles.
+  (*membership_)[static_cast<size_t>(machine_id)].availability = availability;
   if (observer != nullptr) {
     observer->OnMachineAvailability(machine_id, availability, now);
   }

@@ -6,10 +6,11 @@
 //
 //   * ContainerArrival is routed to an available machine by a pluggable
 //     DispatchPolicy (src/cluster/dispatch.h) — least-loaded, round-robin,
-//     or best-predicted, which asks every machine's own SchedulingPolicy
-//     for its top candidate and picks the highest predicted margin. When no
-//     available machine can hold the container at all, it waits fleet-wide
-//     (UnplacedIds) until capacity returns;
+//     best-predicted (asks every machine's own SchedulingPolicy for its top
+//     candidate and picks the highest predicted margin), or sharded (cuts
+//     that preview walk to a sampled subset of dispatch cells on 100+
+//     machine fleets). When no available machine can hold the container at
+//     all, it waits fleet-wide (UnplacedIds) until capacity returns;
 //   * machines of the same topology share one ModelRegistry, so a
 //     container's two probe runs are paid once per topology group fleet-wide
 //     — dispatch previews, the dispatched machine's admission and any later
@@ -53,41 +54,50 @@
 
 namespace numaplace {
 
-// One machine of the fleet as configured by the caller. Machines with equal
-// topology names form a topology group sharing a ModelRegistry; the caller
-// registers one trained model per (group, vCPU count) via GroupRegistry().
+/// One machine of the fleet as configured by the caller. Machines with
+/// equal topology names form a topology group sharing a ModelRegistry; the
+/// caller registers one trained model per (group, vCPU count) via
+/// GroupRegistry().
 struct MachineSpec {
   explicit MachineSpec(Topology machine_topo, SchedulerConfig scheduler_config = {})
       : topo(std::move(machine_topo)), scheduler(std::move(scheduler_config)) {}
 
+  /// The machine's hardware topology (also names its topology group).
   Topology topo;
-  // Per-machine scheduler configuration: policy name, baseline placement id
-  // (the paper uses #1 on AMD, #2 on Intel), interconnect concern, margins.
+  /// Per-machine scheduler configuration: policy name, baseline placement
+  /// id (the paper uses #1 on AMD, #2 on Intel), interconnect concern,
+  /// margins.
   SchedulerConfig scheduler;
 };
 
+/// Fleet-wide configuration: dispatch policy, rebalancing gates and the
+/// cost model of cross-machine moves.
 struct FleetConfig {
-  // Name of the DispatchPolicy to instantiate through the DispatchRegistry.
+  /// Name of the DispatchPolicy to instantiate through the DispatchRegistry.
   std::string dispatch = "least-loaded";
-  // Run the cross-machine RebalancePass after every departure.
+  /// Run the cross-machine RebalancePass after every departure.
   bool rebalance_on_departure = true;
-  // Cross-machine moves copy the container's memory (anon + page cache) over
-  // the network; seconds per GB on top of the §7 migration estimate.
+  /// Cross-machine moves copy the container's memory (anon + page cache)
+  /// over the network; seconds per GB on top of the §7 migration estimate.
   double network_seconds_per_gb = 0.5;
-  // A move's predicted throughput gain is credited over this horizon (the
-  // expected residual lifetime under the trace generator's exponential
-  // lifetimes) and must beat the ops lost while the move runs.
+  /// A move's predicted throughput gain is credited over this horizon (the
+  /// expected residual lifetime under the trace generator's exponential
+  /// lifetimes) and must beat the ops lost while the move runs.
   double rebalance_horizon_seconds = 600.0;
-  // A degraded incumbent moves only for at least this relative prediction
-  // gain (bounds cross-machine churn; queued containers are exempt — running
-  // anywhere beats waiting).
+  /// A degraded incumbent moves only for at least this relative prediction
+  /// gain (bounds cross-machine churn; queued containers are exempt —
+  /// running anywhere beats waiting).
   double rebalance_min_gain = 0.1;
-  // Measurement noise of the per-machine simulators; machine m draws from
-  // noise_seed + m, so identical boxes still measure like distinct hardware.
+  /// Measurement noise of the per-machine simulators; machine m draws from
+  /// noise_seed + m, so identical boxes still measure like distinct
+  /// hardware.
   double noise_sigma = 0.01;
+  /// Base seed of the per-machine noise streams.
   uint64_t noise_seed = 5;
 };
 
+/// Dispatch, queueing, rebalancing and probe counters accumulated over the
+/// fleet's lifetime.
 struct FleetStats {
   int submitted = 0;
   int dispatched_immediately = 0;  // admitted by the dispatched machine at once
@@ -102,12 +112,15 @@ struct FleetStats {
   double network_copy_seconds = 0.0;
   int fleet_probe_runs = 0;        // dispatch/rebalance probes (per group)
   double fleet_probe_seconds = 0.0;
+  // Admission previews built for dispatch decisions; the sharded
+  // dispatcher's whole point is keeping this sublinear in fleet size.
+  int dispatch_previews = 0;
 };
 
-// Fleet-wide evaluation of one replayed trace (the cluster analog of
-// TenancyReport). Queued and fleet-wide-waiting containers count as
-// attaining nothing — a fleet that parks work while other machines idle
-// pays for it here. Per-decision outcomes flow through the observer.
+/// Fleet-wide evaluation of one replayed trace (the cluster analog of
+/// TenancyReport). Queued and fleet-wide-waiting containers count as
+/// attaining nothing — a fleet that parks work while other machines idle
+/// pays for it here. Per-decision outcomes flow through the observer.
 struct FleetReport {
   double goal_attainment = 0.0;
   double container_seconds_at_goal = 0.0;
@@ -120,77 +133,91 @@ struct FleetReport {
   std::vector<double> machine_utilizations;
 };
 
+/// Cluster scheduler owning one MachineScheduler per machine; see the file
+/// comment for the event-processing semantics.
 class FleetScheduler {
  public:
-  // The dispatch policy is built from config.dispatch via the
-  // DispatchRegistry; the second form injects an explicitly constructed
-  // (e.g. unregistered plugin) dispatcher and ignores config.dispatch.
+  /// The dispatch policy is built from config.dispatch via the
+  /// DispatchRegistry; the second form injects an explicitly constructed
+  /// (e.g. unregistered plugin, or a ShardedDispatchPolicy with custom
+  /// cells/probes) dispatcher and ignores config.dispatch.
   explicit FleetScheduler(std::vector<MachineSpec> specs, FleetConfig config = {});
   FleetScheduler(std::vector<MachineSpec> specs, FleetConfig config,
                  std::unique_ptr<DispatchPolicy> dispatch);
 
+  /// Number of machines the fleet was built with (fixed for its lifetime).
   int NumMachines() const { return static_cast<int>(machines_.size()); }
+  /// The machine's scheduler (CHECKs the id).
   MachineScheduler& machine(int machine_id);
   const MachineScheduler& machine(int machine_id) const;
+  /// The machine's hardware topology.
   const Topology& topology(int machine_id) const;
+  /// The machine's multi-tenant evaluation model.
   const MultiTenantModel& multi_model(int machine_id) const;
+  /// Current availability (kUp machines receive dispatches).
   MachineAvailability availability(int machine_id) const;
 
-  // Topology-group names in machine order (deduplicated), and the shared
-  // registry of one group — register trained models here before submitting
-  // containers to machines whose policy uses the model.
+  /// Topology-group names in machine order (deduplicated).
   std::vector<std::string> GroupNames() const;
+  /// The shared registry of one group — register trained models here before
+  /// submitting containers to machines whose policy uses the model.
   ModelRegistry& GroupRegistry(const std::string& group);
 
-  // Injects a precomputed important-placement set into every machine of the
-  // group (otherwise each machine generates sets lazily).
+  /// Injects a precomputed important-placement set into every machine of
+  /// the group (otherwise each machine generates sets lazily).
   void ProvidePlacements(const std::string& group, const ImportantPlacementSet& ips);
 
-  // Processes one FleetEvent — the core every other entry point loops over.
+  /// Processes one FleetEvent — the core every other entry point loops over.
   void Step(const FleetEvent& event, EventObserver* observer = nullptr);
 
-  // Thin loop over Step.
+  /// Thin loop over Step.
   void Replay(const EventStream& trace, EventObserver* observer = nullptr);
 
-  // Dispatches the container to an available machine and submits it there;
-  // the container queues on that machine when nothing fits anywhere, and
-  // waits fleet-wide (machine_id kNoMachine) when every machine that could
-  // hold it is failed or draining.
+  /// Dispatches the container to an available machine and submits it there;
+  /// the container queues on that machine when nothing fits anywhere, and
+  /// waits fleet-wide (machine_id kNoMachine) when every machine that could
+  /// hold it is failed or draining.
   FleetOutcome Submit(const ContainerRequest& request, double now = 0.0,
                       EventObserver* observer = nullptr);
 
-  // Removes the container (running, queued or waiting fleet-wide), then runs
-  // the departed machine's re-placement pass and the fleet RebalancePass;
-  // every placement and move is reported through the observer.
+  /// Removes the container (running, queued or waiting fleet-wide), then
+  /// runs the departed machine's re-placement pass and the fleet
+  /// RebalancePass; every placement and move is reported through the
+  /// observer.
   void Depart(int container_id, double now = 0.0, EventObserver* observer = nullptr);
 
-  // Machine lifecycle (the Step handlers for MachineFail / MachineDrain /
-  // MachineRejoin, also callable directly). Fail and Drain evacuate the
-  // machine; Rejoin restores it and rebalances waiting work onto it.
+  /// Machine lifecycle (the Step handlers for MachineFail / MachineDrain /
+  /// MachineRejoin, also callable directly). Fail and Drain evacuate the
+  /// machine; Rejoin restores it and rebalances waiting work onto it.
   void Fail(int machine_id, double now = 0.0, EventObserver* observer = nullptr);
   void Drain(int machine_id, double now = 0.0, EventObserver* observer = nullptr);
   void Rejoin(int machine_id, double now = 0.0, EventObserver* observer = nullptr);
 
-  // Replays a merged, time-ordered fleet trace, evaluating every machine's
-  // co-running tenants with its multi-tenant model between events.
+  /// Replays a merged, time-ordered fleet trace, evaluating every machine's
+  /// co-running tenants with its multi-tenant model between events.
   FleetReport ReplayWithEvaluation(const EventStream& trace,
                                    EventObserver* observer = nullptr);
 
-  // Machine currently holding the container (running or queued), kNoMachine
-  // when the id waits fleet-wide or is not live at all.
+  /// Machine currently holding the container (running or queued),
+  /// kNoMachine when the id waits fleet-wide or is not live at all.
   int MachineOf(int container_id) const;
 
-  // Containers waiting fleet-wide because no available machine fits them,
-  // oldest submission first.
+  /// Containers waiting fleet-wide because no available machine fits them,
+  /// oldest submission first.
   std::vector<int> UnplacedIds() const;
 
+  /// Lifetime counters (see FleetStats).
   const FleetStats& stats() const { return stats_; }
+  /// Every committed cross-machine move, in commit order.
   const std::vector<RebalanceMove>& rebalance_log() const { return rebalance_log_; }
+  /// One report per processed fail/drain event.
   const std::vector<EvacuationReport>& evacuation_log() const { return evacuations_; }
+  /// The configuration the fleet was built with.
   const FleetConfig& config() const { return config_; }
+  /// The active dispatch policy (read-only; the fleet owns it).
   const DispatchPolicy& dispatch() const { return *dispatch_; }
 
-  // Per-machine time-averaged utilizations, machine order.
+  /// Per-machine time-averaged utilizations, machine order.
   std::vector<double> TimeAveragedUtilizations() const;
 
  private:
@@ -216,11 +243,15 @@ class FleetScheduler {
   void EnsureGroupProbes(const std::string& group, const ContainerRequest& request);
 
   // Candidate views (available machines the container fits on — possibly
-  // none) for one dispatch decision; probes every group first when the
-  // dispatcher needs previews. CHECK-fails only when the container is larger
+  // none) for one dispatch decision; probes the groups of the candidate
+  // machines first when the dispatcher needs previews. `only` restricts the
+  // build to those machine ids (the dispatcher's preselection — cell-aware
+  // dispatchers keep this far smaller than the fleet); nullptr means every
+  // machine. A full build CHECK-fails only when the container is larger
   // than every machine of the fleet, up or not — a configuration error.
   std::vector<MachineCandidate> BuildCandidates(const ContainerRequest& request,
-                                                bool with_previews);
+                                                bool with_previews,
+                                                const std::vector<int>* only = nullptr);
 
   // Runs the dispatch policy over the candidates (non-empty) and returns
   // the chosen machine id.
@@ -228,9 +259,9 @@ class FleetScheduler {
                     std::vector<MachineCandidate>& candidates);
 
   // Dispatch core shared by Submit, evacuation requeues and the unplaced
-  // drain: routes through the dispatch policy, queueing on the chosen
-  // machine or fleet-wide when no available machine fits. The container's
-  // submit_time_ entry must already exist.
+  // drain: asks the policy for a preselection, routes through the dispatch
+  // policy, queueing on the chosen machine or fleet-wide when no available
+  // machine fits. The container's submit_time_ entry must already exist.
   FleetOutcome Dispatch(const ContainerRequest& request, double now,
                         EventObserver* observer);
 
@@ -244,7 +275,8 @@ class FleetScheduler {
   // Cross-machine moves of queued and degraded containers.
   void RebalancePass(double now, EventObserver* observer);
 
-  // Availability flip + evacuation/rebalance shared by Fail/Drain/Rejoin.
+  // Availability flip (mirrored into the dispatch membership view) +
+  // evacuation/rebalance shared by Fail/Drain/Rejoin.
   void SetAvailability(int machine_id, MachineAvailability availability, double now,
                        EventObserver* observer);
 
@@ -257,6 +289,11 @@ class FleetScheduler {
   FleetConfig config_;
   std::unique_ptr<DispatchPolicy> dispatch_;
   std::vector<Machine> machines_;
+  // Long-lived membership view handed to the dispatch policy via
+  // BindMembership; availability entries mirror machines_[].availability.
+  // Heap-allocated so the pointer the policy holds survives moving the
+  // fleet (factory helpers return FleetScheduler by value).
+  std::unique_ptr<std::vector<MachineMembership>> membership_;
   std::map<std::string, Group> groups_;
   std::map<int, int> machine_of_;      // containers live on some machine
   std::map<int, ContainerRequest> unplaced_;  // waiting fleet-wide, no machine

@@ -31,100 +31,142 @@
 
 namespace numaplace {
 
-// Machine id for outcomes attached to no machine: the fleet reports it for
-// containers waiting fleet-wide because no available machine fits them, and
-// MachineOf() returns it for ids not live anywhere. A standalone
-// MachineScheduler always reports machine id 0.
+/// Machine id for outcomes attached to no machine: the fleet reports it for
+/// containers waiting fleet-wide because no available machine fits them,
+/// and MachineOf() returns it for ids not live anywhere. A standalone
+/// MachineScheduler always reports machine id 0.
 inline constexpr int kNoMachine = -1;
 
-// One step of a scheduling decision, in seconds relative to decision start.
+/// One step of a scheduling decision, in seconds relative to decision
+/// start.
 struct TimelineEvent {
+  /// Offset from the start of the decision.
   double start_seconds = 0.0;
+  /// How long the step ran.
   double duration_seconds = 0.0;
+  /// Human-readable step label ("probe #1", "migrate", ...).
   std::string description;
 };
 
-// What a scheduler did in response to one event for one container.
+/// What a scheduler did in response to one event for one container.
 struct ScheduleOutcome {
+  /// The container the decision was about.
   int container_id = 0;
-  bool admitted = false;  // false: queued until capacity frees up
-  int placement_id = 0;   // chosen important placement (0 when queued)
+  /// True when placed; false means queued until capacity frees up.
+  bool admitted = false;
+  /// Chosen important placement (0 when queued).
+  int placement_id = 0;
+  /// The realized placement on the machine's hardware threads.
   Placement placement;
-  double predicted_abs_throughput = 0.0;  // 0 under the first-fit policy
-  double goal_abs_throughput = 0.0;       // goal_fraction x solo baseline
-  bool meets_goal = false;                // predicted to meet the goal
-  bool reused_cached_probes = false;      // no probe runs were needed
-  double decision_seconds = 0.0;          // probes + migrations
+  /// Model prediction for the committed placement (0 under a model-free
+  /// policy such as first-fit).
+  double predicted_abs_throughput = 0.0;
+  /// goal_fraction x solo baseline: the bar the container should meet.
+  double goal_abs_throughput = 0.0;
+  /// Whether the prediction clears the goal.
+  bool meets_goal = false;
+  /// True when no probe runs were needed (prediction cache hit).
+  bool reused_cached_probes = false;
+  /// Simulated probe + migration time the decision cost.
+  double decision_seconds = 0.0;
+  /// The decision's steps in order (probes, migrations).
   std::vector<TimelineEvent> timeline;
 };
 
+/// Machine lifecycle states; only kUp machines receive dispatches.
 enum class MachineAvailability { kUp, kDraining, kFailed };
 
+/// Lower-case state name ("up", "draining", "failed").
 const char* ToString(MachineAvailability availability);
 
-// One committed cross-machine move, with the gain/cost model that justified
-// it. Invariant (asserted in tests/cluster_test.cc): predicted_gain_ops >
-// modeled_cost_ops for every logged move, evacuations included.
+/// One committed cross-machine move, with the gain/cost model that
+/// justified it. Invariant (asserted in tests/cluster_test.cc):
+/// predicted_gain_ops > modeled_cost_ops for every logged move, evacuations
+/// included.
 struct RebalanceMove {
+  /// Why the fleet moved the container.
   enum class Reason {
-    kRebalance,  // departure freed capacity somewhere better
-    kDrain,      // graceful evacuation: live migration off a draining machine
-    kFailover,   // state-lost evacuation: re-dispatch off a failed machine
+    kRebalance,  ///< departure freed capacity somewhere better
+    kDrain,      ///< graceful evacuation: live migration off a draining machine
+    kFailover,   ///< state-lost evacuation: re-dispatch off a failed machine
   };
 
+  /// The container that moved.
   int container_id = 0;
+  /// Source machine id.
   int from_machine = 0;
+  /// Destination machine id.
   int to_machine = 0;
-  bool was_queued = false;        // moved out of a queue rather than migrated live
+  /// Moved out of a queue rather than migrated live (a queued container has
+  /// no state: the move is free).
+  bool was_queued = false;
+  /// Why the move happened.
   Reason reason = Reason::kRebalance;
-  double predicted_gain_ops = 0.0;  // throughput delta x rebalance horizon
-  double modeled_cost_ops = 0.0;    // ops lost while the move runs
-  double move_seconds = 0.0;        // §7 migration estimate + network copy
-  double network_seconds = 0.0;     // the network-copy share of move_seconds
+  /// Predicted throughput delta x rebalance horizon.
+  double predicted_gain_ops = 0.0;
+  /// Ops lost while the move runs (overhead fraction x current rate).
+  double modeled_cost_ops = 0.0;
+  /// §7 migration estimate + network copy, wall seconds.
+  double move_seconds = 0.0;
+  /// The network-copy share of move_seconds.
+  double network_seconds = 0.0;
 };
 
+/// Lower-case reason name ("rebalance", "drain", "failover").
 const char* ToString(RebalanceMove::Reason reason);
 
-// Summary of one machine evacuation (fail or drain event).
+/// Summary of one machine evacuation (fail or drain event).
 struct EvacuationReport {
+  /// The machine that was emptied.
   int machine_id = 0;
-  // kFailed or kDraining — which event emptied the machine.
+  /// kFailed or kDraining — which event emptied the machine.
   MachineAvailability reason = MachineAvailability::kFailed;
+  /// Stream time of the fail/drain event.
   double start_seconds = 0.0;
-  int containers = 0;  // live containers (running + queued) the machine held
-  // Placed on another machine by the evacuation pass — via a gain-gated
-  // move, or via an instant restart when no live migration was worth its
-  // modeled cost.
+  /// Live containers (running + queued) the machine held.
+  int containers = 0;
+  /// Placed on another machine by the evacuation pass — via a gain-gated
+  /// move, or via an instant restart when no live migration was worth its
+  /// modeled cost.
   int rehomed = 0;
-  int requeued = 0;    // sent back through dispatch and left waiting
-  // Evacuation latency: completion offset of the slowest committed move.
-  // Zero for a pure state-lost failover — restarts are instant in the
-  // model; the damage shows up as queueing and goal attainment instead.
+  /// Sent back through dispatch and left waiting.
+  int requeued = 0;
+  /// Evacuation latency: completion offset of the slowest committed move.
+  /// Zero for a pure state-lost failover — restarts are instant in the
+  /// model; the damage shows up as queueing and goal attainment instead.
   double last_landing_seconds = 0.0;
+  /// Total §7 migration + network-copy seconds across the evacuation.
   double move_seconds_total = 0.0;
+  /// The network-copy share of move_seconds_total.
   double network_seconds_total = 0.0;
 };
 
-// Consumer interface for Step()/Replay(). Default implementations ignore
-// everything, so observers override only what they care about. `now` is the
-// stream time of the event that produced the callback.
+/// Consumer interface for Step()/Replay(). Default implementations ignore
+/// everything, so observers override only what they care about. `now` is
+/// the stream time of the event that produced the callback.
 class EventObserver {
  public:
   virtual ~EventObserver() = default;
 
+  /// A container was placed (admission, queue admission, upgrade, or the
+  /// landing half of a move).
   virtual void OnAdmission(int /*machine_id*/, const ScheduleOutcome& /*outcome*/,
                            double /*now*/) {}
+  /// A container is waiting (machine queue, or fleet-wide at kNoMachine).
   virtual void OnQueued(int /*machine_id*/, const ScheduleOutcome& /*outcome*/,
                         double /*now*/) {}
+  /// A committed cross-machine move (fleet layer only).
   virtual void OnMove(const RebalanceMove& /*move*/, double /*now*/) {}
+  /// A machine was emptied by a fail or drain event (fleet layer only).
   virtual void OnEvacuation(const EvacuationReport& /*report*/, double /*now*/) {}
+  /// A machine changed availability (fleet layer only).
   virtual void OnMachineAvailability(int /*machine_id*/,
                                      MachineAvailability /*availability*/,
                                      double /*now*/) {}
 };
 
-// Forwards every callback to `next` (which may be null); base class for
-// observers that tap some callbacks and pass everything through.
+/// Forwards every callback to `next` (which may be null); base class for
+/// observers that tap some callbacks and pass everything through.
 class ForwardingObserver : public EventObserver {
  public:
   explicit ForwardingObserver(EventObserver* next) : next_(next) {}
@@ -161,8 +203,8 @@ class ForwardingObserver : public EventObserver {
   EventObserver* next_;
 };
 
-// Counts committed placements while forwarding everything — the
-// ReplayWithEvaluation implementations use it for their `decisions` tally.
+/// Counts committed placements while forwarding everything — the
+/// ReplayWithEvaluation implementations use it for their `decisions` tally.
 class AdmissionCounter final : public ForwardingObserver {
  public:
   using ForwardingObserver::ForwardingObserver;
@@ -173,18 +215,20 @@ class AdmissionCounter final : public ForwardingObserver {
     ForwardingObserver::OnAdmission(machine_id, outcome, now);
   }
 
+  /// Placements observed so far.
   int admissions = 0;
 };
 
-// A machine-level outcome tagged with the machine that produced it
-// (kNoMachine for fleet-wide waits).
+/// A machine-level outcome tagged with the machine that produced it
+/// (kNoMachine for fleet-wide waits).
 struct FleetOutcome {
   int machine_id = 0;
   ScheduleOutcome outcome;
 };
 
-// Records everything it observes, in callback order — the observer tests
-// and the CLI use to replace the old returned-vector APIs.
+/// Records everything it observes, in callback order — the
+/// batteries-included collector the observer tests and the CLI use in place
+/// of the old returned-vector APIs.
 class OutcomeRecorder : public EventObserver {
  public:
   void OnAdmission(int machine_id, const ScheduleOutcome& outcome,
@@ -210,10 +254,14 @@ class OutcomeRecorder : public EventObserver {
     availability_changes.emplace_back(machine_id, availability);
   }
 
-  // Admissions (outcome.admitted) and queueings, interleaved in event order.
+  /// Admissions (outcome.admitted) and queueings, interleaved in event
+  /// order.
   std::vector<FleetOutcome> outcomes;
+  /// Committed cross-machine moves, in commit order.
   std::vector<RebalanceMove> moves;
+  /// One report per processed fail/drain event.
   std::vector<EvacuationReport> evacuations;
+  /// (machine id, new availability) pairs, in event order.
   std::vector<std::pair<int, MachineAvailability>> availability_changes;
 };
 

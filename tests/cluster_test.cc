@@ -62,6 +62,26 @@ FleetScheduler MakeAmdFleet(int num_machines, const std::string& machine_policy,
   return fleet;
 }
 
+// As MakeAmdFleet, but with an explicitly configured sharded dispatcher
+// through the injecting constructor.
+FleetScheduler MakeShardedAmdFleet(int num_machines, const std::string& machine_policy,
+                                   FleetConfig config,
+                                   const ShardedDispatchConfig& sharded) {
+  const AmdAssets& assets = Assets();
+  std::vector<MachineSpec> specs(static_cast<size_t>(num_machines),
+                                 AmdSpec(machine_policy));
+  config.dispatch = "sharded";
+  FleetScheduler fleet(std::move(specs), config,
+                       std::make_unique<ShardedDispatchPolicy>(sharded));
+  fleet.GroupRegistry(assets.topo.name()).Register(assets.topo.name(), 16, assets.model);
+  fleet.ProvidePlacements(assets.topo.name(), assets.ips);
+  return fleet;
+}
+
+const ShardedDispatchPolicy& ShardedOf(const FleetScheduler& fleet) {
+  return dynamic_cast<const ShardedDispatchPolicy&>(fleet.dispatch());
+}
+
 ContainerRequest MakeRequest(int id, const std::string& workload, double goal) {
   ContainerRequest request;
   request.id = id;
@@ -82,7 +102,7 @@ int TotalProbeRuns(const FleetScheduler& fleet) {
 
 TEST(DispatchRegistry, BuiltInsAreRegisteredAndMisuseThrows) {
   const std::vector<std::string> names = DispatchRegistry::Global().Names();
-  for (const char* builtin : {"least-loaded", "round-robin", "best-predicted"}) {
+  for (const char* builtin : {"least-loaded", "round-robin", "best-predicted", "sharded"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), builtin), names.end()) << builtin;
     EXPECT_TRUE(DispatchRegistry::Global().Has(builtin));
   }
@@ -93,6 +113,135 @@ TEST(DispatchRegistry, BuiltInsAreRegisteredAndMisuseThrows) {
                std::logic_error);
   EXPECT_FALSE(MakeDispatchPolicy("round-robin")->NeedsPreviews());
   EXPECT_TRUE(MakeDispatchPolicy("best-predicted")->NeedsPreviews());
+  // The registry default: auto cell count, d=2, previewing inner ranking.
+  EXPECT_TRUE(MakeDispatchPolicy("sharded")->NeedsPreviews());
+}
+
+TEST(DispatchRegistry, UnknownDispatchNameReportsTheCatalog) {
+  // The error path a mistyped FleetConfig.dispatch hits: the exception names
+  // the offender and lists every registered policy, so the message alone is
+  // enough to fix the config.
+  std::vector<MachineSpec> specs{AmdSpec("first-fit")};
+  FleetConfig config;
+  config.dispatch = "no-such-dispatch";
+  try {
+    FleetScheduler fleet(std::move(specs), config);
+    FAIL() << "an unknown dispatch name must throw";
+  } catch (const std::logic_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("no-such-dispatch"), std::string::npos) << message;
+    for (const char* builtin :
+         {"least-loaded", "round-robin", "best-predicted", "sharded"}) {
+      EXPECT_NE(message.find(builtin), std::string::npos) << message;
+    }
+  }
+}
+
+TEST(ShardedDispatch, ConfigValidationAndAutoCellLayout) {
+  ShardedDispatchConfig no_probes;
+  no_probes.probes = 0;
+  EXPECT_THROW(ShardedDispatchPolicy{no_probes}, std::logic_error);
+  ShardedDispatchConfig nested;
+  nested.inner = "sharded";
+  EXPECT_THROW(ShardedDispatchPolicy{nested}, std::logic_error);
+  ShardedDispatchConfig unknown_inner;
+  unknown_inner.inner = "no-such-dispatch";
+  EXPECT_THROW(ShardedDispatchPolicy{unknown_inner}, std::logic_error);
+
+  // Auto layout: round(sqrt(4)) = 2 cells, machine ids interleaved.
+  ShardedDispatchConfig auto_cells;
+  auto_cells.inner = "least-loaded";
+  FleetScheduler fleet = MakeShardedAmdFleet(4, "first-fit", {}, auto_cells);
+  const ShardedDispatchPolicy& sharded = ShardedOf(fleet);
+  EXPECT_FALSE(sharded.NeedsPreviews());  // inner least-loaded previews nothing
+  EXPECT_EQ(sharded.NumCells(), 2);
+  EXPECT_EQ(sharded.CellOf(0), 0);
+  EXPECT_EQ(sharded.CellOf(1), 1);
+  EXPECT_EQ(sharded.CellOf(2), 0);
+  EXPECT_EQ(sharded.CellOf(3), 1);
+}
+
+TEST(ShardedDispatch, CellMembershipSurvivesFailRejoinCycle) {
+  // 4 machines in 2 cells ({0,2} and {1,3}); d=2 samples both cells on
+  // every decision, so only availability — never cell assignment — decides
+  // who receives dispatches.
+  ShardedDispatchConfig sharded_config;
+  sharded_config.cells = 2;
+  sharded_config.probes = 2;
+  sharded_config.inner = "least-loaded";
+  FleetScheduler fleet = MakeShardedAmdFleet(4, "first-fit", {}, sharded_config);
+  const ShardedDispatchPolicy& sharded = ShardedOf(fleet);
+  ASSERT_EQ(sharded.NumCells(), 2);
+  const std::vector<int> cells_before = {sharded.CellOf(0), sharded.CellOf(1),
+                                         sharded.CellOf(2), sharded.CellOf(3)};
+
+  fleet.Fail(0, 1.0);
+  // The failed machine keeps its cell (membership is static; availability is
+  // read live from the fleet's view) but receives no dispatches.
+  EXPECT_EQ(sharded.CellOf(0), cells_before[0]);
+  for (int id = 1; id <= 6; ++id) {
+    const FleetOutcome outcome = fleet.Submit(MakeRequest(id, "gcc", 0.5), 1.0 + id);
+    ASSERT_TRUE(outcome.outcome.admitted) << "container " << id;
+    EXPECT_NE(outcome.machine_id, 0) << "container " << id;
+  }
+
+  fleet.Rejoin(0, 10.0);
+  for (int m = 0; m < 4; ++m) {
+    EXPECT_EQ(sharded.CellOf(m), cells_before[static_cast<size_t>(m)]) << m;
+  }
+  // The rejoined machine is the emptiest of its (always-sampled) cell: the
+  // next dispatch lands on it again.
+  const FleetOutcome back = fleet.Submit(MakeRequest(7, "gcc", 0.5), 11.0);
+  EXPECT_EQ(back.machine_id, 0);
+}
+
+TEST(ShardedDispatch, PreselectLimitsPreviewsToSampledCells) {
+  // 4 single-machine cells, d=2: a previewing inner dispatcher runs at most
+  // 2 admission previews per decision instead of the flat walk's 4.
+  ShardedDispatchConfig sharded_config;
+  sharded_config.cells = 4;
+  sharded_config.probes = 2;
+  FleetConfig config;
+  FleetScheduler fleet = MakeShardedAmdFleet(4, "model", config, sharded_config);
+  const ShardedDispatchPolicy& sharded = ShardedOf(fleet);
+  ASSERT_TRUE(sharded.NeedsPreviews());
+
+  const FleetOutcome outcome = fleet.Submit(MakeRequest(1, "gcc", 0.9), 0.0);
+  ASSERT_TRUE(outcome.outcome.admitted);
+  EXPECT_GT(fleet.stats().dispatch_previews, 0);
+  EXPECT_LE(fleet.stats().dispatch_previews, 2);
+  // Probes are still paid once per topology group, previews or not.
+  EXPECT_EQ(fleet.stats().fleet_probe_runs, 2);
+
+  // The decision stayed within the sampled cells.
+  ASSERT_EQ(sharded.LastSampledCells().size(), 2u);
+  const std::vector<int>& sampled = sharded.LastSampledCells();
+  EXPECT_NE(std::find(sampled.begin(), sampled.end(),
+                      sharded.CellOf(outcome.machine_id)),
+            sampled.end());
+}
+
+TEST(ShardedDispatch, AllMachinesDownParksFleetWideAndRejoinLands) {
+  ShardedDispatchConfig sharded_config;
+  sharded_config.cells = 2;
+  sharded_config.probes = 1;
+  sharded_config.inner = "least-loaded";
+  FleetScheduler fleet = MakeShardedAmdFleet(2, "first-fit", {}, sharded_config);
+  fleet.Fail(0, 1.0);
+  fleet.Fail(1, 2.0);
+
+  // No eligible cell: the preselection punts to the fleet, which parks the
+  // container fleet-wide exactly like the flat dispatchers.
+  const FleetOutcome parked = fleet.Submit(MakeRequest(1, "gcc", 0.5), 3.0);
+  EXPECT_FALSE(parked.outcome.admitted);
+  EXPECT_EQ(parked.machine_id, kNoMachine);
+  ASSERT_EQ(fleet.UnplacedIds().size(), 1u);
+
+  // Rejoin re-dispatches the waiter through the sharded policy onto the
+  // only up machine.
+  fleet.Rejoin(1, 5.0);
+  EXPECT_TRUE(fleet.UnplacedIds().empty());
+  EXPECT_EQ(fleet.MachineOf(1), 1);
 }
 
 TEST(FleetDispatch, RoundRobinCyclesMachines) {

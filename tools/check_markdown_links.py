@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job.
+
+Validates every inline link in the given markdown files (directories are
+scanned for *.md): relative targets must exist on disk, and fragment links
+(`file.md#anchor` or `#anchor`) must match a heading's GitHub-style anchor
+in the target file. External links (http/https/mailto) are not fetched —
+CI must not depend on the network — so only their syntax is accepted.
+
+Usage: check_markdown_links.py <file-or-dir> [<file-or-dir> ...]
+Exits non-zero listing every broken link, so stale cross-references fail
+the build.
+
+Uses only the Python standard library.
+"""
+
+import os
+import re
+import sys
+
+INLINE_LINK = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_LINK = re.compile(r"\!\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^(#{1,6})\s+(?P<title>.+?)\s*#*\s*$")
+EXTERNAL = ("http://", "https://", "mailto:")
+FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(title: str) -> str:
+    """GitHub's anchor algorithm: lowercase, drop punctuation, spaces to dashes."""
+    # Inline markup does not contribute to the anchor.
+    title = re.sub(r"[*_`]", "", title)
+    # Link text stands in for the whole link.
+    title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", title)
+    title = title.strip().lower()
+    title = re.sub(r"[^\w\- ]", "", title)
+    return title.replace(" ", "-")
+
+
+def strip_fenced_code(lines):
+    """Yield (line_number, line) outside fenced code blocks."""
+    in_fence = False
+    for number, line in enumerate(lines, start=1):
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield number, line
+
+
+def anchors_of(path: str, cache: dict) -> set:
+    if path in cache:
+        return cache[path]
+    anchors = set()
+    counts = {}
+    with open(path, encoding="utf-8") as handle:
+        for _, line in strip_fenced_code(handle.read().splitlines()):
+            match = HEADING.match(line)
+            if not match:
+                continue
+            anchor = github_anchor(match.group("title"))
+            # Duplicate headings get -1, -2, ... suffixes on GitHub.
+            seen = counts.get(anchor, 0)
+            counts[anchor] = seen + 1
+            anchors.add(anchor if seen == 0 else f"{anchor}-{seen}")
+    cache[path] = anchors
+    return anchors
+
+
+def check_file(path: str, anchor_cache: dict) -> list:
+    errors = []
+    base_dir = os.path.dirname(os.path.abspath(path))
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    for number, line in strip_fenced_code(lines):
+        for match in list(INLINE_LINK.finditer(line)) + list(IMAGE_LINK.finditer(line)):
+            target = match.group("target")
+            if target.startswith(EXTERNAL):
+                continue
+            fragment = ""
+            if "#" in target:
+                target, fragment = target.split("#", 1)
+            if target:
+                resolved = os.path.normpath(os.path.join(base_dir, target))
+                if not os.path.exists(resolved):
+                    errors.append(f"{path}:{number}: broken link '{match.group(0)}' "
+                                  f"({resolved} does not exist)")
+                    continue
+            else:
+                resolved = os.path.abspath(path)
+            if fragment:
+                if not resolved.endswith(".md") or os.path.isdir(resolved):
+                    continue  # anchors into non-markdown targets are not checked
+                if fragment not in anchors_of(resolved, anchor_cache):
+                    errors.append(f"{path}:{number}: broken anchor "
+                                  f"'{match.group(0)}' (no heading '#{fragment}' "
+                                  f"in {resolved})")
+    return errors
+
+
+def collect(paths):
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _, files in os.walk(path):
+                for name in sorted(files):
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    anchor_cache = {}
+    errors = []
+    checked = 0
+    for path in collect(argv[1:]):
+        if not os.path.exists(path):
+            errors.append(f"{path}: no such file")
+            continue
+        errors.extend(check_file(path, anchor_cache))
+        checked += 1
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} markdown file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

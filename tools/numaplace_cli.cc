@@ -18,6 +18,7 @@
 //                                     a model first), printing utilization
 //                                     and slowdowns
 //   fleet <machines> <vcpus> <containers> [seed] [dispatch] [policy]
+//         [--dispatch <name>] [--cells <N>] [--probes <d>]
 //         [--fail <machine>@<t>] [--drain <machine>@<t>] [--rejoin <machine>@<t>]
 //                                     build a fleet from a comma-separated
 //                                     machine list (e.g. amd,amd,intel),
@@ -30,7 +31,11 @@
 //                                     scheduler under the named dispatch
 //                                     policy (default "least-loaded") with
 //                                     every machine running [policy]
-//                                     (default "model")
+//                                     (default "model"). --cells/--probes
+//                                     tune the sharded dispatcher (and
+//                                     imply --dispatch sharded): machines
+//                                     are partitioned into N cells and d
+//                                     cells are sampled per decision
 //
 // Machines: amd (Opteron 6272), intel (Xeon E7-4830 v3), zen, cod.
 #include <algorithm>
@@ -180,10 +185,12 @@ int CmdPolicies() {
   std::printf("registered fleet dispatch policies:\n");
   for (const std::string& name : DispatchRegistry::Global().Names()) {
     const std::unique_ptr<DispatchPolicy> dispatch = MakeDispatchPolicy(name);
-    std::printf("  %-14s %s\n", name.c_str(),
-                dispatch->NeedsPreviews()
-                    ? "(previews every machine's top candidate)"
-                    : "(load/order based, no previews)");
+    const char* description =
+        name == "sharded"
+            ? "(samples dispatch cells; previews only within the sample)"
+            : dispatch->NeedsPreviews() ? "(previews every machine's top candidate)"
+                                        : "(load/order based, no previews)";
+    std::printf("  %-14s %s\n", name.c_str(), description);
   }
   return 0;
 }
@@ -300,7 +307,8 @@ int CmdSchedule(const std::string& machine_name, int vcpus, int num_containers,
 int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stream,
              uint64_t seed, const std::string& dispatch_name,
              const std::string& policy_name,
-             const std::vector<FleetEvent>& machine_events) {
+             const std::vector<FleetEvent>& machine_events, int sharded_cells,
+             int sharded_probes) {
   if (containers_per_stream <= 0) {
     std::fprintf(stderr, "need at least one container per machine stream\n");
     return 2;
@@ -336,7 +344,31 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
   }
   FleetConfig fleet_config;
   fleet_config.dispatch = dispatch_name;
-  FleetScheduler fleet(std::move(specs), fleet_config);
+  // The sharded dispatcher is the one policy with CLI-tunable knobs; an
+  // explicitly configured instance goes through the injecting constructor,
+  // everything else is built by name from the registry.
+  std::unique_ptr<DispatchPolicy> dispatch;
+  if (dispatch_name == "sharded") {
+    ShardedDispatchConfig sharded;
+    if (sharded_cells > 0) {
+      sharded.cells = sharded_cells;
+    }
+    if (sharded_probes > 0) {
+      sharded.probes = sharded_probes;
+    }
+    dispatch = std::make_unique<ShardedDispatchPolicy>(sharded);
+  } else {
+    dispatch = MakeDispatchPolicy(dispatch_name);
+  }
+  FleetScheduler fleet(std::move(specs), fleet_config, std::move(dispatch));
+  if (const auto* sharded =
+          dynamic_cast<const ShardedDispatchPolicy*>(&fleet.dispatch())) {
+    std::printf("sharded dispatch: %d cells over %d machines, %d sampled per "
+                "decision (inner '%s')\n",
+                sharded->NumCells(), fleet.NumMachines(),
+                std::min(sharded->config().probes, sharded->NumCells()),
+                sharded->config().inner.c_str());
+  }
 
   // One placement set — and, for model policies, one trained model — per
   // distinct topology group, shared by every machine of the group.
@@ -518,6 +550,7 @@ void Usage() {
                "[seed] [policy]\n"
                "  numaplace_cli fleet <machine,machine,...> <vcpus> "
                "<containers-per-machine> [seed] [dispatch] [policy]\n"
+               "                [--dispatch <name>] [--cells <N>] [--probes <d>]\n"
                "                [--fail <machine>@<t>] [--drain <machine>@<t>] "
                "[--rejoin <machine>@<t>]\n");
 }
@@ -589,10 +622,48 @@ int main(int argc, char** argv) {
       std::string dispatch = "least-loaded";
       std::string policy = "model";
       std::vector<FleetEvent> machine_events;
+      int sharded_cells = 0;
+      int sharded_probes = 0;
       bool have_seed = false;
       bool have_dispatch = false;
       bool have_policy = false;
       for (int i = 5; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--dispatch") == 0) {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "--dispatch needs a policy name\n");
+            return 2;
+          }
+          if (have_dispatch) {
+            std::fprintf(stderr, "two dispatch policies given ('%s' and '%s')\n",
+                         dispatch.c_str(), argv[i + 1]);
+            return 2;
+          }
+          dispatch = argv[++i];
+          have_dispatch = true;
+          if (!DispatchRegistry::Global().Has(dispatch)) {
+            std::fprintf(stderr, "unknown dispatch policy '%s'; registered:",
+                         dispatch.c_str());
+            for (const std::string& name : DispatchRegistry::Global().Names()) {
+              std::fprintf(stderr, " %s", name.c_str());
+            }
+            std::fprintf(stderr, "\n");
+            return 2;
+          }
+          continue;
+        }
+        const bool is_cells = std::strcmp(argv[i], "--cells") == 0;
+        const bool is_probes = std::strcmp(argv[i], "--probes") == 0;
+        if (is_cells || is_probes) {
+          char* end = nullptr;
+          const long parsed = i + 1 < argc ? std::strtol(argv[i + 1], &end, 10) : 0;
+          if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' || parsed <= 0) {
+            std::fprintf(stderr, "%s needs a positive integer\n", argv[i]);
+            return 2;
+          }
+          ++i;
+          (is_cells ? sharded_cells : sharded_probes) = static_cast<int>(parsed);
+          continue;
+        }
         const bool is_fail = std::strcmp(argv[i], "--fail") == 0;
         const bool is_drain = std::strcmp(argv[i], "--drain") == 0;
         const bool is_rejoin = std::strcmp(argv[i], "--rejoin") == 0;
@@ -649,8 +720,17 @@ int main(int argc, char** argv) {
           return 2;
         }
       }
+      if ((sharded_cells > 0 || sharded_probes > 0) && dispatch != "sharded") {
+        if (have_dispatch) {
+          std::fprintf(stderr, "--cells/--probes tune the sharded dispatcher, but "
+                               "dispatch is '%s'\n",
+                       dispatch.c_str());
+          return 2;
+        }
+        dispatch = "sharded";  // the tuning flags imply the policy
+      }
       return CmdFleet(argv[2], std::atoi(argv[3]), std::atoi(argv[4]), seed, dispatch,
-                      policy, machine_events);
+                      policy, machine_events, sharded_cells, sharded_probes);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
