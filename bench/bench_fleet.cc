@@ -41,10 +41,23 @@
 // claim: at the largest fleet, sharded must deliver >= 4x the decision
 // throughput of flat best-predicted within 1pp of its goal attainment.
 //
+// A fourth sweep measures the fleet *operations* — departure rebalancing
+// and evacuation — rather than dispatch: fleets 16 -> 1024 machines replay
+// the same trace with a mid-trace mass evacuation (an eighth of the fleet
+// drains at the halfway mark and rejoins at three quarters), once with the
+// capacity-index-guided sharded target search and once with the legacy
+// full scan. Every sharded run must hold the sublinear preview bound
+// previews <= searches * max_cell_size * fleet_probes, asserted from the
+// FleetStats counters — a violation fails the bench (and CI, which runs
+// the 1024-machine row in smoke mode). Full mode additionally enforces
+// attainment parity within 1pp at 256 machines and >= 4x fleet-op decision
+// throughput at 1024.
+//
 // Flags:
 //   --smoke        tiny trace + small forests (CI Release-mode exercise)
 //   --json <path>  machine-readable results for the BENCH_*.json trajectory
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -295,9 +308,153 @@ void PrintSweepRows(const std::vector<SweepRow>& rows) {
   table.Print(std::cout);
 }
 
+// One run of the fleet-operations sweep: rebalance ON, least-loaded
+// dispatch (cheap and identical for both contenders, so replay wall time is
+// dominated by the rebalance/evacuation target searches under test), and a
+// mass evacuation mid-trace.
+struct FleetOpsRow {
+  int num_machines = 0;
+  std::string ops;  // "sharded" | "full-scan"
+  FleetStats stats;
+  double attainment = -1.0;  // only when the evaluation loop ran
+  double replay_wall_seconds = 0.0;
+  int cell_cap = 0;  // largest cell in the index layout
+  int probes = 0;
+
+  int Searches() const { return stats.rebalance_decisions + stats.evac_decisions; }
+  int Previews() const { return stats.rebalance_previews + stats.evac_previews; }
+  double PreviewsPerSearch() const {
+    return Searches() > 0 ? static_cast<double>(Previews()) / Searches() : 0.0;
+  }
+  // Throughput over the time actually spent inside FindBestTarget. Whole-
+  // replay wall time would bury the search cost under work identical for
+  // both contenders (dispatch scans, pass mover enumeration, simulation).
+  double SearchesPerSecond() const {
+    return stats.fleet_op_search_seconds > 0.0
+               ? Searches() / stats.fleet_op_search_seconds
+               : 0.0;
+  }
+};
+
+// The shared trace of the fleet-ops sweep: container churn plus a mass
+// drain of an eighth of the fleet at the halfway mark, all rejoining at
+// three quarters. Drained ids 0..n/8-1 interleave across every cell of the
+// modulo layout, so the evacuation pressure is fleet-wide, not cell-local.
+EventStream MassEvacTrace(const TraceConfig& base, int n, uint64_t seed) {
+  Rng rng(seed);
+  EventStream trace = GenerateFleetTrace(base, n, rng);
+  const double end = trace.EndTime();
+  const int wave = std::max(1, n / 8);
+  std::vector<FleetEvent> events;
+  for (int m = 0; m < wave; ++m) {
+    events.push_back(FleetEvent::Drain(0.50 * end + m, m));
+  }
+  for (int m = 0; m < wave; ++m) {
+    events.push_back(FleetEvent::Rejoin(0.75 * end + m, m));
+  }
+  return InjectMachineEvents(std::move(trace), events);
+}
+
+FleetOpsRow RunFleetOps(const FleetDef& def, const std::map<std::string, GroupAssets>& groups,
+                        const EventStream& trace, bool sharded_ops, bool evaluate) {
+  std::vector<MachineSpec> specs;
+  for (const std::string& name : def.machines) {
+    const GroupAssets& group = groups.at(name);
+    MachineSpec spec(group.topo);
+    spec.scheduler.policy = "model";
+    spec.scheduler.baseline_id = group.baseline_id;
+    spec.scheduler.use_interconnect_concern = group.use_interconnect;
+    specs.push_back(std::move(spec));
+  }
+  FleetConfig config;
+  config.dispatch = "least-loaded";
+  config.rebalance_on_departure = true;
+  config.sharded_fleet_ops = sharded_ops;
+  FleetScheduler fleet(std::move(specs), config);
+  for (const auto& [name, group] : groups) {
+    if (std::find(def.machines.begin(), def.machines.end(), name) == def.machines.end()) {
+      continue;
+    }
+    fleet.GroupRegistry(group.topo.name()).Register(group.topo.name(), kVcpus, group.model);
+    fleet.ProvidePlacements(group.topo.name(), group.ips);
+  }
+
+  FleetOpsRow row;
+  row.num_machines = static_cast<int>(def.machines.size());
+  row.ops = sharded_ops ? "sharded" : "full-scan";
+  row.probes = config.fleet_probes;
+  for (const std::vector<int>& cell : fleet.capacity_index().layout().cells) {
+    row.cell_cap = std::max(row.cell_cap, static_cast<int>(cell.size()));
+  }
+  if (evaluate) {
+    const FleetReport report = fleet.ReplayWithEvaluation(trace);
+    row.attainment = report.goal_attainment;
+    row.replay_wall_seconds = report.wall_seconds;
+  } else {
+    const auto start = std::chrono::steady_clock::now();
+    fleet.Replay(trace);
+    row.replay_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  }
+  row.stats = fleet.stats();
+  return row;
+}
+
+// The sublinear-search gate: an index-guided target search may preview at
+// most the members of fleet_probes sampled cells. Holds per operation
+// family so a regression in either rebalance or evacuation is visible.
+int CountPreviewBoundViolations(const FleetOpsRow& row) {
+  if (row.ops != "sharded") {
+    return 0;
+  }
+  const long long per_search =
+      static_cast<long long>(row.cell_cap) * row.probes;
+  int violations = 0;
+  if (row.stats.rebalance_previews >
+      row.stats.rebalance_decisions * per_search) {
+    std::fprintf(stderr,
+                 "PREVIEW BOUND VIOLATION: %d machines: %d rebalance previews > "
+                 "%d searches * %lld\n",
+                 row.num_machines, row.stats.rebalance_previews,
+                 row.stats.rebalance_decisions, per_search);
+    ++violations;
+  }
+  if (row.stats.evac_previews > row.stats.evac_decisions * per_search) {
+    std::fprintf(stderr,
+                 "PREVIEW BOUND VIOLATION: %d machines: %d evac previews > "
+                 "%d searches * %lld\n",
+                 row.num_machines, row.stats.evac_previews,
+                 row.stats.evac_decisions, per_search);
+    ++violations;
+  }
+  return violations;
+}
+
+void PrintFleetOpsRows(const std::vector<FleetOpsRow>& rows) {
+  TablePrinter table({"machines", "fleet ops", "goal attainment", "rebal searches",
+                      "rebal previews", "evac searches", "evac previews",
+                      "previews/search", "passes", "skipped", "searches/s"});
+  for (const FleetOpsRow& row : rows) {
+    table.AddRow({std::to_string(row.num_machines), row.ops,
+                  row.attainment < 0.0
+                      ? "-"
+                      : TablePrinter::Num(100.0 * row.attainment, 1) + "%",
+                  std::to_string(row.stats.rebalance_decisions),
+                  std::to_string(row.stats.rebalance_previews),
+                  std::to_string(row.stats.evac_decisions),
+                  std::to_string(row.stats.evac_previews),
+                  TablePrinter::Num(row.PreviewsPerSearch(), 1),
+                  std::to_string(row.stats.rebalance_passes),
+                  std::to_string(row.stats.rebalance_passes_skipped),
+                  TablePrinter::Num(row.SearchesPerSecond(), 0)});
+  }
+  table.Print(std::cout);
+}
+
 void WriteJson(const std::string& path, const std::vector<ResultRow>& rows,
                const std::vector<ScenarioRow>& scenario_rows,
-               const std::vector<SweepRow>& sweep_rows, bool smoke) {
+               const std::vector<SweepRow>& sweep_rows,
+               const std::vector<FleetOpsRow>& fleet_ops_rows, bool smoke) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -327,6 +484,12 @@ void WriteJson(const std::string& path, const std::vector<ResultRow>& rows,
     json.Field("network_copy_seconds", row.stats.network_copy_seconds);
     json.Field("probe_runs", row.machine_probe_runs);
     json.Field("dispatch_probe_runs", row.stats.fleet_probe_runs);
+    json.Field("rebalance_previews", row.stats.rebalance_previews);
+    json.Field("rebalance_decisions", row.stats.rebalance_decisions);
+    json.Field("evac_previews", row.stats.evac_previews);
+    json.Field("evac_decisions", row.stats.evac_decisions);
+    json.Field("rebalance_passes", row.stats.rebalance_passes);
+    json.Field("rebalance_passes_skipped", row.stats.rebalance_passes_skipped);
     json.Field("decisions", row.report.decisions);
     json.Field("wall_seconds", row.report.wall_seconds);
     json.Key("machine_utilizations");
@@ -354,6 +517,10 @@ void WriteJson(const std::string& path, const std::vector<ResultRow>& rows,
     json.Field("evacuation_requeues", row.run.stats.evacuation_requeues);
     json.Field("evacuation_moves", row.run.stats.evacuation_moves);
     json.Field("rebalance_moves", row.run.stats.rebalance_moves);
+    json.Field("rebalance_previews", row.run.stats.rebalance_previews);
+    json.Field("rebalance_decisions", row.run.stats.rebalance_decisions);
+    json.Field("evac_previews", row.run.stats.evac_previews);
+    json.Field("evac_decisions", row.run.stats.evac_decisions);
     json.Field("mean_queue_wait_seconds", row.run.report.mean_queue_wait_seconds);
     json.EndObject();
   }
@@ -374,6 +541,31 @@ void WriteJson(const std::string& path, const std::vector<ResultRow>& rows,
     json.Field("decisions", row.report.decisions);
     json.Field("wall_seconds", row.report.wall_seconds);
     json.Field("decisions_per_second", row.DecisionsPerSecond());
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("fleet_ops_sweep");
+  json.BeginArray();
+  for (const FleetOpsRow& row : fleet_ops_rows) {
+    json.BeginObject();
+    json.Field("num_machines", row.num_machines);
+    json.Field("fleet_ops", row.ops);
+    json.Field("goal_attainment", row.attainment);
+    json.Field("rebalance_previews", row.stats.rebalance_previews);
+    json.Field("rebalance_decisions", row.stats.rebalance_decisions);
+    json.Field("evac_previews", row.stats.evac_previews);
+    json.Field("evac_decisions", row.stats.evac_decisions);
+    json.Field("rebalance_passes", row.stats.rebalance_passes);
+    json.Field("rebalance_passes_skipped", row.stats.rebalance_passes_skipped);
+    json.Field("rebalance_moves", row.stats.rebalance_moves);
+    json.Field("evacuation_moves", row.stats.evacuation_moves);
+    json.Field("evacuation_requeues", row.stats.evacuation_requeues);
+    json.Field("cell_cap", row.cell_cap);
+    json.Field("fleet_probes", row.probes);
+    json.Field("previews_per_search", row.PreviewsPerSearch());
+    json.Field("replay_wall_seconds", row.replay_wall_seconds);
+    json.Field("search_seconds", row.stats.fleet_op_search_seconds);
+    json.Field("searches_per_second", row.SearchesPerSecond());
     json.EndObject();
   }
   json.EndArray();
@@ -568,8 +760,82 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Fleet-operations sweep: rebalance ON and a mass evacuation mid-trace,
+  // sharded (capacity-index-guided) vs full-scan target search, 16 -> 1024
+  // machines. The low goal keeps incumbents at goal so the searches under
+  // load are the ones that matter: queued waiters and drain evacuees. Smoke
+  // runs the 16-machine pair plus the sharded 1024-machine row (the CI
+  // preview-bound gate); full mode runs both contenders at every size, with
+  // the evaluation loop (attainment) up to 256 and plain timed replay at
+  // 1024 where the evaluation loop would swamp the search cost.
+  const std::vector<int> ops_sizes = smoke ? std::vector<int>{16, 1024}
+                                           : std::vector<int>{16, 64, 256, 1024};
+  TraceConfig ops_base = sweep_base;
+  ops_base.goal_fraction = 0.5;
+  std::printf("\nfleet-ops sweep — mass drain of n/8 machines at half-trace, "
+              "%d containers per machine stream, rebalance on\n",
+              ops_base.num_containers);
+  std::vector<FleetOpsRow> fleet_ops_rows;
+  for (int n : ops_sizes) {
+    const bool evaluate = !smoke && n <= 256;
+    const EventStream trace = MassEvacTrace(ops_base, n, 33);
+    for (const bool sharded_ops : {true, false}) {
+      if (smoke && !sharded_ops && n > 16) {
+        continue;  // the 1024-machine full scan is a full-mode-only contender
+      }
+      const FleetDef def = MixedFleet(n);
+      fleet_ops_rows.push_back(RunFleetOps(def, groups, trace, sharded_ops, evaluate));
+      failures += CountPreviewBoundViolations(fleet_ops_rows.back());
+    }
+  }
+  std::printf("\n");
+  PrintFleetOpsRows(fleet_ops_rows);
+
+  const auto ops_of = [&](int n, const char* ops) -> const FleetOpsRow* {
+    for (const FleetOpsRow& row : fleet_ops_rows) {
+      if (row.num_machines == n && row.ops == ops) {
+        return &row;
+      }
+    }
+    return nullptr;
+  };
+  for (int n : ops_sizes) {
+    const FleetOpsRow* shard = ops_of(n, "sharded");
+    const FleetOpsRow* full = ops_of(n, "full-scan");
+    if (shard == nullptr || full == nullptr) {
+      continue;
+    }
+    const double speedup = full->SearchesPerSecond() > 0.0
+                               ? shard->SearchesPerSecond() / full->SearchesPerSecond()
+                               : 0.0;
+    std::printf("%d machines: sharded vs full-scan fleet ops: previews/search "
+                "%.1f vs %.1f, %.1fx search throughput\n",
+                n, shard->PreviewsPerSearch(), full->PreviewsPerSearch(), speedup);
+    if (!smoke && n == 256) {
+      // Attainment parity: pruning the target search must not cost goals.
+      const double delta_pp =
+          100.0 * (full->attainment - shard->attainment);
+      if (delta_pp > 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: sharded fleet ops lose %.2fpp attainment > 1pp at "
+                     "%d machines\n",
+                     delta_pp, n);
+        ++failures;
+      }
+    }
+    if (!smoke && n == ops_sizes.back()) {
+      if (speedup < 4.0) {
+        std::fprintf(stderr,
+                     "FAIL: sharded fleet-op search throughput %.1fx < 4x at "
+                     "%d machines\n",
+                     speedup, n);
+        ++failures;
+      }
+    }
+  }
+
   if (!json_path.empty()) {
-    WriteJson(json_path, rows, scenario_rows, sweep_rows, smoke);
+    WriteJson(json_path, rows, scenario_rows, sweep_rows, fleet_ops_rows, smoke);
   }
   return failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,169 @@
+#include "src/cluster/capacity_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+void CapacityIndex::Bind(const std::vector<MachineMembership>* membership,
+                         CellLayout layout) {
+  NP_CHECK(membership != nullptr);
+  NP_CHECK_MSG(!membership->empty(), "the capacity index needs at least one machine");
+  NP_CHECK_MSG(layout.NumMachines() == static_cast<int>(membership->size()),
+               "cell layout covers " << layout.NumMachines() << " machines, membership "
+                                     << membership->size());
+  membership_ = membership;
+  layout_ = std::move(layout);
+  const size_t n = membership_->size();
+  known_free_.assign(n, 0);
+  known_up_.assign(n, false);
+  for (size_t m = 0; m < n; ++m) {
+    NP_CHECK_MSG((*membership_)[m].machine_id == static_cast<int>(m),
+                 "membership view must be in machine-id order");
+    known_free_[m] = LiveFreeThreads(static_cast<int>(m));
+    known_up_[m] = LiveUp(static_cast<int>(m));
+  }
+  summaries_ = RecomputeFromScratch();
+  capacity_dirty_ = true;
+}
+
+const CellCapacity& CapacityIndex::cell(int cell_index) const {
+  NP_CHECK(cell_index >= 0 && cell_index < NumCells());
+  return summaries_[static_cast<size_t>(cell_index)];
+}
+
+int CapacityIndex::LiveFreeThreads(int machine_id) const {
+  const MachineMembership& member = (*membership_)[static_cast<size_t>(machine_id)];
+  return member.scheduler->occupancy().FreeThreadCount();
+}
+
+bool CapacityIndex::LiveUp(int machine_id) const {
+  return (*membership_)[static_cast<size_t>(machine_id)].availability ==
+         MachineAvailability::kUp;
+}
+
+void CapacityIndex::RescanCellExtrema(int cell_index) {
+  CellCapacity& summary = summaries_[static_cast<size_t>(cell_index)];
+  if (summary.up_machines == 0) {
+    summary.min_free_threads = 0;
+    summary.max_free_threads = 0;
+    return;
+  }
+  int lo = std::numeric_limits<int>::max();
+  int hi = std::numeric_limits<int>::min();
+  for (int m : layout_.cells[static_cast<size_t>(cell_index)]) {
+    if (!known_up_[static_cast<size_t>(m)]) {
+      continue;
+    }
+    lo = std::min(lo, known_free_[static_cast<size_t>(m)]);
+    hi = std::max(hi, known_free_[static_cast<size_t>(m)]);
+  }
+  summary.min_free_threads = lo;
+  summary.max_free_threads = hi;
+}
+
+void CapacityIndex::OnOccupancyChange(int machine_id) {
+  NP_CHECK(bound());
+  NP_CHECK(machine_id >= 0 && machine_id < layout_.NumMachines());
+  const size_t m = static_cast<size_t>(machine_id);
+  const int free_now = LiveFreeThreads(machine_id);
+  const int free_before = known_free_[m];
+  if (free_now == free_before) {
+    return;
+  }
+  known_free_[m] = free_now;
+  if (free_now > free_before) {
+    capacity_dirty_ = true;
+  }
+  if (!known_up_[m]) {
+    return;  // a down machine is outside its cell's up-aggregates
+  }
+  const int cell = layout_.cell_of[m];
+  CellCapacity& summary = summaries_[static_cast<size_t>(cell)];
+  summary.free_threads += free_now - free_before;
+  // The extrema need a cell-local rescan only when this machine held (or
+  // now takes) an end of the range; a strictly interior move keeps both.
+  if (free_now <= summary.min_free_threads || free_before <= summary.min_free_threads ||
+      free_now >= summary.max_free_threads || free_before >= summary.max_free_threads) {
+    RescanCellExtrema(cell);
+  }
+}
+
+void CapacityIndex::OnAvailabilityChange(int machine_id) {
+  NP_CHECK(bound());
+  NP_CHECK(machine_id >= 0 && machine_id < layout_.NumMachines());
+  const size_t m = static_cast<size_t>(machine_id);
+  const bool up_now = LiveUp(machine_id);
+  // Fold any occupancy change that rode along with the flip (an evacuated
+  // machine empties while down) before moving the machine across the
+  // up-boundary.
+  known_free_[m] = LiveFreeThreads(machine_id);
+  if (up_now == known_up_[m]) {
+    return;
+  }
+  known_up_[m] = up_now;
+  const int cell = layout_.cell_of[m];
+  CellCapacity& summary = summaries_[static_cast<size_t>(cell)];
+  if (up_now) {
+    ++summary.up_machines;
+    summary.free_threads += known_free_[m];
+    capacity_dirty_ = true;  // returned capacity can serve waiting work
+  } else {
+    --summary.up_machines;
+    summary.free_threads -= known_free_[m];
+  }
+  RescanCellExtrema(cell);
+}
+
+std::vector<int> CapacityIndex::PromisingCells(int vcpus, int limit) const {
+  NP_CHECK(bound());
+  std::vector<int> eligible;
+  for (int c = 0; c < NumCells(); ++c) {
+    const CellCapacity& summary = summaries_[static_cast<size_t>(c)];
+    if (summary.up_machines > 0 && summary.max_free_threads >= vcpus) {
+      eligible.push_back(c);
+    }
+  }
+  std::stable_sort(eligible.begin(), eligible.end(), [&](int a, int b) {
+    const CellCapacity& ca = summaries_[static_cast<size_t>(a)];
+    const CellCapacity& cb = summaries_[static_cast<size_t>(b)];
+    if (ca.max_free_threads != cb.max_free_threads) {
+      return ca.max_free_threads > cb.max_free_threads;
+    }
+    if (ca.free_threads != cb.free_threads) {
+      return ca.free_threads > cb.free_threads;
+    }
+    return a < b;
+  });
+  if (limit > 0 && static_cast<int>(eligible.size()) > limit) {
+    eligible.resize(static_cast<size_t>(limit));
+  }
+  return eligible;
+}
+
+std::vector<CellCapacity> CapacityIndex::RecomputeFromScratch() const {
+  NP_CHECK(bound());
+  std::vector<CellCapacity> summaries(static_cast<size_t>(NumCells()));
+  for (int c = 0; c < NumCells(); ++c) {
+    CellCapacity& summary = summaries[static_cast<size_t>(c)];
+    int lo = std::numeric_limits<int>::max();
+    int hi = std::numeric_limits<int>::min();
+    for (int m : layout_.cells[static_cast<size_t>(c)]) {
+      if (!LiveUp(m)) {
+        continue;
+      }
+      const int free = LiveFreeThreads(m);
+      ++summary.up_machines;
+      summary.free_threads += free;
+      lo = std::min(lo, free);
+      hi = std::max(hi, free);
+    }
+    summary.min_free_threads = summary.up_machines > 0 ? lo : 0;
+    summary.max_free_threads = summary.up_machines > 0 ? hi : 0;
+  }
+  return summaries;
+}
+
+}  // namespace numaplace

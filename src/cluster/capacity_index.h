@@ -1,0 +1,126 @@
+// Per-cell capacity index: the fleet's summary-before-scan layer.
+//
+// PR 5 made *dispatch* sublinear by sampling cells; rebalance and
+// evacuation still walked every machine for every target search. This
+// index removes that wall the way FFS cylinder-group free maps do for
+// block allocation: keep a small per-group summary (here: per dispatch
+// cell — up-machine count, aggregate free hardware threads, min/max
+// per-machine free threads), consult it before any per-machine work, and
+// only descend into the few groups the summary says are promising.
+//
+// The index is incremental by construction. It is bound once to the
+// fleet's long-lived MachineMembership view and a static cell layout
+// (mirroring the sharded dispatcher's cells when one is active), and the
+// fleet notifies it at every occupancy- or availability-changing point —
+// admit, depart, evacuation, rebalance move commit, fail/drain/rejoin.
+// Each notification re-reads ONE machine's live free-thread count and
+// folds the delta into its cell's summary; a cell-local extremum rescan
+// (O(cell size), i.e. O(sqrt(fleet)) under the default layout) runs only
+// when the min/max holder changed. Nothing ever rescans the fleet. Cell
+// membership is static, so the summaries survive fail -> rejoin cycles
+// exactly as the dispatcher's cell assignment does: a failed machine
+// leaves its cell's up-aggregates and returns to the same cell on rejoin.
+//
+// The index also carries the fleet's capacity-changed dirty flag: set
+// whenever free capacity grows, a machine comes back up, or the fleet
+// reports a new mover candidate (queueing, degraded admission); cleared
+// when a RebalancePass consumes it. A pass that finds the flag clear is
+// provably a no-op and performs zero admission previews.
+//
+// RecomputeFromScratch exists for tests only: the property test replays
+// randomized event sequences and asserts the incremental summaries equal
+// a full recomputation after every event.
+#ifndef NUMAPLACE_SRC_CLUSTER_CAPACITY_INDEX_H_
+#define NUMAPLACE_SRC_CLUSTER_CAPACITY_INDEX_H_
+
+#include <vector>
+
+#include "src/cluster/dispatch.h"
+
+namespace numaplace {
+
+// The machine -> cell partition (CellLayout) and its modulo construction
+// (MakeInterleavedCells) live in src/cluster/dispatch.h: the capacity
+// index mirrors the sharded dispatcher's cells so "promising cell" means
+// the same thing to dispatch sampling and to fleet-op target searches.
+
+/// One cell's incrementally maintained capacity summary. Free-thread
+/// aggregates cover only up members: a failed or draining machine
+/// receives no placements, so its threads are not capacity.
+struct CellCapacity {
+  /// Members currently kUp.
+  int up_machines = 0;
+  /// Sum of free hardware threads over up members.
+  int free_threads = 0;
+  /// Smallest per-machine free-thread count among up members (0 when the
+  /// cell has no up member).
+  int min_free_threads = 0;
+  /// Largest per-machine free-thread count among up members — the cell's
+  /// best single-machine headroom, the eligibility signal for "could any
+  /// member hold a vcpus-wide container".
+  int max_free_threads = 0;
+};
+
+/// The fleet-wide per-cell capacity index; see the file comment.
+class CapacityIndex {
+ public:
+  /// Binds the fleet's long-lived membership view (machine-id order,
+  /// outlives the index) and the static cell layout, and computes the
+  /// initial summaries (the only full pass the index ever makes). The
+  /// dirty flag starts set: the first RebalancePass always runs.
+  void Bind(const std::vector<MachineMembership>* membership, CellLayout layout);
+
+  /// True after Bind.
+  bool bound() const { return membership_ != nullptr; }
+  int NumCells() const { return layout_.NumCells(); }
+  const CellLayout& layout() const { return layout_; }
+  /// The cell's current summary (CHECKs the index).
+  const CellCapacity& cell(int cell_index) const;
+
+  /// Re-reads one machine's live free-thread count and folds the delta
+  /// into its cell summary; marks capacity changed when free capacity
+  /// grew. O(1) plus a cell-local extremum rescan when the machine held
+  /// the cell's min or max.
+  void OnOccupancyChange(int machine_id);
+  /// Re-reads one machine's availability, moving it into or out of its
+  /// cell's up-aggregates; marks capacity changed when the machine came
+  /// up. Same cost shape as OnOccupancyChange.
+  void OnAvailabilityChange(int machine_id);
+
+  /// Cells worth descending into for a vcpus-wide placement — cells with
+  /// an up member whose free threads cover the request — best headroom
+  /// first (max free desc, then total free desc, then cell id asc), at
+  /// most `limit` of them (0 = every eligible cell). Deterministic: the
+  /// fleet's target searches are replay-stable.
+  std::vector<int> PromisingCells(int vcpus, int limit) const;
+
+  /// The capacity-changed dirty flag (see file comment).
+  bool capacity_dirty() const { return capacity_dirty_; }
+  /// Fleet-side hook for capacity-relevant facts the occupancy delta
+  /// cannot see (a new queued waiter, a below-goal admission).
+  void MarkCapacityChanged() { capacity_dirty_ = true; }
+  void ClearCapacityDirty() { capacity_dirty_ = false; }
+
+  /// Full recomputation of every cell summary from the live membership
+  /// view — the property-test oracle, never used on the hot path.
+  std::vector<CellCapacity> RecomputeFromScratch() const;
+
+ private:
+  int LiveFreeThreads(int machine_id) const;
+  bool LiveUp(int machine_id) const;
+  // Recomputes one cell's min/max from its cached per-machine entries.
+  void RescanCellExtrema(int cell_index);
+
+  const std::vector<MachineMembership>* membership_ = nullptr;
+  CellLayout layout_;
+  std::vector<CellCapacity> summaries_;
+  // Last-applied per-machine state, so notifications fold deltas instead
+  // of rescanning.
+  std::vector<int> known_free_;
+  std::vector<bool> known_up_;
+  bool capacity_dirty_ = true;
+};
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_CLUSTER_CAPACITY_INDEX_H_

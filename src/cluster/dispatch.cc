@@ -46,6 +46,26 @@ bool LessLoaded(const MachineCandidate& a, const MachineCandidate& b) {
 
 }  // namespace
 
+CellLayout MakeInterleavedCells(int num_machines, int requested_cells) {
+  NP_CHECK_MSG(num_machines >= 1, "a cell layout needs at least one machine");
+  NP_CHECK_MSG(requested_cells >= 0, "cell count cannot be negative (0 = auto)");
+  int num_cells = requested_cells;
+  if (num_cells == 0) {
+    num_cells =
+        static_cast<int>(std::lround(std::sqrt(static_cast<double>(num_machines))));
+  }
+  num_cells = std::max(1, std::min(num_cells, num_machines));
+  CellLayout layout;
+  layout.cells.assign(static_cast<size_t>(num_cells), {});
+  layout.cell_of.assign(static_cast<size_t>(num_machines), 0);
+  for (int m = 0; m < num_machines; ++m) {
+    const int cell = m % num_cells;
+    layout.cells[static_cast<size_t>(cell)].push_back(m);
+    layout.cell_of[static_cast<size_t>(m)] = cell;
+  }
+  return layout;
+}
+
 // --- least-loaded ---
 
 const std::string& LeastLoadedDispatch::name() const { return kLeastLoadedName; }
@@ -149,28 +169,16 @@ void ShardedDispatchPolicy::BindMembership(
   inner_->BindMembership(membership);
 
   const int n = static_cast<int>(membership->size());
-  int num_cells = config_.cells;
-  if (num_cells == 0) {
-    num_cells = static_cast<int>(std::lround(std::sqrt(static_cast<double>(n))));
-  }
-  num_cells = std::max(1, std::min(num_cells, n));
-  cells_.assign(static_cast<size_t>(num_cells), {});
-  cell_of_.assign(static_cast<size_t>(n), 0);
-  // Modulo assignment interleaves machine ids across cells, so a fleet built
-  // from repeating heterogeneous blocks (amd,intel,amd,intel,...) spreads
-  // every topology group over every cell.
   for (int m = 0; m < n; ++m) {
     NP_CHECK_MSG((*membership)[static_cast<size_t>(m)].machine_id == m,
                  "membership view must be in machine-id order");
-    const int cell = m % num_cells;
-    cells_[static_cast<size_t>(cell)].push_back(m);
-    cell_of_[static_cast<size_t>(m)] = cell;
   }
+  layout_ = MakeInterleavedCells(n, config_.cells);
 }
 
 int ShardedDispatchPolicy::CellOf(int machine_id) const {
-  NP_CHECK(machine_id >= 0 && machine_id < static_cast<int>(cell_of_.size()));
-  return cell_of_[static_cast<size_t>(machine_id)];
+  NP_CHECK(machine_id >= 0 && machine_id < layout_.NumMachines());
+  return layout_.cell_of[static_cast<size_t>(machine_id)];
 }
 
 std::vector<int> ShardedDispatchPolicy::Preselect(const ContainerRequest& request) {
@@ -181,7 +189,7 @@ std::vector<int> ShardedDispatchPolicy::Preselect(const ContainerRequest& reques
   // container fits on.
   std::vector<int> eligible;
   for (int c = 0; c < NumCells(); ++c) {
-    for (int m : cells_[static_cast<size_t>(c)]) {
+    for (int m : layout_.cells[static_cast<size_t>(c)]) {
       const MachineMembership& member = (*membership_)[static_cast<size_t>(m)];
       if (member.availability == MachineAvailability::kUp &&
           request.vcpus <= member.hw_threads) {
@@ -211,7 +219,7 @@ std::vector<int> ShardedDispatchPolicy::Preselect(const ContainerRequest& reques
   std::vector<int> machines;
   for (int c : eligible) {
     last_sampled_.push_back(c);
-    for (int m : cells_[static_cast<size_t>(c)]) {
+    for (int m : layout_.cells[static_cast<size_t>(c)]) {
       machines.push_back(m);
     }
   }

@@ -36,6 +36,28 @@
 
 namespace numaplace {
 
+/// Static machine -> cell partition shared by the sharded dispatcher and
+/// the fleet's per-cell capacity index (src/cluster/capacity_index.h).
+/// Built once at BindMembership time; never rebuilt on availability churn,
+/// so structures derived from it survive fail/drain/rejoin cycles.
+struct CellLayout {
+  /// Machine ids per cell, ascending within each cell.
+  std::vector<std::vector<int>> cells;
+  /// Machine id -> cell index.
+  std::vector<int> cell_of;
+
+  int NumCells() const { return static_cast<int>(cells.size()); }
+  int NumMachines() const { return static_cast<int>(cell_of.size()); }
+};
+
+/// Modulo-interleaved cell layout over machine ids 0..num_machines-1:
+/// machine m lands in cell m % cells, so a fleet built from repeating
+/// heterogeneous blocks (amd,intel,amd,intel,...) spreads every topology
+/// group over every cell. `requested_cells` 0 picks
+/// round(sqrt(num_machines)) — cell count and cell size grow together and
+/// per-decision scan cost stays O(sqrt(machines) * probes).
+CellLayout MakeInterleavedCells(int num_machines, int requested_cells);
+
 /// One machine as seen by a single dispatch decision. Pointers are
 /// non-owning and valid only for the duration of the call.
 struct MachineCandidate {
@@ -200,9 +222,13 @@ class ShardedDispatchPolicy final : public DispatchPolicy {
   std::vector<size_t> Rank(const DispatchContext& ctx) override;
 
   /// Cells actually built (valid after BindMembership).
-  int NumCells() const { return static_cast<int>(cells_.size()); }
+  int NumCells() const { return layout_.NumCells(); }
   /// Cell holding the machine; stable across fail/drain/rejoin.
   int CellOf(int machine_id) const;
+  /// The full partition (valid after BindMembership) — the fleet's
+  /// capacity index mirrors it so rebalance/evacuation target searches
+  /// and dispatch sampling agree on what a cell is.
+  const CellLayout& layout() const { return layout_; }
   /// Cells sampled by the most recent Preselect, in sample order.
   const std::vector<int>& LastSampledCells() const { return last_sampled_; }
   /// The configuration the policy was built with.
@@ -212,8 +238,7 @@ class ShardedDispatchPolicy final : public DispatchPolicy {
   ShardedDispatchConfig config_;
   std::unique_ptr<DispatchPolicy> inner_;
   const std::vector<MachineMembership>* membership_ = nullptr;
-  std::vector<std::vector<int>> cells_;  // machine ids per cell, id order
-  std::vector<int> cell_of_;             // machine id -> cell index
+  CellLayout layout_;  // static partition built at BindMembership time
   std::vector<int> last_sampled_;
   Rng rng_;
 };

@@ -22,6 +22,10 @@ FleetScheduler::FleetScheduler(std::vector<MachineSpec> specs, FleetConfig confi
   NP_CHECK(config_.network_seconds_per_gb >= 0.0);
   NP_CHECK(config_.rebalance_horizon_seconds > 0.0);
   NP_CHECK(config_.rebalance_min_gain >= 0.0);
+  NP_CHECK_MSG(config_.fleet_cells >= 0,
+               "fleet capacity-index cell count cannot be negative (0 = auto)");
+  NP_CHECK_MSG(config_.fleet_probes >= 0,
+               "fleet_probes cannot be negative (0 = every eligible cell)");
   machines_.reserve(specs.size());
   for (size_t i = 0; i < specs.size(); ++i) {
     Machine machine;
@@ -53,6 +57,19 @@ FleetScheduler::FleetScheduler(std::vector<MachineSpec> specs, FleetConfig confi
     membership_->push_back(member);
   }
   dispatch_->BindMembership(membership_.get());
+  // The capacity index mirrors the sharded dispatcher's cell partition
+  // when one is active (and config.fleet_cells doesn't override it), so
+  // "promising cell" means the same thing to dispatch sampling and to
+  // rebalance/evacuation target searches; under a flat dispatcher it
+  // builds the same modulo layout the dispatcher would have.
+  CellLayout layout;
+  const auto* sharded = dynamic_cast<const ShardedDispatchPolicy*>(dispatch_.get());
+  if (config_.fleet_cells == 0 && sharded != nullptr) {
+    layout = sharded->layout();
+  } else {
+    layout = MakeInterleavedCells(NumMachines(), config_.fleet_cells);
+  }
+  capacity_index_.Bind(membership_.get(), std::move(layout));
 }
 
 MachineScheduler& FleetScheduler::machine(int machine_id) {
@@ -243,6 +260,7 @@ void FleetScheduler::RecordAdmission(const ScheduleOutcome& outcome, double now)
 
 FleetOutcome FleetScheduler::Dispatch(const ContainerRequest& request, double now,
                                       EventObserver* observer) {
+  ++stats_.dispatch_decisions;
   const std::vector<int> preselected = dispatch_->Preselect(request);
   std::vector<MachineCandidate> candidates =
       BuildCandidates(request, dispatch_->NeedsPreviews(),
@@ -257,6 +275,9 @@ FleetOutcome FleetScheduler::Dispatch(const ContainerRequest& request, double no
     // wait fleet-wide until capacity returns (DrainUnplaced retries).
     unplaced_[request.id] = request;
     waiting_.insert(request.id);
+    // A new fleet-wide waiter is a rebalance candidate the occupancy
+    // deltas cannot see.
+    capacity_index_.MarkCapacityChanged();
     ScheduleOutcome outcome;
     outcome.container_id = request.id;
     if (observer != nullptr) {
@@ -270,13 +291,21 @@ FleetOutcome FleetScheduler::Dispatch(const ContainerRequest& request, double no
       machines_[static_cast<size_t>(machine_id)].scheduler->Submit(request, now);
   unplaced_.erase(request.id);
   machine_of_[request.id] = machine_id;
+  capacity_index_.OnOccupancyChange(machine_id);
   if (outcome.admitted) {
+    if (!outcome.meets_goal) {
+      // A degraded admission creates a rebalance mover; free capacity
+      // elsewhere may already hold a better placement for it.
+      capacity_index_.MarkCapacityChanged();
+    }
     RecordAdmission(outcome, now);
     if (observer != nullptr) {
       observer->OnAdmission(machine_id, outcome, now);
     }
   } else {
     waiting_.insert(request.id);
+    // Likewise a machine-queued waiter.
+    capacity_index_.MarkCapacityChanged();
     if (observer != nullptr) {
       observer->OnQueued(machine_id, outcome, now);
     }
@@ -317,6 +346,14 @@ void FleetScheduler::Depart(int container_id, double now, EventObserver* observe
 
   std::vector<ScheduleOutcome> replaced =
       machines_[static_cast<size_t>(machine_id)].scheduler->Depart(container_id, now);
+  capacity_index_.OnOccupancyChange(machine_id);
+  if (!replaced.empty()) {
+    // Queue admissions and upgrades can leave the free-thread count
+    // unchanged while reshaping which threads are free (and which tenants
+    // are degraded) — capacity-relevant facts the occupancy delta cannot
+    // see.
+    capacity_index_.MarkCapacityChanged();
+  }
   // Dispatch previews may have cached probes in other topology groups too.
   for (auto& [group, members] : groups_) {
     members.registry->Forget(container_id);
@@ -343,6 +380,9 @@ void FleetScheduler::SetAvailability(int machine_id, MachineAvailability availab
   // dispatchers read this in place instead of being rebuilt, so cell
   // assignments survive fail/drain/rejoin cycles.
   (*membership_)[static_cast<size_t>(machine_id)].availability = availability;
+  // Same for the capacity index: the machine moves into or out of its
+  // cell's up-aggregates while keeping its cell for a later rejoin.
+  capacity_index_.OnAvailabilityChange(machine_id);
   if (observer != nullptr) {
     observer->OnMachineAvailability(machine_id, availability, now);
   }
@@ -408,6 +448,9 @@ void FleetScheduler::Evacuate(int machine_id, bool graceful, double now,
     source.Depart(evacuee.request.id, now, /*forget_probes=*/false, /*replace=*/false);
     machine_of_.erase(evacuee.request.id);
   }
+  // The machine left the up-aggregates at SetAvailability; this keeps the
+  // index's cached free count current for its eventual rejoin.
+  capacity_index_.OnOccupancyChange(machine_id);
 
   EvacuationReport report;
   report.machine_id = machine_id;
@@ -418,66 +461,29 @@ void FleetScheduler::Evacuate(int machine_id, bool graceful, double now,
 
   for (const Evacuee& evacuee : evacuees) {
     const ContainerRequest& request = evacuee.request;
-    // Best target by gain-over-cost surplus, as in the RebalancePass — but
-    // the counterfactual is not-running (the source is leaving service), so
-    // the whole predicted rate is the gain, for live evacuees too.
-    int best_target = -1;
-    double best_surplus = 0.0;
+    // Best target through the shared sharded gain-over-cost search
+    // (FindBestTarget — the same capacity-index-guided path rebalance
+    // uses), but the counterfactual is not-running (the source is leaving
+    // service), so the whole predicted rate is the gain, for live evacuees
+    // too. A graceful move of a live container pays the §7 migration
+    // estimate plus the network copy of its memory image; a failed
+    // machine's container lost its state — nothing to migrate or copy and
+    // nothing it was producing, so the restart itself is free and the
+    // damage shows up as lost goal attainment and queueing.
+    TargetSearch search;
+    search.request = &request;
+    search.exclude_machine = machine_id;
+    search.current_abs = evacuee.current_abs;
+    search.goal_abs = evacuee.goal_abs;
+    search.improvement_only = false;
+    search.pay_migration = graceful && !evacuee.was_queued;
+    search.was_queued = evacuee.was_queued;
+    search.reason = graceful ? RebalanceMove::Reason::kDrain
+                             : RebalanceMove::Reason::kFailover;
+    search.previews = &stats_.evac_previews;
+    ++stats_.evac_decisions;
     RebalanceMove best_move;
-    for (int t = 0; t < NumMachines(); ++t) {
-      Machine& target = machines_[static_cast<size_t>(t)];
-      if (t == machine_id || target.availability != MachineAvailability::kUp ||
-          request.vcpus > target.topo->NumHwThreads()) {
-        continue;
-      }
-      EnsureGroupProbes(target.group, request);
-      const MachineScheduler::AdmissionPreview preview =
-          target.scheduler->PreviewAdmission(request);
-      if (!preview.realizable) {
-        continue;
-      }
-      // Under a model-free target policy the preview predicts nothing;
-      // credit the operator goal instead.
-      const double gain_rate =
-          preview.predicted_abs > 0.0 ? preview.predicted_abs : evacuee.goal_abs;
-      if (gain_rate <= 0.0) {
-        continue;
-      }
-      // A graceful move of a live container pays the §7 migration estimate
-      // plus the network copy of its memory image, and loses
-      // overhead_fraction of its current rate for the whole copy. A failed
-      // machine's container lost its state: nothing to migrate or copy and
-      // nothing it was producing — the restart itself is free, the damage
-      // shows up as lost goal attainment and queueing.
-      double move_seconds = 0.0;
-      double network_seconds = 0.0;
-      double cost_ops = 0.0;
-      if (graceful && !evacuee.was_queued) {
-        const MigrationEstimate estimate = MigratorFor(request).Migrate(request.workload);
-        network_seconds = config_.network_seconds_per_gb * request.workload.TotalMemoryGb();
-        move_seconds = estimate.seconds + network_seconds;
-        cost_ops = move_seconds * estimate.overhead_fraction * evacuee.current_abs;
-      }
-      const double gain_ops = gain_rate * config_.rebalance_horizon_seconds;
-      if (gain_ops <= cost_ops) {
-        continue;
-      }
-      const double surplus = gain_ops - cost_ops;
-      if (best_target < 0 || surplus > best_surplus) {
-        best_target = t;
-        best_surplus = surplus;
-        best_move.container_id = request.id;
-        best_move.from_machine = machine_id;
-        best_move.to_machine = t;
-        best_move.was_queued = evacuee.was_queued;
-        best_move.reason = graceful ? RebalanceMove::Reason::kDrain
-                                    : RebalanceMove::Reason::kFailover;
-        best_move.predicted_gain_ops = gain_ops;
-        best_move.modeled_cost_ops = cost_ops;
-        best_move.move_seconds = move_seconds;
-        best_move.network_seconds = network_seconds;
-      }
-    }
+    const int best_target = FindBestTarget(search, &best_move);
 
     if (best_target >= 0) {
       ScheduleOutcome moved =
@@ -485,6 +491,10 @@ void FleetScheduler::Evacuate(int machine_id, bool graceful, double now,
       NP_CHECK_MSG(moved.admitted, "evacuation preview promised admission of container "
                                        << request.id << " on machine " << best_target);
       machine_of_[request.id] = best_target;
+      capacity_index_.OnOccupancyChange(best_target);
+      if (!moved.meets_goal) {
+        capacity_index_.MarkCapacityChanged();  // the landing is a new mover
+      }
       RecordAdmission(moved, now);
       ++stats_.evacuation_moves;
       stats_.cross_machine_move_seconds += best_move.move_seconds;
@@ -538,7 +548,131 @@ void FleetScheduler::DrainUnplaced(double now, EventObserver* observer) {
   }
 }
 
+std::vector<int> FleetScheduler::SelectFleetOpTargets(const ContainerRequest& request,
+                                                      int exclude_machine) const {
+  const auto eligible = [&](int m) {
+    const Machine& machine = machines_[static_cast<size_t>(m)];
+    // The free-thread filter is sound on the full-scan path too: every
+    // important placement realizes on exactly vcpus free hardware threads,
+    // so a machine with fewer free threads can never preview realizable —
+    // skipping it changes no decision, only saves the preview.
+    return m != exclude_machine && machine.availability == MachineAvailability::kUp &&
+           request.vcpus <= machine.topo->NumHwThreads() &&
+           machine.scheduler->occupancy().FreeThreadCount() >= request.vcpus;
+  };
+  std::vector<int> targets;
+  if (config_.sharded_fleet_ops) {
+    const std::vector<int> cells =
+        capacity_index_.PromisingCells(request.vcpus, config_.fleet_probes);
+    if (!cells.empty()) {
+      for (int c : cells) {
+        for (int m : capacity_index_.layout().cells[static_cast<size_t>(c)]) {
+          if (eligible(m)) {
+            targets.push_back(m);
+          }
+        }
+      }
+      // Ascending ids, so cell sampling only narrows the set the full scan
+      // would consider — it never reorders ties.
+      std::sort(targets.begin(), targets.end());
+      return targets;
+    }
+    // The index proved no cell can fit the request right now. Fall through
+    // to the full walk as a safety net: with a correct index the
+    // per-machine filter rejects every machine, so this costs a scan but
+    // zero previews and the sublinear preview bound stands.
+  }
+  for (int m = 0; m < NumMachines(); ++m) {
+    if (eligible(m)) {
+      targets.push_back(m);
+    }
+  }
+  return targets;
+}
+
+int FleetScheduler::FindBestTarget(const TargetSearch& search, RebalanceMove* best_move) {
+  const auto search_start = std::chrono::steady_clock::now();
+  const ContainerRequest& request = *search.request;
+  int best_target = -1;
+  double best_surplus = 0.0;
+  for (int t : SelectFleetOpTargets(request, search.exclude_machine)) {
+    Machine& target = machines_[static_cast<size_t>(t)];
+    EnsureGroupProbes(target.group, request);
+    const MachineScheduler::AdmissionPreview preview =
+        target.scheduler->PreviewAdmission(request);
+    if (search.previews != nullptr) {
+      ++*search.previews;
+    }
+    if (!preview.realizable) {
+      continue;
+    }
+    double gain_rate = 0.0;
+    if (search.improvement_only) {
+      // A live incumbent only moves for a modeled, clearly better rate.
+      if (preview.predicted_abs <=
+          search.current_abs * (1.0 + config_.rebalance_min_gain)) {
+        continue;
+      }
+      gain_rate = preview.predicted_abs - search.current_abs;
+    } else {
+      // Running anywhere beats waiting (or a source leaving service).
+      // Under a model-free target policy the preview predicts nothing;
+      // credit the operator goal instead.
+      gain_rate = preview.predicted_abs > 0.0 ? preview.predicted_abs : search.goal_abs;
+    }
+    if (gain_rate <= 0.0) {
+      continue;
+    }
+    // A container without live state (queued, or restarting off a failed
+    // machine) moves for free; a live one pays the §7 migration estimate
+    // plus the network copy of its memory image, and loses
+    // overhead_fraction of its current rate for the whole copy.
+    double move_seconds = 0.0;
+    double network_seconds = 0.0;
+    double cost_ops = 0.0;
+    if (search.pay_migration) {
+      const MigrationEstimate estimate = MigratorFor(request).Migrate(request.workload);
+      network_seconds = config_.network_seconds_per_gb * request.workload.TotalMemoryGb();
+      move_seconds = estimate.seconds + network_seconds;
+      cost_ops = move_seconds * estimate.overhead_fraction * search.current_abs;
+    }
+    const double gain_ops = gain_rate * config_.rebalance_horizon_seconds;
+    if (gain_ops <= cost_ops) {
+      continue;
+    }
+    const double surplus = gain_ops - cost_ops;
+    if (best_target < 0 || surplus > best_surplus) {
+      best_target = t;
+      best_surplus = surplus;
+      best_move->container_id = request.id;
+      best_move->from_machine = search.exclude_machine;
+      best_move->to_machine = t;
+      best_move->was_queued = search.was_queued;
+      best_move->reason = search.reason;
+      best_move->predicted_gain_ops = gain_ops;
+      best_move->modeled_cost_ops = cost_ops;
+      best_move->move_seconds = move_seconds;
+      best_move->network_seconds = network_seconds;
+    }
+  }
+  stats_.fleet_op_search_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - search_start)
+          .count();
+  return best_target;
+}
+
 void FleetScheduler::RebalancePass(double now, EventObserver* observer) {
+  if (!capacity_index_.capacity_dirty()) {
+    // Nothing capacity-relevant changed since the last pass: re-running it
+    // would reproduce its decisions. Skip — zero previews, zero dispatches.
+    ++stats_.rebalance_passes_skipped;
+    return;
+  }
+  // Consume the flag up front: anything this pass itself changes (moves,
+  // freed capacity, new waiters) re-sets it, so the next trigger runs
+  // another pass, until a pass changes nothing.
+  capacity_index_.ClearCapacityDirty();
+  ++stats_.rebalance_passes;
   DrainUnplaced(now, observer);
   if (machines_.size() < 2) {
     return;
@@ -584,76 +718,23 @@ void FleetScheduler::RebalancePass(double now, EventObserver* observer) {
     const ContainerRequest request = managed->request;
     const double current_abs = mover.queued ? 0.0 : managed->predicted_abs_throughput;
 
-    // Score every other up machine the container fits on; keep the move
-    // with the largest gain-over-cost surplus.
-    int best_target = -1;
-    double best_surplus = 0.0;
+    // Best target through the shared sharded gain-over-cost search. A
+    // queued mover never ran — no memory on the source, nothing it was
+    // producing — so the move is free and any realizable placement gains;
+    // a live incumbent is min-gain gated and pays the migration model.
+    TargetSearch search;
+    search.request = &request;
+    search.exclude_machine = mover.from;
+    search.current_abs = current_abs;
+    search.goal_abs = managed->goal_abs_throughput;
+    search.improvement_only = !mover.queued;
+    search.pay_migration = !mover.queued;
+    search.was_queued = mover.queued;
+    search.reason = RebalanceMove::Reason::kRebalance;
+    search.previews = &stats_.rebalance_previews;
+    ++stats_.rebalance_decisions;
     RebalanceMove best_move;
-    for (int t = 0; t < NumMachines(); ++t) {
-      if (t == mover.from) {
-        continue;
-      }
-      Machine& target = machines_[static_cast<size_t>(t)];
-      if (target.availability != MachineAvailability::kUp ||
-          request.vcpus > target.topo->NumHwThreads()) {
-        continue;
-      }
-      EnsureGroupProbes(target.group, request);
-      const MachineScheduler::AdmissionPreview preview =
-          target.scheduler->PreviewAdmission(request);
-      if (!preview.realizable) {
-        continue;
-      }
-      double gain_rate = 0.0;
-      if (mover.queued) {
-        // Running anywhere beats waiting. Under a model-free target policy
-        // the preview predicts nothing; credit the operator goal instead.
-        gain_rate = preview.predicted_abs > 0.0 ? preview.predicted_abs
-                                                : managed->goal_abs_throughput;
-      } else {
-        // A live incumbent only moves for a modeled, clearly better rate.
-        if (preview.predicted_abs <=
-            current_abs * (1.0 + config_.rebalance_min_gain)) {
-          continue;
-        }
-        gain_rate = preview.predicted_abs - current_abs;
-      }
-      if (gain_rate <= 0.0) {
-        continue;
-      }
-      // A queued mover never ran: it has no memory on the source machine,
-      // so there is nothing to migrate or copy and nothing it was producing
-      // — the move is free. A live incumbent pays the §7 migration estimate
-      // plus the network copy of its memory image, and loses
-      // overhead_fraction of its current rate for the whole copy.
-      double move_seconds = 0.0;
-      double network_seconds = 0.0;
-      double cost_ops = 0.0;
-      if (!mover.queued) {
-        const MigrationEstimate estimate = MigratorFor(request).Migrate(request.workload);
-        network_seconds = config_.network_seconds_per_gb * request.workload.TotalMemoryGb();
-        move_seconds = estimate.seconds + network_seconds;
-        cost_ops = move_seconds * estimate.overhead_fraction * current_abs;
-      }
-      const double gain_ops = gain_rate * config_.rebalance_horizon_seconds;
-      if (gain_ops <= cost_ops) {
-        continue;
-      }
-      const double surplus = gain_ops - cost_ops;
-      if (best_target < 0 || surplus > best_surplus) {
-        best_target = t;
-        best_surplus = surplus;
-        best_move.container_id = mover.id;
-        best_move.from_machine = mover.from;
-        best_move.to_machine = t;
-        best_move.was_queued = mover.queued;
-        best_move.reason = RebalanceMove::Reason::kRebalance;
-        best_move.predicted_gain_ops = gain_ops;
-        best_move.modeled_cost_ops = cost_ops;
-        best_move.move_seconds = move_seconds;
-        best_move.network_seconds = network_seconds;
-      }
-    }
+    const int best_target = FindBestTarget(search, &best_move);
     if (best_target < 0) {
       continue;
     }
@@ -663,6 +744,10 @@ void FleetScheduler::RebalancePass(double now, EventObserver* observer) {
     // it on the target the preview vouched for.
     std::vector<ScheduleOutcome> freed =
         source.Depart(mover.id, now, /*forget_probes=*/false);
+    capacity_index_.OnOccupancyChange(mover.from);
+    if (!freed.empty()) {
+      capacity_index_.MarkCapacityChanged();
+    }
     for (const ScheduleOutcome& outcome : freed) {
       RecordAdmission(outcome, now);
       if (observer != nullptr) {
@@ -674,6 +759,10 @@ void FleetScheduler::RebalancePass(double now, EventObserver* observer) {
     NP_CHECK_MSG(moved.admitted, "rebalance preview promised admission of container "
                                      << mover.id << " on machine " << best_target);
     machine_of_[mover.id] = best_target;
+    capacity_index_.OnOccupancyChange(best_target);
+    if (!moved.meets_goal) {
+      capacity_index_.MarkCapacityChanged();
+    }
     RecordAdmission(moved, now);
     ++stats_.rebalance_moves;
     stats_.cross_machine_move_seconds += best_move.move_seconds;

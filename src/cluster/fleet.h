@@ -20,7 +20,14 @@
 //     incumbents are considered for a move to another machine, the move is
 //     charged with the §7 migration cost model (src/migration) plus a
 //     configurable network-copy penalty, and only moves whose predicted
-//     gain over the rebalance horizon beats that modeled cost are proposed;
+//     gain over the rebalance horizon beats that modeled cost are proposed.
+//     Target searches (rebalance, drain, failover — all through one shared
+//     gain-over-cost helper) consult the per-cell capacity index
+//     (src/cluster/capacity_index.h) first and preview only machines inside
+//     the most promising cells, so fleet operations stay
+//     O(machines/cells * probes) previews per decision like dispatch; the
+//     whole pass is skipped when the index's capacity-changed flag is clear
+//     (a no-op pass performs zero previews);
 //   * MachineFail / MachineDrain take the machine out of dispatch and
 //     evacuate it through the same gain/cost machinery. A failed machine's
 //     containers lose their state: nothing to migrate or copy, so they are
@@ -43,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/capacity_index.h"
 #include "src/cluster/dispatch.h"
 #include "src/migration/migration.h"
 #include "src/model/registry.h"
@@ -94,6 +102,20 @@ struct FleetConfig {
   double noise_sigma = 0.01;
   /// Base seed of the per-machine noise streams.
   uint64_t noise_seed = 5;
+  /// Route rebalance and evacuation target searches through the per-cell
+  /// capacity index (summary-before-scan): preview only machines inside
+  /// the most promising cells. false restores the legacy full-scan search
+  /// previewing every up machine with enough free threads — the reference
+  /// path the equivalence test replays against.
+  bool sharded_fleet_ops = true;
+  /// Capacity-index cell count; 0 mirrors the sharded dispatcher's layout
+  /// when one is active, else builds the same modulo layout with
+  /// round(sqrt(machines)) cells.
+  int fleet_cells = 0;
+  /// Most promising cells consulted per rebalance/evacuation target
+  /// search; 0 descends into every eligible cell, which previews exactly
+  /// the machines the full-scan path would (byte-identical outcomes).
+  int fleet_probes = 2;
 };
 
 /// Dispatch, queueing, rebalancing and probe counters accumulated over the
@@ -115,6 +137,26 @@ struct FleetStats {
   // Admission previews built for dispatch decisions; the sharded
   // dispatcher's whole point is keeping this sublinear in fleet size.
   int dispatch_previews = 0;
+  // Dispatch decisions that built candidates (arrivals, evacuation
+  // requeues, unplaced retries) — the denominator of the dispatch
+  // preview-per-decision bound.
+  int dispatch_decisions = 0;
+  // Admission previews built by RebalancePass target searches, and the
+  // searches themselves; previews / decisions stays O(machines/cells * d)
+  // under sharded fleet ops.
+  int rebalance_previews = 0;
+  int rebalance_decisions = 0;
+  // The same pair for evacuation (fail/drain) target searches.
+  int evac_previews = 0;
+  int evac_decisions = 0;
+  // Host wall time inside FindBestTarget — the cost the capacity index
+  // makes sublinear. Rebalance/evac search throughput is
+  // (rebalance_decisions + evac_decisions) / fleet_op_search_seconds.
+  double fleet_op_search_seconds = 0.0;
+  // RebalancePass invocations that ran vs. were skipped because the
+  // capacity index's dirty flag proved them no-ops (zero previews).
+  int rebalance_passes = 0;
+  int rebalance_passes_skipped = 0;
 };
 
 /// Fleet-wide evaluation of one replayed trace (the cluster analog of
@@ -216,6 +258,9 @@ class FleetScheduler {
   const FleetConfig& config() const { return config_; }
   /// The active dispatch policy (read-only; the fleet owns it).
   const DispatchPolicy& dispatch() const { return *dispatch_; }
+  /// The per-cell capacity index (read-only; kept current by the fleet at
+  /// every occupancy/availability-changing point).
+  const CapacityIndex& capacity_index() const { return capacity_index_; }
 
   /// Per-machine time-averaged utilizations, machine order.
   std::vector<double> TimeAveragedUtilizations() const;
@@ -269,11 +314,40 @@ class FleetScheduler {
   void RecordAdmission(const ScheduleOutcome& outcome, double now);
 
   // Re-dispatches fleet-wide waiting containers whenever capacity may have
-  // returned (start of every RebalancePass).
+  // returned (start of every RebalancePass that the capacity index's dirty
+  // flag lets run).
   void DrainUnplaced(double now, EventObserver* observer);
 
-  // Cross-machine moves of queued and degraded containers.
+  // Cross-machine moves of queued and degraded containers. Skipped
+  // entirely — zero previews — when the capacity index's dirty flag is
+  // clear: nothing capacity-relevant changed since the last pass, so the
+  // pass would reproduce its decisions.
   void RebalancePass(double now, EventObserver* observer);
+
+  // One cross-machine target search, shared by rebalance, drain and
+  // failover: scores candidate targets by gain-over-cost surplus and
+  // returns the best machine id (-1 when no move beats its modeled cost),
+  // filling `best_move` with the winning move's gain/cost model.
+  struct TargetSearch {
+    const ContainerRequest* request = nullptr;
+    int exclude_machine = kNoMachine;  // the mover's source, never a target
+    double current_abs = 0.0;   // producing rate now (0: queued/state lost)
+    double goal_abs = 0.0;      // gain fallback under model-free targets
+    bool improvement_only = false;  // live incumbent: min-gain gated delta
+    bool pay_migration = false;     // live container: §7 estimate + copy
+    bool was_queued = false;
+    RebalanceMove::Reason reason = RebalanceMove::Reason::kRebalance;
+    int* previews = nullptr;    // stats counter charged per preview
+  };
+  int FindBestTarget(const TargetSearch& search, RebalanceMove* best_move);
+
+  // Candidate target machine ids (ascending) for one fleet-op decision:
+  // up machines != exclude_machine with >= vcpus free hardware threads.
+  // Under sharded fleet ops only machines inside the most promising cells
+  // (capacity index, config.fleet_probes) are returned, falling back to
+  // the full walk when the index proves no cell can fit the request.
+  std::vector<int> SelectFleetOpTargets(const ContainerRequest& request,
+                                        int exclude_machine) const;
 
   // Availability flip (mirrored into the dispatch membership view) +
   // evacuation/rebalance shared by Fail/Drain/Rejoin.
@@ -294,6 +368,9 @@ class FleetScheduler {
   // Heap-allocated so the pointer the policy holds survives moving the
   // fleet (factory helpers return FleetScheduler by value).
   std::unique_ptr<std::vector<MachineMembership>> membership_;
+  // Per-cell capacity summaries over membership_, updated in place at
+  // every occupancy/availability-changing point (see capacity_index.h).
+  CapacityIndex capacity_index_;
   std::map<std::string, Group> groups_;
   std::map<int, int> machine_of_;      // containers live on some machine
   std::map<int, ContainerRequest> unplaced_;  // waiting fleet-wide, no machine

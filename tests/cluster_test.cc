@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/cluster/capacity_index.h"
 #include "src/cluster/dispatch.h"
 #include "src/cluster/fleet.h"
+#include "src/util/json.h"
 #include "src/model/pipeline.h"
 #include "src/scheduler/scheduler.h"
 #include "src/topology/machines.h"
@@ -708,6 +711,195 @@ TEST(FleetEvents, ReplayWithInjectedFailureKeepsInvariantsAndDrains) {
   for (int id = 1; id <= 12; ++id) {
     EXPECT_EQ(fleet.MachineOf(id), kNoMachine) << "container " << id;
   }
+}
+
+// Serializes everything deterministic a replay produced — stats, every
+// committed move, every evacuation report, every observed outcome — the
+// way the CLI's --json does, so "byte-identical output" is checkable with
+// a string comparison. Wall-clock timings are the one thing deliberately
+// absent: they differ run to run by construction.
+std::string ReplayToJson(FleetScheduler& fleet, const EventStream& trace) {
+  OutcomeRecorder recorder;
+  fleet.Replay(trace, &recorder);
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  const FleetStats& stats = fleet.stats();
+  json.Field("submitted", stats.submitted);
+  json.Field("dispatched_immediately", stats.dispatched_immediately);
+  json.Field("queued", stats.queued);
+  json.Field("queue_admissions", stats.queue_admissions);
+  json.Field("queue_wait_seconds", stats.queue_wait_seconds);
+  json.Field("rebalance_moves", stats.rebalance_moves);
+  json.Field("evacuations", stats.evacuations);
+  json.Field("evacuation_moves", stats.evacuation_moves);
+  json.Field("evacuation_requeues", stats.evacuation_requeues);
+  json.Field("cross_machine_move_seconds", stats.cross_machine_move_seconds);
+  json.Field("network_copy_seconds", stats.network_copy_seconds);
+  json.Field("fleet_probe_runs", stats.fleet_probe_runs);
+  json.Field("fleet_probe_seconds", stats.fleet_probe_seconds);
+  json.Field("dispatch_previews", stats.dispatch_previews);
+  json.Field("dispatch_decisions", stats.dispatch_decisions);
+  json.Field("rebalance_previews", stats.rebalance_previews);
+  json.Field("rebalance_decisions", stats.rebalance_decisions);
+  json.Field("evac_previews", stats.evac_previews);
+  json.Field("evac_decisions", stats.evac_decisions);
+  json.Field("rebalance_passes", stats.rebalance_passes);
+  json.Field("rebalance_passes_skipped", stats.rebalance_passes_skipped);
+  json.Key("moves");
+  json.BeginArray();
+  for (const RebalanceMove& move : fleet.rebalance_log()) {
+    json.BeginObject();
+    json.Field("container", move.container_id);
+    json.Field("from", move.from_machine);
+    json.Field("to", move.to_machine);
+    json.Field("was_queued", move.was_queued);
+    json.Field("reason", ToString(move.reason));
+    json.Field("gain_ops", move.predicted_gain_ops);
+    json.Field("cost_ops", move.modeled_cost_ops);
+    json.Field("move_seconds", move.move_seconds);
+    json.Field("network_seconds", move.network_seconds);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("evacuations_log");
+  json.BeginArray();
+  for (const EvacuationReport& report : fleet.evacuation_log()) {
+    json.BeginObject();
+    json.Field("machine", report.machine_id);
+    json.Field("reason", ToString(report.reason));
+    json.Field("containers", report.containers);
+    json.Field("rehomed", report.rehomed);
+    json.Field("requeued", report.requeued);
+    json.Field("last_landing_seconds", report.last_landing_seconds);
+    json.Field("move_seconds_total", report.move_seconds_total);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("outcomes");
+  json.BeginArray();
+  for (const FleetOutcome& fo : recorder.outcomes) {
+    json.BeginObject();
+    json.Field("machine", fo.machine_id);
+    json.Field("container", fo.outcome.container_id);
+    json.Field("admitted", fo.outcome.admitted);
+    json.Field("placement", fo.outcome.placement_id);
+    json.Field("predicted_abs", fo.outcome.predicted_abs_throughput);
+    json.Field("meets_goal", fo.outcome.meets_goal);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return os.str();
+}
+
+// One event stream with container churn plus a fail, a drain and both
+// rejoins — every fleet operation the capacity index guides.
+EventStream ChurnTraceWithMachineEvents(int num_streams, uint64_t seed) {
+  // Long-lived containers oversubscribe the fleet on purpose: the
+  // rebalance pass needs queued waiters and below-goal incumbents to have
+  // anything to move, and the mid-trace fail/drain tightens it further.
+  // 16 vCPUs matches the width the shared trained model covers.
+  TraceConfig trace_config;
+  trace_config.num_containers = 10;
+  trace_config.vcpus = 16;
+  trace_config.goal_fraction = 0.9;
+  trace_config.mean_interarrival_seconds = 60.0;
+  trace_config.mean_lifetime_seconds = 2000.0;
+  Rng rng(seed);
+  EventStream trace = GenerateFleetTrace(trace_config, num_streams, rng);
+  const double end = trace.EndTime();
+  return InjectMachineEvents(std::move(trace),
+                             {FleetEvent::Fail(0.40 * end, 0),
+                              FleetEvent::Drain(0.55 * end, 1),
+                              FleetEvent::Rejoin(0.70 * end, 0),
+                              FleetEvent::Rejoin(0.85 * end, 1)});
+}
+
+TEST(FleetCapacityOps, IndexBackedAndFullScanPathsAreByteIdentical) {
+  // fleet_probes = 0 descends into every eligible cell, i.e. the forced
+  // fallback: the index-backed search must preview exactly the machines
+  // the full scan previews, in the same order, and land every container,
+  // move and counter identically — byte-identical serialized output.
+  FleetConfig indexed;
+  indexed.dispatch = "best-predicted";
+  indexed.sharded_fleet_ops = true;
+  indexed.fleet_probes = 0;
+  FleetConfig full_scan = indexed;
+  full_scan.sharded_fleet_ops = false;
+
+  FleetScheduler indexed_fleet = MakeAmdFleet(6, "model", indexed);
+  FleetScheduler full_scan_fleet = MakeAmdFleet(6, "model", full_scan);
+  const EventStream trace = ChurnTraceWithMachineEvents(3, 99);
+
+  const std::string indexed_json = ReplayToJson(indexed_fleet, trace);
+  const std::string full_scan_json = ReplayToJson(full_scan_fleet, trace);
+  EXPECT_EQ(indexed_json, full_scan_json);
+  // The replay exercised the paths it claims to compare.
+  EXPECT_GT(indexed_fleet.stats().rebalance_decisions, 0);
+  EXPECT_GT(indexed_fleet.stats().evac_decisions, 0);
+  EXPECT_GT(indexed_fleet.stats().evacuations, 0);
+}
+
+TEST(FleetCapacityOps, ShardedSearchStaysWithinThePreviewBound) {
+  // 9 machines, flat dispatch: the index builds its own 3-cell modulo
+  // layout; every rebalance/evacuation target search may preview at most
+  // the members of fleet_probes promising cells.
+  FleetConfig config;
+  config.dispatch = "best-predicted";
+  FleetScheduler fleet = MakeAmdFleet(9, "model", config);
+  ASSERT_TRUE(fleet.config().sharded_fleet_ops);
+  const CapacityIndex& index = fleet.capacity_index();
+  ASSERT_EQ(index.NumCells(), 3);
+  size_t cell_cap = 0;
+  for (const std::vector<int>& cell : index.layout().cells) {
+    cell_cap = std::max(cell_cap, cell.size());
+  }
+
+  fleet.Replay(ChurnTraceWithMachineEvents(6, 41));
+  const FleetStats& stats = fleet.stats();
+  EXPECT_GT(stats.rebalance_decisions, 0);
+  EXPECT_GT(stats.evac_decisions, 0);
+  const int per_search =
+      static_cast<int>(cell_cap) * fleet.config().fleet_probes;
+  EXPECT_LE(stats.rebalance_previews, stats.rebalance_decisions * per_search);
+  EXPECT_LE(stats.evac_previews, stats.evac_decisions * per_search);
+}
+
+TEST(FleetCapacityOps, CleanCapacityFlagSkipsTheRebalancePassEntirely) {
+  FleetConfig config;
+  config.dispatch = "best-predicted";
+  FleetScheduler fleet = MakeAmdFleet(2, "model", config);
+  // Fill both machines (four 16-vCPU placements each), then queue two more.
+  for (int id = 1; id <= 8; ++id) {
+    ASSERT_TRUE(fleet.Submit(MakeRequest(id, "gcc", 0.5), id * 1.0).outcome.admitted);
+  }
+  ASSERT_FALSE(fleet.Submit(MakeRequest(9, "gcc", 0.5), 9.0).outcome.admitted);
+  ASSERT_FALSE(fleet.Submit(MakeRequest(10, "gcc", 0.5), 10.0).outcome.admitted);
+
+  // Departing queued 9 frees nothing, but the pass still runs: the
+  // queueings above marked capacity changed. With both machines full it
+  // finds no target and changes nothing, clearing the flag.
+  fleet.Depart(9, 11.0);
+  const FleetStats mid = fleet.stats();
+  EXPECT_GT(mid.rebalance_passes, 0);
+  EXPECT_FALSE(fleet.capacity_index().capacity_dirty());
+
+  // Departing queued 10 frees nothing AND nothing changed since the last
+  // pass: the whole pass — unplaced drain, mover searches, previews — is
+  // skipped as a proven no-op.
+  fleet.Depart(10, 12.0);
+  const FleetStats after = fleet.stats();
+  EXPECT_EQ(after.rebalance_passes, mid.rebalance_passes);
+  EXPECT_EQ(after.rebalance_passes_skipped, mid.rebalance_passes_skipped + 1);
+  EXPECT_EQ(after.rebalance_previews, mid.rebalance_previews);
+  EXPECT_EQ(after.rebalance_decisions, mid.rebalance_decisions);
+  EXPECT_EQ(after.dispatch_decisions, mid.dispatch_decisions);
+  EXPECT_EQ(after.dispatch_previews, mid.dispatch_previews);
+
+  // A running departure frees capacity, re-arming the flag and the pass.
+  fleet.Depart(1, 13.0);
+  EXPECT_EQ(fleet.stats().rebalance_passes, mid.rebalance_passes + 1);
 }
 
 }  // namespace

@@ -308,7 +308,7 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
              uint64_t seed, const std::string& dispatch_name,
              const std::string& policy_name,
              const std::vector<FleetEvent>& machine_events, int sharded_cells,
-             int sharded_probes) {
+             int sharded_probes, bool full_scan_ops, int fleet_probes) {
   if (containers_per_stream <= 0) {
     std::fprintf(stderr, "need at least one container per machine stream\n");
     return 2;
@@ -344,6 +344,12 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
   }
   FleetConfig fleet_config;
   fleet_config.dispatch = dispatch_name;
+  // Fleet operations (rebalance/evacuation target searches) consult the
+  // per-cell capacity index unless the full scan is explicitly requested.
+  fleet_config.sharded_fleet_ops = !full_scan_ops;
+  if (fleet_probes > 0) {
+    fleet_config.fleet_probes = fleet_probes;
+  }
   // The sharded dispatcher is the one policy with CLI-tunable knobs; an
   // explicitly configured instance goes through the injecting constructor,
   // everything else is built by name from the registry.
@@ -361,6 +367,13 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
     dispatch = MakeDispatchPolicy(dispatch_name);
   }
   FleetScheduler fleet(std::move(specs), fleet_config, std::move(dispatch));
+  if (fleet_config.sharded_fleet_ops) {
+    std::printf("fleet ops: capacity-index search over %d cells, %d sampled per "
+                "target search\n",
+                fleet.capacity_index().NumCells(), fleet_config.fleet_probes);
+  } else {
+    std::printf("fleet ops: full-scan target search (--full-scan-ops)\n");
+  }
   if (const auto* sharded =
           dynamic_cast<const ShardedDispatchPolicy*>(&fleet.dispatch())) {
     std::printf("sharded dispatch: %d cells over %d machines, %d sampled per "
@@ -492,10 +505,19 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
   summary.AddRow({"mean queue wait (s)",
                   TablePrinter::Num(report.mean_queue_wait_seconds, 1)});
   summary.AddRow({"rebalance moves", std::to_string(stats.rebalance_moves)});
+  summary.AddRow({"rebalance passes (run/skipped)",
+                  std::to_string(stats.rebalance_passes) + "/" +
+                      std::to_string(stats.rebalance_passes_skipped)});
+  summary.AddRow({"rebalance previews (target searches)",
+                  std::to_string(stats.rebalance_previews) + " (" +
+                      std::to_string(stats.rebalance_decisions) + ")"});
   if (stats.evacuations > 0) {
     summary.AddRow({"machine evacuations", std::to_string(stats.evacuations)});
     summary.AddRow({"evacuation moves", std::to_string(stats.evacuation_moves)});
     summary.AddRow({"evacuation requeues", std::to_string(stats.evacuation_requeues)});
+    summary.AddRow({"evacuation previews (target searches)",
+                    std::to_string(stats.evac_previews) + " (" +
+                        std::to_string(stats.evac_decisions) + ")"});
   }
   summary.AddRow({"cross-machine move time (s)",
                   TablePrinter::Num(stats.cross_machine_move_seconds, 1)});
@@ -551,6 +573,7 @@ void Usage() {
                "  numaplace_cli fleet <machine,machine,...> <vcpus> "
                "<containers-per-machine> [seed] [dispatch] [policy]\n"
                "                [--dispatch <name>] [--cells <N>] [--probes <d>]\n"
+               "                [--fleet-probes <d>] [--full-scan-ops]\n"
                "                [--fail <machine>@<t>] [--drain <machine>@<t>] "
                "[--rejoin <machine>@<t>]\n");
 }
@@ -624,6 +647,8 @@ int main(int argc, char** argv) {
       std::vector<FleetEvent> machine_events;
       int sharded_cells = 0;
       int sharded_probes = 0;
+      bool full_scan_ops = false;
+      int fleet_probes = 0;
       bool have_seed = false;
       bool have_dispatch = false;
       bool have_policy = false;
@@ -651,9 +676,14 @@ int main(int argc, char** argv) {
           }
           continue;
         }
+        if (std::strcmp(argv[i], "--full-scan-ops") == 0) {
+          full_scan_ops = true;
+          continue;
+        }
         const bool is_cells = std::strcmp(argv[i], "--cells") == 0;
         const bool is_probes = std::strcmp(argv[i], "--probes") == 0;
-        if (is_cells || is_probes) {
+        const bool is_fleet_probes = std::strcmp(argv[i], "--fleet-probes") == 0;
+        if (is_cells || is_probes || is_fleet_probes) {
           char* end = nullptr;
           const long parsed = i + 1 < argc ? std::strtol(argv[i + 1], &end, 10) : 0;
           if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' || parsed <= 0) {
@@ -661,7 +691,9 @@ int main(int argc, char** argv) {
             return 2;
           }
           ++i;
-          (is_cells ? sharded_cells : sharded_probes) = static_cast<int>(parsed);
+          (is_cells        ? sharded_cells
+           : is_probes     ? sharded_probes
+                           : fleet_probes) = static_cast<int>(parsed);
           continue;
         }
         const bool is_fail = std::strcmp(argv[i], "--fail") == 0;
@@ -730,7 +762,8 @@ int main(int argc, char** argv) {
         dispatch = "sharded";  // the tuning flags imply the policy
       }
       return CmdFleet(argv[2], std::atoi(argv[3]), std::atoi(argv[4]), seed, dispatch,
-                      policy, machine_events, sharded_cells, sharded_probes);
+                      policy, machine_events, sharded_cells, sharded_probes,
+                      full_scan_ops, fleet_probes);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
