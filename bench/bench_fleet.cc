@@ -53,6 +53,20 @@
 // attainment parity within 1pp at 256 machines and >= 4x fleet-op decision
 // throughput at 1024.
 //
+// A fifth sweep measures correlated failure: a 64-machine fleet laid out
+// over 8 contiguous racks (FailureDomainTopology, 4 AMD + 4 Intel each)
+// loses rack 0 — all 8 machines at once, via a domain-scoped fail event —
+// at mid-trace, with no rejoin. Two contenders replay the identical
+// baseline and rack-fail traces under best-predicted dispatch: "flat"
+// (spread off) and "spread" (rack co-location penalty + per-rack cap on
+// each service group). Reported per (contender, scenario): goal attainment,
+// attainment damage vs. the contender's own baseline, and — snapshotted at
+// the failure instant, before evacuation — each service group's
+// domains-to-loss (distinct racks/zones holding a replica: the minimum
+// simultaneous domain failures that wipe the group). The bench asserts the
+// spread contender loses strictly less attainment to the rack loss than
+// flat best-predicted, and that its mean racks-to-loss is no worse.
+//
 // Flags:
 //   --smoke        tiny trace + small forests (CI Release-mode exercise)
 //   --json <path>  machine-readable results for the BENCH_*.json trajectory
@@ -67,6 +81,7 @@
 #include <vector>
 
 #include "src/cluster/dispatch.h"
+#include "src/cluster/domains.h"
 #include "src/cluster/fleet.h"
 #include "src/core/concern.h"
 #include "src/core/important.h"
@@ -451,10 +466,138 @@ void PrintFleetOpsRows(const std::vector<FleetOpsRow>& rows) {
   table.Print(std::cout);
 }
 
+// Per-service-group availability snapshot: replicas placed and the distinct
+// racks/zones holding one (DomainOccupancy::DomainsToLoss).
+struct RackLossGroup {
+  std::string group;
+  int replicas = 0;
+  int racks = 0;
+  int zones = 0;
+};
+
+// One run of the rack-loss sweep.
+struct RackLossRow {
+  std::string contender;  // "flat" | "spread"
+  std::string scenario;   // "baseline" | "rack-fail"
+  double spread_weight = 0.0;
+  int spread_cap = 0;
+  FleetReport report;
+  FleetStats stats;
+  double damage_pp = 0.0;  // contender's own baseline attainment minus this
+  // Snapshot at the failure instant (rack-fail scenario only).
+  std::vector<RackLossGroup> groups;
+  double mean_racks_to_loss = 0.0;  // over all groups with a placed replica
+  int min_racks_to_loss = 0;        // over groups with >= 2 replicas
+};
+
+// Captures every service group's domains-to-loss at the first availability
+// flip of the replay — the rack's first member failing — while the
+// occupancy view still holds the pre-outage placement. That instant is the
+// FLAQR question in motion: how spread out was each group when the domain
+// actually died?
+class DomainSnapshotObserver final : public EventObserver {
+ public:
+  explicit DomainSnapshotObserver(const FleetScheduler& fleet) : fleet_(&fleet) {}
+
+  void OnMachineAvailability(int /*machine_id*/, MachineAvailability /*availability*/,
+                             double /*now*/) override {
+    if (captured_) {
+      return;
+    }
+    captured_ = true;
+    const DomainOccupancy& occupancy = fleet_->domain_occupancy();
+    for (const std::string& name : occupancy.Groups()) {
+      groups_.push_back({name, occupancy.Replicas(name),
+                         occupancy.DomainsToLoss(name, DomainScope::kRack),
+                         occupancy.DomainsToLoss(name, DomainScope::kZone)});
+    }
+  }
+
+  const std::vector<RackLossGroup>& groups() const { return groups_; }
+
+ private:
+  const FleetScheduler* fleet_;
+  bool captured_ = false;
+  std::vector<RackLossGroup> groups_;
+};
+
+RackLossRow RunRackLoss(const FleetDef& def,
+                        const std::map<std::string, GroupAssets>& groups,
+                        const EventStream& trace, const char* scenario, bool spread,
+                        int racks) {
+  std::vector<MachineSpec> specs;
+  for (const std::string& name : def.machines) {
+    const GroupAssets& group = groups.at(name);
+    MachineSpec spec(group.topo);
+    spec.scheduler.policy = "model";
+    spec.scheduler.baseline_id = group.baseline_id;
+    spec.scheduler.use_interconnect_concern = group.use_interconnect;
+    specs.push_back(std::move(spec));
+  }
+  FleetConfig config;
+  config.dispatch = "best-predicted";
+  config.domain_racks = racks;
+  if (spread) {
+    config.spread_weight = 2.0;
+    config.spread_max_per_rack = 2;
+  }
+  FleetScheduler fleet(std::move(specs), config);
+  for (const auto& [name, group] : groups) {
+    if (std::find(def.machines.begin(), def.machines.end(), name) == def.machines.end()) {
+      continue;
+    }
+    fleet.GroupRegistry(group.topo.name()).Register(group.topo.name(), kVcpus, group.model);
+    fleet.ProvidePlacements(group.topo.name(), group.ips);
+  }
+
+  RackLossRow row;
+  row.contender = spread ? "spread" : "flat";
+  row.scenario = scenario;
+  row.spread_weight = config.spread_weight;
+  row.spread_cap = config.spread_max_per_rack;
+  DomainSnapshotObserver snapshot(fleet);
+  row.report = fleet.ReplayWithEvaluation(trace, &snapshot);
+  row.stats = fleet.stats();
+  row.groups = snapshot.groups();
+  double racks_sum = 0.0;
+  int multi_replica = 0;
+  for (const RackLossGroup& group : row.groups) {
+    racks_sum += group.racks;
+    if (group.replicas >= 2) {
+      row.min_racks_to_loss = multi_replica == 0
+                                  ? group.racks
+                                  : std::min(row.min_racks_to_loss, group.racks);
+      ++multi_replica;
+    }
+  }
+  row.mean_racks_to_loss =
+      row.groups.empty() ? 0.0 : racks_sum / static_cast<double>(row.groups.size());
+  return row;
+}
+
+void PrintRackLossRows(const std::vector<RackLossRow>& rows) {
+  TablePrinter table({"contender", "scenario", "goal attainment", "damage",
+                      "mean racks-to-loss", "min racks-to-loss (multi)",
+                      "failover moves", "requeued", "queue wait (s)"});
+  for (const RackLossRow& row : rows) {
+    table.AddRow({row.contender, row.scenario,
+                  TablePrinter::Num(100.0 * row.report.goal_attainment, 1) + "%",
+                  row.scenario == "baseline" ? "-"
+                                             : TablePrinter::Num(row.damage_pp, 1) + "pp",
+                  row.groups.empty() ? "-" : TablePrinter::Num(row.mean_racks_to_loss, 2),
+                  row.groups.empty() ? "-" : std::to_string(row.min_racks_to_loss),
+                  std::to_string(row.stats.failover_moves),
+                  std::to_string(row.stats.evacuation_requeues),
+                  TablePrinter::Num(row.report.mean_queue_wait_seconds, 1)});
+  }
+  table.Print(std::cout);
+}
+
 void WriteJson(const std::string& path, const std::vector<ResultRow>& rows,
                const std::vector<ScenarioRow>& scenario_rows,
                const std::vector<SweepRow>& sweep_rows,
-               const std::vector<FleetOpsRow>& fleet_ops_rows, bool smoke) {
+               const std::vector<FleetOpsRow>& fleet_ops_rows,
+               const std::vector<RackLossRow>& rack_loss_rows, bool smoke) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -480,6 +623,8 @@ void WriteJson(const std::string& path, const std::vector<ResultRow>& rows,
     json.Field("mean_queue_wait_seconds", row.report.mean_queue_wait_seconds);
     json.Field("queue_admissions", row.stats.queue_admissions);
     json.Field("rebalance_moves", row.stats.rebalance_moves);
+    json.Field("drain_moves", row.stats.drain_moves);
+    json.Field("failover_moves", row.stats.failover_moves);
     json.Field("cross_machine_move_seconds", row.stats.cross_machine_move_seconds);
     json.Field("network_copy_seconds", row.stats.network_copy_seconds);
     json.Field("probe_runs", row.machine_probe_runs);
@@ -516,6 +661,8 @@ void WriteJson(const std::string& path, const std::vector<ResultRow>& rows,
     json.Field("evacuation_move_seconds", totals.move_seconds);
     json.Field("evacuation_requeues", row.run.stats.evacuation_requeues);
     json.Field("evacuation_moves", row.run.stats.evacuation_moves);
+    json.Field("drain_moves", row.run.stats.drain_moves);
+    json.Field("failover_moves", row.run.stats.failover_moves);
     json.Field("rebalance_moves", row.run.stats.rebalance_moves);
     json.Field("rebalance_previews", row.run.stats.rebalance_previews);
     json.Field("rebalance_decisions", row.run.stats.rebalance_decisions);
@@ -559,6 +706,8 @@ void WriteJson(const std::string& path, const std::vector<ResultRow>& rows,
     json.Field("rebalance_passes_skipped", row.stats.rebalance_passes_skipped);
     json.Field("rebalance_moves", row.stats.rebalance_moves);
     json.Field("evacuation_moves", row.stats.evacuation_moves);
+    json.Field("drain_moves", row.stats.drain_moves);
+    json.Field("failover_moves", row.stats.failover_moves);
     json.Field("evacuation_requeues", row.stats.evacuation_requeues);
     json.Field("cell_cap", row.cell_cap);
     json.Field("fleet_probes", row.probes);
@@ -566,6 +715,38 @@ void WriteJson(const std::string& path, const std::vector<ResultRow>& rows,
     json.Field("replay_wall_seconds", row.replay_wall_seconds);
     json.Field("search_seconds", row.stats.fleet_op_search_seconds);
     json.Field("searches_per_second", row.SearchesPerSecond());
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("rack_loss");
+  json.BeginArray();
+  for (const RackLossRow& row : rack_loss_rows) {
+    json.BeginObject();
+    json.Field("contender", row.contender);
+    json.Field("scenario", row.scenario);
+    json.Field("spread_weight", row.spread_weight);
+    json.Field("spread_max_per_rack", row.spread_cap);
+    json.Field("goal_attainment", row.report.goal_attainment);
+    json.Field("damage_pp", row.damage_pp);
+    json.Field("mean_queue_wait_seconds", row.report.mean_queue_wait_seconds);
+    json.Field("queue_admissions", row.stats.queue_admissions);
+    json.Field("rebalance_moves", row.stats.rebalance_moves);
+    json.Field("drain_moves", row.stats.drain_moves);
+    json.Field("failover_moves", row.stats.failover_moves);
+    json.Field("evacuation_requeues", row.stats.evacuation_requeues);
+    json.Field("mean_racks_to_loss", row.mean_racks_to_loss);
+    json.Field("min_racks_to_loss", row.min_racks_to_loss);
+    json.Key("groups");
+    json.BeginArray();
+    for (const RackLossGroup& group : row.groups) {
+      json.BeginObject();
+      json.Field("group", group.group);
+      json.Field("replicas", group.replicas);
+      json.Field("racks_to_loss", group.racks);
+      json.Field("zones_to_loss", group.zones);
+      json.EndObject();
+    }
+    json.EndArray();
     json.EndObject();
   }
   json.EndArray();
@@ -834,8 +1015,98 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Rack-loss sweep: one fleet, two contenders, two scenarios. The fleet is
+  // laid out over contiguous racks (amd/intel alternate within each rack);
+  // the rack-fail trace kills rack 0 — every member machine at once, via one
+  // domain-scoped event — at mid-trace with no rejoin, so the damage window
+  // runs to the end of the trace. Both contenders dispatch best-predicted;
+  // "spread" adds the rack co-location penalty and per-rack cap. The load is
+  // heavier than the scaling sweeps: correlated damage only shows once the
+  // survivors are crowded enough that evacuees interfere.
+  const int rack_machines = smoke ? 16 : 64;
+  const int rack_count = smoke ? 4 : 8;
+  const FleetDef rack_def = MixedFleet(rack_machines);
+  TraceConfig rack_base = sweep_base;
+  rack_base.num_containers = smoke ? 3 : 6;
+  rack_base.mean_interarrival_seconds = 120.0;
+  Rng rack_rng(55);
+  const EventStream rack_baseline =
+      GenerateFleetTrace(rack_base, rack_machines, rack_rng);
+  // Mid-arrival-window, not mid-trace-span: EndTime() rides the exponential
+  // lifetime tail (one long-lived container can double it), which would put
+  // the failure after the load has drained and measure nothing. Halfway
+  // through the arrival window the fleet is at peak occupancy.
+  const double t_rack_fail =
+      0.5 * rack_base.num_containers * rack_base.mean_interarrival_seconds;
+  // The same Uniform layout the fleets below build from their config — the
+  // expansion of the domain event and the spread bookkeeping agree on what
+  // rack 0 is.
+  const FailureDomainTopology rack_topo =
+      FailureDomainTopology::Uniform(rack_machines, rack_count);
+  EventStream rack_fail_copy = rack_baseline;
+  const EventStream rack_fail_trace = InjectMachineEvents(
+      std::move(rack_fail_copy),
+      {FleetEvent::FailDomain(t_rack_fail, DomainScope::kRack, 0)}, rack_topo);
+  std::printf("\nrack-loss sweep — %d machines over %d racks, rack 0 (%d machines) "
+              "fails at t=%.0fs with no rejoin\n",
+              rack_machines, rack_count,
+              static_cast<int>(rack_topo.MachinesInRack(0).size()), t_rack_fail);
+  std::vector<RackLossRow> rack_loss_rows;
+  for (const bool spread : {false, true}) {
+    double baseline_attainment = 0.0;
+    for (const char* scenario : {"baseline", "rack-fail"}) {
+      const bool is_baseline = std::strcmp(scenario, "baseline") == 0;
+      RackLossRow row = RunRackLoss(rack_def, groups,
+                                    is_baseline ? rack_baseline : rack_fail_trace,
+                                    scenario, spread, rack_count);
+      if (is_baseline) {
+        baseline_attainment = row.report.goal_attainment;
+      }
+      row.damage_pp = 100.0 * (baseline_attainment - row.report.goal_attainment);
+      rack_loss_rows.push_back(std::move(row));
+    }
+  }
+  std::printf("\n");
+  PrintRackLossRows(rack_loss_rows);
+
+  // The correlated-failure claim: spread dispatch bounds the attainment
+  // damage of a rack loss — strictly less than flat best-predicted — and
+  // buys it by holding every group across more racks (mean racks-to-loss no
+  // worse than flat).
+  const auto rack_of = [&](const char* contender,
+                           const char* scenario) -> const RackLossRow& {
+    for (const RackLossRow& row : rack_loss_rows) {
+      if (row.contender == contender && row.scenario == scenario) {
+        return row;
+      }
+    }
+    std::fprintf(stderr, "rack-loss row (%s, %s) missing\n", contender, scenario);
+    std::exit(1);
+  };
+  const RackLossRow& flat_loss = rack_of("flat", "rack-fail");
+  const RackLossRow& spread_loss = rack_of("spread", "rack-fail");
+  std::printf("rack loss: flat damage %.2fpp vs spread damage %.2fpp (%+.2fpp), "
+              "mean racks-to-loss %.2f vs %.2f\n",
+              flat_loss.damage_pp, spread_loss.damage_pp,
+              flat_loss.damage_pp - spread_loss.damage_pp,
+              flat_loss.mean_racks_to_loss, spread_loss.mean_racks_to_loss);
+  if (spread_loss.damage_pp >= flat_loss.damage_pp) {
+    std::fprintf(stderr,
+                 "FAIL: spread rack-loss damage %.2fpp is not strictly below flat's "
+                 "%.2fpp\n",
+                 spread_loss.damage_pp, flat_loss.damage_pp);
+    ++failures;
+  }
+  if (spread_loss.mean_racks_to_loss < flat_loss.mean_racks_to_loss) {
+    std::fprintf(stderr,
+                 "FAIL: spread mean racks-to-loss %.2f below flat's %.2f\n",
+                 spread_loss.mean_racks_to_loss, flat_loss.mean_racks_to_loss);
+    ++failures;
+  }
+
   if (!json_path.empty()) {
-    WriteJson(json_path, rows, scenario_rows, sweep_rows, fleet_ops_rows, smoke);
+    WriteJson(json_path, rows, scenario_rows, sweep_rows, fleet_ops_rows,
+              rack_loss_rows, smoke);
   }
   return failures == 0 ? 0 : 1;
 }

@@ -36,6 +36,9 @@
 
 namespace numaplace {
 
+class FailureDomainTopology;
+class DomainOccupancy;
+
 /// Static machine -> cell partition shared by the sharded dispatcher and
 /// the fleet's per-cell capacity index (src/cluster/capacity_index.h).
 /// Built once at BindMembership time; never rebuilt on availability churn,
@@ -123,6 +126,17 @@ class DispatchPolicy {
   /// derived here — like the sharded cell index — survive availability
   /// churn without rebuilding. Flat policies ignore the call.
   virtual void BindMembership(const std::vector<MachineMembership>* /*membership*/) {}
+
+  /// Called once by the owning FleetScheduler, after BindMembership, with
+  /// its failure-domain topology and live per-service-group domain-occupancy
+  /// view (src/cluster/domains.h). Both outlive the policy; the occupancy
+  /// view is updated in place as containers land, move and depart. The
+  /// fleet itself applies the spread dimension (rack co-location penalties
+  /// in its machine choice and evacuation/rebalance target searches), so
+  /// built-in policies ignore the call — the hook exists for plugin
+  /// dispatchers that want domain-aware preselection or ranking.
+  virtual void BindDomains(const FailureDomainTopology* /*domains*/,
+                           const DomainOccupancy* /*occupancy*/) {}
 
   /// Machine ids the fleet should build candidates (and, under
   /// NeedsPreviews(), admission previews) for on this decision; empty means

@@ -1,0 +1,360 @@
+#include "src/cluster/domains.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+namespace {
+
+// Default fan-out: count = round(sqrt(n)), clamped to [1, n] — domain count
+// and domain size grow together with the fleet.
+int DefaultFanOut(int n) {
+  const int count = static_cast<int>(std::lround(std::sqrt(static_cast<double>(n))));
+  return std::max(1, std::min(count, n));
+}
+
+// Partition point of the uniform layout: block b of `blocks` near-equal
+// contiguous blocks over [0, n) starts at b*n/blocks.
+int BlockStart(int n, int blocks, int b) {
+  return static_cast<int>((static_cast<long long>(b) * n) / blocks);
+}
+
+}  // namespace
+
+FailureDomainTopology FailureDomainTopology::Uniform(int num_machines, int racks,
+                                                     int zones) {
+  NP_CHECK_MSG(num_machines > 0,
+               "failure-domain topology needs at least one machine, got "
+                   << num_machines);
+  if (racks == 0) {
+    racks = DefaultFanOut(num_machines);
+  }
+  NP_CHECK_MSG(racks >= 1 && racks <= num_machines,
+               "rack count " << racks << " outside [1, " << num_machines
+                             << "] for a " << num_machines << "-machine fleet");
+  if (zones == 0) {
+    zones = DefaultFanOut(racks);
+  }
+  NP_CHECK_MSG(zones >= 1 && zones <= racks,
+               "zone count " << zones << " outside [1, " << racks << "] for a "
+                             << racks << "-rack layout");
+
+  std::vector<int> rack_of_machine(static_cast<size_t>(num_machines));
+  for (int r = 0; r < racks; ++r) {
+    const int begin = BlockStart(num_machines, racks, r);
+    const int end = BlockStart(num_machines, racks, r + 1);
+    for (int m = begin; m < end; ++m) {
+      rack_of_machine[static_cast<size_t>(m)] = r;
+    }
+  }
+  std::vector<int> zone_of_rack(static_cast<size_t>(racks));
+  for (int z = 0; z < zones; ++z) {
+    const int begin = BlockStart(racks, zones, z);
+    const int end = BlockStart(racks, zones, z + 1);
+    for (int r = begin; r < end; ++r) {
+      zone_of_rack[static_cast<size_t>(r)] = z;
+    }
+  }
+  return FromAssignments(std::move(rack_of_machine), std::move(zone_of_rack));
+}
+
+FailureDomainTopology FailureDomainTopology::FromAssignments(
+    std::vector<int> rack_of_machine, std::vector<int> zone_of_rack) {
+  NP_CHECK_MSG(!rack_of_machine.empty(),
+               "failure-domain topology needs at least one machine");
+  NP_CHECK_MSG(!zone_of_rack.empty(), "failure-domain topology needs at least one rack");
+  const int num_racks = static_cast<int>(zone_of_rack.size());
+  const int num_zones = 1 + *std::max_element(zone_of_rack.begin(), zone_of_rack.end());
+
+  FailureDomainTopology topology;
+  topology.rack_members_.resize(static_cast<size_t>(num_racks));
+  for (size_t m = 0; m < rack_of_machine.size(); ++m) {
+    const int rack = rack_of_machine[m];
+    NP_CHECK_MSG(rack >= 0 && rack < num_racks,
+                 "machine " << m << " assigned to rack " << rack
+                            << " outside the " << num_racks << "-rack layout");
+    topology.rack_members_[static_cast<size_t>(rack)].push_back(static_cast<int>(m));
+  }
+  topology.zone_members_.resize(static_cast<size_t>(num_zones));
+  for (int r = 0; r < num_racks; ++r) {
+    const int zone = zone_of_rack[static_cast<size_t>(r)];
+    NP_CHECK_MSG(zone >= 0, "rack " << r << " assigned to negative zone " << zone);
+    NP_CHECK_MSG(!topology.rack_members_[static_cast<size_t>(r)].empty(),
+                 "rack " << r << " has no machines — rack ids must be dense");
+    std::vector<int>& members = topology.zone_members_[static_cast<size_t>(zone)];
+    for (int m : topology.rack_members_[static_cast<size_t>(r)]) {
+      members.push_back(m);
+    }
+  }
+  for (int z = 0; z < num_zones; ++z) {
+    std::vector<int>& members = topology.zone_members_[static_cast<size_t>(z)];
+    NP_CHECK_MSG(!members.empty(),
+                 "zone " << z << " has no racks — zone ids must be dense");
+    // Racks of one zone need not be contiguous under an explicit layout.
+    std::sort(members.begin(), members.end());
+  }
+  topology.rack_of_ = std::move(rack_of_machine);
+  topology.zone_of_rack_ = std::move(zone_of_rack);
+  return topology;
+}
+
+int FailureDomainTopology::NumDomains(DomainScope scope) const {
+  switch (scope) {
+    case DomainScope::kMachine:
+      return NumMachines();
+    case DomainScope::kRack:
+      return NumRacks();
+    case DomainScope::kZone:
+      return NumZones();
+  }
+  NP_CHECK_MSG(false, "unknown domain scope");
+  __builtin_unreachable();
+}
+
+int FailureDomainTopology::RackOf(int machine_id) const {
+  NP_CHECK_MSG(machine_id >= 0 && machine_id < NumMachines(),
+               "machine " << machine_id << " outside the " << NumMachines()
+                          << "-machine topology");
+  return rack_of_[static_cast<size_t>(machine_id)];
+}
+
+int FailureDomainTopology::ZoneOf(int machine_id) const {
+  return ZoneOfRack(RackOf(machine_id));
+}
+
+int FailureDomainTopology::ZoneOfRack(int rack) const {
+  NP_CHECK_MSG(rack >= 0 && rack < NumRacks(),
+               "rack " << rack << " outside the " << NumRacks() << "-rack topology");
+  return zone_of_rack_[static_cast<size_t>(rack)];
+}
+
+int FailureDomainTopology::DomainOf(int machine_id, DomainScope scope) const {
+  switch (scope) {
+    case DomainScope::kMachine:
+      NP_CHECK_MSG(machine_id >= 0 && machine_id < NumMachines(),
+                   "machine " << machine_id << " outside the " << NumMachines()
+                              << "-machine topology");
+      return machine_id;
+    case DomainScope::kRack:
+      return RackOf(machine_id);
+    case DomainScope::kZone:
+      return ZoneOf(machine_id);
+  }
+  NP_CHECK_MSG(false, "unknown domain scope");
+  __builtin_unreachable();
+}
+
+const std::vector<int>& FailureDomainTopology::MachinesInRack(int rack) const {
+  NP_CHECK_MSG(rack >= 0 && rack < NumRacks(),
+               "rack " << rack << " outside the " << NumRacks() << "-rack topology");
+  return rack_members_[static_cast<size_t>(rack)];
+}
+
+const std::vector<int>& FailureDomainTopology::MachinesInZone(int zone) const {
+  NP_CHECK_MSG(zone >= 0 && zone < NumZones(),
+               "zone " << zone << " outside the " << NumZones() << "-zone topology");
+  return zone_members_[static_cast<size_t>(zone)];
+}
+
+std::vector<int> FailureDomainTopology::MachinesIn(DomainScope scope, int index) const {
+  switch (scope) {
+    case DomainScope::kMachine:
+      NP_CHECK_MSG(index >= 0 && index < NumMachines(),
+                   "machine " << index << " outside the " << NumMachines()
+                              << "-machine topology");
+      return {index};
+    case DomainScope::kRack:
+      return MachinesInRack(index);
+    case DomainScope::kZone:
+      return MachinesInZone(index);
+  }
+  NP_CHECK_MSG(false, "unknown domain scope");
+  __builtin_unreachable();
+}
+
+std::vector<FleetEvent> ExpandDomainEvents(const FailureDomainTopology& domains,
+                                           const std::vector<FleetEvent>& machine_events) {
+  std::vector<FleetEvent> expanded;
+  expanded.reserve(machine_events.size());
+  for (const FleetEvent& event : machine_events) {
+    NP_CHECK_MSG(event.IsMachineEvent(),
+                 "ExpandDomainEvents takes machine fail/drain/rejoin events, got "
+                     << ToString(event.kind()) << " at t=" << event.time_seconds);
+    const DomainScope scope = event.domain_scope();
+    if (scope == DomainScope::kMachine) {
+      expanded.push_back(event);
+      continue;
+    }
+    const int index = event.machine_id();
+    NP_CHECK_MSG(index >= 0 && index < domains.NumDomains(scope),
+                 ToString(scope) << " " << index << " in " << ToString(event.kind())
+                                 << " at t=" << event.time_seconds << " outside the "
+                                 << domains.NumDomains(scope) << "-" << ToString(scope)
+                                 << " topology");
+    for (int machine : domains.MachinesIn(scope, index)) {
+      switch (event.kind()) {
+        case FleetEventKind::kMachineFail:
+          expanded.push_back(FleetEvent::Fail(event.time_seconds, machine));
+          break;
+        case FleetEventKind::kMachineDrain:
+          expanded.push_back(FleetEvent::Drain(event.time_seconds, machine));
+          break;
+        case FleetEventKind::kMachineRejoin:
+          expanded.push_back(FleetEvent::Rejoin(event.time_seconds, machine));
+          break;
+        default:
+          NP_CHECK_MSG(false, "unreachable: container event past the machine check");
+      }
+    }
+  }
+  return expanded;
+}
+
+EventStream InjectMachineEvents(EventStream stream,
+                                const std::vector<FleetEvent>& machine_events,
+                                const FailureDomainTopology& domains) {
+  return InjectMachineEvents(std::move(stream),
+                             ExpandDomainEvents(domains, machine_events));
+}
+
+std::string ServiceGroupOf(const std::string& workload_name) {
+  return workload_name.substr(0, workload_name.find('#'));
+}
+
+void DomainOccupancy::Bind(const FailureDomainTopology* domains) {
+  NP_CHECK(domains != nullptr);
+  NP_CHECK(domains->NumMachines() > 0);
+  domains_ = domains;
+  containers_.clear();
+  groups_.clear();
+}
+
+DomainOccupancy::GroupCounts& DomainOccupancy::CountsOf(
+    const std::string& service_group) {
+  GroupCounts& counts = groups_[service_group];
+  if (counts.per_rack.empty()) {
+    counts.per_rack.resize(static_cast<size_t>(domains_->NumRacks()), 0);
+    counts.per_zone.resize(static_cast<size_t>(domains_->NumZones()), 0);
+  }
+  return counts;
+}
+
+void DomainOccupancy::Apply(const Tracked& tracked, int delta) {
+  GroupCounts& counts = CountsOf(tracked.group);
+  counts.per_rack[static_cast<size_t>(domains_->RackOf(tracked.machine_id))] += delta;
+  counts.per_zone[static_cast<size_t>(domains_->ZoneOf(tracked.machine_id))] += delta;
+  counts.replicas += delta;
+}
+
+void DomainOccupancy::Add(int container_id, const std::string& service_group,
+                          int machine_id) {
+  NP_CHECK_MSG(bound(), "DomainOccupancy used before Bind()");
+  const auto [it, inserted] =
+      containers_.emplace(container_id, Tracked{service_group, machine_id});
+  NP_CHECK_MSG(inserted, "container " << container_id
+                                      << " already tracked by the domain-occupancy "
+                                         "view — Move() it instead");
+  Apply(it->second, +1);
+}
+
+void DomainOccupancy::Move(int container_id, int machine_id) {
+  NP_CHECK_MSG(bound(), "DomainOccupancy used before Bind()");
+  const auto it = containers_.find(container_id);
+  NP_CHECK_MSG(it != containers_.end(),
+               "container " << container_id
+                            << " not tracked by the domain-occupancy view");
+  Apply(it->second, -1);
+  it->second.machine_id = machine_id;
+  Apply(it->second, +1);
+}
+
+void DomainOccupancy::Remove(int container_id) {
+  const auto it = containers_.find(container_id);
+  if (it == containers_.end()) {
+    return;
+  }
+  Apply(it->second, -1);
+  containers_.erase(it);
+}
+
+int DomainOccupancy::CountIn(const std::string& service_group, DomainScope scope,
+                             int index) const {
+  NP_CHECK_MSG(bound(), "DomainOccupancy used before Bind()");
+  const auto it = groups_.find(service_group);
+  if (it == groups_.end() || it->second.per_rack.empty()) {
+    return 0;
+  }
+  NP_CHECK_MSG(index >= 0 && index < domains_->NumDomains(scope),
+               ToString(scope) << " " << index << " outside the "
+                               << domains_->NumDomains(scope) << "-" << ToString(scope)
+                               << " topology");
+  switch (scope) {
+    case DomainScope::kMachine: {
+      // No per-machine vector is kept; count the tracked containers directly.
+      int count = 0;
+      for (const auto& [id, tracked] : containers_) {
+        if (tracked.group == service_group && tracked.machine_id == index) {
+          ++count;
+        }
+      }
+      return count;
+    }
+    case DomainScope::kRack:
+      return it->second.per_rack[static_cast<size_t>(index)];
+    case DomainScope::kZone:
+      return it->second.per_zone[static_cast<size_t>(index)];
+  }
+  NP_CHECK_MSG(false, "unknown domain scope");
+  __builtin_unreachable();
+}
+
+int DomainOccupancy::Replicas(const std::string& service_group) const {
+  const auto it = groups_.find(service_group);
+  return it == groups_.end() ? 0 : it->second.replicas;
+}
+
+std::vector<std::string> DomainOccupancy::Groups() const {
+  std::vector<std::string> names;
+  for (const auto& [name, counts] : groups_) {
+    if (counts.replicas > 0) {
+      names.push_back(name);
+    }
+  }
+  return names;  // std::map iteration is already name-ascending.
+}
+
+int DomainOccupancy::DomainsToLoss(const std::string& service_group,
+                                   DomainScope scope) const {
+  NP_CHECK_MSG(bound(), "DomainOccupancy used before Bind()");
+  const auto it = groups_.find(service_group);
+  if (it == groups_.end() || it->second.replicas == 0) {
+    return 0;
+  }
+  const std::vector<int>* per_domain = nullptr;
+  switch (scope) {
+    case DomainScope::kMachine: {
+      std::vector<bool> occupied(static_cast<size_t>(domains_->NumMachines()), false);
+      for (const auto& [id, tracked] : containers_) {
+        if (tracked.group == service_group) {
+          occupied[static_cast<size_t>(tracked.machine_id)] = true;
+        }
+      }
+      return static_cast<int>(std::count(occupied.begin(), occupied.end(), true));
+    }
+    case DomainScope::kRack:
+      per_domain = &it->second.per_rack;
+      break;
+    case DomainScope::kZone:
+      per_domain = &it->second.per_zone;
+      break;
+  }
+  NP_CHECK(per_domain != nullptr);
+  return static_cast<int>(std::count_if(per_domain->begin(), per_domain->end(),
+                                        [](int count) { return count > 0; }));
+}
+
+}  // namespace numaplace

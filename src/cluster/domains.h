@@ -1,0 +1,179 @@
+// Failure-domain topology of the fleet: machine -> rack -> zone.
+//
+// Machine failures in a datacenter are correlated — a rack's power feed or
+// a zone's switch takes out every machine behind it at once — so a fleet
+// that wants to survive outages has to know which machines share a fate.
+// This header gives the fleet that knowledge, in three parts:
+//
+//   * FailureDomainTopology: the static machine -> rack -> zone map. Built
+//     either as a deterministic uniform layout (contiguous blocks of
+//     machines per rack, contiguous blocks of racks per zone, with a
+//     round(sqrt) default fan-out) or from validated explicit assignments.
+//     Like the dispatch CellLayout, it is fixed for the fleet's lifetime:
+//     fail/drain/rejoin change availability, never domain membership.
+//
+//   * Domain-scoped event expansion: `rack:3@T` / `zone:1@T` fail, drain
+//     and rejoin events (DomainScope in src/workloads/trace.h) expand into
+//     canonical per-machine FleetEvents — member machines ascending, input
+//     order preserved across same-instant events — so a domain outage
+//     replays byte-identically to the hand-written per-machine list it
+//     stands for. Schedulers only ever see kMachine-scoped events.
+//
+//   * DomainOccupancy: the per-service-group domain-occupancy view behind
+//     spread-aware dispatch. Containers whose workload names share a base
+//     name (the part before the '#' the trace generators append) are
+//     replicas of one service; the view counts replicas per (group, rack)
+//     and (group, zone) incrementally, and answers the FLAQR-style
+//     availability question "how many domain failures until this group has
+//     no replica left" (DomainsToLoss). The FleetScheduler consults it at
+//     dispatch and in rebalance/evacuation target searches to avoid
+//     co-locating a group's replicas in a single domain (FleetConfig in
+//     src/cluster/fleet.h holds the spread knobs).
+#ifndef NUMAPLACE_SRC_CLUSTER_DOMAINS_H_
+#define NUMAPLACE_SRC_CLUSTER_DOMAINS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/workloads/trace.h"
+
+namespace numaplace {
+
+/// Static machine -> rack -> zone map of one fleet; see the file comment.
+/// Rack and zone ids are dense (0..NumRacks()-1 / 0..NumZones()-1) and every
+/// domain is non-empty — both constructions validate this.
+class FailureDomainTopology {
+ public:
+  /// An unbound topology (NumMachines() == 0); assign via Uniform or
+  /// FromAssignments.
+  FailureDomainTopology() = default;
+
+  /// Deterministic uniform layout: `racks` contiguous machine blocks of
+  /// near-equal size (rack r holds machines [r*n/racks, (r+1)*n/racks)),
+  /// `zones` contiguous rack blocks likewise. 0 picks the default fan-out:
+  /// racks = round(sqrt(machines)), zones = round(sqrt(racks)) — domain
+  /// count and domain size grow together, mirroring the dispatch-cell
+  /// default. CHECK-fails unless 1 <= racks <= machines and
+  /// 1 <= zones <= racks.
+  static FailureDomainTopology Uniform(int num_machines, int racks = 0, int zones = 0);
+
+  /// Explicit layout: rack_of_machine[m] is machine m's rack,
+  /// zone_of_rack[r] is rack r's zone. Validated: at least one machine,
+  /// rack ids dense with no empty rack, zone ids dense with no empty zone.
+  static FailureDomainTopology FromAssignments(std::vector<int> rack_of_machine,
+                                               std::vector<int> zone_of_rack);
+
+  int NumMachines() const { return static_cast<int>(rack_of_.size()); }
+  int NumRacks() const { return static_cast<int>(rack_members_.size()); }
+  int NumZones() const { return static_cast<int>(zone_members_.size()); }
+  /// Domains of one scope (kMachine counts machines); CHECKs the scope.
+  int NumDomains(DomainScope scope) const;
+
+  /// The machine's rack / zone (CHECKs the id).
+  int RackOf(int machine_id) const;
+  int ZoneOf(int machine_id) const;
+  /// The rack's zone (CHECKs the id).
+  int ZoneOfRack(int rack) const;
+  /// The machine's domain index under `scope` (the machine id itself for
+  /// kMachine).
+  int DomainOf(int machine_id, DomainScope scope) const;
+
+  /// Member machines of one rack / zone, ascending (CHECKs the index).
+  const std::vector<int>& MachinesInRack(int rack) const;
+  const std::vector<int>& MachinesInZone(int zone) const;
+  /// Member machines of one domain under `scope`, ascending. For kMachine
+  /// the domain is the machine itself.
+  std::vector<int> MachinesIn(DomainScope scope, int index) const;
+
+ private:
+  std::vector<int> rack_of_;                 // machine -> rack
+  std::vector<int> zone_of_rack_;            // rack -> zone
+  std::vector<std::vector<int>> rack_members_;  // rack -> machines, ascending
+  std::vector<std::vector<int>> zone_members_;  // zone -> machines, ascending
+};
+
+/// Expands domain-scoped machine events into canonical per-machine events
+/// against `domains`; kMachine-scoped events pass through unchanged. The
+/// expansion is deterministic: events are emitted in input order, each
+/// domain event replaced in place by its member machines ascending, so the
+/// result is exactly the hand-written per-machine list it abbreviates (the
+/// equivalence the replay test asserts byte-identically). Same-instant
+/// ties between the expanded events are then resolved by the canonical
+/// stream order alone — fail before drain before rejoin before container
+/// traffic — so a rack fail and a member machine's rejoin at the same
+/// instant settle as fail-then-rejoin: the machine ends the instant up and
+/// empty. CHECK-fails on container events and on domain indices outside
+/// the topology.
+std::vector<FleetEvent> ExpandDomainEvents(const FailureDomainTopology& domains,
+                                           const std::vector<FleetEvent>& machine_events);
+
+/// InjectMachineEvents with domain expansion: equivalent to
+/// InjectMachineEvents(stream, ExpandDomainEvents(domains, machine_events)).
+EventStream InjectMachineEvents(EventStream stream,
+                                const std::vector<FleetEvent>& machine_events,
+                                const FailureDomainTopology& domains);
+
+/// Service-group key of a workload name: the base name before the '#' the
+/// trace generators append to uniquify per-container names. Containers of
+/// one service group are treated as replicas of one service by the spread
+/// dimension ("gcc#12" and "gcc#47" -> "gcc").
+std::string ServiceGroupOf(const std::string& workload_name);
+
+/// Per-service-group replica counts per failure domain, maintained
+/// incrementally by the owning FleetScheduler at every point a container
+/// gains, loses or changes its machine (dispatch, departure, rebalance
+/// move, evacuation). Queued-on-machine containers count — they will run
+/// where they queue — while fleet-wide waiters (no machine) do not.
+class DomainOccupancy {
+ public:
+  /// Binds the topology (outlives the view) and clears all counts.
+  void Bind(const FailureDomainTopology* domains);
+  bool bound() const { return domains_ != nullptr; }
+
+  /// Tracks a container landing on a machine (CHECKs the id is not already
+  /// tracked), keyed by the service group of its workload name.
+  void Add(int container_id, const std::string& service_group, int machine_id);
+  /// Moves a tracked container to another machine, keeping its group.
+  void Move(int container_id, int machine_id);
+  /// Forgets a container (no-op when the id is not tracked — departures of
+  /// fleet-wide waiters never entered the view).
+  void Remove(int container_id);
+
+  /// Replicas of the group in one domain (0 for unknown groups).
+  int CountIn(const std::string& service_group, DomainScope scope, int index) const;
+  /// Tracked replicas of the group fleet-wide.
+  int Replicas(const std::string& service_group) const;
+  /// Groups with at least one tracked replica, name-ascending.
+  std::vector<std::string> Groups() const;
+
+  /// Distinct domains of `scope` holding at least one replica of the group
+  /// — the minimum number of simultaneous domain failures that leaves the
+  /// group with no replica (FLAQR-style: a group spread over k racks
+  /// survives any k-1 rack losses and collapses only when all k go). 0 for
+  /// groups with no tracked replica.
+  int DomainsToLoss(const std::string& service_group, DomainScope scope) const;
+
+ private:
+  struct Tracked {
+    std::string group;
+    int machine_id = 0;
+  };
+  // Per-group per-domain replica counts; vectors sized to the topology.
+  struct GroupCounts {
+    std::vector<int> per_rack;
+    std::vector<int> per_zone;
+    int replicas = 0;
+  };
+
+  GroupCounts& CountsOf(const std::string& service_group);
+  void Apply(const Tracked& tracked, int delta);
+
+  const FailureDomainTopology* domains_ = nullptr;
+  std::map<int, Tracked> containers_;
+  std::map<std::string, GroupCounts> groups_;
+};
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_CLUSTER_DOMAINS_H_

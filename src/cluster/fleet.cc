@@ -26,6 +26,13 @@ FleetScheduler::FleetScheduler(std::vector<MachineSpec> specs, FleetConfig confi
                "fleet capacity-index cell count cannot be negative (0 = auto)");
   NP_CHECK_MSG(config_.fleet_probes >= 0,
                "fleet_probes cannot be negative (0 = every eligible cell)");
+  NP_CHECK_MSG(config_.domain_racks >= 0,
+               "domain_racks cannot be negative (0 = auto fan-out)");
+  NP_CHECK_MSG(config_.domain_zones >= 0,
+               "domain_zones cannot be negative (0 = auto fan-out)");
+  NP_CHECK_MSG(config_.spread_weight >= 0.0, "spread_weight cannot be negative");
+  NP_CHECK_MSG(config_.spread_max_per_rack >= 0,
+               "spread_max_per_rack cannot be negative (0 = no cap)");
   machines_.reserve(specs.size());
   for (size_t i = 0; i < specs.size(); ++i) {
     Machine machine;
@@ -70,6 +77,43 @@ FleetScheduler::FleetScheduler(std::vector<MachineSpec> specs, FleetConfig confi
     layout = MakeInterleavedCells(NumMachines(), config_.fleet_cells);
   }
   capacity_index_.Bind(membership_.get(), std::move(layout));
+  // The failure-domain topology (uniform by default; ProvideDomains swaps in
+  // an explicit layout before traffic) and its live occupancy view, both
+  // heap-allocated so the addresses the policy holds survive moving the
+  // fleet. Unlike dispatch cells, domains are contiguous machine blocks —
+  // racks are physical neighbors, not an interleaved spreading device.
+  domains_ = std::make_unique<FailureDomainTopology>(FailureDomainTopology::Uniform(
+      NumMachines(), config_.domain_racks, config_.domain_zones));
+  domain_occupancy_ = std::make_unique<DomainOccupancy>();
+  domain_occupancy_->Bind(domains_.get());
+  dispatch_->BindDomains(domains_.get(), domain_occupancy_.get());
+}
+
+void FleetScheduler::ProvideDomains(FailureDomainTopology domains) {
+  NP_CHECK_MSG(domains.NumMachines() == NumMachines(),
+               "explicit failure-domain layout covers " << domains.NumMachines()
+                                                        << " machines, fleet has "
+                                                        << NumMachines());
+  NP_CHECK_MSG(machine_of_.empty() && unplaced_.empty(),
+               "failure-domain layout must be fixed before any container is live");
+  *domains_ = std::move(domains);
+  // Re-bind to resize the occupancy vectors to the new rack/zone counts
+  // (the topology's address is unchanged, so the policy's pointers stand).
+  domain_occupancy_->Bind(domains_.get());
+}
+
+std::map<std::string, int> FleetScheduler::DomainsToLoss(DomainScope scope) const {
+  std::map<std::string, int> by_group;
+  for (const std::string& group : domain_occupancy_->Groups()) {
+    by_group[group] = domain_occupancy_->DomainsToLoss(group, scope);
+  }
+  return by_group;
+}
+
+int FleetScheduler::RackColocation(const ContainerRequest& request,
+                                   int machine_id) const {
+  return domain_occupancy_->CountIn(ServiceGroupOf(request.workload.name),
+                                    DomainScope::kRack, domains_->RackOf(machine_id));
 }
 
 MachineScheduler& FleetScheduler::machine(int machine_id) {
@@ -236,6 +280,52 @@ int FleetScheduler::ChooseMachine(const ContainerRequest& request,
   NP_CHECK_MSG(chosen < candidates.size(), "dispatch policy '" << dispatch_->name()
                                                                << "' ranked machine index "
                                                                << chosen << " out of range");
+  if (SpreadActive()) {
+    // Spread dimension: re-score the policy's ranking with a rack
+    // co-location penalty — score = rank position + spread_weight * (group
+    // replicas already in the candidate's rack), plus a dominating penalty
+    // past the spread_max_per_rack cap. The policy still orders machines by
+    // its own signal (load, predicted margin); spread only trades rank
+    // positions against co-location, so it composes with any dispatcher,
+    // sharded included. The cap is soft here — when every candidate's rack
+    // is capped the least-bad one still takes the container (a placement
+    // always beats stranding work; the hard cap lives in the fleet-op
+    // target searches, where declining a move is safe).
+    constexpr double kCapPenalty = 1e9;
+    const auto score_of = [&](size_t position, size_t idx) {
+      const int colocated = RackColocation(request, candidates[idx].machine_id);
+      double score = static_cast<double>(position) + config_.spread_weight * colocated;
+      if (config_.spread_max_per_rack > 0 && colocated >= config_.spread_max_per_rack) {
+        score += kCapPenalty;
+      }
+      return score;
+    };
+    const auto best_by_score = [&](bool realizable_only) {
+      size_t best = order.size();  // sentinel: none matched
+      double best_score = 0.0;
+      for (size_t position = 0; position < order.size(); ++position) {
+        const size_t idx = order[position];
+        NP_CHECK(idx < candidates.size());
+        if (realizable_only && !candidates[idx].preview.realizable) {
+          continue;
+        }
+        const double score = score_of(position, idx);
+        if (best == order.size() || score < best_score) {
+          best = idx;
+          best_score = score;  // ties keep the earlier rank position
+        }
+      }
+      return best;
+    };
+    size_t best = dispatch_->NeedsPreviews() ? best_by_score(/*realizable_only=*/true)
+                                             : best_by_score(/*realizable_only=*/false);
+    if (best == order.size()) {
+      // No realizable candidate: queue on the spread-best machine overall.
+      best = best_by_score(/*realizable_only=*/false);
+    }
+    NP_CHECK(best < candidates.size());
+    return candidates[best].machine_id;
+  }
   if (dispatch_->NeedsPreviews()) {
     // Prefer the best-ranked machine that can admit right now over queueing
     // on the overall favorite.
@@ -291,6 +381,7 @@ FleetOutcome FleetScheduler::Dispatch(const ContainerRequest& request, double no
       machines_[static_cast<size_t>(machine_id)].scheduler->Submit(request, now);
   unplaced_.erase(request.id);
   machine_of_[request.id] = machine_id;
+  domain_occupancy_->Add(request.id, ServiceGroupOf(request.workload.name), machine_id);
   capacity_index_.OnOccupancyChange(machine_id);
   if (outcome.admitted) {
     if (!outcome.meets_goal) {
@@ -359,6 +450,7 @@ void FleetScheduler::Depart(int container_id, double now, EventObserver* observe
     members.registry->Forget(container_id);
   }
   machine_of_.erase(container_id);
+  domain_occupancy_->Remove(container_id);
   waiting_.erase(container_id);
   submit_time_.erase(container_id);
 
@@ -447,6 +539,8 @@ void FleetScheduler::Evacuate(int machine_id, bool graceful, double now,
   for (const Evacuee& evacuee : evacuees) {
     source.Depart(evacuee.request.id, now, /*forget_probes=*/false, /*replace=*/false);
     machine_of_.erase(evacuee.request.id);
+    // Off the domain map until it lands again (below or through Dispatch).
+    domain_occupancy_->Remove(evacuee.request.id);
   }
   // The machine left the up-aggregates at SetAvailability; this keeps the
   // index's cached free count current for its eventual rejoin.
@@ -491,12 +585,15 @@ void FleetScheduler::Evacuate(int machine_id, bool graceful, double now,
       NP_CHECK_MSG(moved.admitted, "evacuation preview promised admission of container "
                                        << request.id << " on machine " << best_target);
       machine_of_[request.id] = best_target;
+      domain_occupancy_->Add(request.id, ServiceGroupOf(request.workload.name),
+                             best_target);
       capacity_index_.OnOccupancyChange(best_target);
       if (!moved.meets_goal) {
         capacity_index_.MarkCapacityChanged();  // the landing is a new mover
       }
       RecordAdmission(moved, now);
       ++stats_.evacuation_moves;
+      ++(graceful ? stats_.drain_moves : stats_.failover_moves);
       stats_.cross_machine_move_seconds += best_move.move_seconds;
       stats_.network_copy_seconds += best_move.network_seconds;
       rebalance_log_.push_back(best_move);
@@ -594,8 +691,24 @@ int FleetScheduler::FindBestTarget(const TargetSearch& search, RebalanceMove* be
   const auto search_start = std::chrono::steady_clock::now();
   const ContainerRequest& request = *search.request;
   int best_target = -1;
-  double best_surplus = 0.0;
+  double best_score = 0.0;  // spread-discounted surplus the ranking compares
   for (int t : SelectFleetOpTargets(request, search.exclude_machine)) {
+    // Spread dimension, mirrored from dispatch: a rack already holding
+    // replicas of the mover's service group is discounted, and hard-skipped
+    // past the cap (declining a move is always safe here — the container
+    // stays where it is or falls back through Dispatch, where the cap is
+    // soft). Checked before the preview, so capped racks also cost nothing.
+    // A rebalance mover still occupies its source rack, so in-rack targets
+    // see its own replica — the spread dimension deliberately prefers
+    // moving it out. Both branches run on the indexed and full-scan target
+    // paths alike, preserving their byte-identical equivalence.
+    int colocated = 0;
+    if (SpreadActive()) {
+      colocated = RackColocation(request, t);
+      if (config_.spread_max_per_rack > 0 && colocated >= config_.spread_max_per_rack) {
+        continue;
+      }
+    }
     Machine& target = machines_[static_cast<size_t>(t)];
     EnsureGroupProbes(target.group, request);
     const MachineScheduler::AdmissionPreview preview =
@@ -641,9 +754,10 @@ int FleetScheduler::FindBestTarget(const TargetSearch& search, RebalanceMove* be
       continue;
     }
     const double surplus = gain_ops - cost_ops;
-    if (best_target < 0 || surplus > best_surplus) {
+    const double score = surplus / (1.0 + config_.spread_weight * colocated);
+    if (best_target < 0 || score > best_score) {
       best_target = t;
-      best_surplus = surplus;
+      best_score = score;
       best_move->container_id = request.id;
       best_move->from_machine = search.exclude_machine;
       best_move->to_machine = t;
@@ -759,6 +873,7 @@ void FleetScheduler::RebalancePass(double now, EventObserver* observer) {
     NP_CHECK_MSG(moved.admitted, "rebalance preview promised admission of container "
                                      << mover.id << " on machine " << best_target);
     machine_of_[mover.id] = best_target;
+    domain_occupancy_->Move(mover.id, best_target);
     capacity_index_.OnOccupancyChange(best_target);
     if (!moved.meets_goal) {
       capacity_index_.MarkCapacityChanged();
@@ -785,6 +900,11 @@ void FleetScheduler::Step(const FleetEvent& event, EventObserver* observer) {
     Depart(departure->container_id, now, observer);
     return;
   }
+  NP_CHECK_MSG(event.domain_scope() == DomainScope::kMachine,
+               ToString(event.domain_scope())
+                   << "-scoped " << ToString(event.kind()) << " at t=" << now
+                   << " reached Step() unexpanded — inject it through "
+                      "InjectMachineEvents(stream, events, fleet.domains())");
   switch (event.kind()) {
     case FleetEventKind::kMachineFail:
       Fail(event.machine_id(), now, observer);

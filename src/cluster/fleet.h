@@ -52,6 +52,7 @@
 
 #include "src/cluster/capacity_index.h"
 #include "src/cluster/dispatch.h"
+#include "src/cluster/domains.h"
 #include "src/migration/migration.h"
 #include "src/model/registry.h"
 #include "src/scheduler/events.h"
@@ -116,6 +117,28 @@ struct FleetConfig {
   /// search; 0 descends into every eligible cell, which previews exactly
   /// the machines the full-scan path would (byte-identical outcomes).
   int fleet_probes = 2;
+  /// Failure-domain layout (src/cluster/domains.h): racks of the uniform
+  /// machine -> rack -> zone topology, 0 for the round(sqrt(machines))
+  /// default. The topology always exists — domain-scoped events need it —
+  /// but costs nothing unless the spread knobs below are set. Explicit
+  /// layouts go through ProvideDomains.
+  int domain_racks = 0;
+  /// Zones of the uniform layout, 0 for the round(sqrt(racks)) default.
+  int domain_zones = 0;
+  /// Spread dimension: rack co-location penalty per replica of the
+  /// container's service group already in a candidate's rack. Dispatch adds
+  /// spread_weight * count to a candidate's rank position; fleet-op target
+  /// searches divide a target's gain-over-cost surplus by
+  /// (1 + spread_weight * count). 0 (with spread_max_per_rack 0) disables
+  /// the dimension entirely — decisions are byte-identical to a fleet
+  /// without it.
+  double spread_weight = 0.0;
+  /// Hard cap: candidates whose rack already holds this many replicas of
+  /// the group are skipped by fleet-op target searches and heavily
+  /// penalized (never preferred over an uncapped candidate) at dispatch —
+  /// soft there, so a container is still placed when every rack is capped.
+  /// 0 means no cap.
+  int spread_max_per_rack = 0;
 };
 
 /// Dispatch, queueing, rebalancing and probe counters accumulated over the
@@ -130,6 +153,12 @@ struct FleetStats {
   int evacuations = 0;             // machine fail/drain events processed
   int evacuation_moves = 0;        // evacuees rehomed straight onto another machine
   int evacuation_requeues = 0;     // evacuees sent back through dispatch to wait
+  // evacuation_moves by reason: drain_moves paid the §7 migration + network
+  // copy, failover_moves restarted from lost state. Together with
+  // rebalance_moves these partition the rebalance_log by
+  // RebalanceMove::Reason.
+  int drain_moves = 0;
+  int failover_moves = 0;
   double cross_machine_move_seconds = 0.0;  // migration + network, all moves
   double network_copy_seconds = 0.0;
   int fleet_probe_runs = 0;        // dispatch/rebalance probes (per group)
@@ -209,6 +238,13 @@ class FleetScheduler {
   /// the group (otherwise each machine generates sets lazily).
   void ProvidePlacements(const std::string& group, const ImportantPlacementSet& ips);
 
+  /// Replaces the fleet's failure-domain topology with an explicit layout
+  /// (the constructor builds the uniform one from config.domain_racks /
+  /// domain_zones). CHECKs the machine count matches and that no container
+  /// is live yet — domain membership, like cell membership, is fixed before
+  /// traffic.
+  void ProvideDomains(FailureDomainTopology domains);
+
   /// Processes one FleetEvent — the core every other entry point loops over.
   void Step(const FleetEvent& event, EventObserver* observer = nullptr);
 
@@ -261,6 +297,21 @@ class FleetScheduler {
   /// The per-cell capacity index (read-only; kept current by the fleet at
   /// every occupancy/availability-changing point).
   const CapacityIndex& capacity_index() const { return capacity_index_; }
+  /// The failure-domain topology (uniform by default; see ProvideDomains).
+  const FailureDomainTopology& domains() const { return *domains_; }
+  /// Live per-service-group domain occupancy, updated at every point a
+  /// container gains, loses or changes its machine.
+  const DomainOccupancy& domain_occupancy() const { return *domain_occupancy_; }
+  /// Whether either spread knob is set — when false, dispatch and fleet-op
+  /// decisions are byte-identical to a fleet without the spread dimension.
+  bool SpreadActive() const {
+    return config_.spread_weight > 0.0 || config_.spread_max_per_rack > 0;
+  }
+  /// Domains-to-loss (distinct occupied domains of `scope`) per service
+  /// group with at least one placed replica, name-ascending — the fleet's
+  /// availability scoreboard: a group at k survives any k-1 simultaneous
+  /// domain failures.
+  std::map<std::string, int> DomainsToLoss(DomainScope scope) const;
 
   /// Per-machine time-averaged utilizations, machine order.
   std::vector<double> TimeAveragedUtilizations() const;
@@ -349,6 +400,10 @@ class FleetScheduler {
   std::vector<int> SelectFleetOpTargets(const ContainerRequest& request,
                                         int exclude_machine) const;
 
+  // Replicas of the request's service group already in the machine's rack —
+  // the co-location count the spread knobs act on.
+  int RackColocation(const ContainerRequest& request, int machine_id) const;
+
   // Availability flip (mirrored into the dispatch membership view) +
   // evacuation/rebalance shared by Fail/Drain/Rejoin.
   void SetAvailability(int machine_id, MachineAvailability availability, double now,
@@ -371,6 +426,13 @@ class FleetScheduler {
   // Per-cell capacity summaries over membership_, updated in place at
   // every occupancy/availability-changing point (see capacity_index.h).
   CapacityIndex capacity_index_;
+  // Failure-domain topology handed to the dispatch policy via BindDomains;
+  // heap-allocated for the same reason as membership_ (pointer stability
+  // across moves of the fleet).
+  std::unique_ptr<FailureDomainTopology> domains_;
+  // Per-service-group domain occupancy, updated alongside machine_of_;
+  // heap-allocated likewise (BindDomains hands the policy its address).
+  std::unique_ptr<DomainOccupancy> domain_occupancy_;
   std::map<std::string, Group> groups_;
   std::map<int, int> machine_of_;      // containers live on some machine
   std::map<int, ContainerRequest> unplaced_;  // waiting fleet-wide, no machine

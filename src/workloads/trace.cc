@@ -18,6 +18,18 @@ double NextExponential(Rng& rng, double mean) {
 
 }  // namespace
 
+const char* ToString(DomainScope scope) {
+  switch (scope) {
+    case DomainScope::kMachine:
+      return "machine";
+    case DomainScope::kRack:
+      return "rack";
+    case DomainScope::kZone:
+      return "zone";
+  }
+  return "unknown";
+}
+
 const char* ToString(FleetEventKind kind) {
   switch (kind) {
     case FleetEventKind::kMachineFail:
@@ -70,15 +82,42 @@ FleetEvent FleetEvent::Departure(double time_seconds, int container_id) {
 }
 
 FleetEvent FleetEvent::Fail(double time_seconds, int machine_id) {
-  return {time_seconds, Payload{MachineFail{machine_id}}};
+  return {time_seconds, Payload{MachineFail{machine_id, DomainScope::kMachine}}};
 }
 
 FleetEvent FleetEvent::Drain(double time_seconds, int machine_id) {
-  return {time_seconds, Payload{MachineDrain{machine_id}}};
+  return {time_seconds, Payload{MachineDrain{machine_id, DomainScope::kMachine}}};
 }
 
 FleetEvent FleetEvent::Rejoin(double time_seconds, int machine_id) {
-  return {time_seconds, Payload{MachineRejoin{machine_id}}};
+  return {time_seconds, Payload{MachineRejoin{machine_id, DomainScope::kMachine}}};
+}
+
+FleetEvent FleetEvent::FailDomain(double time_seconds, DomainScope scope, int index) {
+  return {time_seconds, Payload{MachineFail{index, scope}}};
+}
+
+FleetEvent FleetEvent::DrainDomain(double time_seconds, DomainScope scope, int index) {
+  return {time_seconds, Payload{MachineDrain{index, scope}}};
+}
+
+FleetEvent FleetEvent::RejoinDomain(double time_seconds, DomainScope scope, int index) {
+  return {time_seconds, Payload{MachineRejoin{index, scope}}};
+}
+
+DomainScope FleetEvent::domain_scope() const {
+  if (const MachineFail* fail = std::get_if<MachineFail>(&payload)) {
+    return fail->scope;
+  }
+  if (const MachineDrain* drain = std::get_if<MachineDrain>(&payload)) {
+    return drain->scope;
+  }
+  if (const MachineRejoin* rejoin = std::get_if<MachineRejoin>(&payload)) {
+    return rejoin->scope;
+  }
+  NP_CHECK_MSG(false, ToString(kind()) << " event at t=" << time_seconds
+                                       << " carries no domain scope");
+  __builtin_unreachable();
 }
 
 bool CanonicalBefore(const FleetEvent& a, const FleetEvent& b) {
@@ -175,6 +214,12 @@ EventStream InjectMachineEvents(EventStream stream,
     NP_CHECK_MSG(event.IsMachineEvent(),
                  "InjectMachineEvents takes machine fail/drain/rejoin events, got "
                      << ToString(event.kind()) << " at t=" << event.time_seconds);
+    NP_CHECK_MSG(event.domain_scope() == DomainScope::kMachine,
+                 ToString(event.domain_scope())
+                     << "-scoped " << ToString(event.kind()) << " at t="
+                     << event.time_seconds
+                     << " names no machines — expand it through the fleet's "
+                        "FailureDomainTopology (src/cluster/domains.h) first");
     NP_CHECK(event.machine_id() >= 0);
     NP_CHECK(event.time_seconds >= 0.0);
     stream.Append(event);

@@ -45,21 +45,40 @@ struct ContainerDeparture {
   int container_id = 0;
 };
 
+// Granularity of a machine-lifecycle event. Production failures are
+// correlated: a rack's power feed or a zone's switch takes out every machine
+// behind it at once. A domain-scoped event ("rack 3 fails at t") addresses
+// one failure domain of the fleet's FailureDomainTopology
+// (src/cluster/domains.h) and is expanded there into canonical per-machine
+// events — schedulers only ever replay kMachine-scoped events, so the
+// domain path cannot drift from a hand-written per-machine list.
+enum class DomainScope { kMachine = 0, kRack = 1, kZone = 2 };
+
+// Lower-case scope name ("machine", "rack", "zone").
+const char* ToString(DomainScope scope);
+
 // The machine dies: its containers lose their state and must be re-dispatched
-// from scratch elsewhere.
+// from scratch elsewhere. Under a non-kMachine scope, `machine_id` is the
+// rack/zone index and the event stands for the simultaneous failure of every
+// member machine (see DomainScope).
 struct MachineFail {
   int machine_id = 0;
+  DomainScope scope = DomainScope::kMachine;
 };
 
 // The machine leaves service gracefully (maintenance): its containers are
 // alive and migrate off under the §7 migration + network-copy cost model.
+// Scope as in MachineFail.
 struct MachineDrain {
   int machine_id = 0;
+  DomainScope scope = DomainScope::kMachine;
 };
 
-// A failed or drained machine returns to service, empty.
+// A failed or drained machine returns to service, empty. Scope as in
+// MachineFail.
 struct MachineRejoin {
   int machine_id = 0;
+  DomainScope scope = DomainScope::kMachine;
 };
 
 // Kinds in canonical same-time processing order (== the variant alternative
@@ -96,15 +115,26 @@ struct FleetEvent {
     return std::get_if<ContainerDeparture>(&payload);
   }
 
-  // CHECK-fails when the event is not of the matching family.
+  // CHECK-fails when the event is not of the matching family. For a
+  // domain-scoped machine event, machine_id() is the rack/zone index.
   int machine_id() const;
   int container_id() const;
+
+  // Scope of a machine event (kMachine unless the event is domain-scoped);
+  // CHECK-fails on container events.
+  DomainScope domain_scope() const;
 
   static FleetEvent Arrival(double time_seconds, ContainerArrival arrival);
   static FleetEvent Departure(double time_seconds, int container_id);
   static FleetEvent Fail(double time_seconds, int machine_id);
   static FleetEvent Drain(double time_seconds, int machine_id);
   static FleetEvent Rejoin(double time_seconds, int machine_id);
+  // Domain-scoped fail/drain/rejoin of one rack or zone (`index` is the
+  // domain index). Expand through the fleet's FailureDomainTopology
+  // (src/cluster/domains.h) before replay.
+  static FleetEvent FailDomain(double time_seconds, DomainScope scope, int index);
+  static FleetEvent DrainDomain(double time_seconds, DomainScope scope, int index);
+  static FleetEvent RejoinDomain(double time_seconds, DomainScope scope, int index);
 };
 
 // Canonical event order: time, then FleetEventKind. Returns false for
@@ -177,7 +207,10 @@ EventStream GenerateFleetTrace(const TraceConfig& base, int num_streams, Rng& rn
 // Folds scripted machine lifecycle events into a generated stream — the
 // injector behind the CLI's --fail/--drain/--rejoin flags and the failure
 // scenarios of bench_fleet. Every injected event must be a machine event
-// with a non-negative machine id and time; container events CHECK-fail.
+// with a non-negative machine id and time; container events CHECK-fail, and
+// so do domain-scoped (rack/zone) events — those carry no machine list and
+// must go through the expanding overload in src/cluster/domains.h, which
+// turns them into the canonical per-machine events this function takes.
 EventStream InjectMachineEvents(EventStream stream,
                                 const std::vector<FleetEvent>& machine_events);
 

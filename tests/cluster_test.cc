@@ -902,5 +902,123 @@ TEST(FleetCapacityOps, CleanCapacityFlagSkipsTheRebalancePassEntirely) {
   EXPECT_EQ(fleet.stats().rebalance_passes, mid.rebalance_passes + 1);
 }
 
+TEST(FleetDomains, DomainScopedEventsReplayByteIdenticallyToTheHandList) {
+  // The acceptance equivalence: rack 1 of a 6-machine / 3-rack fleet is
+  // machines {2, 3}; a domain-scoped fail + rejoin of that rack must drive
+  // the fleet through the exact event sequence of the hand-written
+  // per-machine list — byte-identical serialized replay output.
+  FleetConfig config;
+  config.dispatch = "best-predicted";
+  config.domain_racks = 3;
+  FleetScheduler domain_fleet = MakeAmdFleet(6, "model", config);
+  FleetScheduler hand_fleet = MakeAmdFleet(6, "model", config);
+
+  TraceConfig trace_config;
+  trace_config.num_containers = 10;
+  trace_config.vcpus = 16;
+  trace_config.goal_fraction = 0.9;
+  trace_config.mean_interarrival_seconds = 60.0;
+  trace_config.mean_lifetime_seconds = 2000.0;
+  Rng rng(123);
+  const EventStream churn = GenerateFleetTrace(trace_config, 3, rng);
+  const double end = churn.EndTime();
+
+  EventStream domain_trace = churn;
+  domain_trace = InjectMachineEvents(
+      std::move(domain_trace),
+      {FleetEvent::FailDomain(0.45 * end, DomainScope::kRack, 1),
+       FleetEvent::RejoinDomain(0.70 * end, DomainScope::kRack, 1)},
+      domain_fleet.domains());
+  EventStream hand_trace = churn;
+  hand_trace = InjectMachineEvents(
+      std::move(hand_trace),
+      {FleetEvent::Fail(0.45 * end, 2), FleetEvent::Fail(0.45 * end, 3),
+       FleetEvent::Rejoin(0.70 * end, 2), FleetEvent::Rejoin(0.70 * end, 3)});
+
+  const std::string domain_json = ReplayToJson(domain_fleet, domain_trace);
+  const std::string hand_json = ReplayToJson(hand_fleet, hand_trace);
+  EXPECT_EQ(domain_json, hand_json);
+  // The outage actually evacuated something.
+  EXPECT_EQ(domain_fleet.stats().evacuations, 2);
+}
+
+TEST(FleetDomains, SpreadDispatchAvoidsCoLocatingAGroupInOneRack) {
+  // 4 machines over 2 racks ({0,1} and {2,3}). Flat least-loaded dispatch
+  // breaks idle ties toward the lower machine id, piling the group's first
+  // two replicas into rack 0; the spread penalty makes the second replica
+  // skip its rack-mate.
+  std::vector<MachineSpec> specs(4, AmdSpec("first-fit"));
+  FleetConfig flat;
+  flat.dispatch = "least-loaded";
+  flat.domain_racks = 2;
+  FleetConfig spread = flat;
+  spread.spread_weight = 2.0;
+
+  FleetScheduler flat_fleet(std::vector<MachineSpec>(specs), flat);
+  ASSERT_FALSE(flat_fleet.SpreadActive());
+  EXPECT_EQ(flat_fleet.Submit(MakeRequest(1, "gcc", 0.5), 0.0).machine_id, 0);
+  EXPECT_EQ(flat_fleet.Submit(MakeRequest(2, "gcc", 0.5), 1.0).machine_id, 1);
+  EXPECT_EQ(flat_fleet.DomainsToLoss(DomainScope::kRack).at("gcc"), 1);
+
+  FleetScheduler spread_fleet(std::move(specs), spread);
+  ASSERT_TRUE(spread_fleet.SpreadActive());
+  EXPECT_EQ(spread_fleet.Submit(MakeRequest(1, "gcc", 0.5), 0.0).machine_id, 0);
+  // Machine 1 ranks first but shares rack 0 with replica 1; machine 2 is
+  // one rank down at zero co-location, and 0 + 2.0 * 1 > 1 + 2.0 * 0.
+  EXPECT_EQ(spread_fleet.Submit(MakeRequest(2, "gcc", 0.5), 1.0).machine_id, 2);
+  EXPECT_EQ(spread_fleet.DomainsToLoss(DomainScope::kRack).at("gcc"), 2);
+  // A different group starts fresh: no penalty anywhere, lowest id wins.
+  EXPECT_EQ(spread_fleet.Submit(MakeRequest(3, "kmeans", 0.5), 2.0).machine_id, 1);
+  const DomainOccupancy& occupancy = spread_fleet.domain_occupancy();
+  EXPECT_EQ(occupancy.CountIn("gcc", DomainScope::kRack, 0), 1);
+  EXPECT_EQ(occupancy.CountIn("gcc", DomainScope::kRack, 1), 1);
+}
+
+TEST(FleetDomains, SoftRackCapNeverStrandsADispatchableContainer) {
+  // One rack, cap 1: every machine is over the cap for the group's second
+  // replica, but the cap is soft at dispatch — the container still lands
+  // (spread never trades a placement away for spread).
+  std::vector<MachineSpec> specs(2, AmdSpec("first-fit"));
+  FleetConfig config;
+  config.dispatch = "least-loaded";
+  config.domain_racks = 1;
+  config.spread_max_per_rack = 1;
+  FleetScheduler fleet(std::move(specs), config);
+  ASSERT_TRUE(fleet.SpreadActive());
+  for (int id = 1; id <= 4; ++id) {
+    const FleetOutcome outcome = fleet.Submit(MakeRequest(id, "gcc", 0.5), id * 1.0);
+    EXPECT_NE(outcome.machine_id, kNoMachine) << "container " << id;
+    EXPECT_TRUE(outcome.outcome.admitted) << "container " << id;
+  }
+  EXPECT_EQ(fleet.domain_occupancy().CountIn("gcc", DomainScope::kRack, 0), 4);
+}
+
+TEST(FleetDomains, PerReasonMoveCountersPartitionTheRebalanceLog) {
+  // 2 trace streams on 6 machines: enough slack that the mid-trace drain's
+  // evacuees land directly (a requeue would not count as a committed move).
+  FleetConfig config;
+  config.dispatch = "best-predicted";
+  FleetScheduler fleet = MakeAmdFleet(6, "model", config);
+  fleet.Replay(ChurnTraceWithMachineEvents(2, 99));
+
+  const FleetStats& stats = fleet.stats();
+  int rebalance = 0;
+  int drain = 0;
+  int failover = 0;
+  for (const RebalanceMove& move : fleet.rebalance_log()) {
+    switch (move.reason) {
+      case RebalanceMove::Reason::kRebalance: ++rebalance; break;
+      case RebalanceMove::Reason::kDrain: ++drain; break;
+      case RebalanceMove::Reason::kFailover: ++failover; break;
+    }
+  }
+  EXPECT_EQ(stats.rebalance_moves, rebalance);
+  EXPECT_EQ(stats.drain_moves, drain);
+  EXPECT_EQ(stats.failover_moves, failover);
+  EXPECT_EQ(stats.evacuation_moves, drain + failover);
+  // The churn trace drains machine 1 mid-trace, so the drain path ran.
+  EXPECT_GT(stats.drain_moves, 0);
+}
+
 }  // namespace
 }  // namespace numaplace

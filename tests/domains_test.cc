@@ -1,0 +1,263 @@
+// Tests for the failure-domain subsystem (src/cluster/domains.h): the
+// machine -> rack -> zone topology and its validation, the expansion of
+// domain-scoped fail/drain/rejoin events into canonical per-machine
+// events — including same-instant ordering and the fail-vs-rejoin
+// tie-break — and the per-service-group DomainOccupancy view behind
+// spread-aware dispatch.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/cluster/domains.h"
+#include "src/cluster/fleet.h"
+#include "src/topology/machines.h"
+#include "src/workloads/trace.h"
+
+namespace numaplace {
+namespace {
+
+TEST(FailureDomainTopology, UniformLayoutIsContiguousAndDeterministic) {
+  // 8 machines over 4 racks: contiguous pairs; 2 zones of 2 racks each.
+  const FailureDomainTopology topo = FailureDomainTopology::Uniform(8, 4, 2);
+  EXPECT_EQ(topo.NumMachines(), 8);
+  EXPECT_EQ(topo.NumRacks(), 4);
+  EXPECT_EQ(topo.NumZones(), 2);
+  EXPECT_EQ(topo.NumDomains(DomainScope::kMachine), 8);
+  EXPECT_EQ(topo.NumDomains(DomainScope::kRack), 4);
+  EXPECT_EQ(topo.NumDomains(DomainScope::kZone), 2);
+  for (int m = 0; m < 8; ++m) {
+    EXPECT_EQ(topo.RackOf(m), m / 2) << "machine " << m;
+    EXPECT_EQ(topo.ZoneOf(m), m / 4) << "machine " << m;
+    EXPECT_EQ(topo.DomainOf(m, DomainScope::kMachine), m);
+    EXPECT_EQ(topo.DomainOf(m, DomainScope::kRack), m / 2);
+    EXPECT_EQ(topo.DomainOf(m, DomainScope::kZone), m / 4);
+  }
+  EXPECT_EQ(topo.MachinesInRack(1), (std::vector<int>{2, 3}));
+  EXPECT_EQ(topo.MachinesInZone(1), (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_EQ(topo.MachinesIn(DomainScope::kMachine, 5), (std::vector<int>{5}));
+  EXPECT_EQ(topo.ZoneOfRack(3), 1);
+}
+
+TEST(FailureDomainTopology, DefaultFanOutIsRoundSqrt) {
+  // round(sqrt(16)) = 4 racks of 4, round(sqrt(4)) = 2 zones of 2 racks.
+  const FailureDomainTopology topo = FailureDomainTopology::Uniform(16);
+  EXPECT_EQ(topo.NumRacks(), 4);
+  EXPECT_EQ(topo.NumZones(), 2);
+  EXPECT_EQ(topo.MachinesInRack(0), (std::vector<int>{0, 1, 2, 3}));
+  // A one-machine fleet degenerates to one rack in one zone.
+  const FailureDomainTopology one = FailureDomainTopology::Uniform(1);
+  EXPECT_EQ(one.NumRacks(), 1);
+  EXPECT_EQ(one.NumZones(), 1);
+  EXPECT_EQ(one.RackOf(0), 0);
+}
+
+TEST(FailureDomainTopology, UniformRejectsImpossibleFanOuts) {
+  EXPECT_THROW(FailureDomainTopology::Uniform(0), std::logic_error);
+  EXPECT_THROW(FailureDomainTopology::Uniform(4, 5), std::logic_error);
+  EXPECT_THROW(FailureDomainTopology::Uniform(4, -1), std::logic_error);
+  EXPECT_THROW(FailureDomainTopology::Uniform(8, 2, 3), std::logic_error);
+}
+
+TEST(FailureDomainTopology, FromAssignmentsValidatesDensity) {
+  // A valid non-contiguous layout: racks interleave across machine ids.
+  const FailureDomainTopology topo =
+      FailureDomainTopology::FromAssignments({1, 0, 1, 0}, {0, 0});
+  EXPECT_EQ(topo.NumRacks(), 2);
+  EXPECT_EQ(topo.NumZones(), 1);
+  EXPECT_EQ(topo.MachinesInRack(0), (std::vector<int>{1, 3}));
+  EXPECT_EQ(topo.MachinesInRack(1), (std::vector<int>{0, 2}));
+  EXPECT_EQ(topo.MachinesInZone(0), (std::vector<int>{0, 1, 2, 3}));
+
+  // No machines at all.
+  EXPECT_THROW(FailureDomainTopology::FromAssignments({}, {0}), std::logic_error);
+  // Rack id outside the declared rack list.
+  EXPECT_THROW(FailureDomainTopology::FromAssignments({0, 2}, {0, 0}),
+               std::logic_error);
+  EXPECT_THROW(FailureDomainTopology::FromAssignments({0, -1}, {0}),
+               std::logic_error);
+  // Rack 1 declared but empty: ids must be dense.
+  EXPECT_THROW(FailureDomainTopology::FromAssignments({0, 0}, {0, 0}),
+               std::logic_error);
+  // Zone ids likewise: zone 0 unused while zone 1 is not.
+  EXPECT_THROW(FailureDomainTopology::FromAssignments({0, 1}, {1, 1}),
+               std::logic_error);
+  EXPECT_THROW(FailureDomainTopology::FromAssignments({0, 1}, {0, -1}),
+               std::logic_error);
+}
+
+TEST(DomainEvents, ExpansionIsDeterministicAndOrderPreserving) {
+  const FailureDomainTopology topo = FailureDomainTopology::Uniform(8, 4, 2);
+  // Mixed input: a zone drain, a bare machine fail, a rack rejoin — all at
+  // distinct times; each domain event is replaced in place by its member
+  // machines ascending, with input order preserved.
+  const std::vector<FleetEvent> expanded = ExpandDomainEvents(
+      topo, {FleetEvent::DrainDomain(10.0, DomainScope::kZone, 1),
+             FleetEvent::Fail(20.0, 1),
+             FleetEvent::RejoinDomain(30.0, DomainScope::kRack, 0)});
+  ASSERT_EQ(expanded.size(), 7u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(expanded[i].kind(), FleetEventKind::kMachineDrain);
+    EXPECT_EQ(expanded[i].machine_id(), 4 + i);
+    EXPECT_EQ(expanded[i].time_seconds, 10.0);
+    EXPECT_EQ(expanded[i].domain_scope(), DomainScope::kMachine);
+  }
+  EXPECT_EQ(expanded[4].kind(), FleetEventKind::kMachineFail);
+  EXPECT_EQ(expanded[4].machine_id(), 1);
+  EXPECT_EQ(expanded[5].machine_id(), 0);
+  EXPECT_EQ(expanded[6].machine_id(), 1);
+  EXPECT_EQ(expanded[5].kind(), FleetEventKind::kMachineRejoin);
+
+  // Domain indices outside the topology and container events are rejected.
+  EXPECT_THROW(
+      ExpandDomainEvents(topo, {FleetEvent::FailDomain(0.0, DomainScope::kRack, 4)}),
+      std::logic_error);
+  EXPECT_THROW(
+      ExpandDomainEvents(topo, {FleetEvent::FailDomain(0.0, DomainScope::kZone, -1)}),
+      std::logic_error);
+  EXPECT_THROW(ExpandDomainEvents(topo, {FleetEvent::Departure(0.0, 1)}),
+               std::logic_error);
+}
+
+TEST(DomainEvents, SameInstantDomainEventsKeepCanonicalOrder) {
+  // Two same-instant domain events of different kinds plus a same-instant
+  // single-machine rejoin: the injected stream must order the expanded
+  // events by kind (fail < drain < rejoin) regardless of input order, and
+  // within one (time, kind) keep the expansion's machine order.
+  const FailureDomainTopology topo = FailureDomainTopology::Uniform(8, 4, 2);
+  EventStream stream = InjectMachineEvents(
+      EventStream{}, {FleetEvent::RejoinDomain(5.0, DomainScope::kRack, 3),
+                      FleetEvent::DrainDomain(5.0, DomainScope::kRack, 1),
+                      FleetEvent::FailDomain(5.0, DomainScope::kZone, 0),
+                      FleetEvent::Rejoin(5.0, 2)},
+      topo);
+  ASSERT_EQ(stream.size(), 9u);
+  // Zone 0's fail (machines 0..3) first, then rack 1's drain (2, 3), then
+  // the rejoins: rack 3's members (6, 7) precede the bare rejoin of 2
+  // because the rack event came first in the input.
+  const std::vector<FleetEventKind> kinds = {
+      FleetEventKind::kMachineFail,   FleetEventKind::kMachineFail,
+      FleetEventKind::kMachineFail,   FleetEventKind::kMachineFail,
+      FleetEventKind::kMachineDrain,  FleetEventKind::kMachineDrain,
+      FleetEventKind::kMachineRejoin, FleetEventKind::kMachineRejoin,
+      FleetEventKind::kMachineRejoin};
+  const std::vector<int> machines = {0, 1, 2, 3, 2, 3, 6, 7, 2};
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    EXPECT_EQ(stream[i].kind(), kinds[i]) << "event " << i;
+    EXPECT_EQ(stream[i].machine_id(), machines[i]) << "event " << i;
+    EXPECT_EQ(stream[i].time_seconds, 5.0);
+  }
+}
+
+TEST(DomainEvents, SameInstantRackFailAndMachineRejoinSettleAsFailThenRejoin) {
+  // The documented tie-break: a rack fail and a member machine's rejoin at
+  // the same instant replay fail-first (kind 0 before kind 2), so the
+  // machine ends the instant up — and empty, because the fail evicted it.
+  const FailureDomainTopology topo = FailureDomainTopology::Uniform(4, 2);
+  std::vector<MachineSpec> specs;
+  for (int m = 0; m < 4; ++m) {
+    MachineSpec spec(AmdOpteron6272());
+    spec.scheduler.policy = "first-fit";
+    specs.push_back(std::move(spec));
+  }
+  FleetConfig config;
+  config.domain_racks = 2;
+  FleetScheduler fleet(std::move(specs), config);
+
+  ContainerRequest request;
+  request.id = 1;
+  request.workload = PaperWorkload("gcc");
+  request.workload.name += "#1";
+  request.vcpus = 16;
+  request.goal_fraction = 0.5;
+  EventStream trace;
+  ContainerArrival arrival;
+  arrival.container_id = request.id;
+  arrival.workload = request.workload;
+  arrival.vcpus = request.vcpus;
+  arrival.goal_fraction = request.goal_fraction;
+  trace.Append(FleetEvent::Arrival(1.0, arrival));
+  trace = InjectMachineEvents(std::move(trace),
+                              {FleetEvent::FailDomain(10.0, DomainScope::kRack, 0),
+                               FleetEvent::Rejoin(10.0, 0)},
+                              topo);
+  // Stream order at t=10: fail 0, fail 1, rejoin 0.
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[1].kind(), FleetEventKind::kMachineFail);
+  EXPECT_EQ(trace[3].kind(), FleetEventKind::kMachineRejoin);
+
+  fleet.Replay(trace);
+  EXPECT_EQ(fleet.availability(0), MachineAvailability::kUp);
+  EXPECT_EQ(fleet.availability(1), MachineAvailability::kFailed);
+  EXPECT_TRUE(fleet.machine(0).RunningIds().empty());
+  // The failover re-dispatched the container onto the surviving rack.
+  const int home = fleet.MachineOf(1);
+  EXPECT_TRUE(home == 2 || home == 3) << home;
+}
+
+TEST(DomainEvents, FlatInjectorRejectsDomainScopedEvents) {
+  // The 2-arg InjectMachineEvents carries no topology: a rack/zone event
+  // must be expanded first, and slipping one through is a logic error.
+  EXPECT_THROW(InjectMachineEvents(
+                   EventStream{}, {FleetEvent::FailDomain(1.0, DomainScope::kRack, 0)}),
+               std::logic_error);
+  EXPECT_THROW(
+      InjectMachineEvents(EventStream{},
+                          {FleetEvent::DrainDomain(1.0, DomainScope::kZone, 0)}),
+      std::logic_error);
+}
+
+TEST(ServiceGroups, GroupKeyIsTheNameBeforeTheHash) {
+  EXPECT_EQ(ServiceGroupOf("gcc#12"), "gcc");
+  EXPECT_EQ(ServiceGroupOf("gcc"), "gcc");
+  EXPECT_EQ(ServiceGroupOf("a#b#c"), "a");
+  EXPECT_EQ(ServiceGroupOf("#7"), "");
+}
+
+TEST(DomainOccupancy, CountsMovesAndRemovalsPerDomain) {
+  const FailureDomainTopology topo = FailureDomainTopology::Uniform(8, 4, 2);
+  DomainOccupancy occupancy;
+  EXPECT_FALSE(occupancy.bound());
+  occupancy.Bind(&topo);
+  ASSERT_TRUE(occupancy.bound());
+
+  occupancy.Add(1, "gcc", 0);  // rack 0, zone 0
+  occupancy.Add(2, "gcc", 1);  // rack 0, zone 0
+  occupancy.Add(3, "gcc", 4);  // rack 2, zone 1
+  occupancy.Add(4, "lbm", 4);
+  EXPECT_EQ(occupancy.Replicas("gcc"), 3);
+  EXPECT_EQ(occupancy.Replicas("lbm"), 1);
+  EXPECT_EQ(occupancy.Replicas("unknown"), 0);
+  EXPECT_EQ(occupancy.Groups(), (std::vector<std::string>{"gcc", "lbm"}));
+  EXPECT_EQ(occupancy.CountIn("gcc", DomainScope::kRack, 0), 2);
+  EXPECT_EQ(occupancy.CountIn("gcc", DomainScope::kRack, 2), 1);
+  EXPECT_EQ(occupancy.CountIn("gcc", DomainScope::kZone, 0), 2);
+  EXPECT_EQ(occupancy.CountIn("gcc", DomainScope::kMachine, 1), 1);
+  EXPECT_EQ(occupancy.CountIn("unknown", DomainScope::kRack, 0), 0);
+  EXPECT_EQ(occupancy.DomainsToLoss("gcc", DomainScope::kRack), 2);
+  EXPECT_EQ(occupancy.DomainsToLoss("gcc", DomainScope::kZone), 2);
+  EXPECT_EQ(occupancy.DomainsToLoss("gcc", DomainScope::kMachine), 3);
+  EXPECT_EQ(occupancy.DomainsToLoss("lbm", DomainScope::kRack), 1);
+  EXPECT_EQ(occupancy.DomainsToLoss("unknown", DomainScope::kRack), 0);
+
+  // A move re-domiciles the replica; counts follow.
+  occupancy.Move(2, 6);  // rack 0 -> rack 3, zone 0 -> zone 1
+  EXPECT_EQ(occupancy.CountIn("gcc", DomainScope::kRack, 0), 1);
+  EXPECT_EQ(occupancy.CountIn("gcc", DomainScope::kRack, 3), 1);
+  EXPECT_EQ(occupancy.DomainsToLoss("gcc", DomainScope::kRack), 3);
+
+  occupancy.Remove(1);
+  occupancy.Remove(3);
+  occupancy.Remove(2);
+  EXPECT_EQ(occupancy.Replicas("gcc"), 0);
+  EXPECT_EQ(occupancy.DomainsToLoss("gcc", DomainScope::kRack), 0);
+  EXPECT_EQ(occupancy.Groups(), (std::vector<std::string>{"lbm"}));
+  // Removing an untracked id is a no-op (fleet-wide waiters never landed).
+  occupancy.Remove(99);
+  // Double-adding a tracked id is a bug in the caller.
+  EXPECT_THROW(occupancy.Add(4, "lbm", 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace numaplace

@@ -308,7 +308,9 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
              uint64_t seed, const std::string& dispatch_name,
              const std::string& policy_name,
              const std::vector<FleetEvent>& machine_events, int sharded_cells,
-             int sharded_probes, bool full_scan_ops, int fleet_probes) {
+             int sharded_probes, bool full_scan_ops, int fleet_probes,
+             int domain_racks, int domain_zones, double spread_weight,
+             int spread_cap) {
   if (containers_per_stream <= 0) {
     std::fprintf(stderr, "need at least one container per machine stream\n");
     return 2;
@@ -350,6 +352,15 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
   if (fleet_probes > 0) {
     fleet_config.fleet_probes = fleet_probes;
   }
+  if (domain_racks > static_cast<int>(machine_names.size())) {
+    std::fprintf(stderr, "--racks %d exceeds the fleet's %zu machines\n", domain_racks,
+                 machine_names.size());
+    return 2;
+  }
+  fleet_config.domain_racks = domain_racks;
+  fleet_config.domain_zones = domain_zones;  // validated against racks by the fleet
+  fleet_config.spread_weight = spread_weight;
+  fleet_config.spread_max_per_rack = spread_cap;
   // The sharded dispatcher is the one policy with CLI-tunable knobs; an
   // explicitly configured instance goes through the injecting constructor,
   // everything else is built by name from the registry.
@@ -367,6 +378,13 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
     dispatch = MakeDispatchPolicy(dispatch_name);
   }
   FleetScheduler fleet(std::move(specs), fleet_config, std::move(dispatch));
+  std::printf("failure domains: %d machines over %d racks, %d zones\n",
+              fleet.domains().NumMachines(), fleet.domains().NumRacks(),
+              fleet.domains().NumZones());
+  if (fleet.SpreadActive()) {
+    std::printf("spread dispatch: weight %.2f, max %d per rack (0 = uncapped)\n",
+                fleet_config.spread_weight, fleet_config.spread_max_per_rack);
+  }
   if (fleet_config.sharded_fleet_ops) {
     std::printf("fleet ops: capacity-index search over %d cells, %d sampled per "
                 "target search\n",
@@ -426,20 +444,24 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
   trace_config.mean_interarrival_seconds = 120.0;
   trace_config.mean_lifetime_seconds = 480.0;
   for (const FleetEvent& event : machine_events) {
-    if (event.machine_id() >= fleet.NumMachines()) {
+    const DomainScope scope = event.domain_scope();
+    if (event.machine_id() >= fleet.domains().NumDomains(scope)) {
       const char* flag = event.kind() == FleetEventKind::kMachineFail    ? "fail"
                          : event.kind() == FleetEventKind::kMachineDrain ? "drain"
                                                                          : "rejoin";
-      std::fprintf(stderr, "--%s targets machine %d, but the fleet has machines 0..%d\n",
-                   flag, event.machine_id(), fleet.NumMachines() - 1);
+      std::fprintf(stderr, "--%s targets %s %d, but the fleet has %ss 0..%d\n", flag,
+                   ToString(scope), event.machine_id(), ToString(scope),
+                   fleet.domains().NumDomains(scope) - 1);
       return 2;
     }
   }
 
   Rng trace_rng(seed);
+  // Domain-scoped events expand against the fleet's topology into the same
+  // canonical per-machine events a hand-written list would inject.
   const EventStream trace = InjectMachineEvents(
       GenerateFleetTrace(trace_config, static_cast<int>(machine_names.size()), trace_rng),
-      machine_events);
+      machine_events, fleet.domains());
   std::printf("replaying %zu events (%zu containers, %zu machine streams, %zu machine "
               "events, dispatch '%s', machine policy '%s')...\n\n",
               trace.size(), machine_names.size() * trace_config.num_containers,
@@ -514,6 +536,10 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
   if (stats.evacuations > 0) {
     summary.AddRow({"machine evacuations", std::to_string(stats.evacuations)});
     summary.AddRow({"evacuation moves", std::to_string(stats.evacuation_moves)});
+    summary.AddRow({"moves by reason (rebalance/drain/failover)",
+                    std::to_string(stats.rebalance_moves) + "/" +
+                        std::to_string(stats.drain_moves) + "/" +
+                        std::to_string(stats.failover_moves)});
     summary.AddRow({"evacuation requeues", std::to_string(stats.evacuation_requeues)});
     summary.AddRow({"evacuation previews (target searches)",
                     std::to_string(stats.evac_previews) + " (" +
@@ -539,22 +565,33 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
   return 0;
 }
 
-// Parses a "<machine>@<seconds>" machine-event spec (e.g. --fail 1@900).
-bool ParseMachineEventSpec(const char* spec, int* machine_id, double* time_seconds) {
+// Parses a machine-event spec: bare "<machine>@<seconds>" (e.g. --fail
+// 1@900) or domain-scoped "rack:<R>@<seconds>" / "zone:<Z>@<seconds>"
+// (e.g. --fail rack:3@900 — every machine of rack 3 fails at t=900).
+bool ParseMachineEventSpec(const char* spec, DomainScope* scope, int* index,
+                           double* time_seconds) {
+  *scope = DomainScope::kMachine;
+  if (std::strncmp(spec, "rack:", 5) == 0) {
+    *scope = DomainScope::kRack;
+    spec += 5;
+  } else if (std::strncmp(spec, "zone:", 5) == 0) {
+    *scope = DomainScope::kZone;
+    spec += 5;
+  }
   const char* at = std::strchr(spec, '@');
   if (at == nullptr || at == spec || *(at + 1) == '\0') {
     return false;
   }
   char* end = nullptr;
-  const long machine = std::strtol(spec, &end, 10);
-  if (end != at || machine < 0) {
+  const long parsed = std::strtol(spec, &end, 10);
+  if (end != at || parsed < 0) {
     return false;
   }
   const double time = std::strtod(at + 1, &end);
   if (*end != '\0' || time < 0.0) {
     return false;
   }
-  *machine_id = static_cast<int>(machine);
+  *index = static_cast<int>(parsed);
   *time_seconds = time;
   return true;
 }
@@ -574,8 +611,11 @@ void Usage() {
                "<containers-per-machine> [seed] [dispatch] [policy]\n"
                "                [--dispatch <name>] [--cells <N>] [--probes <d>]\n"
                "                [--fleet-probes <d>] [--full-scan-ops]\n"
-               "                [--fail <machine>@<t>] [--drain <machine>@<t>] "
-               "[--rejoin <machine>@<t>]\n");
+               "                [--racks <R>] [--zones <Z>]\n"
+               "                [--spread-weight <w>] [--spread-cap <n>]\n"
+               "                [--fail <spec>] [--drain <spec>] [--rejoin <spec>]\n"
+               "                  <spec> = <machine>@<t> | rack:<R>@<t> | "
+               "zone:<Z>@<t>\n");
 }
 
 }  // namespace
@@ -649,6 +689,10 @@ int main(int argc, char** argv) {
       int sharded_probes = 0;
       bool full_scan_ops = false;
       int fleet_probes = 0;
+      int domain_racks = 0;
+      int domain_zones = 0;
+      double spread_weight = 0.0;
+      int spread_cap = 0;
       bool have_seed = false;
       bool have_dispatch = false;
       bool have_policy = false;
@@ -683,7 +727,11 @@ int main(int argc, char** argv) {
         const bool is_cells = std::strcmp(argv[i], "--cells") == 0;
         const bool is_probes = std::strcmp(argv[i], "--probes") == 0;
         const bool is_fleet_probes = std::strcmp(argv[i], "--fleet-probes") == 0;
-        if (is_cells || is_probes || is_fleet_probes) {
+        const bool is_racks = std::strcmp(argv[i], "--racks") == 0;
+        const bool is_zones = std::strcmp(argv[i], "--zones") == 0;
+        const bool is_spread_cap = std::strcmp(argv[i], "--spread-cap") == 0;
+        if (is_cells || is_probes || is_fleet_probes || is_racks || is_zones ||
+            is_spread_cap) {
           char* end = nullptr;
           const long parsed = i + 1 < argc ? std::strtol(argv[i + 1], &end, 10) : 0;
           if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' || parsed <= 0) {
@@ -691,30 +739,50 @@ int main(int argc, char** argv) {
             return 2;
           }
           ++i;
-          (is_cells        ? sharded_cells
-           : is_probes     ? sharded_probes
-                           : fleet_probes) = static_cast<int>(parsed);
+          (is_cells         ? sharded_cells
+           : is_probes      ? sharded_probes
+           : is_racks       ? domain_racks
+           : is_zones       ? domain_zones
+           : is_spread_cap  ? spread_cap
+                            : fleet_probes) = static_cast<int>(parsed);
+          continue;
+        }
+        if (std::strcmp(argv[i], "--spread-weight") == 0) {
+          char* end = nullptr;
+          const double parsed = i + 1 < argc ? std::strtod(argv[i + 1], &end) : 0.0;
+          if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' || parsed <= 0.0) {
+            std::fprintf(stderr, "--spread-weight needs a positive number\n");
+            return 2;
+          }
+          ++i;
+          spread_weight = parsed;
           continue;
         }
         const bool is_fail = std::strcmp(argv[i], "--fail") == 0;
         const bool is_drain = std::strcmp(argv[i], "--drain") == 0;
         const bool is_rejoin = std::strcmp(argv[i], "--rejoin") == 0;
         if (is_fail || is_drain || is_rejoin) {
-          int machine_id = 0;
+          DomainScope scope = DomainScope::kMachine;
+          int index = 0;
           double time_seconds = 0.0;
           if (i + 1 >= argc ||
-              !ParseMachineEventSpec(argv[i + 1], &machine_id, &time_seconds)) {
-            std::fprintf(stderr, "%s needs a <machine>@<seconds> spec (e.g. %s 1@900)\n",
-                         argv[i], argv[i]);
+              !ParseMachineEventSpec(argv[i + 1], &scope, &index, &time_seconds)) {
+            std::fprintf(stderr,
+                         "invalid %s spec '%s': need <machine>@<seconds>, "
+                         "rack:<R>@<seconds> or zone:<Z>@<seconds> (e.g. %s 1@900, "
+                         "%s rack:3@900)\n",
+                         argv[i], i + 1 < argc ? argv[i + 1] : "(missing)", argv[i],
+                         argv[i]);
             return 2;
           }
           ++i;
           if (is_fail) {
-            machine_events.push_back(FleetEvent::Fail(time_seconds, machine_id));
+            machine_events.push_back(FleetEvent::FailDomain(time_seconds, scope, index));
           } else if (is_drain) {
-            machine_events.push_back(FleetEvent::Drain(time_seconds, machine_id));
+            machine_events.push_back(FleetEvent::DrainDomain(time_seconds, scope, index));
           } else {
-            machine_events.push_back(FleetEvent::Rejoin(time_seconds, machine_id));
+            machine_events.push_back(
+                FleetEvent::RejoinDomain(time_seconds, scope, index));
           }
           continue;
         }
@@ -763,7 +831,8 @@ int main(int argc, char** argv) {
       }
       return CmdFleet(argv[2], std::atoi(argv[3]), std::atoi(argv[4]), seed, dispatch,
                       policy, machine_events, sharded_cells, sharded_probes,
-                      full_scan_ops, fleet_probes);
+                      full_scan_ops, fleet_probes, domain_racks, domain_zones,
+                      spread_weight, spread_cap);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
