@@ -67,6 +67,11 @@
 // spread contender loses strictly less attainment to the rack loss than
 // flat best-predicted, and that its mean racks-to-loss is no worse.
 //
+// Every head-to-head and sweep run replays through a telemetry
+// MetricsObserver, so each JSON row additionally carries percentile digests
+// (count/p50/p95/p99/max) of the queue-wait and evacuation-latency
+// histograms next to the existing means.
+//
 // Flags:
 //   --smoke        tiny trace + small forests (CI Release-mode exercise)
 //   --json <path>  machine-readable results for the BENCH_*.json trajectory
@@ -88,6 +93,8 @@
 #include "src/model/pipeline.h"
 #include "src/scheduler/scheduler.h"
 #include "src/sim/perf_model.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/metrics_observer.h"
 #include "src/topology/machines.h"
 #include "src/util/json.h"
 #include "src/util/rng.h"
@@ -136,6 +143,26 @@ struct FleetDef {
   std::vector<std::string> machines;  // short group names, one per machine
 };
 
+// Percentile digest of one telemetry histogram, captured after a replay so
+// the registry itself does not have to outlive the run.
+struct HistogramSummary {
+  int64_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+HistogramSummary Summarize(const Histogram& histogram) {
+  HistogramSummary summary;
+  summary.count = histogram.count();
+  summary.p50 = histogram.Percentile(50.0);
+  summary.p95 = histogram.Percentile(95.0);
+  summary.p99 = histogram.Percentile(99.0);
+  summary.max = histogram.max();
+  return summary;
+}
+
 struct ResultRow {
   std::string fleet;
   int num_machines = 0;
@@ -145,6 +172,8 @@ struct ResultRow {
   int machine_probe_runs = 0;
   std::vector<RebalanceMove> moves;
   std::vector<EvacuationReport> evacuations;
+  HistogramSummary queue_wait;
+  HistogramSummary evac_latency;
 };
 
 ResultRow RunOne(const FleetDef& def, const std::string& dispatch_name,
@@ -175,10 +204,15 @@ ResultRow RunOne(const FleetDef& def, const std::string& dispatch_name,
   row.fleet = def.label;
   row.num_machines = static_cast<int>(def.machines.size());
   row.dispatch = dispatch_name;
-  row.report = fleet.ReplayWithEvaluation(trace);
+  MetricsRegistry registry;
+  MetricsObserver metrics(&registry, nullptr, fleet.NumMachines());
+  row.report = fleet.ReplayWithEvaluation(trace, &metrics);
   row.stats = fleet.stats();
   row.moves = fleet.rebalance_log();
   row.evacuations = fleet.evacuation_log();
+  row.queue_wait = Summarize(*registry.FindHistogram("fleet.queue_wait_seconds"));
+  row.evac_latency =
+      Summarize(*registry.FindHistogram("fleet.evacuation_latency_seconds"));
   // Every probe is charged to some machine's stats; stats_.fleet_probe_runs
   // is the subset the dispatcher/rebalancer triggered, not an extra count.
   for (int m = 0; m < fleet.NumMachines(); ++m) {
@@ -285,6 +319,8 @@ struct SweepRow {
   std::string dispatch;
   FleetReport report;
   FleetStats stats;
+  HistogramSummary queue_wait;
+  HistogramSummary evac_latency;
 
   double DecisionsPerSecond() const {
     return report.wall_seconds > 0.0 ? report.decisions / report.wall_seconds : 0.0;
@@ -309,13 +345,15 @@ FleetDef MixedFleet(int n) {
 
 void PrintSweepRows(const std::vector<SweepRow>& rows) {
   TablePrinter table({"machines", "dispatch", "goal attainment", "queued",
-                      "queue wait (s)", "previews", "previews/decision",
-                      "decisions/s"});
+                      "queue wait (s)", "p95 wait (s)", "p99 wait (s)",
+                      "previews", "previews/decision", "decisions/s"});
   for (const SweepRow& row : rows) {
     table.AddRow({std::to_string(row.num_machines), row.dispatch,
                   TablePrinter::Num(100.0 * row.report.goal_attainment, 1) + "%",
                   std::to_string(row.stats.queue_admissions),
                   TablePrinter::Num(row.report.mean_queue_wait_seconds, 1),
+                  TablePrinter::Num(row.queue_wait.p95, 1),
+                  TablePrinter::Num(row.queue_wait.p99, 1),
                   std::to_string(row.stats.dispatch_previews),
                   TablePrinter::Num(row.PreviewsPerDecision(), 1),
                   TablePrinter::Num(row.DecisionsPerSecond(), 0)});
@@ -593,6 +631,16 @@ void PrintRackLossRows(const std::vector<RackLossRow>& rows) {
   table.Print(std::cout);
 }
 
+// Emits <prefix>_count/p50/p95/p99/max for one histogram digest.
+void WriteSummaryFields(JsonWriter& json, const std::string& prefix,
+                        const HistogramSummary& summary) {
+  json.Field(prefix + "_count", summary.count);
+  json.Field(prefix + "_p50", summary.p50);
+  json.Field(prefix + "_p95", summary.p95);
+  json.Field(prefix + "_p99", summary.p99);
+  json.Field(prefix + "_max", summary.max);
+}
+
 void WriteJson(const std::string& path, const std::vector<ResultRow>& rows,
                const std::vector<ScenarioRow>& scenario_rows,
                const std::vector<SweepRow>& sweep_rows,
@@ -621,6 +669,8 @@ void WriteJson(const std::string& path, const std::vector<ResultRow>& rows,
     json.Field("utilization_min", row.report.utilization_min);
     json.Field("utilization_max", row.report.utilization_max);
     json.Field("mean_queue_wait_seconds", row.report.mean_queue_wait_seconds);
+    WriteSummaryFields(json, "queue_wait_seconds", row.queue_wait);
+    WriteSummaryFields(json, "evacuation_latency_seconds", row.evac_latency);
     json.Field("queue_admissions", row.stats.queue_admissions);
     json.Field("rebalance_moves", row.stats.rebalance_moves);
     json.Field("drain_moves", row.stats.drain_moves);
@@ -669,6 +719,8 @@ void WriteJson(const std::string& path, const std::vector<ResultRow>& rows,
     json.Field("evac_previews", row.run.stats.evac_previews);
     json.Field("evac_decisions", row.run.stats.evac_decisions);
     json.Field("mean_queue_wait_seconds", row.run.report.mean_queue_wait_seconds);
+    WriteSummaryFields(json, "queue_wait_seconds", row.run.queue_wait);
+    WriteSummaryFields(json, "evacuation_latency_seconds", row.run.evac_latency);
     json.EndObject();
   }
   json.EndArray();
@@ -682,6 +734,8 @@ void WriteJson(const std::string& path, const std::vector<ResultRow>& rows,
     json.Field("container_seconds_at_goal", row.report.container_seconds_at_goal);
     json.Field("mean_utilization", row.report.mean_utilization);
     json.Field("mean_queue_wait_seconds", row.report.mean_queue_wait_seconds);
+    WriteSummaryFields(json, "queue_wait_seconds", row.queue_wait);
+    WriteSummaryFields(json, "evacuation_latency_seconds", row.evac_latency);
     json.Field("queue_admissions", row.stats.queue_admissions);
     json.Field("dispatch_previews", row.stats.dispatch_previews);
     json.Field("previews_per_decision", row.PreviewsPerDecision());
@@ -896,7 +950,8 @@ int main(int argc, char** argv) {
       ResultRow run = RunOne(def, dispatch_name, groups, trace,
                              /*rebalance_on_departure=*/false);
       failures += CountInvariantViolations(run);
-      sweep_rows.push_back({n, dispatch_name, run.report, run.stats});
+      sweep_rows.push_back(
+          {n, dispatch_name, run.report, run.stats, run.queue_wait, run.evac_latency});
     }
   }
   std::printf("\n");

@@ -20,6 +20,10 @@
 // node sets, and spread burns the whole machine per container (the
 // conservative operator).
 //
+// Each policy run replays through a telemetry MetricsObserver, so the JSON
+// rows also carry percentile digests (count/p50/p95/p99/max) of the
+// queue-wait and per-decision-cost histograms.
+//
 // `--json <path>` additionally emits the per-policy numbers as JSON for the
 // BENCH_*.json perf trajectory.
 #include <cstdio>
@@ -35,6 +39,8 @@
 #include "src/scheduler/policy.h"
 #include "src/scheduler/scheduler.h"
 #include "src/sim/perf_model.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/metrics_observer.h"
 #include "src/topology/machines.h"
 #include "src/util/json.h"
 #include "src/util/rng.h"
@@ -46,10 +52,26 @@ namespace {
 
 using namespace numaplace;
 
+// Percentile digest of one telemetry histogram, captured after the replay.
+struct HistogramSummary {
+  int64_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+HistogramSummary Summarize(const Histogram& histogram) {
+  return {histogram.count(), histogram.Percentile(50.0), histogram.Percentile(95.0),
+          histogram.Percentile(99.0), histogram.max()};
+}
+
 struct PolicyRow {
   std::string name;
   TenancyReport report;
   SchedulerStats stats;
+  HistogramSummary queue_wait;
+  HistogramSummary decision_cost;
 };
 
 struct MachineRows {
@@ -103,8 +125,13 @@ MachineRows RunMachine(bool amd) {
     scheduler.ProvidePlacements(ips);
     PolicyRow row;
     row.name = policy_name;
-    row.report = ReplayWithEvaluation(scheduler, trace, multi);
+    MetricsRegistry telemetry;
+    MetricsObserver metrics(&telemetry, nullptr, /*up_machines=*/1);
+    row.report = ReplayWithEvaluation(scheduler, trace, multi, &metrics);
     row.stats = scheduler.stats();
+    row.queue_wait = Summarize(*telemetry.FindHistogram("fleet.queue_wait_seconds"));
+    row.decision_cost =
+        Summarize(*telemetry.FindHistogram("fleet.decision_seconds"));
     rows.push_back(std::move(row));
   }
 
@@ -175,6 +202,16 @@ void WriteJson(const std::string& path, const std::vector<MachineRows>& machines
       json.Field("cached_probe_reuses", row.stats.cached_probe_reuses);
       json.Field("decisions", row.report.decisions);
       json.Field("wall_seconds", row.report.wall_seconds);
+      json.Field("queue_wait_seconds_count", row.queue_wait.count);
+      json.Field("queue_wait_seconds_p50", row.queue_wait.p50);
+      json.Field("queue_wait_seconds_p95", row.queue_wait.p95);
+      json.Field("queue_wait_seconds_p99", row.queue_wait.p99);
+      json.Field("queue_wait_seconds_max", row.queue_wait.max);
+      json.Field("decision_seconds_count", row.decision_cost.count);
+      json.Field("decision_seconds_p50", row.decision_cost.p50);
+      json.Field("decision_seconds_p95", row.decision_cost.p95);
+      json.Field("decision_seconds_p99", row.decision_cost.p99);
+      json.Field("decision_seconds_max", row.decision_cost.max);
       json.EndObject();
     }
     json.EndArray();

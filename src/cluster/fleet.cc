@@ -351,6 +351,7 @@ void FleetScheduler::RecordAdmission(const ScheduleOutcome& outcome, double now)
 FleetOutcome FleetScheduler::Dispatch(const ContainerRequest& request, double now,
                                       EventObserver* observer) {
   ++stats_.dispatch_decisions;
+  const int previews_before = stats_.dispatch_previews;
   const std::vector<int> preselected = dispatch_->Preselect(request);
   std::vector<MachineCandidate> candidates =
       BuildCandidates(request, dispatch_->NeedsPreviews(),
@@ -359,6 +360,12 @@ FleetOutcome FleetScheduler::Dispatch(const ContainerRequest& request, double no
     // A preselection (e.g. sharded cells) that yields no candidate must not
     // park the container while a machine outside it could take it.
     candidates = BuildCandidates(request, dispatch_->NeedsPreviews());
+  }
+  if (observer != nullptr) {
+    TargetSearchStats search;
+    search.kind = TargetSearchStats::Kind::kDispatch;
+    search.previews = stats_.dispatch_previews - previews_before;
+    observer->OnTargetSearch(search, now);
   }
   if (candidates.empty()) {
     // Every machine that could hold the container is failed or draining:
@@ -429,6 +436,9 @@ void FleetScheduler::Depart(int container_id, double now, EventObserver* observe
     for (auto& [group, members] : groups_) {
       members.registry->Forget(container_id);
     }
+    if (observer != nullptr) {
+      observer->OnDeparture(kNoMachine, container_id, now);
+    }
     return;
   }
   const int machine_id = MachineOf(container_id);
@@ -453,6 +463,9 @@ void FleetScheduler::Depart(int container_id, double now, EventObserver* observe
   domain_occupancy_->Remove(container_id);
   waiting_.erase(container_id);
   submit_time_.erase(container_id);
+  if (observer != nullptr) {
+    observer->OnDeparture(machine_id, container_id, now);
+  }
 
   for (const ScheduleOutcome& outcome : replaced) {
     RecordAdmission(outcome, now);
@@ -577,7 +590,17 @@ void FleetScheduler::Evacuate(int machine_id, bool graceful, double now,
     search.previews = &stats_.evac_previews;
     ++stats_.evac_decisions;
     RebalanceMove best_move;
+    const int evac_previews_before = stats_.evac_previews;
+    const double search_seconds_before = stats_.fleet_op_search_seconds;
     const int best_target = FindBestTarget(search, &best_move);
+    if (observer != nullptr) {
+      TargetSearchStats search_stats;
+      search_stats.kind = TargetSearchStats::Kind::kEvacuation;
+      search_stats.previews = stats_.evac_previews - evac_previews_before;
+      search_stats.host_seconds =
+          stats_.fleet_op_search_seconds - search_seconds_before;
+      observer->OnTargetSearch(search_stats, now);
+    }
 
     if (best_target >= 0) {
       ScheduleOutcome moved =
@@ -848,7 +871,17 @@ void FleetScheduler::RebalancePass(double now, EventObserver* observer) {
     search.previews = &stats_.rebalance_previews;
     ++stats_.rebalance_decisions;
     RebalanceMove best_move;
+    const int rebalance_previews_before = stats_.rebalance_previews;
+    const double search_seconds_before = stats_.fleet_op_search_seconds;
     const int best_target = FindBestTarget(search, &best_move);
+    if (observer != nullptr) {
+      TargetSearchStats search_stats;
+      search_stats.kind = TargetSearchStats::Kind::kRebalance;
+      search_stats.previews = stats_.rebalance_previews - rebalance_previews_before;
+      search_stats.host_seconds =
+          stats_.fleet_op_search_seconds - search_seconds_before;
+      observer->OnTargetSearch(search_stats, now);
+    }
     if (best_target < 0) {
       continue;
     }
@@ -953,17 +986,31 @@ std::vector<double> FleetScheduler::TimeAveragedUtilizations() const {
 }
 
 FleetReport FleetScheduler::ReplayWithEvaluation(const EventStream& trace,
-                                                 EventObserver* observer) {
+                                                 EventObserver* observer,
+                                                 ReplaySampler* sampler) {
   FleetReport report;
   AdmissionCounter counter(observer);
   double last_time = 0.0;
   double attainment_weight = 0.0;
   double at_goal_weight = 0.0;
   double container_seconds = 0.0;
+  // Next snapshot instant; the first sample lands at one full interval.
+  double next_sample = sampler != nullptr ? sampler->IntervalSeconds() : 0.0;
 
   for (const FleetEvent& event : trace) {
     const double dt = event.time_seconds - last_time;
     if (dt > 0.0) {
+      // The tenant set is constant over (last_time, event.time], so the
+      // integrals grow linearly across the interval. The sampler needs the
+      // per-second rates to interpolate at snapshot instants; the report
+      // integrals keep their original per-tenant accumulation order so a
+      // sampler-free replay is arithmetically untouched.
+      const double base_attainment = attainment_weight;
+      const double base_at_goal = at_goal_weight;
+      const double base_container = container_seconds;
+      double ratio_rate = 0.0;
+      double at_goal_rate = 0.0;
+      double container_rate = 0.0;
       for (const Machine& machine : machines_) {
         for (const MachineScheduler::TenantSnapshot& snap :
              machine.scheduler->SnapshotPerformance(*machine.multi)) {
@@ -972,17 +1019,34 @@ FleetReport FleetScheduler::ReplayWithEvaluation(const EventStream& trace,
                   ? std::min(1.0, snap.measured_abs_throughput / snap.goal_abs_throughput)
                   : 1.0;
           attainment_weight += ratio * dt;
+          ratio_rate += ratio;
           if (ratio >= 0.999) {
             at_goal_weight += dt;
+            at_goal_rate += 1.0;
           }
           container_seconds += dt;
+          container_rate += 1.0;
         }
         // A queued container attains nothing while it waits.
-        container_seconds +=
-            static_cast<double>(machine.scheduler->PendingIds().size()) * dt;
+        const double pending =
+            static_cast<double>(machine.scheduler->PendingIds().size());
+        container_seconds += pending * dt;
+        container_rate += pending;
       }
       // Neither does one waiting fleet-wide for an available machine.
       container_seconds += static_cast<double>(unplaced_.size()) * dt;
+      container_rate += static_cast<double>(unplaced_.size());
+
+      // Snapshots due inside this interval see the fleet as it stood after
+      // the previous event (a sample at exactly event time is pre-event).
+      while (sampler != nullptr && next_sample <= event.time_seconds) {
+        const double part = next_sample - last_time;
+        const double cs = base_container + container_rate * part;
+        sampler->Sample(next_sample,
+                        cs > 0.0 ? (base_attainment + ratio_rate * part) / cs : 1.0,
+                        cs > 0.0 ? (base_at_goal + at_goal_rate * part) / cs : 1.0);
+        next_sample += sampler->IntervalSeconds();
+      }
       last_time = event.time_seconds;
     }
 

@@ -272,9 +272,14 @@ class FleetScheduler {
   void Rejoin(int machine_id, double now = 0.0, EventObserver* observer = nullptr);
 
   /// Replays a merged, time-ordered fleet trace, evaluating every machine's
-  /// co-running tenants with its multi-tenant model between events.
+  /// co-running tenants with its multi-tenant model between events. When a
+  /// `sampler` is given, it is called at every multiple of its
+  /// IntervalSeconds() of stream time with the run-so-far attainment
+  /// integrals linearly interpolated to that instant (the tenant set is
+  /// constant between events, so the interpolation is exact).
   FleetReport ReplayWithEvaluation(const EventStream& trace,
-                                   EventObserver* observer = nullptr);
+                                   EventObserver* observer = nullptr,
+                                   ReplaySampler* sampler = nullptr);
 
   /// Machine currently holding the container (running or queued),
   /// kNoMachine when the id waits fleet-wide or is not live at all.

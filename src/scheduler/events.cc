@@ -14,6 +14,18 @@ const char* ToString(MachineAvailability availability) {
   return "unknown";
 }
 
+const char* ToString(TargetSearchStats::Kind kind) {
+  switch (kind) {
+    case TargetSearchStats::Kind::kDispatch:
+      return "dispatch";
+    case TargetSearchStats::Kind::kRebalance:
+      return "rebalance";
+    case TargetSearchStats::Kind::kEvacuation:
+      return "evacuation";
+  }
+  return "unknown";
+}
+
 const char* ToString(RebalanceMove::Reason reason) {
   switch (reason) {
     case RebalanceMove::Reason::kRebalance:

@@ -11,9 +11,12 @@
 //                  admission, upgrade, or the landing half of a move)
 //   OnQueued       a container is waiting (on a machine's queue, or
 //                  fleet-wide when machine_id is kNoMachine)
+//   OnDeparture    a container left the fleet (trace departure event)
 //   OnMove         a committed cross-machine move with its gain/cost model
 //   OnEvacuation   a machine was emptied by a fail or drain event
 //   OnMachineAvailability   a machine changed availability
+//   OnTargetSearch one target-search pass finished (dispatch, rebalance
+//                  or evacuation), with its preview count and host cost
 //
 // The move/evacuation/availability callbacks only fire from the fleet layer
 // (a single MachineScheduler has no machine namespace); all types here are
@@ -115,6 +118,29 @@ struct RebalanceMove {
 /// Lower-case reason name ("rebalance", "drain", "failover").
 const char* ToString(RebalanceMove::Reason reason);
 
+/// One target-search pass: how many candidate placements were previewed to
+/// reach one decision, and what the search cost in host wall time. Preview
+/// counts are deterministic for a given trace + flags; host_seconds is wall
+/// time and must never be written into deterministic artifacts.
+struct TargetSearchStats {
+  /// Which fleet operation ran the search.
+  enum class Kind {
+    kDispatch,    ///< admission-time placement search
+    kRebalance,   ///< departure-triggered rebalance pass
+    kEvacuation,  ///< drain/fail evacuation pass
+  };
+
+  /// The operation that searched.
+  Kind kind = Kind::kDispatch;
+  /// Candidate placements previewed during this search.
+  long long previews = 0;
+  /// Host wall time the search took (0 when the caller does not time it).
+  double host_seconds = 0.0;
+};
+
+/// Lower-case kind name ("dispatch", "rebalance", "evacuation").
+const char* ToString(TargetSearchStats::Kind kind);
+
 /// Summary of one machine evacuation (fail or drain event).
 struct EvacuationReport {
   /// The machine that was emptied.
@@ -155,6 +181,10 @@ class EventObserver {
   /// A container is waiting (machine queue, or fleet-wide at kNoMachine).
   virtual void OnQueued(int /*machine_id*/, const ScheduleOutcome& /*outcome*/,
                         double /*now*/) {}
+  /// A container left (trace departure event). machine_id is where it was
+  /// running, kNoMachine when it departed from the fleet-wide wait set.
+  virtual void OnDeparture(int /*machine_id*/, int /*container_id*/,
+                           double /*now*/) {}
   /// A committed cross-machine move (fleet layer only).
   virtual void OnMove(const RebalanceMove& /*move*/, double /*now*/) {}
   /// A machine was emptied by a fail or drain event (fleet layer only).
@@ -163,6 +193,27 @@ class EventObserver {
   virtual void OnMachineAvailability(int /*machine_id*/,
                                      MachineAvailability /*availability*/,
                                      double /*now*/) {}
+  /// One target-search pass finished (fleet layer only).
+  virtual void OnTargetSearch(const TargetSearchStats& /*search*/,
+                              double /*now*/) {}
+};
+
+/// Periodic sampling hook for ReplayWithEvaluation: the replay calls
+/// Sample() at every multiple of IntervalSeconds() of stream time, with the
+/// evaluation integrals interpolated to that instant. Declared here (plain
+/// interface, no cluster types) so src/telemetry can implement it without a
+/// dependency cycle.
+class ReplaySampler {
+ public:
+  virtual ~ReplaySampler() = default;
+
+  /// Sim-time spacing between samples; must be > 0.
+  virtual double IntervalSeconds() const = 0;
+  /// One sample at stream time `t`. `attainment_so_far` and
+  /// `at_goal_so_far` are the run-so-far time-weighted means over live
+  /// container-seconds (1.0 while nothing has run yet).
+  virtual void Sample(double t, double attainment_so_far,
+                      double at_goal_so_far) = 0;
 };
 
 /// Forwards every callback to `next` (which may be null); base class for
@@ -182,6 +233,11 @@ class ForwardingObserver : public EventObserver {
       next_->OnQueued(machine_id, outcome, now);
     }
   }
+  void OnDeparture(int machine_id, int container_id, double now) override {
+    if (next_ != nullptr) {
+      next_->OnDeparture(machine_id, container_id, now);
+    }
+  }
   void OnMove(const RebalanceMove& move, double now) override {
     if (next_ != nullptr) {
       next_->OnMove(move, now);
@@ -196,6 +252,11 @@ class ForwardingObserver : public EventObserver {
                              double now) override {
     if (next_ != nullptr) {
       next_->OnMachineAvailability(machine_id, availability, now);
+    }
+  }
+  void OnTargetSearch(const TargetSearchStats& search, double now) override {
+    if (next_ != nullptr) {
+      next_->OnTargetSearch(search, now);
     }
   }
 
@@ -240,6 +301,10 @@ class OutcomeRecorder : public EventObserver {
     (void)now;
     outcomes.push_back({machine_id, outcome});
   }
+  void OnDeparture(int machine_id, int container_id, double now) override {
+    (void)now;
+    departures.emplace_back(machine_id, container_id);
+  }
   void OnMove(const RebalanceMove& move, double now) override {
     (void)now;
     moves.push_back(move);
@@ -257,6 +322,8 @@ class OutcomeRecorder : public EventObserver {
   /// Admissions (outcome.admitted) and queueings, interleaved in event
   /// order.
   std::vector<FleetOutcome> outcomes;
+  /// (machine id, container id) per departure, in event order.
+  std::vector<std::pair<int, int>> departures;
   /// Committed cross-machine moves, in commit order.
   std::vector<RebalanceMove> moves;
   /// One report per processed fail/drain event.

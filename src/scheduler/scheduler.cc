@@ -510,6 +510,7 @@ void MachineScheduler::Step(const FleetEvent& event, EventObserver* observer) {
     const std::vector<ScheduleOutcome> replaced =
         Depart(departure->container_id, event.time_seconds);
     if (observer != nullptr) {
+      observer->OnDeparture(0, departure->container_id, event.time_seconds);
       // Everything the re-placement pass reports is a committed placement or
       // upgrade.
       for (const ScheduleOutcome& outcome : replaced) {

@@ -1,0 +1,124 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)), counts_(boundaries_.size() + 1, 0) {
+  for (size_t i = 1; i < boundaries_.size(); ++i) {
+    NP_CHECK_MSG(boundaries_[i - 1] < boundaries_[i],
+                 "histogram boundaries must be strictly increasing; got "
+                     << boundaries_[i - 1] << " before " << boundaries_[i]);
+  }
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper boundary admits the value; past-the-end means
+  // the overflow bucket.
+  const auto it = std::lower_bound(boundaries_.begin(), boundaries_.end(), value);
+  ++counts_[static_cast<size_t>(it - boundaries_.begin())];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::Percentile(double p) const {
+  NP_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile " << p << " outside [0, 100]");
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (p <= 0.0) {
+    return min_;
+  }
+  if (p >= 100.0) {
+    return max_;
+  }
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    const double in_bucket = static_cast<double>(counts_[i]);
+    if (static_cast<double>(cumulative) + in_bucket >= rank) {
+      // Bucket edges, clamped to the observed range so sparse tails don't
+      // stretch the estimate past real data.
+      const double lower = i == 0 ? min_ : std::max(boundaries_[i - 1], min_);
+      const double upper = i < boundaries_.size() ? std::min(boundaries_[i], max_) : max_;
+      if (upper <= lower) {
+        return std::clamp(lower, min_, max_);
+      }
+      const double frac = (rank - static_cast<double>(cumulative)) / in_bucket;
+      return std::clamp(lower + frac * (upper - lower), min_, max_);
+    }
+    cumulative += counts_[i];
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) { return gauges_[name]; }
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> boundaries) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(boundaries))).first;
+  } else {
+    NP_CHECK_MSG(it->second.boundaries() == boundaries,
+                 "histogram " << name << " re-registered with different boundaries");
+  }
+  return it->second;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+namespace {
+template <typename Map>
+std::vector<std::string> SortedKeys(const Map& map) {
+  std::vector<std::string> names;
+  names.reserve(map.size());
+  for (const auto& [name, unused] : map) {
+    (void)unused;
+    names.push_back(name);
+  }
+  return names;  // std::map iterates in sorted key order already.
+}
+}  // namespace
+
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  return SortedKeys(counters_);
+}
+std::vector<std::string> MetricsRegistry::GaugeNames() const {
+  return SortedKeys(gauges_);
+}
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  return SortedKeys(histograms_);
+}
+
+}  // namespace numaplace

@@ -1,0 +1,118 @@
+// Metrics core of the telemetry layer: named counters, gauges and
+// fixed-boundary histograms collected into a MetricsRegistry.
+//
+// Everything here is deterministic given a deterministic feed: histograms
+// keep exact per-bucket counts plus min/max/sum, and Percentile() resolves
+// inside a bucket by linear interpolation over exact edges, so the same
+// sequence of Observe() calls always yields the same summary. Host wall
+// time may be *recorded* here (fleet.search_seconds), but callers writing
+// deterministic artifacts must skip wall-time metrics — see
+// docs/OBSERVABILITY.md.
+//
+// The registry owns its instruments; handles returned by Counter()/Gauge()/
+// Histogram() stay valid for the registry's lifetime (node-stable map
+// storage). Instruments are identified by name; asking twice for the same
+// name returns the same instrument (histogram boundaries must then match).
+#ifndef NUMAPLACE_SRC_TELEMETRY_METRICS_H_
+#define NUMAPLACE_SRC_TELEMETRY_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace numaplace {
+
+/// Monotonically increasing count.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-boundary histogram with upper-inclusive buckets: a value v lands
+/// in the first bucket with v <= boundary[i], or in the overflow bucket
+/// when v exceeds every boundary. Tracks exact count/sum/min/max alongside
+/// the bucket counts so percentile estimates can clamp to observed range.
+class Histogram {
+ public:
+  /// `boundaries` must be strictly increasing; may be empty (the histogram
+  /// then degenerates to count/sum/min/max plus one overflow bucket).
+  explicit Histogram(std::vector<double> boundaries);
+
+  void Observe(double value);
+
+  /// Upper-inclusive bucket boundaries, as constructed.
+  const std::vector<double>& boundaries() const { return boundaries_; }
+  /// Per-bucket counts; size() == boundaries().size() + 1, last = overflow.
+  const std::vector<int64_t>& bucket_counts() const { return counts_; }
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// 0.0 when empty.
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  /// 0.0 when empty.
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  /// sum/count; 0.0 when empty.
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Deterministic percentile estimate, p in [0, 100]: walks the cumulative
+  /// bucket counts to the target rank, interpolates linearly within the
+  /// bucket, and clamps edges to the observed [min, max]. Exact for p=0
+  /// (min) and p=100 (max); 0.0 when the histogram is empty.
+  double Percentile(double p) const;
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Name-keyed collection of instruments. std::map keeps iteration (and
+/// therefore any emission order derived from it) sorted and deterministic.
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named counter.
+  Counter& GetCounter(const std::string& name);
+  /// Finds or creates the named gauge.
+  Gauge& GetGauge(const std::string& name);
+  /// Finds or creates the named histogram. When the histogram already
+  /// exists the boundaries must match the existing ones.
+  Histogram& GetHistogram(const std::string& name, std::vector<double> boundaries);
+
+  /// Lookup without creation; nullptr when absent.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  /// Sorted instrument names, for deterministic emission.
+  std::vector<std::string> CounterNames() const;
+  std::vector<std::string> GaugeNames() const;
+  std::vector<std::string> HistogramNames() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_TELEMETRY_METRICS_H_

@@ -1,0 +1,145 @@
+#include "src/telemetry/metrics_observer.h"
+
+#include <string>
+#include <vector>
+
+namespace numaplace {
+
+namespace {
+
+// Every boundary set leads with an exact-zero bucket: instant restarts,
+// preview-free dispatches and cache-hit decisions are common, and keeping
+// them out of the first real bucket stops interpolation from smearing a
+// zero-heavy distribution.
+
+// Seconds-valued latency boundaries: sub-minute detail, then the coarse
+// minutes/hours tail queue waits actually reach under overload.
+const std::vector<double> kLatencyBoundaries = {0, 1, 5, 15, 60, 300, 900, 3600};
+
+// Move durations are dominated by §7 migration + network copy — seconds to
+// a few minutes.
+const std::vector<double> kMoveBoundaries = {0, 0.5, 1, 2, 5, 10, 30, 60, 180};
+
+// Decision cost (probes + migration) at machine level.
+const std::vector<double> kDecisionBoundaries = {0, 0.1, 0.5, 1, 2, 5, 10, 30};
+
+// Previews per target search; the sharded index keeps this sublinear in
+// fleet size, so the interesting range is small.
+const std::vector<double> kPreviewBoundaries = {0,  1,  2,   4,   8,
+                                                16, 32, 64, 128, 256};
+
+// Host wall time per target search. Never emitted into deterministic
+// artifacts — console/bench-JSON only.
+const std::vector<double> kSearchSecondsBoundaries = {0,    1e-6, 1e-5, 1e-4,
+                                                      1e-3, 1e-2, 0.1,  1};
+
+}  // namespace
+
+MetricsObserver::MetricsObserver(MetricsRegistry* registry, EventObserver* next,
+                                 int up_machines)
+    : ForwardingObserver(next), registry_(registry) {
+  // Materialize the catalog up front so emission sees every instrument even
+  // when a run never triggers some event (deterministic schema).
+  registry_->GetCounter("fleet.admissions");
+  registry_->GetCounter("fleet.queued_events");
+  registry_->GetCounter("fleet.departures");
+  registry_->GetCounter("fleet.moves");
+  registry_->GetCounter("fleet.moves.rebalance");
+  registry_->GetCounter("fleet.moves.drain");
+  registry_->GetCounter("fleet.moves.failover");
+  registry_->GetCounter("fleet.evacuations");
+  registry_->GetCounter("fleet.machines_failed");
+  registry_->GetCounter("fleet.machines_draining");
+  registry_->GetCounter("fleet.machines_rejoined");
+  registry_->GetGauge("fleet.queue_depth");
+  registry_->GetGauge("fleet.up_machines").Set(up_machines);
+  registry_->GetHistogram("fleet.queue_wait_seconds", kLatencyBoundaries);
+  registry_->GetHistogram("fleet.evacuation_latency_seconds", kLatencyBoundaries);
+  registry_->GetHistogram("fleet.move_seconds", kMoveBoundaries);
+  registry_->GetHistogram("fleet.decision_seconds", kDecisionBoundaries);
+  registry_->GetHistogram("fleet.search_previews", kPreviewBoundaries);
+  registry_->GetHistogram("fleet.search_seconds", kSearchSecondsBoundaries);
+}
+
+void MetricsObserver::OnAdmission(int machine_id, const ScheduleOutcome& outcome,
+                                  double now) {
+  registry_->GetCounter("fleet.admissions").Increment();
+  registry_->GetHistogram("fleet.decision_seconds", kDecisionBoundaries)
+      .Observe(outcome.decision_seconds);
+  const auto it = queued_since_.find(outcome.container_id);
+  if (it != queued_since_.end()) {
+    registry_->GetHistogram("fleet.queue_wait_seconds", kLatencyBoundaries)
+        .Observe(now - it->second);
+    queued_since_.erase(it);
+    registry_->GetGauge("fleet.queue_depth").Set(queue_depth());
+  }
+  ForwardingObserver::OnAdmission(machine_id, outcome, now);
+}
+
+void MetricsObserver::OnQueued(int machine_id, const ScheduleOutcome& outcome,
+                               double now) {
+  registry_->GetCounter("fleet.queued_events").Increment();
+  // Only the first queueing starts the wait clock: re-reports while still
+  // waiting (e.g. an evacuation requeue) must not reset it.
+  queued_since_.emplace(outcome.container_id, now);
+  registry_->GetGauge("fleet.queue_depth").Set(queue_depth());
+  ForwardingObserver::OnQueued(machine_id, outcome, now);
+}
+
+void MetricsObserver::OnDeparture(int machine_id, int container_id, double now) {
+  registry_->GetCounter("fleet.departures").Increment();
+  if (queued_since_.erase(container_id) > 0) {
+    registry_->GetGauge("fleet.queue_depth").Set(queue_depth());
+  }
+  ForwardingObserver::OnDeparture(machine_id, container_id, now);
+}
+
+void MetricsObserver::OnMove(const RebalanceMove& move, double now) {
+  registry_->GetCounter("fleet.moves").Increment();
+  registry_->GetCounter(std::string("fleet.moves.") + ToString(move.reason))
+      .Increment();
+  registry_->GetHistogram("fleet.move_seconds", kMoveBoundaries)
+      .Observe(move.move_seconds);
+  ForwardingObserver::OnMove(move, now);
+}
+
+void MetricsObserver::OnEvacuation(const EvacuationReport& report, double now) {
+  registry_->GetCounter("fleet.evacuations").Increment();
+  registry_->GetHistogram("fleet.evacuation_latency_seconds", kLatencyBoundaries)
+      .Observe(report.last_landing_seconds);
+  ForwardingObserver::OnEvacuation(report, now);
+}
+
+void MetricsObserver::OnMachineAvailability(int machine_id,
+                                            MachineAvailability availability,
+                                            double now) {
+  switch (availability) {
+    case MachineAvailability::kUp:
+      registry_->GetCounter("fleet.machines_rejoined").Increment();
+      break;
+    case MachineAvailability::kDraining:
+      registry_->GetCounter("fleet.machines_draining").Increment();
+      break;
+    case MachineAvailability::kFailed:
+      registry_->GetCounter("fleet.machines_failed").Increment();
+      break;
+  }
+  const auto it = availability_.find(machine_id);
+  const bool was_up = it == availability_.end() || it->second == MachineAvailability::kUp;
+  const bool is_up = availability == MachineAvailability::kUp;
+  if (was_up != is_up) {
+    registry_->GetGauge("fleet.up_machines").Add(is_up ? 1.0 : -1.0);
+  }
+  availability_[machine_id] = availability;
+  ForwardingObserver::OnMachineAvailability(machine_id, availability, now);
+}
+
+void MetricsObserver::OnTargetSearch(const TargetSearchStats& search, double now) {
+  registry_->GetHistogram("fleet.search_previews", kPreviewBoundaries)
+      .Observe(static_cast<double>(search.previews));
+  registry_->GetHistogram("fleet.search_seconds", kSearchSecondsBoundaries)
+      .Observe(search.host_seconds);
+  ForwardingObserver::OnTargetSearch(search, now);
+}
+
+}  // namespace numaplace

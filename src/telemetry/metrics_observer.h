@@ -1,0 +1,56 @@
+// EventObserver tap that feeds a MetricsRegistry from the unified event
+// pipeline. Insert it between a scheduler and any downstream observer:
+//
+//   MetricsRegistry registry;
+//   MetricsObserver metrics(&registry, &downstream);   // downstream may be null
+//   fleet.ReplayWithEvaluation(trace, &metrics);
+//
+// It forwards every callback unchanged (ForwardingObserver), so attaching
+// it never perturbs what downstream observers — or the scheduler — see.
+// The metric catalog it populates is documented in docs/OBSERVABILITY.md.
+#ifndef NUMAPLACE_SRC_TELEMETRY_METRICS_OBSERVER_H_
+#define NUMAPLACE_SRC_TELEMETRY_METRICS_OBSERVER_H_
+
+#include <map>
+
+#include "src/scheduler/events.h"
+#include "src/telemetry/metrics.h"
+
+namespace numaplace {
+
+class MetricsObserver final : public ForwardingObserver {
+ public:
+  /// `registry` must outlive the observer; `next` may be null. `up_machines`
+  /// seeds the fleet.up_machines gauge (machines start kUp; pass 0 for a
+  /// standalone MachineScheduler where availability never changes).
+  explicit MetricsObserver(MetricsRegistry* registry, EventObserver* next = nullptr,
+                           int up_machines = 0);
+
+  void OnAdmission(int machine_id, const ScheduleOutcome& outcome,
+                   double now) override;
+  void OnQueued(int machine_id, const ScheduleOutcome& outcome, double now) override;
+  void OnDeparture(int machine_id, int container_id, double now) override;
+  void OnMove(const RebalanceMove& move, double now) override;
+  void OnEvacuation(const EvacuationReport& report, double now) override;
+  void OnMachineAvailability(int machine_id, MachineAvailability availability,
+                             double now) override;
+  void OnTargetSearch(const TargetSearchStats& search, double now) override;
+
+  /// Containers currently waiting (first OnQueued seen, no admission or
+  /// departure yet).
+  int queue_depth() const { return static_cast<int>(queued_since_.size()); }
+
+ private:
+  MetricsRegistry* registry_;
+  // container id -> stream time of its *first* OnQueued since it last ran;
+  // queue wait is measured from there to the admission that seats it.
+  std::map<int, double> queued_since_;
+  // machine id -> last reported availability (absent = kUp), so the
+  // up-machines gauge only moves on real up<->down transitions (a
+  // draining machine that then fails must not be subtracted twice).
+  std::map<int, MachineAvailability> availability_;
+};
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_TELEMETRY_METRICS_OBSERVER_H_

@@ -1,0 +1,108 @@
+#include "src/telemetry/snapshots.h"
+
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/json.h"
+
+namespace numaplace {
+
+FleetSnapshotRecorder::FleetSnapshotRecorder(const FleetScheduler& fleet,
+                                             double interval_seconds,
+                                             std::ostream& os)
+    : fleet_(fleet), interval_seconds_(interval_seconds), os_(os) {
+  NP_CHECK_MSG(interval_seconds_ > 0.0,
+               "snapshot interval must be positive, got " << interval_seconds_);
+}
+
+void FleetSnapshotRecorder::Sample(double t, double attainment_so_far,
+                                   double at_goal_so_far) {
+  // Per-machine live state, read once and aggregated per cell and per rack.
+  const int num_machines = fleet_.NumMachines();
+  int up_machines = 0;
+  int running = 0;
+  int machine_queued = 0;
+  int busy_threads = 0;
+  int free_threads = 0;
+  std::vector<int> machine_up(num_machines, 0);
+  std::vector<int> machine_busy(num_machines, 0);
+  std::vector<int> machine_free(num_machines, 0);
+  for (int m = 0; m < num_machines; ++m) {
+    const MachineScheduler& scheduler = fleet_.machine(m);
+    const bool up = fleet_.availability(m) == MachineAvailability::kUp;
+    machine_up[m] = up ? 1 : 0;
+    machine_busy[m] = scheduler.occupancy().BusyThreadCount();
+    machine_free[m] = scheduler.occupancy().FreeThreadCount();
+    up_machines += machine_up[m];
+    running += static_cast<int>(scheduler.RunningIds().size());
+    machine_queued += static_cast<int>(scheduler.PendingIds().size());
+    busy_threads += machine_busy[m];
+    free_threads += machine_free[m];
+  }
+  const int unplaced = static_cast<int>(fleet_.UnplacedIds().size());
+
+  JsonWriter json(os_);
+  json.BeginObject();
+  json.Field("t", t);
+  json.Field("attainment_so_far", attainment_so_far);
+  json.Field("at_goal_so_far", at_goal_so_far);
+  json.Field("queue_depth", machine_queued + unplaced);
+  json.Field("unplaced", unplaced);
+  json.Field("running", running);
+  json.Field("up_machines", up_machines);
+  json.Field("busy_threads", busy_threads);
+  json.Field("free_threads", free_threads);
+
+  const CapacityIndex& index = fleet_.capacity_index();
+  json.Key("cells");
+  json.BeginArray();
+  for (int c = 0; c < index.NumCells(); ++c) {
+    int cell_up = 0;
+    int cell_busy = 0;
+    int cell_free = 0;
+    for (int m : index.layout().cells[c]) {
+      cell_up += machine_up[m];
+      // Only up members count as capacity, matching the index's semantics.
+      if (machine_up[m] != 0) {
+        cell_busy += machine_busy[m];
+        cell_free += machine_free[m];
+      }
+    }
+    json.BeginObject();
+    json.Field("cell", c);
+    json.Field("up", cell_up);
+    json.Field("busy_threads", cell_busy);
+    json.Field("free_threads", cell_free);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  const FailureDomainTopology& domains = fleet_.domains();
+  json.Key("racks");
+  json.BeginArray();
+  for (int r = 0; r < domains.NumRacks(); ++r) {
+    int rack_up = 0;
+    int rack_busy = 0;
+    int rack_free = 0;
+    for (int m : domains.MachinesInRack(r)) {
+      rack_up += machine_up[m];
+      if (machine_up[m] != 0) {
+        rack_busy += machine_busy[m];
+        rack_free += machine_free[m];
+      }
+    }
+    json.BeginObject();
+    json.Field("rack", r);
+    json.Field("up", rack_up);
+    json.Field("busy_threads", rack_busy);
+    json.Field("free_threads", rack_free);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.EndObject();
+  os_ << "\n";
+  ++samples_;
+}
+
+}  // namespace numaplace

@@ -1,0 +1,45 @@
+// Periodic time-series snapshots of a fleet replay, written as JSONL (one
+// JSON object per line) at a fixed sim-time interval.
+//
+// FleetSnapshotRecorder implements the ReplaySampler hook of
+// FleetScheduler::ReplayWithEvaluation: the replay calls Sample() at every
+// multiple of the interval with the attainment integrals interpolated to
+// that instant, and the recorder reads the rest of the snapshot — queue
+// depth, running containers, up machines, busy/free threads, per-cell and
+// per-rack occupancy — straight off the fleet it watches. Everything
+// recorded is sim-time and fleet state, so the JSONL artifact is
+// byte-identical across runs of the same trace + flags. The line schema is
+// documented in docs/OBSERVABILITY.md.
+#ifndef NUMAPLACE_SRC_TELEMETRY_SNAPSHOTS_H_
+#define NUMAPLACE_SRC_TELEMETRY_SNAPSHOTS_H_
+
+#include <ostream>
+
+#include "src/cluster/fleet.h"
+#include "src/scheduler/events.h"
+
+namespace numaplace {
+
+class FleetSnapshotRecorder final : public ReplaySampler {
+ public:
+  /// Snapshots `fleet` every `interval_seconds` (> 0) of stream time into
+  /// `os`, one JSON object per line. Both must outlive the recorder.
+  FleetSnapshotRecorder(const FleetScheduler& fleet, double interval_seconds,
+                        std::ostream& os);
+
+  double IntervalSeconds() const override { return interval_seconds_; }
+  void Sample(double t, double attainment_so_far, double at_goal_so_far) override;
+
+  /// Lines written so far.
+  int samples() const { return samples_; }
+
+ private:
+  const FleetScheduler& fleet_;
+  double interval_seconds_;
+  std::ostream& os_;
+  int samples_ = 0;
+};
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_TELEMETRY_SNAPSHOTS_H_

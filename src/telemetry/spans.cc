@@ -1,0 +1,177 @@
+#include "src/telemetry/spans.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/json.h"
+
+namespace numaplace {
+
+namespace {
+constexpr double kMicrosPerSecond = 1e6;
+}  // namespace
+
+SpanCollector::SpanCollector(EventObserver* next) : ForwardingObserver(next) {}
+
+void SpanCollector::CloseSlice(std::map<int, OpenSlice>& open, int container_id,
+                               double end_seconds) {
+  const auto it = open.find(container_id);
+  if (it == open.end()) {
+    return;
+  }
+  TraceEvent event;
+  event.name = std::move(it->second.name);
+  event.phase = 'X';
+  event.ts_micros = it->second.start_seconds * kMicrosPerSecond;
+  event.dur_micros =
+      std::max(0.0, end_seconds - it->second.start_seconds) * kMicrosPerSecond;
+  event.pid = it->second.pid;
+  event.tid = container_id;
+  events_.push_back(std::move(event));
+  open.erase(it);
+}
+
+void SpanCollector::OnAdmission(int machine_id, const ScheduleOutcome& outcome,
+                                double now) {
+  CloseSlice(open_queued_, outcome.container_id, now);
+  // An upgrade or move landing ends the previous placement's slice.
+  CloseSlice(open_running_, outcome.container_id, now);
+  OpenSlice slice;
+  slice.name = "running #" + std::to_string(outcome.placement_id);
+  slice.start_seconds = now;
+  slice.pid = machine_id + 1;
+  open_running_.emplace(outcome.container_id, std::move(slice));
+  ForwardingObserver::OnAdmission(machine_id, outcome, now);
+}
+
+void SpanCollector::OnQueued(int machine_id, const ScheduleOutcome& outcome,
+                             double now) {
+  CloseSlice(open_running_, outcome.container_id, now);
+  // Re-reports while already waiting (evacuation requeues) keep the
+  // original slice — the wait started at the first queueing.
+  if (open_queued_.find(outcome.container_id) == open_queued_.end()) {
+    OpenSlice slice;
+    slice.name = "queued";
+    slice.start_seconds = now;
+    slice.pid = machine_id + 1;
+    open_queued_.emplace(outcome.container_id, std::move(slice));
+  }
+  ForwardingObserver::OnQueued(machine_id, outcome, now);
+}
+
+void SpanCollector::OnDeparture(int machine_id, int container_id, double now) {
+  CloseSlice(open_queued_, container_id, now);
+  CloseSlice(open_running_, container_id, now);
+  TraceEvent event;
+  event.name = "depart";
+  event.phase = 'i';
+  event.ts_micros = now * kMicrosPerSecond;
+  event.pid = machine_id + 1;
+  event.tid = container_id;
+  events_.push_back(std::move(event));
+  ForwardingObserver::OnDeparture(machine_id, container_id, now);
+}
+
+void SpanCollector::OnMove(const RebalanceMove& move, double now) {
+  TraceEvent event;
+  event.name = std::string("move:") + ToString(move.reason);
+  event.phase = 'i';
+  event.ts_micros = now * kMicrosPerSecond;
+  event.pid = move.from_machine + 1;
+  event.tid = move.container_id;
+  event.args = {{"to_machine", static_cast<double>(move.to_machine)},
+                {"predicted_gain_ops", move.predicted_gain_ops},
+                {"modeled_cost_ops", move.modeled_cost_ops},
+                {"move_seconds", move.move_seconds}};
+  events_.push_back(std::move(event));
+  ForwardingObserver::OnMove(move, now);
+}
+
+void SpanCollector::OnEvacuation(const EvacuationReport& report, double now) {
+  TraceEvent event;
+  event.name = std::string("evacuation:") + ToString(report.reason);
+  event.phase = 'i';
+  event.ts_micros = now * kMicrosPerSecond;
+  event.pid = report.machine_id + 1;
+  event.tid = 0;
+  event.args = {{"containers", static_cast<double>(report.containers)},
+                {"rehomed", static_cast<double>(report.rehomed)},
+                {"requeued", static_cast<double>(report.requeued)},
+                {"last_landing_seconds", report.last_landing_seconds}};
+  events_.push_back(std::move(event));
+  ForwardingObserver::OnEvacuation(report, now);
+}
+
+void SpanCollector::OnMachineAvailability(int machine_id,
+                                          MachineAvailability availability,
+                                          double now) {
+  TraceEvent event;
+  event.name = std::string("availability:") + ToString(availability);
+  event.phase = 'i';
+  event.ts_micros = now * kMicrosPerSecond;
+  event.pid = machine_id + 1;
+  event.tid = 0;
+  events_.push_back(std::move(event));
+  ForwardingObserver::OnMachineAvailability(machine_id, availability, now);
+}
+
+void SpanCollector::Finish(double end_seconds) {
+  // Deterministic close order: maps iterate by container id.
+  while (!open_queued_.empty()) {
+    CloseSlice(open_queued_, open_queued_.begin()->first, end_seconds);
+  }
+  while (!open_running_.empty()) {
+    CloseSlice(open_running_, open_running_.begin()->first, end_seconds);
+  }
+}
+
+void SpanCollector::WriteChromeTrace(std::ostream& os) const {
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("traceEvents");
+  json.BeginArray();
+  // Process-name metadata first, sorted by pid: pid 0 is the fleet-wide
+  // wait pool, pid m+1 is machine m.
+  std::set<int> pids;
+  for (const TraceEvent& event : events_) {
+    pids.insert(event.pid);
+  }
+  for (int pid : pids) {
+    json.BeginObject();
+    json.Field("name", "process_name");
+    json.Field("ph", "M");
+    json.Field("pid", pid);
+    json.Field("tid", 0);
+    json.Key("args");
+    json.BeginObject();
+    json.Field("name", pid == 0 ? std::string("fleet")
+                                : "machine " + std::to_string(pid - 1));
+    json.EndObject();
+    json.EndObject();
+  }
+  for (const TraceEvent& event : events_) {
+    json.BeginObject();
+    json.Field("name", event.name);
+    json.Field("ph", std::string(1, event.phase));
+    json.Field("ts", event.ts_micros);
+    if (event.phase == 'X') {
+      json.Field("dur", event.dur_micros);
+    }
+    json.Field("pid", event.pid);
+    json.Field("tid", event.tid);
+    if (!event.args.empty()) {
+      json.Key("args");
+      json.BeginObject();
+      for (const auto& [key, value] : event.args) {
+        json.Field(key, value);
+      }
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  os << "\n";
+}
+
+}  // namespace numaplace

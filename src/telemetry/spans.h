@@ -1,0 +1,79 @@
+// Per-container lifecycle spans over the event pipeline, emitted as Chrome
+// trace-event JSON (chrome://tracing, Perfetto).
+//
+// Mapping: pid = machine_id + 1 (so the fleet-wide wait pool, machine id
+// kNoMachine = -1, becomes pid 0), tid = container_id, ts = stream time in
+// microseconds. Each container's life renders as complete ("X") slices —
+// "queued" from first OnQueued to the admission that seats it, and
+// "running #<placement>" from each admission to the next admission (an
+// upgrade or a move landing), departure, or evacuation. Moves, evacuations
+// and availability flips appear as instant ("i") events carrying their
+// gain/cost numbers in args.
+//
+// Everything recorded is sim-time and event-ordered, so the serialized
+// trace is byte-identical across runs of the same trace + flags.
+#ifndef NUMAPLACE_SRC_TELEMETRY_SPANS_H_
+#define NUMAPLACE_SRC_TELEMETRY_SPANS_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/scheduler/events.h"
+
+namespace numaplace {
+
+class SpanCollector final : public ForwardingObserver {
+ public:
+  explicit SpanCollector(EventObserver* next = nullptr);
+
+  void OnAdmission(int machine_id, const ScheduleOutcome& outcome,
+                   double now) override;
+  void OnQueued(int machine_id, const ScheduleOutcome& outcome, double now) override;
+  void OnDeparture(int machine_id, int container_id, double now) override;
+  void OnMove(const RebalanceMove& move, double now) override;
+  void OnEvacuation(const EvacuationReport& report, double now) override;
+  void OnMachineAvailability(int machine_id, MachineAvailability availability,
+                             double now) override;
+
+  /// Closes every still-open slice at `end_seconds` (containers alive when
+  /// the trace ran out). Call once, after the replay.
+  void Finish(double end_seconds);
+
+  /// Serializes {"traceEvents": [...]} — the Chrome trace-event JSON array
+  /// format — in recorded order, preceded by process-name metadata.
+  void WriteChromeTrace(std::ostream& os) const;
+
+  /// Events recorded so far (metadata events are generated at write time).
+  size_t event_count() const { return events_.size(); }
+
+ private:
+  struct TraceEvent {
+    std::string name;
+    char phase = 'i';       // 'X' complete slice, 'i' instant, 'M' metadata
+    double ts_micros = 0.0;
+    double dur_micros = 0.0;  // 'X' only
+    int pid = 0;
+    int tid = 0;
+    std::vector<std::pair<std::string, double>> args;
+  };
+
+  struct OpenSlice {
+    std::string name;
+    double start_seconds = 0.0;
+    int pid = 0;
+  };
+
+  void CloseSlice(std::map<int, OpenSlice>& open, int container_id,
+                  double end_seconds);
+
+  std::vector<TraceEvent> events_;
+  std::map<int, OpenSlice> open_queued_;   // container id -> open "queued"
+  std::map<int, OpenSlice> open_running_;  // container id -> open "running"
+};
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_TELEMETRY_SPANS_H_

@@ -1,0 +1,349 @@
+// Tests for the telemetry layer (src/telemetry): histogram bucketing and
+// percentile edge cases, registry instrument identity, the MetricsObserver
+// event tap (queue-wait clocking, availability transitions, per-reason move
+// counters), Chrome-trace span serialization, and end-to-end determinism —
+// the same fleet + trace + flags must produce byte-identical trace and
+// snapshot artifacts, and attaching the observers must not perturb the
+// replay's report or stats.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cluster/fleet.h"
+#include "src/core/important.h"
+#include "src/scheduler/events.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/metrics_observer.h"
+#include "src/telemetry/snapshots.h"
+#include "src/telemetry/spans.h"
+#include "src/topology/machines.h"
+#include "src/util/rng.h"
+#include "src/workloads/trace.h"
+
+namespace numaplace {
+namespace {
+
+TEST(Histogram, UpperInclusiveBucketing) {
+  Histogram h({0.0, 1.0, 5.0});
+  ASSERT_EQ(h.bucket_counts().size(), 4u);  // 3 boundaries + overflow
+  h.Observe(0.0);   // lands in [.., 0]
+  h.Observe(0.5);   // (0, 1]
+  h.Observe(1.0);   // exactly on the boundary: upper-inclusive, still (0, 1]
+  h.Observe(5.0);   // (1, 5]
+  h.Observe(7.0);   // overflow
+  EXPECT_EQ(h.bucket_counts()[0], 1);
+  EXPECT_EQ(h.bucket_counts()[1], 2);
+  EXPECT_EQ(h.bucket_counts()[2], 1);
+  EXPECT_EQ(h.bucket_counts()[3], 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 13.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 7.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.7);
+}
+
+TEST(Histogram, EmptyBoundariesDegenerateToSummaryStats) {
+  Histogram h({});
+  ASSERT_EQ(h.bucket_counts().size(), 1u);  // overflow only
+  h.Observe(3.0);
+  h.Observe(9.0);
+  EXPECT_EQ(h.bucket_counts()[0], 2);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 9.0);
+}
+
+TEST(Histogram, RejectsNonIncreasingBoundaries) {
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::logic_error);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::logic_error);
+}
+
+TEST(Histogram, PercentileEdgeCases) {
+  Histogram empty({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(empty.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 0.0);
+
+  Histogram h({0.0, 1.0, 5.0});
+  h.Observe(0.25);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.25);  // single sample: every p hits it
+  h.Observe(4.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.25);    // exact min
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 4.0);   // exact max
+  EXPECT_THROW(h.Percentile(-1.0), std::logic_error);
+  EXPECT_THROW(h.Percentile(100.5), std::logic_error);
+}
+
+TEST(Histogram, ZeroHeavyDistributionKeepsZeroMedian) {
+  // The exact-zero leading bucket: when most observations are 0, the median
+  // must be 0, not smeared into the first non-zero bucket.
+  Histogram h({0.0, 1.0, 5.0});
+  for (int i = 0; i < 6; ++i) {
+    h.Observe(0.0);
+  }
+  h.Observe(1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  // The tail interpolates inside the (0, 1] bucket and p=100 is exact max.
+  EXPECT_GT(h.Percentile(99.0), 0.0);
+  EXPECT_LE(h.Percentile(99.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 1.0);
+}
+
+TEST(Histogram, PercentileClampsToObservedRange) {
+  Histogram h({0.0, 10.0, 100.0});
+  h.Observe(2.0);
+  h.Observe(3.0);
+  h.Observe(4.0);
+  for (double p : {1.0, 50.0, 99.0}) {
+    const double estimate = h.Percentile(p);
+    EXPECT_GE(estimate, 2.0) << p;
+    EXPECT_LE(estimate, 4.0) << p;
+  }
+}
+
+TEST(MetricsRegistry, InstrumentIdentityAndLookup) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("a.count");
+  counter.Increment();
+  EXPECT_EQ(&registry.GetCounter("a.count"), &counter);
+  EXPECT_EQ(registry.GetCounter("a.count").value(), 1);
+
+  EXPECT_EQ(registry.FindCounter("missing"), nullptr);
+  EXPECT_EQ(registry.FindGauge("missing"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("missing"), nullptr);
+
+  registry.GetHistogram("a.hist", {0.0, 1.0});
+  EXPECT_NE(registry.FindHistogram("a.hist"), nullptr);
+  // Re-registration with matching boundaries returns the same instrument;
+  // mismatched boundaries are a programming error.
+  EXPECT_NO_THROW(registry.GetHistogram("a.hist", {0.0, 1.0}));
+  EXPECT_THROW(registry.GetHistogram("a.hist", {0.0, 2.0}), std::logic_error);
+
+  registry.GetGauge("z.gauge");
+  registry.GetGauge("b.gauge");
+  const std::vector<std::string> gauges = registry.GaugeNames();
+  ASSERT_EQ(gauges.size(), 2u);
+  EXPECT_EQ(gauges[0], "b.gauge");
+  EXPECT_EQ(gauges[1], "z.gauge");
+}
+
+ScheduleOutcome Outcome(int container_id, bool admitted, double decision_seconds = 0.0) {
+  ScheduleOutcome outcome;
+  outcome.container_id = container_id;
+  outcome.admitted = admitted;
+  outcome.placement_id = admitted ? 3 : 0;
+  outcome.decision_seconds = decision_seconds;
+  return outcome;
+}
+
+TEST(MetricsObserver, QueueWaitClockAndDepth) {
+  MetricsRegistry registry;
+  OutcomeRecorder downstream;
+  MetricsObserver metrics(&registry, &downstream, /*up_machines=*/2);
+
+  metrics.OnQueued(0, Outcome(7, false), 10.0);
+  metrics.OnQueued(0, Outcome(7, false), 25.0);  // requeue must not reset the clock
+  metrics.OnQueued(0, Outcome(8, false), 12.0);
+  EXPECT_EQ(metrics.queue_depth(), 2);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("fleet.queue_depth").value(), 2.0);
+
+  metrics.OnAdmission(1, Outcome(7, true, 4.0), 30.0);
+  const Histogram& wait = *registry.FindHistogram("fleet.queue_wait_seconds");
+  EXPECT_EQ(wait.count(), 1);
+  EXPECT_DOUBLE_EQ(wait.max(), 20.0);  // 30 - 10, not 30 - 25
+  EXPECT_EQ(metrics.queue_depth(), 1);
+
+  metrics.OnDeparture(kNoMachine, 8, 40.0);  // departed while still waiting
+  EXPECT_EQ(metrics.queue_depth(), 0);
+  EXPECT_EQ(wait.count(), 1);  // never admitted -> no wait sample
+  EXPECT_EQ(registry.GetCounter("fleet.departures").value(), 1);
+
+  // The tap forwarded everything unchanged: 3 queueings + 1 admission.
+  EXPECT_EQ(downstream.outcomes.size(), 4u);
+  ASSERT_EQ(downstream.departures.size(), 1u);
+  EXPECT_EQ(downstream.departures[0].second, 8);
+}
+
+TEST(MetricsObserver, AvailabilityTransitionsMoveTheGaugeOnce) {
+  MetricsRegistry registry;
+  MetricsObserver metrics(&registry, nullptr, /*up_machines=*/3);
+  const Gauge& up = *registry.FindGauge("fleet.up_machines");
+  EXPECT_DOUBLE_EQ(up.value(), 3.0);
+
+  metrics.OnMachineAvailability(0, MachineAvailability::kDraining, 100.0);
+  EXPECT_DOUBLE_EQ(up.value(), 2.0);
+  // Draining machine then fails: still one machine down, not two.
+  metrics.OnMachineAvailability(0, MachineAvailability::kFailed, 110.0);
+  EXPECT_DOUBLE_EQ(up.value(), 2.0);
+  metrics.OnMachineAvailability(0, MachineAvailability::kUp, 200.0);
+  EXPECT_DOUBLE_EQ(up.value(), 3.0);
+  EXPECT_EQ(registry.GetCounter("fleet.machines_draining").value(), 1);
+  EXPECT_EQ(registry.GetCounter("fleet.machines_failed").value(), 1);
+  EXPECT_EQ(registry.GetCounter("fleet.machines_rejoined").value(), 1);
+}
+
+TEST(MetricsObserver, MovesEvacuationsAndSearches) {
+  MetricsRegistry registry;
+  MetricsObserver metrics(&registry, nullptr, /*up_machines=*/2);
+
+  RebalanceMove move;
+  move.container_id = 5;
+  move.from_machine = 0;
+  move.to_machine = 1;
+  move.reason = RebalanceMove::Reason::kDrain;
+  move.move_seconds = 12.0;
+  metrics.OnMove(move, 50.0);
+  EXPECT_EQ(registry.GetCounter("fleet.moves").value(), 1);
+  EXPECT_EQ(registry.GetCounter("fleet.moves.drain").value(), 1);
+  EXPECT_EQ(registry.GetCounter("fleet.moves.rebalance").value(), 0);
+
+  EvacuationReport evacuation;
+  evacuation.machine_id = 0;
+  evacuation.last_landing_seconds = 42.0;
+  metrics.OnEvacuation(evacuation, 60.0);
+  EXPECT_EQ(registry.GetCounter("fleet.evacuations").value(), 1);
+  EXPECT_DOUBLE_EQ(
+      registry.FindHistogram("fleet.evacuation_latency_seconds")->max(), 42.0);
+
+  TargetSearchStats search;
+  search.kind = TargetSearchStats::Kind::kEvacuation;
+  search.previews = 8;
+  search.host_seconds = 1e-4;
+  metrics.OnTargetSearch(search, 60.0);
+  EXPECT_EQ(registry.FindHistogram("fleet.search_previews")->count(), 1);
+  EXPECT_DOUBLE_EQ(registry.FindHistogram("fleet.search_previews")->max(), 8.0);
+}
+
+TEST(SpanCollector, SerializationIsDeterministicAndStructured) {
+  SpanCollector spans;
+  spans.OnQueued(kNoMachine, Outcome(4, false), 10.0);
+  spans.OnAdmission(1, Outcome(4, true), 30.0);
+  RebalanceMove move;
+  move.container_id = 4;
+  move.from_machine = 1;
+  move.to_machine = 0;
+  spans.OnMove(move, 45.0);
+  spans.OnAdmission(0, Outcome(4, true), 45.0);
+  spans.OnDeparture(0, 4, 80.0);
+  spans.OnMachineAvailability(1, MachineAvailability::kFailed, 90.0);
+  spans.Finish(100.0);
+
+  std::ostringstream first;
+  std::ostringstream second;
+  spans.WriteChromeTrace(first);
+  spans.WriteChromeTrace(second);
+  EXPECT_EQ(first.str(), second.str());
+
+  const std::string trace = first.str();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"queued\""), std::string::npos);
+  EXPECT_NE(trace.find("running #3"), std::string::npos);
+  EXPECT_NE(trace.find("move:rebalance"), std::string::npos);
+  EXPECT_NE(trace.find("availability:failed"), std::string::npos);
+  EXPECT_NE(trace.find("process_name"), std::string::npos);
+  // pid 0 is the fleet-wide wait pool (machine id kNoMachine = -1).
+  EXPECT_NE(trace.find("\"fleet\""), std::string::npos);
+  EXPECT_GT(spans.event_count(), 0u);
+}
+
+// --- End-to-end: a small first-fit fleet, no trained model needed. ---
+
+FleetScheduler MakeFleet(int num_machines) {
+  MachineSpec spec(AmdOpteron6272());
+  spec.scheduler.policy = "first-fit";
+  spec.scheduler.baseline_id = 1;
+  std::vector<MachineSpec> specs(static_cast<size_t>(num_machines), spec);
+  FleetConfig config;
+  config.dispatch = "least-loaded";
+  FleetScheduler fleet(std::move(specs), config);
+  fleet.ProvidePlacements(AmdOpteron6272().name(),
+                          GenerateImportantPlacements(AmdOpteron6272(), 16, true));
+  return fleet;
+}
+
+EventStream MakeTrace() {
+  TraceConfig config;
+  config.num_containers = 6;
+  config.vcpus = 16;
+  config.goal_fraction = 1.0;
+  config.mean_interarrival_seconds = 150.0;
+  config.mean_lifetime_seconds = 400.0;
+  Rng rng(11);
+  EventStream trace = GenerateFleetTrace(config, 2, rng);
+  const double end = trace.EndTime();
+  return InjectMachineEvents(std::move(trace), {FleetEvent::Fail(0.5 * end, 0),
+                                                FleetEvent::Rejoin(0.75 * end, 0)});
+}
+
+struct Artifacts {
+  std::string trace_json;
+  std::string metrics_jsonl;
+  FleetReport report;
+  FleetStats stats;
+};
+
+Artifacts RunInstrumented() {
+  FleetScheduler fleet = MakeFleet(2);
+  const EventStream trace = MakeTrace();
+  MetricsRegistry registry;
+  MetricsObserver metrics(&registry, nullptr, fleet.NumMachines());
+  SpanCollector spans(&metrics);
+  std::ostringstream snapshot_stream;
+  FleetSnapshotRecorder snapshots(fleet, 120.0, snapshot_stream);
+  Artifacts artifacts;
+  artifacts.report = fleet.ReplayWithEvaluation(trace, &spans, &snapshots);
+  artifacts.stats = fleet.stats();
+  spans.Finish(trace.EndTime());
+  std::ostringstream trace_stream;
+  spans.WriteChromeTrace(trace_stream);
+  artifacts.trace_json = trace_stream.str();
+  artifacts.metrics_jsonl = snapshot_stream.str();
+  EXPECT_GT(snapshots.samples(), 0);
+  return artifacts;
+}
+
+TEST(TelemetryEndToEnd, ArtifactsAreByteIdenticalAcrossRuns) {
+  const Artifacts first = RunInstrumented();
+  const Artifacts second = RunInstrumented();
+  EXPECT_EQ(first.trace_json, second.trace_json);
+  EXPECT_EQ(first.metrics_jsonl, second.metrics_jsonl);
+  EXPECT_FALSE(first.trace_json.empty());
+  EXPECT_FALSE(first.metrics_jsonl.empty());
+}
+
+TEST(TelemetryEndToEnd, SnapshotTimesAreMonotoneMultiplesOfTheInterval) {
+  const Artifacts artifacts = RunInstrumented();
+  std::istringstream lines(artifacts.metrics_jsonl);
+  std::string line;
+  double expected = 120.0;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    const std::string prefix = "{\"t\":";
+    ASSERT_EQ(line.rfind(prefix, 0), 0u) << line;
+    EXPECT_EQ(std::stod(line.substr(prefix.size())), expected) << line;
+    expected += 120.0;
+    ++count;
+  }
+  EXPECT_GT(count, 1);
+}
+
+TEST(TelemetryEndToEnd, ObserversDoNotPerturbTheReplay) {
+  FleetScheduler bare = MakeFleet(2);
+  const EventStream trace = MakeTrace();
+  const FleetReport bare_report = bare.ReplayWithEvaluation(trace);
+  const FleetStats bare_stats = bare.stats();
+
+  const Artifacts instrumented = RunInstrumented();
+  EXPECT_EQ(instrumented.report.goal_attainment, bare_report.goal_attainment);
+  EXPECT_EQ(instrumented.report.mean_queue_wait_seconds,
+            bare_report.mean_queue_wait_seconds);
+  EXPECT_EQ(instrumented.report.decisions, bare_report.decisions);
+  EXPECT_EQ(instrumented.stats.queue_admissions, bare_stats.queue_admissions);
+  EXPECT_EQ(instrumented.stats.rebalance_moves, bare_stats.rebalance_moves);
+  EXPECT_EQ(instrumented.stats.evacuation_moves, bare_stats.evacuation_moves);
+  EXPECT_EQ(instrumented.stats.dispatch_previews, bare_stats.dispatch_previews);
+}
+
+}  // namespace
+}  // namespace numaplace

@@ -111,6 +111,32 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 2.5);
 }
 
+TEST(Stats, PercentileEmptySpanChecks) {
+  const std::vector<double> empty;
+  EXPECT_THROW(Percentile(empty, 50.0), std::logic_error);
+}
+
+TEST(Stats, PercentileOutOfRangeChecks) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(Percentile(v, -0.1), std::logic_error);
+  EXPECT_THROW(Percentile(v, 100.1), std::logic_error);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  const std::vector<double> v = {7.5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 7.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 7.5);
+}
+
+TEST(Stats, PercentileUnsortedInputMatchesSorted) {
+  const std::vector<double> unsorted = {9.0, 0.0, 5.0, 2.0, 7.0};
+  const std::vector<double> sorted = {0.0, 2.0, 5.0, 7.0, 9.0};
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(Percentile(unsorted, p), Percentile(sorted, p)) << p;
+  }
+}
+
 TEST(Stats, MaeAndMape) {
   const std::vector<double> actual = {1.0, 2.0};
   const std::vector<double> predicted = {1.1, 1.8};

@@ -19,23 +19,38 @@
 //                                     and slowdowns
 //   fleet <machines> <vcpus> <containers> [seed] [dispatch] [policy]
 //         [--dispatch <name>] [--cells <N>] [--probes <d>]
-//         [--fail <machine>@<t>] [--drain <machine>@<t>] [--rejoin <machine>@<t>]
+//         [--fleet-probes <d>] [--full-scan-ops]
+//         [--racks <R>] [--zones <Z>] [--spread-weight <w>] [--spread-cap <n>]
+//         [--fail <spec>] [--drain <spec>] [--rejoin <spec>]
+//         [--json <path>] [--trace-out <path>] [--metrics-out <path>]
+//         [--metrics-interval <seconds>]
 //                                     build a fleet from a comma-separated
 //                                     machine list (e.g. amd,amd,intel),
 //                                     generate one merged trace with
 //                                     <containers> containers per machine,
-//                                     inject any scripted machine
+//                                     inject any scripted machine/rack/zone
 //                                     fail/drain/rejoin events (repeatable
-//                                     flags, times in trace seconds), and
-//                                     replay it through the cluster
-//                                     scheduler under the named dispatch
-//                                     policy (default "least-loaded") with
-//                                     every machine running [policy]
-//                                     (default "model"). --cells/--probes
-//                                     tune the sharded dispatcher (and
-//                                     imply --dispatch sharded): machines
-//                                     are partitioned into N cells and d
-//                                     cells are sampled per decision
+//                                     flags; <spec> is <machine>@<t>,
+//                                     rack:<R>@<t> or zone:<Z>@<t>, times in
+//                                     trace seconds), and replay it through
+//                                     the cluster scheduler under the named
+//                                     dispatch policy (default
+//                                     "least-loaded") with every machine
+//                                     running [policy] (default "model").
+//                                     --cells/--probes tune the sharded
+//                                     dispatcher (and imply --dispatch
+//                                     sharded); --fleet-probes/--full-scan-ops
+//                                     tune or bypass the capacity-index
+//                                     fleet-op search; --racks/--zones shape
+//                                     the failure-domain layout and
+//                                     --spread-weight/--spread-cap turn on
+//                                     spread-aware dispatch. --json writes
+//                                     the run's tables as JSON;
+//                                     --trace-out/--metrics-out/
+//                                     --metrics-interval attach the
+//                                     telemetry layer (Chrome trace spans,
+//                                     JSONL snapshots, percentile summary —
+//                                     see docs/OBSERVABILITY.md)
 //
 // Machines: amd (Opteron 6272), intel (Xeon E7-4830 v3), zen, cod.
 #include <algorithm>
@@ -45,6 +60,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -58,7 +74,12 @@
 #include "src/scheduler/policy.h"
 #include "src/scheduler/scheduler.h"
 #include "src/sim/perf_model.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/metrics_observer.h"
+#include "src/telemetry/snapshots.h"
+#include "src/telemetry/spans.h"
 #include "src/topology/machines.h"
+#include "src/util/json.h"
 #include "src/util/rng.h"
 #include "src/util/table.h"
 #include "src/workloads/synth.h"
@@ -304,13 +325,51 @@ int CmdSchedule(const std::string& machine_name, int vcpus, int num_containers,
   return 0;
 }
 
+// Output options of the fleet subcommand: machine-readable JSON plus the
+// telemetry layer (any telemetry flag attaches the observers; with all of
+// them off the replay runs exactly as before — no observer attached).
+struct FleetOutputOptions {
+  std::string json_path;        // --json: tables as JSON
+  std::string trace_path;       // --trace-out: Chrome trace-event spans
+  std::string metrics_path;     // --metrics-out: JSONL snapshots
+  double metrics_interval = 300.0;  // --metrics-interval (sim seconds)
+  bool metrics_interval_given = false;
+
+  bool TelemetryActive() const {
+    return !trace_path.empty() || !metrics_path.empty() || metrics_interval_given;
+  }
+};
+
+// One histogram row of the percentile summary table / JSON telemetry block.
+void AddHistogramRow(TablePrinter& table, const std::string& label,
+                     const Histogram& histogram) {
+  table.AddRow({label, std::to_string(histogram.count()),
+                TablePrinter::Num(histogram.mean(), 3),
+                TablePrinter::Num(histogram.Percentile(50.0), 3),
+                TablePrinter::Num(histogram.Percentile(95.0), 3),
+                TablePrinter::Num(histogram.Percentile(99.0), 3),
+                TablePrinter::Num(histogram.max(), 3)});
+}
+
+void WriteHistogramJson(JsonWriter& json, const Histogram& histogram) {
+  json.BeginObject();
+  json.Field("count", static_cast<int64_t>(histogram.count()));
+  json.Field("mean", histogram.mean());
+  json.Field("min", histogram.min());
+  json.Field("max", histogram.max());
+  json.Field("p50", histogram.Percentile(50.0));
+  json.Field("p95", histogram.Percentile(95.0));
+  json.Field("p99", histogram.Percentile(99.0));
+  json.EndObject();
+}
+
 int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stream,
              uint64_t seed, const std::string& dispatch_name,
              const std::string& policy_name,
              const std::vector<FleetEvent>& machine_events, int sharded_cells,
              int sharded_probes, bool full_scan_ops, int fleet_probes,
              int domain_racks, int domain_zones, double spread_weight,
-             int spread_cap) {
+             int spread_cap, const FleetOutputOptions& output) {
   if (containers_per_stream <= 0) {
     std::fprintf(stderr, "need at least one container per machine stream\n");
     return 2;
@@ -468,7 +527,37 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
               machine_names.size(), machine_events.size(), dispatch_name.c_str(),
               policy_name.c_str());
 
-  const FleetReport report = fleet.ReplayWithEvaluation(trace);
+  // Telemetry chain — attached only when a telemetry flag was given, so a
+  // flags-off replay runs with no observer exactly as before.
+  MetricsRegistry registry;
+  std::unique_ptr<MetricsObserver> metrics;
+  std::unique_ptr<SpanCollector> spans;
+  std::ofstream metrics_out;
+  std::unique_ptr<FleetSnapshotRecorder> snapshots;
+  EventObserver* observer = nullptr;
+  if (output.TelemetryActive()) {
+    metrics = std::make_unique<MetricsObserver>(&registry, nullptr, fleet.NumMachines());
+    observer = metrics.get();
+    if (!output.trace_path.empty()) {
+      spans = std::make_unique<SpanCollector>(observer);
+      observer = spans.get();
+    }
+    if (!output.metrics_path.empty()) {
+      metrics_out.open(output.metrics_path);
+      if (!metrics_out) {
+        std::fprintf(stderr, "cannot write %s\n", output.metrics_path.c_str());
+        return 1;
+      }
+      snapshots = std::make_unique<FleetSnapshotRecorder>(
+          fleet, output.metrics_interval, metrics_out);
+    }
+  }
+
+  const FleetReport report =
+      fleet.ReplayWithEvaluation(trace, observer, snapshots.get());
+  if (spans != nullptr) {
+    spans->Finish(trace.EndTime());
+  }
 
   TablePrinter machines({"machine", "topology", "availability", "submissions",
                          "probe runs", "upgrades", "utilization"});
@@ -562,6 +651,170 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
                     TablePrinter::Num(report.decisions / report.wall_seconds, 0)});
   }
   summary.Print(std::cout);
+
+  if (output.TelemetryActive()) {
+    std::printf("\ntelemetry percentiles (seconds unless noted; fleet.search_seconds "
+                "is host wall time):\n");
+    TablePrinter telemetry({"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const std::string& name : registry.HistogramNames()) {
+      AddHistogramRow(telemetry, name, *registry.FindHistogram(name));
+    }
+    telemetry.Print(std::cout);
+  }
+
+  if (spans != nullptr) {
+    std::ofstream trace_out(output.trace_path);
+    if (!trace_out) {
+      std::fprintf(stderr, "cannot write %s\n", output.trace_path.c_str());
+      return 1;
+    }
+    spans->WriteChromeTrace(trace_out);
+    std::printf("\nwrote %zu trace events to %s (load in Perfetto or "
+                "chrome://tracing)\n",
+                spans->event_count(), output.trace_path.c_str());
+  }
+  if (snapshots != nullptr) {
+    std::printf("%swrote %d snapshots (every %g sim seconds) to %s\n",
+                spans != nullptr ? "" : "\n", snapshots->samples(),
+                output.metrics_interval, output.metrics_path.c_str());
+  }
+
+  if (!output.json_path.empty()) {
+    std::ofstream json_out(output.json_path);
+    if (!json_out) {
+      std::fprintf(stderr, "cannot write %s\n", output.json_path.c_str());
+      return 1;
+    }
+    JsonWriter json(json_out);
+    json.BeginObject();
+    json.Field("command", "fleet");
+    json.Field("machines", machines_csv);
+    json.Field("vcpus", vcpus);
+    json.Field("containers_per_stream", containers_per_stream);
+    json.Field("seed", static_cast<int64_t>(seed));
+    json.Field("dispatch", dispatch_name);
+    json.Field("policy", policy_name);
+    json.Field("sharded_fleet_ops", fleet_config.sharded_fleet_ops);
+    json.Field("fleet_probes", fleet_config.fleet_probes);
+    json.Field("racks", fleet.domains().NumRacks());
+    json.Field("zones", fleet.domains().NumZones());
+    json.Field("spread_weight", fleet_config.spread_weight);
+    json.Field("spread_max_per_rack", fleet_config.spread_max_per_rack);
+    json.Field("machine_events", static_cast<int64_t>(machine_events.size()));
+
+    json.Key("machines_detail");
+    json.BeginArray();
+    for (int m = 0; m < fleet.NumMachines(); ++m) {
+      const SchedulerStats& machine_stats = fleet.machine(m).stats();
+      json.BeginObject();
+      json.Field("machine", m);
+      json.Field("name", machine_names[static_cast<size_t>(m)]);
+      json.Field("availability", ToString(fleet.availability(m)));
+      json.Field("submitted", machine_stats.submitted);
+      json.Field("probe_runs", machine_stats.probe_runs);
+      json.Field("upgrades", machine_stats.upgrades);
+      json.Field("utilization", report.machine_utilizations[static_cast<size_t>(m)]);
+      json.EndObject();
+    }
+    json.EndArray();
+
+    json.Key("evacuations");
+    json.BeginArray();
+    for (const EvacuationReport& evacuation : fleet.evacuation_log()) {
+      json.BeginObject();
+      json.Field("machine", evacuation.machine_id);
+      json.Field("reason",
+                 evacuation.reason == MachineAvailability::kFailed ? "fail" : "drain");
+      json.Field("start_seconds", evacuation.start_seconds);
+      json.Field("containers", evacuation.containers);
+      json.Field("rehomed", evacuation.rehomed);
+      json.Field("requeued", evacuation.requeued);
+      json.Field("last_landing_seconds", evacuation.last_landing_seconds);
+      json.Field("move_seconds_total", evacuation.move_seconds_total);
+      json.EndObject();
+    }
+    json.EndArray();
+
+    json.Key("moves");
+    json.BeginArray();
+    for (const RebalanceMove& move : fleet.rebalance_log()) {
+      json.BeginObject();
+      json.Field("container", move.container_id);
+      json.Field("from", move.from_machine);
+      json.Field("to", move.to_machine);
+      json.Field("reason", ToString(move.reason));
+      json.Field("was_queued", move.was_queued);
+      json.Field("move_seconds", move.move_seconds);
+      json.Field("network_seconds", move.network_seconds);
+      json.Field("predicted_gain_ops", move.predicted_gain_ops);
+      json.Field("modeled_cost_ops", move.modeled_cost_ops);
+      json.EndObject();
+    }
+    json.EndArray();
+
+    json.Key("summary");
+    json.BeginObject();
+    json.Field("submitted", stats.submitted);
+    json.Field("dispatched_immediately", stats.dispatched_immediately);
+    json.Field("queued", stats.queued);
+    json.Field("queue_admissions", stats.queue_admissions);
+    json.Field("mean_queue_wait_seconds", report.mean_queue_wait_seconds);
+    json.Field("rebalance_moves", stats.rebalance_moves);
+    json.Field("rebalance_passes", stats.rebalance_passes);
+    json.Field("rebalance_passes_skipped", stats.rebalance_passes_skipped);
+    json.Field("rebalance_previews", stats.rebalance_previews);
+    json.Field("rebalance_decisions", stats.rebalance_decisions);
+    json.Field("evacuations", stats.evacuations);
+    json.Field("evacuation_moves", stats.evacuation_moves);
+    json.Field("drain_moves", stats.drain_moves);
+    json.Field("failover_moves", stats.failover_moves);
+    json.Field("evacuation_requeues", stats.evacuation_requeues);
+    json.Field("evac_previews", stats.evac_previews);
+    json.Field("evac_decisions", stats.evac_decisions);
+    json.Field("dispatch_previews", stats.dispatch_previews);
+    json.Field("dispatch_decisions", stats.dispatch_decisions);
+    json.Field("cross_machine_move_seconds", stats.cross_machine_move_seconds);
+    json.Field("network_copy_seconds", stats.network_copy_seconds);
+    json.Field("goal_attainment", report.goal_attainment);
+    json.Field("container_seconds_at_goal", report.container_seconds_at_goal);
+    json.Field("mean_utilization", report.mean_utilization);
+    json.Field("utilization_min", report.utilization_min);
+    json.Field("utilization_max", report.utilization_max);
+    json.Field("decisions", report.decisions);
+    json.Field("wall_seconds", report.wall_seconds);
+    json.EndObject();
+
+    // The telemetry block appears only when the observers actually ran —
+    // a flags-off --json dump is unchanged by the telemetry layer.
+    if (output.TelemetryActive()) {
+      json.Key("telemetry");
+      json.BeginObject();
+      json.Key("counters");
+      json.BeginObject();
+      for (const std::string& name : registry.CounterNames()) {
+        json.Field(name, static_cast<int64_t>(registry.FindCounter(name)->value()));
+      }
+      json.EndObject();
+      json.Key("gauges");
+      json.BeginObject();
+      for (const std::string& name : registry.GaugeNames()) {
+        json.Field(name, registry.FindGauge(name)->value());
+      }
+      json.EndObject();
+      json.Key("histograms");
+      json.BeginObject();
+      for (const std::string& name : registry.HistogramNames()) {
+        json.Key(name);
+        WriteHistogramJson(json, *registry.FindHistogram(name));
+      }
+      json.EndObject();
+      json.EndObject();
+    }
+    json.EndObject();
+    json_out << "\n";
+    std::printf("%swrote JSON results to %s\n",
+                output.TelemetryActive() ? "" : "\n", output.json_path.c_str());
+  }
   return 0;
 }
 
@@ -615,7 +868,15 @@ void Usage() {
                "                [--spread-weight <w>] [--spread-cap <n>]\n"
                "                [--fail <spec>] [--drain <spec>] [--rejoin <spec>]\n"
                "                  <spec> = <machine>@<t> | rack:<R>@<t> | "
-               "zone:<Z>@<t>\n");
+               "zone:<Z>@<t>\n"
+               "                [--json <path>]           write the run's tables as "
+               "JSON\n"
+               "                [--trace-out <path>]      Chrome trace-event spans "
+               "(Perfetto)\n"
+               "                [--metrics-out <path>]    JSONL time-series "
+               "snapshots\n"
+               "                [--metrics-interval <s>]  snapshot spacing in sim "
+               "seconds (default 300)\n");
 }
 
 }  // namespace
@@ -693,10 +954,38 @@ int main(int argc, char** argv) {
       int domain_zones = 0;
       double spread_weight = 0.0;
       int spread_cap = 0;
+      FleetOutputOptions output;
       bool have_seed = false;
       bool have_dispatch = false;
       bool have_policy = false;
       for (int i = 5; i < argc; ++i) {
+        const bool is_json = std::strcmp(argv[i], "--json") == 0;
+        const bool is_trace_out = std::strcmp(argv[i], "--trace-out") == 0;
+        const bool is_metrics_out = std::strcmp(argv[i], "--metrics-out") == 0;
+        if (is_json || is_trace_out || is_metrics_out) {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s needs a file path\n", argv[i]);
+            return 2;
+          }
+          ++i;
+          (is_json         ? output.json_path
+           : is_trace_out  ? output.trace_path
+                           : output.metrics_path) = argv[i];
+          continue;
+        }
+        if (std::strcmp(argv[i], "--metrics-interval") == 0) {
+          char* end = nullptr;
+          const double parsed = i + 1 < argc ? std::strtod(argv[i + 1], &end) : 0.0;
+          if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' || parsed <= 0.0) {
+            std::fprintf(stderr, "--metrics-interval needs a positive number of "
+                                 "seconds\n");
+            return 2;
+          }
+          ++i;
+          output.metrics_interval = parsed;
+          output.metrics_interval_given = true;
+          continue;
+        }
         if (std::strcmp(argv[i], "--dispatch") == 0) {
           if (i + 1 >= argc) {
             std::fprintf(stderr, "--dispatch needs a policy name\n");
@@ -832,7 +1121,7 @@ int main(int argc, char** argv) {
       return CmdFleet(argv[2], std::atoi(argv[3]), std::atoi(argv[4]), seed, dispatch,
                       policy, machine_events, sharded_cells, sharded_probes,
                       full_scan_ops, fleet_probes, domain_racks, domain_zones,
-                      spread_weight, spread_cap);
+                      spread_weight, spread_cap, output);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

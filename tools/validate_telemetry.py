@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Structural validator for the telemetry artifacts the CI smoke job emits.
+
+Checks a Chrome trace-event JSON file (``--trace``, from the CLI's
+``--trace-out``) and/or a snapshot JSONL file (``--metrics``, from
+``--metrics-out``):
+
+* trace: the document is a JSON object whose ``traceEvents`` is a
+  non-empty list; every event carries ``name``/``ph``/``ts``/``pid``/
+  ``tid`` with ``ph`` one of X/i/M (metadata "M" events omit ``ts``),
+  non-negative ``ts``, and complete ("X") slices additionally a
+  non-negative ``dur``;
+* metrics: every line parses as a JSON object carrying the snapshot
+  schema of docs/OBSERVABILITY.md, with strictly increasing ``t`` and
+  non-negative occupancy numbers.
+
+Usage: validate_telemetry.py [--trace <path>] [--metrics <path>]
+Exits non-zero listing every violation. Uses only the standard library.
+"""
+
+import argparse
+import json
+import sys
+
+TRACE_PHASES = {"X", "i", "M"}
+TRACE_REQUIRED = ("name", "ph", "ts", "pid", "tid")
+METRICS_REQUIRED = (
+    "t",
+    "attainment_so_far",
+    "at_goal_so_far",
+    "queue_depth",
+    "unplaced",
+    "running",
+    "up_machines",
+    "busy_threads",
+    "free_threads",
+    "cells",
+    "racks",
+)
+
+
+def validate_trace(path: str) -> list:
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            document = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: not readable as JSON: {e}"]
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        return [f"{path}: top level must be an object with 'traceEvents'"]
+    events = document["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return [f"{path}: 'traceEvents' must be a non-empty list"]
+    for i, event in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        # Metadata ('M') events carry no timestamp in the Chrome format.
+        required = TRACE_REQUIRED if event.get("ph") != "M" else \
+            tuple(k for k in TRACE_REQUIRED if k != "ts")
+        missing = [key for key in required if key not in event]
+        if missing:
+            errors.append(f"{where}: missing {missing}")
+            continue
+        if event["ph"] not in TRACE_PHASES:
+            errors.append(f"{where}: unknown phase {event['ph']!r}")
+        if event["ph"] != "M" and (
+                not isinstance(event["ts"], (int, float)) or event["ts"] < 0):
+            errors.append(f"{where}: ts must be a non-negative number")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: 'X' slice needs non-negative dur")
+    return errors
+
+
+def validate_metrics(path: str) -> list:
+    errors = []
+    last_t = None
+    lines = 0
+    try:
+        with open(path, encoding="utf-8") as f:
+            for number, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                lines += 1
+                where = f"{path}:{number}"
+                try:
+                    snapshot = json.loads(line)
+                except json.JSONDecodeError as e:
+                    errors.append(f"{where}: invalid JSON: {e}")
+                    continue
+                if not isinstance(snapshot, dict):
+                    errors.append(f"{where}: not an object")
+                    continue
+                missing = [key for key in METRICS_REQUIRED if key not in snapshot]
+                if missing:
+                    errors.append(f"{where}: missing {missing}")
+                    continue
+                t = snapshot["t"]
+                if last_t is not None and t <= last_t:
+                    errors.append(f"{where}: t={t} not strictly after t={last_t}")
+                last_t = t
+                for key in ("queue_depth", "unplaced", "running", "up_machines",
+                            "busy_threads", "free_threads"):
+                    if not isinstance(snapshot[key], int) or snapshot[key] < 0:
+                        errors.append(f"{where}: {key} must be a non-negative int")
+                for key in ("cells", "racks"):
+                    if not isinstance(snapshot[key], list):
+                        errors.append(f"{where}: {key} must be a list")
+    except OSError as e:
+        return [f"{path}: not readable: {e}"]
+    if lines == 0:
+        errors.append(f"{path}: no snapshot lines")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="Chrome trace-event JSON (--trace-out)")
+    parser.add_argument("--metrics", help="snapshot JSONL (--metrics-out)")
+    args = parser.parse_args()
+    if not args.trace and not args.metrics:
+        parser.error("pass --trace and/or --metrics")
+    errors = []
+    if args.trace:
+        errors.extend(validate_trace(args.trace))
+    if args.metrics:
+        errors.extend(validate_metrics(args.metrics))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        checked = [p for p in (args.trace, args.metrics) if p]
+        print(f"validated {len(checked)} telemetry artifact(s): OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
