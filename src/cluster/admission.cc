@@ -1,0 +1,116 @@
+#include "src/cluster/admission.h"
+
+namespace numaplace {
+namespace {
+
+const std::string kAdmitAllName = "admit-all";
+const std::string kTieredName = "tiered";
+
+// Tier-reserved headroom, the classic overload-protection shape: each tier
+// below premium only admits while the fleet could still absorb this
+// container with margin to spare, so a flash crowd of lower-tier arrivals
+// stops filling the fleet before the last slots — the ones premium work
+// lands in without queueing — are gone. Best-effort needs more spare
+// capacity than standard: it is the first tier to shed.
+//
+// Two margins compose per tier. The per-container factor (free threads vs
+// multiples of this arrival's demand) is the binding one on small fleets;
+// the utilization ceiling (free threads as a fraction of total up
+// capacity) is what matters at scale, where a few container-widths of
+// slack is a rounding error — and where keeping the fleet under the
+// ceiling keeps every machine uncrowded enough that already-running
+// premium work stays at goal.
+constexpr int kStandardHeadroomFactor = 2;
+constexpr int kBestEffortHeadroomFactor = 3;
+// free * kNum >= total * kDen  <=>  free/total >= kDen/kNum. Standard needs
+// 3/10 of the fleet free (utilization <= 70%), best-effort 2/5 (<= 60%).
+constexpr long long kStandardFreeFractionNum = 10;
+constexpr long long kStandardFreeFractionDen = 3;
+constexpr long long kBestEffortFreeFractionNum = 5;
+constexpr long long kBestEffortFreeFractionDen = 2;
+
+}  // namespace
+
+bool ParseSloTier(const std::string& token, SloTier* tier) {
+  if (token == "premium") {
+    *tier = SloTier::kPremium;
+    return true;
+  }
+  if (token == "standard") {
+    *tier = SloTier::kStandard;
+    return true;
+  }
+  if (token == "best-effort") {
+    *tier = SloTier::kBestEffort;
+    return true;
+  }
+  return false;
+}
+
+SloTier TierFromGroupName(const std::string& group) {
+  const auto colon = group.find(':');
+  if (colon == std::string::npos) {
+    return SloTier::kStandard;
+  }
+  SloTier tier = SloTier::kStandard;
+  ParseSloTier(group.substr(0, colon), &tier);
+  return tier;
+}
+
+const std::string& AdmitAllPolicy::name() const { return kAdmitAllName; }
+
+AdmissionDecision AdmitAllPolicy::Decide(const AdmissionContext& ctx) {
+  (void)ctx;
+  return AdmissionDecision::kAdmit;
+}
+
+const std::string& TieredAdmissionPolicy::name() const { return kTieredName; }
+
+AdmissionDecision TieredAdmissionPolicy::Decide(const AdmissionContext& ctx) {
+  switch (ctx.tier) {
+    case SloTier::kPremium:
+      if (ctx.fits_now) {
+        return AdmissionDecision::kAdmit;
+      }
+      // Nothing fits: shed a queued best-effort container when one exists.
+      // With no victim, admit anyway — premium queues rather than sheds.
+      return ctx.queued_best_effort ? AdmissionDecision::kPreempt
+                                    : AdmissionDecision::kAdmit;
+    case SloTier::kStandard:
+      if (ctx.fits_now &&
+          ctx.free_threads >=
+              static_cast<long long>(kStandardHeadroomFactor) * ctx.vcpus &&
+          ctx.free_threads * kStandardFreeFractionNum >=
+              ctx.total_threads * kStandardFreeFractionDen) {
+        return AdmissionDecision::kAdmit;
+      }
+      return ctx.waiting < ctx.defer_limit ? AdmissionDecision::kDefer
+                                           : AdmissionDecision::kReject;
+    case SloTier::kBestEffort:
+      if (ctx.fits_now && ctx.waiting == 0 &&
+          ctx.free_threads >=
+              static_cast<long long>(kBestEffortHeadroomFactor) * ctx.vcpus &&
+          ctx.free_threads * kBestEffortFreeFractionNum >=
+              ctx.total_threads * kBestEffortFreeFractionDen) {
+        return AdmissionDecision::kAdmit;
+      }
+      return AdmissionDecision::kReject;
+  }
+  return AdmissionDecision::kAdmit;
+}
+
+AdmissionRegistry& AdmissionRegistry::Global() {
+  static AdmissionRegistry* registry = [] {
+    auto* r = new AdmissionRegistry();
+    r->Register(kAdmitAllName, [] { return std::make_unique<AdmitAllPolicy>(); });
+    r->Register(kTieredName, [] { return std::make_unique<TieredAdmissionPolicy>(); });
+    return r;
+  }();
+  return *registry;
+}
+
+std::unique_ptr<AdmissionPolicy> MakeAdmissionPolicy(const std::string& name) {
+  return AdmissionRegistry::Global().Make(name);
+}
+
+}  // namespace numaplace

@@ -1,0 +1,155 @@
+// SLO-tiered admission control for the FleetScheduler.
+//
+// The fleet used to queue unconditionally whenever no machine previewed a
+// goal-meeting placement — forced queueing acting as *accidental* admission
+// control. This subsystem makes shedding deliberate and tiered: every
+// container carries an SLO tier (premium / standard / best-effort, parsed
+// from its service-group name or pinned through FleetConfig::tier_overrides),
+// and a pluggable AdmissionPolicy — mirroring DispatchPolicy one decision
+// earlier in the pipeline — rules admit / defer / reject / preempt per
+// arrival from a saturation summary the fleet assembles out of its per-cell
+// CapacityIndex. Best-effort sheds first under saturation; premium may
+// preempt queued best-effort work (the victim is removed through the same
+// machine-level Depart primitive the evacuation path uses, and the premium
+// container's placement then flows through the ordinary dispatch machinery,
+// so occupancy invariants hold by construction).
+//
+// Tier naming convention: a service-group name of the form `<tier>:<base>`
+// (e.g. "premium:gcc", "best-effort:web#3" whose group is
+// "best-effort:web") carries its tier in the prefix. Unknown prefixes and
+// unprefixed groups default to standard. FleetConfig::tier_overrides —
+// keyed by the full service-group name, prefix included — take precedence
+// over the naming convention.
+//
+// Policies are constructible by name through the AdmissionRegistry. Built in:
+//
+//   admit-all   every arrival proceeds to dispatch — the null contender
+//               that proves the wiring itself changes nothing
+//   tiered      premium admits always (preempting a queued best-effort
+//               container when nothing fits); lower tiers admit only while
+//               the fleet keeps tier-reserved headroom — both a
+//               per-container margin (standard 2x its demand, best-effort
+//               3x plus an idle queue) and a fleet-utilization ceiling
+//               (standard 70%, best-effort 60%) — so the last slots stay
+//               free and uncrowded for premium. Standard defers up to a
+//               bounded fleet-wide queue then rejects; best-effort is shed
+//               on the spot
+#ifndef NUMAPLACE_SRC_CLUSTER_ADMISSION_H_
+#define NUMAPLACE_SRC_CLUSTER_ADMISSION_H_
+
+#include <memory>
+#include <string>
+
+#include "src/scheduler/events.h"
+#include "src/util/registry.h"
+
+namespace numaplace {
+
+/// Parses an exact lower-case tier name ("premium", "standard",
+/// "best-effort") into `*tier`; returns false (leaving `*tier` untouched)
+/// for anything else.
+bool ParseSloTier(const std::string& token, SloTier* tier);
+
+/// Tier of a service-group name under the `<tier>:<base>` naming
+/// convention: the prefix before the first ':' when it parses as a tier,
+/// kStandard otherwise (no ':' , unknown prefix like "gold:", empty name).
+/// Callers owning a FleetConfig tier map consult it first — this is only
+/// the convention fallback.
+SloTier TierFromGroupName(const std::string& group);
+
+/// Saturation summary for one admission decision, assembled by the fleet
+/// from its CapacityIndex and wait set. All fields are deterministic
+/// functions of fleet state — no wall time, no randomness.
+struct AdmissionContext {
+  /// Hardware threads the arriving container needs.
+  int vcpus = 0;
+  /// The arrival's SLO tier.
+  SloTier tier = SloTier::kStandard;
+  /// True when some up machine has enough free threads right now (from the
+  /// capacity index's per-cell max-free-threads summaries — a necessary
+  /// condition for immediate placement, not a goal-attainment promise).
+  bool fits_now = false;
+  /// Free hardware threads across all up machines.
+  long long free_threads = 0;
+  /// Hardware threads across all up machines — free_threads / total_threads
+  /// is the fleet's headroom fraction, the signal utilization-ceiling
+  /// policies gate on.
+  long long total_threads = 0;
+  /// Containers currently waiting fleet-wide or on machine queues.
+  int waiting = 0;
+  /// True when at least one waiting container is best-effort — i.e. a
+  /// preemption victim exists.
+  bool queued_best_effort = false;
+  /// FleetConfig::admission_defer_limit — the fleet-wide waiting count at
+  /// which deferring policies switch to rejecting.
+  int defer_limit = 0;
+};
+
+/// Strategy interface: rules on one arrival. Constructible by name through
+/// the AdmissionRegistry. Policies must be deterministic functions of the
+/// context (replays are byte-identical for a fixed seed + flags).
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+
+  /// Registry name of the policy (stable, used in configs and reports).
+  virtual const std::string& name() const = 0;
+
+  /// The ruling for one arrival. Returning kPreempt when
+  /// ctx.queued_best_effort is false is a policy bug; the fleet checks.
+  virtual AdmissionDecision Decide(const AdmissionContext& ctx) = 0;
+};
+
+/// Admits everything — the null contender: a fleet running admit-all must
+/// behave exactly like a fleet with admission off (tests assert it).
+class AdmitAllPolicy final : public AdmissionPolicy {
+ public:
+  const std::string& name() const override;
+  AdmissionDecision Decide(const AdmissionContext& ctx) override;
+};
+
+/// The tiered overload policy:
+///   premium      admit when something fits; otherwise preempt a queued
+///                best-effort container when one exists, else admit anyway
+///                (premium never waits behind a shed decision)
+///   standard     admit while something fits, free threads are at least
+///                twice its demand, and fleet utilization is at most 70%;
+///                otherwise defer while fewer than defer_limit containers
+///                wait, then reject
+///   best-effort  admit only into a calm fleet — something fits, nothing
+///                waits, free threads are at least three times its demand
+///                and fleet utilization is at most 60% — otherwise reject
+///                on the spot (shed first, shed cheap)
+///
+/// The graded headroom reserves the last slots for premium: a flash crowd
+/// of lower-tier arrivals stops being admitted before the fleet saturates.
+/// The per-container margins dominate on small fleets; the utilization
+/// ceilings are what matter at scale, where even many multiples of one
+/// container's demand is a rounding error of total capacity — and, because
+/// dispatch spreads load, capping utilization also caps how crowded the
+/// machine hosting a premium container can get (admission protects
+/// attainment, not just placement).
+class TieredAdmissionPolicy final : public AdmissionPolicy {
+ public:
+  const std::string& name() const override;
+  AdmissionDecision Decide(const AdmissionContext& ctx) override;
+};
+
+/// Name -> factory registry, the same FactoryRegistry machinery as the
+/// DispatchRegistry. The built-ins above are pre-registered; plugins may
+/// Register additional names at startup.
+class AdmissionRegistry : public FactoryRegistry<AdmissionPolicy> {
+ public:
+  AdmissionRegistry() : FactoryRegistry("admission policy") {}
+
+  /// The process-wide registry (built-ins registered on first use).
+  static AdmissionRegistry& Global();
+};
+
+/// Shorthand for AdmissionRegistry::Global().Make(name). Unknown names
+/// throw std::logic_error listing every registered policy.
+std::unique_ptr<AdmissionPolicy> MakeAdmissionPolicy(const std::string& name);
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_CLUSTER_ADMISSION_H_

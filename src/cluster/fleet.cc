@@ -33,6 +33,19 @@ FleetScheduler::FleetScheduler(std::vector<MachineSpec> specs, FleetConfig confi
   NP_CHECK_MSG(config_.spread_weight >= 0.0, "spread_weight cannot be negative");
   NP_CHECK_MSG(config_.spread_max_per_rack >= 0,
                "spread_max_per_rack cannot be negative (0 = no cap)");
+  NP_CHECK_MSG(config_.admission_defer_limit >= 0,
+               "admission_defer_limit cannot be negative");
+  if (!config_.admission.empty()) {
+    admission_ = MakeAdmissionPolicy(config_.admission);
+  }
+  for (const auto& [group, tier_name] : config_.tier_overrides) {
+    SloTier tier = SloTier::kStandard;
+    NP_CHECK_MSG(ParseSloTier(tier_name, &tier),
+                 "tier_overrides[" << group << "] = \"" << tier_name
+                                   << "\" is not a tier (premium / standard / "
+                                      "best-effort)");
+    tier_map_[group] = tier;
+  }
   machines_.reserve(specs.size());
   for (size_t i = 0; i < specs.size(); ++i) {
     Machine machine;
@@ -61,6 +74,7 @@ FleetScheduler::FleetScheduler(std::vector<MachineSpec> specs, FleetConfig confi
     member.machine_id = m;
     member.hw_threads = machines_[static_cast<size_t>(m)].topo->NumHwThreads();
     member.scheduler = machines_[static_cast<size_t>(m)].scheduler.get();
+    up_threads_ += member.hw_threads;  // every machine starts kUp
     membership_->push_back(member);
   }
   dispatch_->BindMembership(membership_.get());
@@ -348,6 +362,102 @@ void FleetScheduler::RecordAdmission(const ScheduleOutcome& outcome, double now)
   ++stats_.queue_admissions;
 }
 
+const AdmissionPolicy& FleetScheduler::admission() const {
+  NP_CHECK_MSG(admission_ != nullptr, "no admission policy is configured");
+  return *admission_;
+}
+
+SloTier FleetScheduler::TierOf(const std::string& workload_name) const {
+  const std::string group = ServiceGroupOf(workload_name);
+  const auto pinned = tier_map_.find(group);
+  if (pinned != tier_map_.end()) {
+    return pinned->second;
+  }
+  return TierFromGroupName(group);
+}
+
+AdmissionContext FleetScheduler::BuildAdmissionContext(
+    const ContainerRequest& request, SloTier tier) const {
+  AdmissionContext ctx;
+  ctx.vcpus = request.vcpus;
+  ctx.tier = tier;
+  ctx.defer_limit = config_.admission_defer_limit;
+  ctx.waiting = static_cast<int>(waiting_.size());
+  ctx.total_threads = up_threads_;
+  // Saturation from the per-cell summaries: O(cells), never a machine walk.
+  for (int c = 0; c < capacity_index_.NumCells(); ++c) {
+    const CellCapacity& cell = capacity_index_.cell(c);
+    ctx.free_threads += cell.free_threads;
+    if (cell.max_free_threads >= request.vcpus) {
+      ctx.fits_now = true;
+    }
+  }
+  // A preemption victim exists when some waiting container is best-effort;
+  // waiting_ is a sorted set, so the scan (early-exited) is deterministic.
+  for (const int id : waiting_) {
+    const auto it = tier_of_.find(id);
+    if (it != tier_of_.end() && it->second == SloTier::kBestEffort) {
+      ctx.queued_best_effort = true;
+      break;
+    }
+  }
+  return ctx;
+}
+
+void FleetScheduler::PreemptQueuedBestEffort(double now, EventObserver* observer) {
+  int victim = kNoMachine;
+  for (const int id : waiting_) {
+    const auto it = tier_of_.find(id);
+    if (it != tier_of_.end() && it->second == SloTier::kBestEffort) {
+      victim = id;
+      break;
+    }
+  }
+  if (victim == kNoMachine) {
+    return;
+  }
+  int victim_vcpus = 0;
+  int victim_machine = kNoMachine;
+  const auto unplaced = unplaced_.find(victim);
+  if (unplaced != unplaced_.end()) {
+    // Waiting fleet-wide: nothing is held anywhere.
+    victim_vcpus = unplaced->second.vcpus;
+    unplaced_.erase(unplaced);
+  } else {
+    // Queued on a machine: removed through the same machine-level Depart
+    // primitive the evacuation path uses, with replace=false — shedding
+    // must not backfill the queue slot it just freed. A queued container
+    // has no state, so the shed itself is free.
+    victim_machine = MachineOf(victim);
+    NP_CHECK_MSG(victim_machine >= 0,
+                 "preemption victim " << victim << " is neither unplaced nor queued");
+    MachineScheduler& source = *machines_[static_cast<size_t>(victim_machine)].scheduler;
+    const ManagedContainer* managed = source.Find(victim);
+    NP_CHECK(managed != nullptr);
+    victim_vcpus = managed->request.vcpus;
+    source.Depart(victim, now, /*forget_probes=*/true, /*replace=*/false);
+    capacity_index_.OnOccupancyChange(victim_machine);
+    machine_of_.erase(victim);
+    domain_occupancy_->Remove(victim);
+  }
+  waiting_.erase(victim);
+  submit_time_.erase(victim);
+  tier_of_.erase(victim);
+  for (auto& [group, members] : groups_) {
+    members.registry->Forget(victim);
+  }
+  // The victim counts as a best-effort rejection (preemption is how the
+  // rejection happened), and its future trace departure becomes a no-op.
+  rejected_.insert(victim);
+  ++stats_.tier_rejected[static_cast<size_t>(SloTier::kBestEffort)];
+  ++stats_.tier_preempted[static_cast<size_t>(SloTier::kBestEffort)];
+  if (observer != nullptr) {
+    observer->OnAdmissionDecision(victim, victim_vcpus, SloTier::kBestEffort,
+                                  AdmissionDecision::kReject, now);
+    observer->OnDeparture(victim_machine, victim, now);
+  }
+}
+
 FleetOutcome FleetScheduler::Dispatch(const ContainerRequest& request, double now,
                                       EventObserver* observer) {
   ++stats_.dispatch_decisions;
@@ -417,6 +527,57 @@ FleetOutcome FleetScheduler::Submit(const ContainerRequest& request, double now,
                "container " << request.id << " is already live fleet-wide");
   SyncClocks(now);
   ++stats_.submitted;
+  if (AdmissionActive()) {
+    const SloTier tier = TierOf(request.workload.name);
+    const size_t t = static_cast<size_t>(tier);
+    ++stats_.tier_arrivals[t];
+    const AdmissionContext ctx = BuildAdmissionContext(request, tier);
+    AdmissionDecision decision = admission_->Decide(ctx);
+    if (decision == AdmissionDecision::kPreempt && !ctx.queued_best_effort) {
+      // Policy bug guard: preempting without a victim degrades to admit.
+      decision = AdmissionDecision::kAdmit;
+    }
+    if (observer != nullptr) {
+      observer->OnAdmissionDecision(request.id, request.vcpus, tier, decision, now);
+    }
+    switch (decision) {
+      case AdmissionDecision::kReject:
+        // Shed before any state is held: no submit_time_, no wait-set
+        // entry, no dispatch — only the rejected_ entry that makes the
+        // container's trace departure a no-op.
+        ++stats_.tier_rejected[t];
+        rejected_.insert(request.id);
+        {
+          ScheduleOutcome outcome;
+          outcome.container_id = request.id;
+          return {kNoMachine, std::move(outcome)};
+        }
+      case AdmissionDecision::kDefer: {
+        // Park fleet-wide without a dispatch decision; DrainUnplaced
+        // retries it the next time capacity may have returned.
+        ++stats_.tier_deferred[t];
+        ++stats_.queued;
+        tier_of_[request.id] = tier;
+        submit_time_[request.id] = now;
+        unplaced_[request.id] = request;
+        waiting_.insert(request.id);
+        capacity_index_.MarkCapacityChanged();
+        ScheduleOutcome outcome;
+        outcome.container_id = request.id;
+        if (observer != nullptr) {
+          observer->OnQueued(kNoMachine, outcome, now);
+        }
+        return {kNoMachine, std::move(outcome)};
+      }
+      case AdmissionDecision::kPreempt:
+        PreemptQueuedBestEffort(now, observer);
+        [[fallthrough]];
+      case AdmissionDecision::kAdmit:
+        ++stats_.tier_admitted[t];
+        tier_of_[request.id] = tier;
+        break;
+    }
+  }
   submit_time_[request.id] = now;
   FleetOutcome outcome = Dispatch(request, now, observer);
   if (outcome.outcome.admitted) {
@@ -429,10 +590,17 @@ FleetOutcome FleetScheduler::Submit(const ContainerRequest& request, double now,
 
 void FleetScheduler::Depart(int container_id, double now, EventObserver* observer) {
   SyncClocks(now);
+  if (rejected_.erase(container_id) > 0) {
+    // The admission layer shed this container (arrival reject or preemption
+    // victim): it was never live, so its trace departure is a no-op — no
+    // observer callback, no stats. Always empty with admission off.
+    return;
+  }
   if (unplaced_.erase(container_id) > 0) {
     // Departed while waiting fleet-wide: nothing was held anywhere.
     waiting_.erase(container_id);
     submit_time_.erase(container_id);
+    tier_of_.erase(container_id);
     for (auto& [group, members] : groups_) {
       members.registry->Forget(container_id);
     }
@@ -463,6 +631,7 @@ void FleetScheduler::Depart(int container_id, double now, EventObserver* observe
   domain_occupancy_->Remove(container_id);
   waiting_.erase(container_id);
   submit_time_.erase(container_id);
+  tier_of_.erase(container_id);
   if (observer != nullptr) {
     observer->OnDeparture(machine_id, container_id, now);
   }
@@ -480,6 +649,16 @@ void FleetScheduler::Depart(int container_id, double now, EventObserver* observe
 
 void FleetScheduler::SetAvailability(int machine_id, MachineAvailability availability,
                                      double now, EventObserver* observer) {
+  // up_threads_ moves only on real up<->down transitions (draining then
+  // failing the same machine must not be subtracted twice).
+  const bool was_up = machines_[static_cast<size_t>(machine_id)].availability ==
+                      MachineAvailability::kUp;
+  const bool is_up = availability == MachineAvailability::kUp;
+  if (was_up != is_up) {
+    const long long threads =
+        machines_[static_cast<size_t>(machine_id)].topo->NumHwThreads();
+    up_threads_ += is_up ? threads : -threads;
+  }
   machines_[static_cast<size_t>(machine_id)].availability = availability;
   // Keep the dispatch policy's membership view current: cell-aware
   // dispatchers read this in place instead of being rebuilt, so cell
@@ -994,6 +1173,17 @@ FleetReport FleetScheduler::ReplayWithEvaluation(const EventStream& trace,
   double attainment_weight = 0.0;
   double at_goal_weight = 0.0;
   double container_seconds = 0.0;
+  // Per-tier parallel accumulators (admission runs only): fed from the same
+  // snapshots as the aggregate integrals but kept in separate variables, so
+  // the aggregate's accumulation order — and an admission-off replay — is
+  // arithmetically untouched.
+  std::array<double, kNumSloTiers> tier_attainment{};
+  std::array<double, kNumSloTiers> tier_seconds{};
+  const auto tier_index = [this](int container_id) {
+    const auto it = tier_of_.find(container_id);
+    return static_cast<size_t>(it == tier_of_.end() ? SloTier::kStandard
+                                                    : it->second);
+  };
   // Next snapshot instant; the first sample lands at one full interval.
   double next_sample = sampler != nullptr ? sampler->IntervalSeconds() : 0.0;
 
@@ -1026,16 +1216,31 @@ FleetReport FleetScheduler::ReplayWithEvaluation(const EventStream& trace,
           }
           container_seconds += dt;
           container_rate += 1.0;
+          if (AdmissionActive()) {
+            const size_t t = tier_index(snap.container_id);
+            tier_attainment[t] += ratio * dt;
+            tier_seconds[t] += dt;
+          }
         }
         // A queued container attains nothing while it waits.
-        const double pending =
-            static_cast<double>(machine.scheduler->PendingIds().size());
+        const std::vector<int> pending_ids = machine.scheduler->PendingIds();
+        const double pending = static_cast<double>(pending_ids.size());
         container_seconds += pending * dt;
         container_rate += pending;
+        if (AdmissionActive()) {
+          for (const int id : pending_ids) {
+            tier_seconds[tier_index(id)] += dt;
+          }
+        }
       }
       // Neither does one waiting fleet-wide for an available machine.
       container_seconds += static_cast<double>(unplaced_.size()) * dt;
       container_rate += static_cast<double>(unplaced_.size());
+      if (AdmissionActive()) {
+        for (const auto& [id, request] : unplaced_) {
+          tier_seconds[tier_index(id)] += dt;
+        }
+      }
 
       // Snapshots due inside this interval see the fleet as it stood after
       // the previous event (a sample at exactly event time is pre-event).
@@ -1057,6 +1262,11 @@ FleetReport FleetScheduler::ReplayWithEvaluation(const EventStream& trace,
   }
 
   report.decisions = counter.admissions;
+  for (size_t t = 0; t < static_cast<size_t>(kNumSloTiers); ++t) {
+    report.tier_container_seconds[t] = tier_seconds[t];
+    report.tier_goal_attainment[t] =
+        tier_seconds[t] > 0.0 ? tier_attainment[t] / tier_seconds[t] : 1.0;
+  }
   report.goal_attainment =
       container_seconds > 0.0 ? attainment_weight / container_seconds : 1.0;
   report.container_seconds_at_goal =

@@ -44,12 +44,14 @@
 #ifndef NUMAPLACE_SRC_CLUSTER_FLEET_H_
 #define NUMAPLACE_SRC_CLUSTER_FLEET_H_
 
+#include <array>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/cluster/admission.h"
 #include "src/cluster/capacity_index.h"
 #include "src/cluster/dispatch.h"
 #include "src/cluster/domains.h"
@@ -139,6 +141,19 @@ struct FleetConfig {
   /// soft there, so a container is still placed when every rack is capped.
   /// 0 means no cap.
   int spread_max_per_rack = 0;
+  /// Name of the AdmissionPolicy to instantiate through the
+  /// AdmissionRegistry; empty disables the admission layer entirely —
+  /// every arrival proceeds straight to dispatch and replays are
+  /// byte-identical to a fleet built before the layer existed.
+  std::string admission;
+  /// Service-group name -> tier name ("premium" / "standard" /
+  /// "best-effort"). Overrides the `<tier>:<base>` naming convention for
+  /// the listed groups (keys are full group names, prefix included).
+  /// Unknown tier names CHECK-fail at construction.
+  std::map<std::string, std::string> tier_overrides;
+  /// Fleet-wide waiting count at which deferring admission policies switch
+  /// to rejecting (the tiered policy's standard-tier bound).
+  int admission_defer_limit = 8;
 };
 
 /// Dispatch, queueing, rebalancing and probe counters accumulated over the
@@ -186,6 +201,16 @@ struct FleetStats {
   // capacity index's dirty flag proved them no-ops (zero previews).
   int rebalance_passes = 0;
   int rebalance_passes_skipped = 0;
+  // Admission-layer tallies, indexed by SloTier (all zero with admission
+  // off). tier_arrivals partitions into admitted + deferred + rejected;
+  // tier_preempted counts the best-effort victims premium arrivals shed
+  // (each victim is also counted in tier_rejected — preemption is how the
+  // rejection happened, not a separate fate).
+  std::array<int, kNumSloTiers> tier_arrivals{};
+  std::array<int, kNumSloTiers> tier_admitted{};
+  std::array<int, kNumSloTiers> tier_deferred{};
+  std::array<int, kNumSloTiers> tier_rejected{};
+  std::array<int, kNumSloTiers> tier_preempted{};
 };
 
 /// Fleet-wide evaluation of one replayed trace (the cluster analog of
@@ -202,6 +227,12 @@ struct FleetReport {
   int decisions = 0;
   double wall_seconds = 0.0;
   std::vector<double> machine_utilizations;
+  // Per-tier goal attainment over the tier's live container-seconds
+  // (1.0 when the tier never had a live container), indexed by SloTier.
+  // Aggregate fields above are computed exactly as before the admission
+  // layer — these are parallel accumulators, not a re-derivation.
+  std::array<double, kNumSloTiers> tier_goal_attainment{};
+  std::array<double, kNumSloTiers> tier_container_seconds{};
 };
 
 /// Cluster scheduler owning one MachineScheduler per machine; see the file
@@ -312,6 +343,20 @@ class FleetScheduler {
   bool SpreadActive() const {
     return config_.spread_weight > 0.0 || config_.spread_max_per_rack > 0;
   }
+  /// Whether an admission policy is configured — when false, every arrival
+  /// proceeds straight to dispatch and replays are byte-identical to a
+  /// fleet without the admission layer.
+  bool AdmissionActive() const { return admission_ != nullptr; }
+  /// The active admission policy (CHECKs AdmissionActive(); read-only, the
+  /// fleet owns it).
+  const AdmissionPolicy& admission() const;
+  /// SLO tier of a workload or service-group name: the FleetConfig
+  /// tier_overrides entry for its service group when present, else the
+  /// `<tier>:<base>` naming convention, else standard.
+  SloTier TierOf(const std::string& workload_name) const;
+  /// Container ids the admission layer rejected (arrival sheds and
+  /// preemption victims); their later trace departure events are no-ops.
+  const std::set<int>& RejectedIds() const { return rejected_; }
   /// Domains-to-loss (distinct occupied domains of `scope`) per service
   /// group with at least one placed replica, name-ascending — the fleet's
   /// availability scoreboard: a group at k survives any k-1 simultaneous
@@ -369,6 +414,20 @@ class FleetScheduler {
   // Queue-wait bookkeeping for an admission outcome observed at `now`.
   void RecordAdmission(const ScheduleOutcome& outcome, double now);
 
+  // The admission layer's saturation summary for one arrival, assembled
+  // from the capacity index's per-cell summaries and the wait set.
+  AdmissionContext BuildAdmissionContext(const ContainerRequest& request,
+                                         SloTier tier) const;
+
+  // Sheds the oldest queued best-effort container (waiting_ order — a
+  // sorted set, so the choice is deterministic) to make room for a premium
+  // arrival: removed through the same machine-level Depart primitive the
+  // evacuation path uses (a queued container has no state, so the shed is
+  // free), counted as a best-effort rejection, and its future trace
+  // departure becomes a no-op. No-op when no queued best-effort container
+  // exists.
+  void PreemptQueuedBestEffort(double now, EventObserver* observer);
+
   // Re-dispatches fleet-wide waiting containers whenever capacity may have
   // returned (start of every RebalancePass that the capacity index's dirty
   // flag lets run).
@@ -422,6 +481,18 @@ class FleetScheduler {
 
   FleetConfig config_;
   std::unique_ptr<DispatchPolicy> dispatch_;
+  // Null unless config_.admission names a policy; see AdmissionActive().
+  std::unique_ptr<AdmissionPolicy> admission_;
+  // config_.tier_overrides parsed at construction (group -> tier).
+  std::map<std::string, SloTier> tier_map_;
+  // Ids the admission layer shed (rejected arrivals, preempted victims):
+  // their trace departure events are silent no-ops. Always empty with
+  // admission off.
+  std::set<int> rejected_;
+  // Tier of every live or waiting container, for the per-tier attainment
+  // accumulators in ReplayWithEvaluation. Only maintained while admission
+  // is active (the per-tier report is all-standard otherwise).
+  std::map<int, SloTier> tier_of_;
   std::vector<Machine> machines_;
   // Long-lived membership view handed to the dispatch policy via
   // BindMembership; availability entries mirror machines_[].availability.
@@ -431,6 +502,10 @@ class FleetScheduler {
   // Per-cell capacity summaries over membership_, updated in place at
   // every occupancy/availability-changing point (see capacity_index.h).
   CapacityIndex capacity_index_;
+  // Hardware threads across currently-up machines, maintained by
+  // SetAvailability — AdmissionContext::total_threads without a machine
+  // walk per arrival.
+  long long up_threads_ = 0;
   // Failure-domain topology handed to the dispatch policy via BindDomains;
   // heap-allocated for the same reason as membership_ (pointer stability
   // across moves of the fleet).

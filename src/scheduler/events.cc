@@ -26,6 +26,32 @@ const char* ToString(TargetSearchStats::Kind kind) {
   return "unknown";
 }
 
+const char* ToString(SloTier tier) {
+  switch (tier) {
+    case SloTier::kPremium:
+      return "premium";
+    case SloTier::kStandard:
+      return "standard";
+    case SloTier::kBestEffort:
+      return "best-effort";
+  }
+  return "unknown";
+}
+
+const char* ToString(AdmissionDecision decision) {
+  switch (decision) {
+    case AdmissionDecision::kAdmit:
+      return "admitted";
+    case AdmissionDecision::kDefer:
+      return "deferred";
+    case AdmissionDecision::kReject:
+      return "rejected";
+    case AdmissionDecision::kPreempt:
+      return "preempted";
+  }
+  return "unknown";
+}
+
 const char* ToString(RebalanceMove::Reason reason) {
   switch (reason) {
     case RebalanceMove::Reason::kRebalance:

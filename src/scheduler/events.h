@@ -82,6 +82,31 @@ enum class MachineAvailability { kUp, kDraining, kFailed };
 /// Lower-case state name ("up", "draining", "failed").
 const char* ToString(MachineAvailability availability);
 
+/// SLO tier of a container's service group: the fleet's admission layer
+/// (src/cluster/admission.h) sheds best-effort work first under saturation
+/// and lets premium preempt queued best-effort work. Declared here — like
+/// MachineAvailability — so the observer vocabulary stays free of cluster
+/// types. The numeric order is protection order: lower sheds later.
+enum class SloTier { kPremium = 0, kStandard = 1, kBestEffort = 2 };
+
+/// Tiers, for per-tier counters ranging over the enum.
+inline constexpr int kNumSloTiers = 3;
+
+/// Lower-case tier name ("premium", "standard", "best-effort").
+const char* ToString(SloTier tier);
+
+/// What the admission layer decided for one arrival (or, for kReject
+/// reported against an already-queued container, a preemption victim):
+///   kAdmit    proceed to dispatch (may still queue on a machine)
+///   kDefer    skip dispatch, wait fleet-wide until capacity returns
+///   kReject   shed: the container never enters the fleet
+///   kPreempt  admit after shedding a queued best-effort victim
+enum class AdmissionDecision { kAdmit, kDefer, kReject, kPreempt };
+
+/// Lower-case decision name ("admitted", "deferred", "rejected",
+/// "preempted") — the metric-suffix spelling of the decision.
+const char* ToString(AdmissionDecision decision);
+
 /// One committed cross-machine move, with the gain/cost model that
 /// justified it. Invariant (asserted in tests/cluster_test.cc):
 /// predicted_gain_ops > modeled_cost_ops for every logged move, evacuations
@@ -196,6 +221,15 @@ class EventObserver {
   /// One target-search pass finished (fleet layer only).
   virtual void OnTargetSearch(const TargetSearchStats& /*search*/,
                               double /*now*/) {}
+  /// The admission layer ruled on an arrival — or, for a kReject against a
+  /// container id seen earlier, shed a queued preemption victim. Fires only
+  /// when an admission policy is configured (fleet layer only); kAdmit /
+  /// kPreempt arrivals still get the usual OnAdmission/OnQueued callbacks
+  /// from the dispatch they proceed into.
+  virtual void OnAdmissionDecision(int /*container_id*/, int /*vcpus*/,
+                                   SloTier /*tier*/,
+                                   AdmissionDecision /*decision*/,
+                                   double /*now*/) {}
 };
 
 /// Periodic sampling hook for ReplayWithEvaluation: the replay calls
@@ -259,6 +293,12 @@ class ForwardingObserver : public EventObserver {
       next_->OnTargetSearch(search, now);
     }
   }
+  void OnAdmissionDecision(int container_id, int vcpus, SloTier tier,
+                           AdmissionDecision decision, double now) override {
+    if (next_ != nullptr) {
+      next_->OnAdmissionDecision(container_id, vcpus, tier, decision, now);
+    }
+  }
 
  private:
   EventObserver* next_;
@@ -285,6 +325,14 @@ class AdmissionCounter final : public ForwardingObserver {
 struct FleetOutcome {
   int machine_id = 0;
   ScheduleOutcome outcome;
+};
+
+/// One admission-layer ruling, as recorded by OutcomeRecorder.
+struct AdmissionDecisionRecord {
+  int container_id = 0;
+  int vcpus = 0;
+  SloTier tier = SloTier::kStandard;
+  AdmissionDecision decision = AdmissionDecision::kAdmit;
 };
 
 /// Records everything it observes, in callback order — the
@@ -318,6 +366,11 @@ class OutcomeRecorder : public EventObserver {
     (void)now;
     availability_changes.emplace_back(machine_id, availability);
   }
+  void OnAdmissionDecision(int container_id, int vcpus, SloTier tier,
+                           AdmissionDecision decision, double now) override {
+    (void)now;
+    admission_decisions.push_back({container_id, vcpus, tier, decision});
+  }
 
   /// Admissions (outcome.admitted) and queueings, interleaved in event
   /// order.
@@ -330,6 +383,8 @@ class OutcomeRecorder : public EventObserver {
   std::vector<EvacuationReport> evacuations;
   /// (machine id, new availability) pairs, in event order.
   std::vector<std::pair<int, MachineAvailability>> availability_changes;
+  /// Admission-layer rulings, in event order (empty with admission off).
+  std::vector<AdmissionDecisionRecord> admission_decisions;
 };
 
 }  // namespace numaplace

@@ -33,6 +33,16 @@ const std::vector<double> kPreviewBoundaries = {0,  1,  2,   4,   8,
 const std::vector<double> kSearchSecondsBoundaries = {0,    1e-6, 1e-5, 1e-4,
                                                       1e-3, 1e-2, 0.1,  1};
 
+// vCPU width of rejected containers — what the admission layer sheds.
+const std::vector<double> kVcpuBoundaries = {0, 1, 2, 4, 8, 16, 32, 64};
+
+// Per-tier admission-decision counter, e.g.
+// "fleet.admission.best-effort.rejected".
+std::string AdmissionCounterName(SloTier tier, AdmissionDecision decision) {
+  return std::string("fleet.admission.") + ToString(tier) + "." +
+         ToString(decision);
+}
+
 }  // namespace
 
 MetricsObserver::MetricsObserver(MetricsRegistry* registry, EventObserver* next,
@@ -59,6 +69,18 @@ MetricsObserver::MetricsObserver(MetricsRegistry* registry, EventObserver* next,
   registry_->GetHistogram("fleet.decision_seconds", kDecisionBoundaries);
   registry_->GetHistogram("fleet.search_previews", kPreviewBoundaries);
   registry_->GetHistogram("fleet.search_seconds", kSearchSecondsBoundaries);
+  // The admission layer's tier-labeled catalog (one counter per tier x
+  // decision, all zero when no admission policy is configured).
+  for (const SloTier tier :
+       {SloTier::kPremium, SloTier::kStandard, SloTier::kBestEffort}) {
+    for (const AdmissionDecision decision :
+         {AdmissionDecision::kAdmit, AdmissionDecision::kDefer,
+          AdmissionDecision::kReject, AdmissionDecision::kPreempt}) {
+      registry_->GetCounter(AdmissionCounterName(tier, decision));
+    }
+  }
+  registry_->GetHistogram("fleet.admission.rejected_vcpus", kVcpuBoundaries);
+  registry_->GetHistogram("fleet.admission.defer_wait_seconds", kLatencyBoundaries);
 }
 
 void MetricsObserver::OnAdmission(int machine_id, const ScheduleOutcome& outcome,
@@ -72,6 +94,12 @@ void MetricsObserver::OnAdmission(int machine_id, const ScheduleOutcome& outcome
         .Observe(now - it->second);
     queued_since_.erase(it);
     registry_->GetGauge("fleet.queue_depth").Set(queue_depth());
+  }
+  const auto deferred = deferred_since_.find(outcome.container_id);
+  if (deferred != deferred_since_.end()) {
+    registry_->GetHistogram("fleet.admission.defer_wait_seconds", kLatencyBoundaries)
+        .Observe(now - deferred->second);
+    deferred_since_.erase(deferred);
   }
   ForwardingObserver::OnAdmission(machine_id, outcome, now);
 }
@@ -91,6 +119,7 @@ void MetricsObserver::OnDeparture(int machine_id, int container_id, double now) 
   if (queued_since_.erase(container_id) > 0) {
     registry_->GetGauge("fleet.queue_depth").Set(queue_depth());
   }
+  deferred_since_.erase(container_id);
   ForwardingObserver::OnDeparture(machine_id, container_id, now);
 }
 
@@ -140,6 +169,25 @@ void MetricsObserver::OnTargetSearch(const TargetSearchStats& search, double now
   registry_->GetHistogram("fleet.search_seconds", kSearchSecondsBoundaries)
       .Observe(search.host_seconds);
   ForwardingObserver::OnTargetSearch(search, now);
+}
+
+void MetricsObserver::OnAdmissionDecision(int container_id, int vcpus, SloTier tier,
+                                          AdmissionDecision decision, double now) {
+  registry_->GetCounter(AdmissionCounterName(tier, decision)).Increment();
+  switch (decision) {
+    case AdmissionDecision::kReject:
+      registry_->GetHistogram("fleet.admission.rejected_vcpus", kVcpuBoundaries)
+          .Observe(static_cast<double>(vcpus));
+      break;
+    case AdmissionDecision::kDefer:
+      // First defer starts the wait clock; OnAdmission observes and clears.
+      deferred_since_.emplace(container_id, now);
+      break;
+    case AdmissionDecision::kAdmit:
+    case AdmissionDecision::kPreempt:
+      break;
+  }
+  ForwardingObserver::OnAdmissionDecision(container_id, vcpus, tier, decision, now);
 }
 
 }  // namespace numaplace

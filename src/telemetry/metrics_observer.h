@@ -35,6 +35,8 @@ class MetricsObserver final : public ForwardingObserver {
   void OnMachineAvailability(int machine_id, MachineAvailability availability,
                              double now) override;
   void OnTargetSearch(const TargetSearchStats& search, double now) override;
+  void OnAdmissionDecision(int container_id, int vcpus, SloTier tier,
+                           AdmissionDecision decision, double now) override;
 
   /// Containers currently waiting (first OnQueued seen, no admission or
   /// departure yet).
@@ -45,6 +47,10 @@ class MetricsObserver final : public ForwardingObserver {
   // container id -> stream time of its *first* OnQueued since it last ran;
   // queue wait is measured from there to the admission that seats it.
   std::map<int, double> queued_since_;
+  // container id -> stream time of its admission-layer defer; defer wait is
+  // measured from there to the admission that seats it (erased, like
+  // queued_since_, when the container departs or is shed instead).
+  std::map<int, double> deferred_since_;
   // machine id -> last reported availability (absent = kUp), so the
   // up-machines gauge only moves on real up<->down transitions (a
   // draining machine that then fails must not be subtracted twice).

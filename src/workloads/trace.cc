@@ -137,6 +137,22 @@ void EventStream::Append(FleetEvent event) {
   events_.insert(position, std::move(event));
 }
 
+void EventStream::AppendAll(std::vector<FleetEvent> events) {
+  if (events.empty()) {
+    return;
+  }
+  // stable_sort keeps the batch's relative order at equal (time, kind), and
+  // inplace_merge puts first-range (existing) events before equal
+  // second-range (batch) ones — together exactly the order of sequential
+  // upper_bound Appends, without their per-insert O(n) shifts.
+  std::stable_sort(events.begin(), events.end(), CanonicalBefore);
+  const auto mid = static_cast<std::vector<FleetEvent>::difference_type>(events_.size());
+  events_.insert(events_.end(), std::make_move_iterator(events.begin()),
+                 std::make_move_iterator(events.end()));
+  std::inplace_merge(events_.begin(), events_.begin() + mid, events_.end(),
+                     CanonicalBefore);
+}
+
 EventStream GeneratePoissonTrace(const TraceConfig& config, Rng& rng) {
   NP_CHECK(config.num_containers > 0);
   NP_CHECK(config.mean_interarrival_seconds > 0.0);
@@ -208,6 +224,129 @@ EventStream GenerateFleetTrace(const TraceConfig& base, int num_streams, Rng& rn
   return MergeTraces(streams);
 }
 
+namespace {
+
+// SLO-tier prefix for a drawn tier-mix coordinate: premium first, then
+// best-effort, standard takes the remainder. The `<tier>:` spelling is the
+// naming convention src/cluster/admission.h parses.
+const char* TierPrefix(double draw, double premium_fraction,
+                       double best_effort_fraction) {
+  if (draw < premium_fraction) {
+    return "premium:";
+  }
+  if (draw < premium_fraction + best_effort_fraction) {
+    return "best-effort:";
+  }
+  return "standard:";
+}
+
+}  // namespace
+
+EventStream GenerateFlashCrowdTrace(const FlashCrowdConfig& config, int num_streams,
+                                    Rng& rng) {
+  NP_CHECK(num_streams > 0);
+  NP_CHECK(config.base.num_containers > 0);
+  NP_CHECK(config.base.mean_interarrival_seconds > 0.0);
+  NP_CHECK(config.base.mean_lifetime_seconds > 0.0);
+  NP_CHECK(config.base.vcpus > 0);
+  NP_CHECK(config.base.goal_fraction > 0.0);
+  NP_CHECK_MSG(config.diurnal_amplitude >= 0.0 && config.diurnal_amplitude < 1.0,
+               "diurnal_amplitude must be in [0, 1)");
+  NP_CHECK(config.diurnal_period_seconds > 0.0);
+  NP_CHECK(config.bursts >= 0);
+  NP_CHECK(config.bursts == 0 || config.burst_containers > 0);
+  NP_CHECK(config.burst_mean_interarrival_seconds > 0.0);
+  NP_CHECK(config.burst_mean_lifetime_seconds > 0.0);
+  NP_CHECK(config.premium_fraction >= 0.0 && config.best_effort_fraction >= 0.0 &&
+           config.premium_fraction + config.best_effort_fraction <= 1.0);
+  NP_CHECK(config.burst_premium_fraction >= 0.0 &&
+           config.burst_best_effort_fraction >= 0.0 &&
+           config.burst_premium_fraction + config.burst_best_effort_fraction <= 1.0);
+
+  const std::vector<WorkloadProfile> catalog =
+      config.base.use_catalog ? PaperWorkloads() : std::vector<WorkloadProfile>{};
+  const int per_stream =
+      config.base.num_containers + config.bursts * config.burst_containers;
+
+  std::vector<EventStream> streams;
+  streams.reserve(static_cast<size_t>(num_streams));
+  for (int s = 0; s < num_streams; ++s) {
+    Rng stream_rng = rng.Fork(static_cast<uint64_t>(s));
+    std::vector<FleetEvent> events;
+    events.reserve(static_cast<size_t>(per_stream) * 2);
+    int next_id = config.base.first_container_id + s * per_stream;
+
+    const auto emit_arrival = [&](double clock, double mean_lifetime,
+                                  double premium_fraction,
+                                  double best_effort_fraction) {
+      const int id = next_id++;
+      ContainerArrival arrival;
+      arrival.container_id = id;
+      if (config.base.use_catalog) {
+        arrival.workload = catalog[stream_rng.NextBelow(catalog.size())];
+      } else {
+        const std::vector<WorkloadArchetype>& archetypes = AllArchetypes();
+        arrival.workload = SampleWorkload(
+            archetypes[stream_rng.NextBelow(archetypes.size())], stream_rng);
+      }
+      // Tier prefix first, then the usual per-container uniquification, so
+      // the service group ("premium:gcc") carries the tier and recurring
+      // applications still get distinct tenant names.
+      arrival.workload.name =
+          TierPrefix(stream_rng.NextDouble(), premium_fraction, best_effort_fraction) +
+          arrival.workload.name + "#" + std::to_string(id);
+      arrival.vcpus = config.base.vcpus;
+      arrival.goal_fraction = config.base.goal_fraction;
+      arrival.latency_sensitive =
+          stream_rng.NextDouble() < config.base.latency_sensitive_fraction;
+      events.push_back(FleetEvent::Arrival(clock, std::move(arrival)));
+      events.push_back(
+          FleetEvent::Departure(clock + NextExponential(stream_rng, mean_lifetime), id));
+    };
+
+    // Diurnal baseline: Lewis–Shedler thinning of a homogeneous process at
+    // the peak rate, accepting each candidate with rate(t) / peak — an
+    // exact sample of the rate-modulated Poisson process.
+    const double base_rate = 1.0 / config.base.mean_interarrival_seconds;
+    const double peak_rate = base_rate * (1.0 + config.diurnal_amplitude);
+    double clock = 0.0;
+    for (int i = 0; i < config.base.num_containers; ++i) {
+      for (;;) {
+        clock += NextExponential(stream_rng, 1.0 / peak_rate);
+        constexpr double kTwoPi = 6.283185307179586;
+        const double rate =
+            base_rate * (1.0 + config.diurnal_amplitude *
+                                   std::sin(kTwoPi * clock /
+                                            config.diurnal_period_seconds));
+        if (stream_rng.NextDouble() * peak_rate < rate) {
+          break;
+        }
+      }
+      emit_arrival(clock, config.base.mean_lifetime_seconds,
+                   config.premium_fraction, config.best_effort_fraction);
+    }
+    const double baseline_span = clock;
+
+    // Flash crowds: deterministic epochs spread across the baseline span
+    // (burst b of B starts at span * (b + 1) / (B + 1)), each a tight run
+    // of exponential gaps at the burst interarrival.
+    for (int b = 0; b < config.bursts; ++b) {
+      double burst_clock = baseline_span * static_cast<double>(b + 1) /
+                           static_cast<double>(config.bursts + 1);
+      for (int i = 0; i < config.burst_containers; ++i) {
+        burst_clock +=
+            NextExponential(stream_rng, config.burst_mean_interarrival_seconds);
+        emit_arrival(burst_clock, config.burst_mean_lifetime_seconds,
+                     config.burst_premium_fraction,
+                     config.burst_best_effort_fraction);
+      }
+    }
+
+    streams.push_back(EventStream(std::move(events)));
+  }
+  return MergeTraces(streams);
+}
+
 EventStream InjectMachineEvents(EventStream stream,
                                 const std::vector<FleetEvent>& machine_events) {
   for (const FleetEvent& event : machine_events) {
@@ -222,8 +361,11 @@ EventStream InjectMachineEvents(EventStream stream,
                         "FailureDomainTopology (src/cluster/domains.h) first");
     NP_CHECK(event.machine_id() >= 0);
     NP_CHECK(event.time_seconds >= 0.0);
-    stream.Append(event);
   }
+  // Validate-then-bulk-merge: one AppendAll instead of per-event insertion
+  // shifts, so large injected sets (domain expansions, scripted storms)
+  // stay O(n + k log k).
+  stream.AppendAll(machine_events);
   return stream;
 }
 

@@ -154,6 +154,13 @@ class EventStream {
   // (time, kind).
   void Append(FleetEvent event);
 
+  // Bulk Append: one stable sort of the batch plus one linear merge, so
+  // injecting k events into a stream of n costs O(n + k log k) instead of
+  // the O(n * k) per-event insertion shifts of k Append calls. Order is
+  // exactly k sequential Appends: at equal (time, kind), existing events
+  // come first and the batch keeps its own relative order.
+  void AppendAll(std::vector<FleetEvent> events);
+
   const std::vector<FleetEvent>& events() const { return events_; }
   size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
@@ -203,6 +210,47 @@ EventStream MergeTraces(const std::vector<EventStream>& traces);
 // Stream randomness forks deterministically from `rng`, so the result is a
 // pure function of (base, num_streams, rng seed).
 EventStream GenerateFleetTrace(const TraceConfig& base, int num_streams, Rng& rng);
+
+// Flash-crowd workload: a diurnal baseline with Poisson-burst arrival
+// spikes, the overload shape the admission layer (src/cluster/admission.h)
+// is built to survive. Each stream lays down `base.num_containers` baseline
+// arrivals from a sinusoidally rate-modulated Poisson process (Lewis–
+// Shedler thinning at peak rate (1 + diurnal_amplitude) / mean
+// interarrival), then superimposes `bursts` flash crowds — tightly spaced
+// arrival spikes at deterministic epochs across the baseline span. Every
+// container's service group carries its SLO tier as a `<tier>:` name prefix
+// drawn from the mix fractions: the baseline skews standard, the bursts
+// skew best-effort (flash crowds are the traffic tiers exist to shed).
+struct FlashCrowdConfig {
+  // Baseline traffic shape (containers, mean interarrival, lifetimes,
+  // vcpus, goal, id namespace), exactly as GeneratePoissonTrace reads it.
+  TraceConfig base;
+  // Relative swing of the diurnal arrival rate: rate(t) = base_rate *
+  // (1 + amplitude * sin(2*pi*t / period)). In [0, 1).
+  double diurnal_amplitude = 0.5;
+  double diurnal_period_seconds = 43200.0;
+  // Flash crowds per stream, their size, and their (much tighter) arrival
+  // spacing and (shorter) lifetimes.
+  int bursts = 2;
+  int burst_containers = 16;
+  double burst_mean_interarrival_seconds = 5.0;
+  double burst_mean_lifetime_seconds = 300.0;
+  // Baseline tier mix (standard gets the remainder).
+  double premium_fraction = 0.3;
+  double best_effort_fraction = 0.2;
+  // Burst tier mix — best-effort heavy by default.
+  double burst_premium_fraction = 0.1;
+  double burst_best_effort_fraction = 0.7;
+};
+
+// Generates the flash-crowd event stream over `num_streams` independent
+// streams, Fork-per-stream like GenerateFleetTrace: stream s forks
+// rng.Fork(s) and owns the id block of
+// base.num_containers + bursts * burst_containers containers starting at
+// base.first_container_id + s * that block size. Deterministic function of
+// (config, num_streams, rng seed).
+EventStream GenerateFlashCrowdTrace(const FlashCrowdConfig& config, int num_streams,
+                                    Rng& rng);
 
 // Folds scripted machine lifecycle events into a generated stream — the
 // injector behind the CLI's --fail/--drain/--rejoin flags and the failure

@@ -1,0 +1,430 @@
+// Tests for the SLO-tiered admission layer (src/cluster/admission): tier
+// parsing and the naming convention, the policy registry, and the fleet
+// wiring invariants — a rejected container never touches fleet state, a
+// deferred container lands when capacity returns, preemption removes the
+// queued best-effort victim without stranding the premium arrival, and a
+// fleet running admit-all is indistinguishable from one with admission off.
+// The fleets here run model-free machine policies (first-fit), like the
+// capacity-index tests, so the layer is exercised without model training.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cluster/admission.h"
+#include "src/cluster/fleet.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/metrics_observer.h"
+#include "src/topology/machines.h"
+#include "src/util/rng.h"
+#include "src/workloads/synth.h"
+#include "src/workloads/trace.h"
+
+namespace numaplace {
+namespace {
+
+MachineSpec FirstFitAmdSpec() {
+  MachineSpec spec(AmdOpteron6272());
+  spec.scheduler.policy = "first-fit";
+  spec.scheduler.baseline_id = 1;
+  return spec;
+}
+
+FleetScheduler MakeFleet(int num_machines, FleetConfig config) {
+  std::vector<MachineSpec> specs(static_cast<size_t>(num_machines), FirstFitAmdSpec());
+  return FleetScheduler(std::move(specs), config);
+}
+
+// A 16-vCPU request whose service group (the name before '#') carries the
+// given name — pass a `<tier>:` prefix to pick the tier by convention.
+ContainerRequest MakeRequest(int id, const std::string& group) {
+  ContainerRequest request;
+  request.id = id;
+  request.workload = PaperWorkload("gcc");
+  request.workload.name = group + "#" + std::to_string(id);
+  request.vcpus = 16;
+  request.goal_fraction = 0.5;
+  return request;
+}
+
+TEST(SloTierParsing, ExactTokensOnly) {
+  SloTier tier = SloTier::kStandard;
+  EXPECT_TRUE(ParseSloTier("premium", &tier));
+  EXPECT_EQ(tier, SloTier::kPremium);
+  EXPECT_TRUE(ParseSloTier("standard", &tier));
+  EXPECT_EQ(tier, SloTier::kStandard);
+  EXPECT_TRUE(ParseSloTier("best-effort", &tier));
+  EXPECT_EQ(tier, SloTier::kBestEffort);
+  tier = SloTier::kPremium;
+  for (const char* bad : {"", "Premium", "best effort", "besteffort", "gold",
+                          "premium ", " premium"}) {
+    EXPECT_FALSE(ParseSloTier(bad, &tier)) << bad;
+    EXPECT_EQ(tier, SloTier::kPremium) << "rejected token must leave *tier alone";
+  }
+}
+
+TEST(SloTierParsing, GroupNameConvention) {
+  EXPECT_EQ(TierFromGroupName("premium:web"), SloTier::kPremium);
+  EXPECT_EQ(TierFromGroupName("best-effort:crawl"), SloTier::kBestEffort);
+  EXPECT_EQ(TierFromGroupName("standard:api"), SloTier::kStandard);
+  // Unknown prefixes, unprefixed names, and a bare tier word without ':'
+  // all fall back to standard.
+  EXPECT_EQ(TierFromGroupName("gold:web"), SloTier::kStandard);
+  EXPECT_EQ(TierFromGroupName("web"), SloTier::kStandard);
+  EXPECT_EQ(TierFromGroupName("premium"), SloTier::kStandard);
+  EXPECT_EQ(TierFromGroupName(""), SloTier::kStandard);
+  // Only the first ':' splits: the rest of the name is opaque.
+  EXPECT_EQ(TierFromGroupName("premium:a:b"), SloTier::kPremium);
+  EXPECT_EQ(TierFromGroupName(":web"), SloTier::kStandard);
+}
+
+TEST(SloTierParsing, FleetTierOfPrefersOverrides) {
+  FleetConfig config;
+  config.admission = "tiered";
+  config.tier_overrides["web"] = "premium";
+  config.tier_overrides["premium:api"] = "best-effort";
+  const FleetScheduler fleet = MakeFleet(1, config);
+  // Overrides are keyed by the full service-group name and win over the
+  // naming convention; TierOf takes workload names ('#' suffix stripped).
+  EXPECT_EQ(fleet.TierOf("web#3"), SloTier::kPremium);
+  EXPECT_EQ(fleet.TierOf("premium:api#1"), SloTier::kBestEffort);
+  EXPECT_EQ(fleet.TierOf("premium:db#1"), SloTier::kPremium);
+  EXPECT_EQ(fleet.TierOf("plain"), SloTier::kStandard);
+}
+
+TEST(AdmissionRegistry, BuiltInsAreRegisteredAndMisuseThrows) {
+  const std::vector<std::string> names = AdmissionRegistry::Global().Names();
+  for (const char* builtin : {"admit-all", "tiered"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), builtin), names.end()) << builtin;
+    EXPECT_TRUE(AdmissionRegistry::Global().Has(builtin));
+  }
+  EXPECT_THROW(MakeAdmissionPolicy("no-such-policy"), std::logic_error);
+  EXPECT_EQ(MakeAdmissionPolicy("tiered")->name(), "tiered");
+}
+
+TEST(AdmissionConfig, BadNamesThrowAtConstruction) {
+  FleetConfig bad_policy;
+  bad_policy.admission = "no-such-policy";
+  EXPECT_THROW(MakeFleet(1, bad_policy), std::logic_error);
+  FleetConfig bad_tier;
+  bad_tier.tier_overrides["web"] = "gold";
+  EXPECT_THROW(MakeFleet(1, bad_tier), std::logic_error);
+  FleetConfig bad_limit;
+  bad_limit.admission_defer_limit = -1;
+  EXPECT_THROW(MakeFleet(1, bad_limit), std::logic_error);
+}
+
+// A shed best-effort container never touches fleet state: no outcome, no
+// queue entry, no machine, and its later departure is a silent no-op.
+TEST(TieredAdmission, RejectedContainerNeverEntersTheFleet) {
+  FleetConfig config;
+  config.admission = "tiered";
+  FleetScheduler fleet = MakeFleet(1, config);
+  OutcomeRecorder recorder;
+  // Three standard admits fill the 64-thread machine to 48 occupied.
+  for (int id = 1; id <= 3; ++id) {
+    fleet.Submit(MakeRequest(id, "standard:web"), /*now=*/10.0 * id, &recorder);
+  }
+  ASSERT_EQ(recorder.outcomes.size(), 3u);
+  // Best-effort now sees 16 free < 3x its 16-vCPU demand: shed on the spot.
+  const FleetOutcome outcome =
+      fleet.Submit(MakeRequest(9, "best-effort:crawl"), /*now=*/40.0, &recorder);
+  EXPECT_EQ(outcome.machine_id, kNoMachine);
+  EXPECT_FALSE(outcome.outcome.admitted);
+  EXPECT_EQ(recorder.outcomes.size(), 3u) << "no OnAdmission/OnQueued for a shed id";
+  ASSERT_EQ(recorder.admission_decisions.size(), 4u);
+  EXPECT_EQ(recorder.admission_decisions.back().decision, AdmissionDecision::kReject);
+  EXPECT_EQ(recorder.admission_decisions.back().tier, SloTier::kBestEffort);
+  EXPECT_EQ(fleet.MachineOf(9), kNoMachine);
+  EXPECT_TRUE(fleet.UnplacedIds().empty());
+  EXPECT_EQ(fleet.RejectedIds(), std::set<int>{9});
+  EXPECT_EQ(fleet.stats().tier_rejected[static_cast<size_t>(SloTier::kBestEffort)], 1);
+  // The trace's matching departure event is a no-op, not a CHECK failure.
+  fleet.Depart(9, /*now=*/50.0, &recorder);
+  EXPECT_TRUE(recorder.departures.empty());
+  EXPECT_TRUE(fleet.RejectedIds().empty()) << "the tombstone is consumed";
+}
+
+// A deferred standard container waits fleet-wide and is placed — through
+// the ordinary rebalance drain, no admission re-run — once a departure
+// frees capacity.
+TEST(TieredAdmission, DeferredContainerLandsWhenCapacityReturns) {
+  FleetConfig config;
+  config.admission = "tiered";
+  FleetScheduler fleet = MakeFleet(1, config);
+  OutcomeRecorder recorder;
+  for (int id = 1; id <= 3; ++id) {
+    fleet.Submit(MakeRequest(id, "standard:web"), /*now=*/10.0 * id, &recorder);
+  }
+  // 16 free < 2x demand: standard defers while the wait pool has room.
+  const FleetOutcome deferred =
+      fleet.Submit(MakeRequest(4, "standard:web"), /*now=*/40.0, &recorder);
+  EXPECT_EQ(deferred.machine_id, kNoMachine);
+  EXPECT_FALSE(deferred.outcome.admitted);
+  EXPECT_EQ(recorder.admission_decisions.back().decision, AdmissionDecision::kDefer);
+  EXPECT_EQ(fleet.UnplacedIds(), std::vector<int>{4});
+  EXPECT_EQ(fleet.stats().tier_deferred[static_cast<size_t>(SloTier::kStandard)], 1);
+  // A departure frees 16 threads; the rebalance pass drains the wait pool.
+  fleet.Depart(1, /*now=*/60.0, &recorder);
+  EXPECT_EQ(fleet.MachineOf(4), 0);
+  EXPECT_TRUE(fleet.UnplacedIds().empty());
+  EXPECT_GE(fleet.stats().queue_admissions, 1);
+}
+
+// Premium preempts a queued best-effort victim and is never stranded: the
+// victim leaves the wait set for the rejected tombstones, the premium
+// arrival stays tracked, and lands once capacity rejoins.
+TEST(TieredAdmission, PreemptionNeverStrandsPremium) {
+  FleetConfig config;
+  config.admission = "tiered";
+  FleetScheduler fleet = MakeFleet(2, config);
+  OutcomeRecorder recorder;
+  // Best-effort admits into the empty fleet (128 free, nothing waiting).
+  ASSERT_NE(fleet.Submit(MakeRequest(1, "best-effort:crawl"), 1.0, &recorder).machine_id,
+            kNoMachine);
+  const int be_machine = fleet.MachineOf(1);
+  // Premium fillers take every remaining slot (premium always admits).
+  for (int id = 2; id <= 8; ++id) {
+    fleet.Submit(MakeRequest(id, "premium:web"), 1.0 + id, &recorder);
+  }
+  // Failing the best-effort container's machine requeues every evacuee:
+  // the surviving machine is full but could hold them, so they wait on its
+  // queue — still tracked, still unseated.
+  fleet.Fail(be_machine, /*now=*/20.0, &recorder);
+  const int survivor = 1 - be_machine;
+  ASSERT_EQ(fleet.MachineOf(1), survivor) << "the evacuated victim waits, queued";
+  // A premium arrival finds nothing fitting and a queued best-effort
+  // victim: the policy rules preempt and the victim is shed.
+  fleet.Submit(MakeRequest(99, "premium:web"), /*now=*/30.0, &recorder);
+  // Two rulings land: the premium arrival's kPreempt, then the victim's
+  // kReject (preemption is how the rejection happened).
+  ASSERT_GE(recorder.admission_decisions.size(), 2u);
+  const AdmissionDecisionRecord& premium_ruling =
+      recorder.admission_decisions[recorder.admission_decisions.size() - 2];
+  const AdmissionDecisionRecord& victim_ruling = recorder.admission_decisions.back();
+  EXPECT_EQ(premium_ruling.container_id, 99);
+  EXPECT_EQ(premium_ruling.decision, AdmissionDecision::kPreempt);
+  EXPECT_EQ(victim_ruling.container_id, 1);
+  EXPECT_EQ(victim_ruling.tier, SloTier::kBestEffort);
+  EXPECT_EQ(victim_ruling.decision, AdmissionDecision::kReject);
+  EXPECT_EQ(fleet.RejectedIds(), std::set<int>{1});
+  EXPECT_EQ(fleet.MachineOf(1), kNoMachine);
+  EXPECT_EQ(fleet.MachineOf(99), survivor) << "premium takes the victim's wait slot";
+  const auto be = static_cast<size_t>(SloTier::kBestEffort);
+  EXPECT_EQ(fleet.stats().tier_preempted[be], 1);
+  EXPECT_EQ(fleet.stats().tier_rejected[be], 1);
+  // The machine rejoins; the rebalance pass seats the premium arrival.
+  fleet.Rejoin(be_machine, /*now=*/40.0, &recorder);
+  EXPECT_NE(fleet.MachineOf(99), kNoMachine);
+  EXPECT_TRUE(fleet.UnplacedIds().empty());
+  // The victim's trace departure stays a silent no-op.
+  const size_t departures_before = recorder.departures.size();
+  fleet.Depart(1, /*now=*/50.0, &recorder);
+  EXPECT_EQ(recorder.departures.size(), departures_before);
+}
+
+// admit-all is the null contender: byte-for-byte the same dispatch
+// decisions, stats and report as a fleet with admission off — only the
+// per-tier accounting differs (populated vs all-zero).
+TEST(AdmitAllPolicy, MatchesAdmissionOffOnAReplay) {
+  TraceConfig base;
+  base.num_containers = 12;
+  base.mean_interarrival_seconds = 60.0;
+  base.goal_fraction = 0.5;
+  FlashCrowdConfig crowd;
+  crowd.base = base;
+  crowd.bursts = 1;
+  crowd.burst_containers = 6;
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const EventStream trace_a = GenerateFlashCrowdTrace(crowd, /*num_streams=*/2, rng_a);
+  const EventStream trace_b = GenerateFlashCrowdTrace(crowd, /*num_streams=*/2, rng_b);
+  FleetConfig off;
+  FleetConfig admit_all = off;
+  admit_all.admission = "admit-all";
+  FleetScheduler fleet_off = MakeFleet(2, off);
+  FleetScheduler fleet_all = MakeFleet(2, admit_all);
+  OutcomeRecorder rec_off;
+  OutcomeRecorder rec_all;
+  const FleetReport report_off = fleet_off.ReplayWithEvaluation(trace_a, &rec_off);
+  const FleetReport report_all = fleet_all.ReplayWithEvaluation(trace_b, &rec_all);
+  EXPECT_EQ(report_off.goal_attainment, report_all.goal_attainment);
+  EXPECT_EQ(report_off.mean_queue_wait_seconds, report_all.mean_queue_wait_seconds);
+  EXPECT_EQ(report_off.decisions, report_all.decisions);
+  EXPECT_EQ(fleet_off.stats().submitted, fleet_all.stats().submitted);
+  EXPECT_EQ(fleet_off.stats().queued, fleet_all.stats().queued);
+  ASSERT_EQ(rec_off.outcomes.size(), rec_all.outcomes.size());
+  for (size_t i = 0; i < rec_off.outcomes.size(); ++i) {
+    EXPECT_EQ(rec_off.outcomes[i].machine_id, rec_all.outcomes[i].machine_id) << i;
+    EXPECT_EQ(rec_off.outcomes[i].outcome.container_id,
+              rec_all.outcomes[i].outcome.container_id)
+        << i;
+  }
+  // Admission off records nothing and counts nothing per tier; admit-all
+  // records one kAdmit ruling per arrival.
+  EXPECT_TRUE(rec_off.admission_decisions.empty());
+  int total_arrivals = 0;
+  for (size_t t = 0; t < kNumSloTiers; ++t) {
+    EXPECT_EQ(fleet_off.stats().tier_arrivals[t], 0);
+    total_arrivals += fleet_all.stats().tier_arrivals[t];
+    EXPECT_EQ(fleet_all.stats().tier_rejected[t], 0);
+  }
+  EXPECT_EQ(total_arrivals, fleet_all.stats().submitted);
+  EXPECT_EQ(rec_all.admission_decisions.size(),
+            static_cast<size_t>(total_arrivals));
+  for (const AdmissionDecisionRecord& record : rec_all.admission_decisions) {
+    EXPECT_EQ(record.decision, AdmissionDecision::kAdmit);
+  }
+}
+
+TEST(FlashCrowdTrace, DeterministicTieredAndWellFormed) {
+  FlashCrowdConfig config;
+  config.base.num_containers = 8;
+  config.bursts = 2;
+  config.burst_containers = 5;
+  Rng rng_a(42);
+  Rng rng_b(42);
+  const EventStream a = GenerateFlashCrowdTrace(config, /*num_streams=*/3, rng_a);
+  const EventStream b = GenerateFlashCrowdTrace(config, /*num_streams=*/3, rng_b);
+  // One arrival + one departure per container, per stream.
+  const size_t per_stream = static_cast<size_t>(config.base.num_containers) +
+                            static_cast<size_t>(config.bursts) *
+                                static_cast<size_t>(config.burst_containers);
+  ASSERT_EQ(a.size(), 2 * 3 * per_stream);
+  ASSERT_EQ(b.size(), a.size());
+  std::set<int> arrival_ids;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time_seconds, b[i].time_seconds) << i;
+    EXPECT_EQ(a[i].kind(), b[i].kind()) << i;
+    EXPECT_EQ(a[i].container_id(), b[i].container_id()) << i;
+    if (a[i].arrival() != nullptr) {
+      ASSERT_NE(b[i].arrival(), nullptr) << i;
+      EXPECT_EQ(a[i].arrival()->workload.name, b[i].arrival()->workload.name) << i;
+      EXPECT_TRUE(arrival_ids.insert(a[i].container_id()).second)
+          << "duplicate container id " << a[i].container_id();
+      // Every name is `<tier>:<base>#<id>`: a valid tier prefix, by
+      // construction — TierFromGroupName must never fall back here.
+      const std::string& name = a[i].arrival()->workload.name;
+      const auto colon = name.find(':');
+      ASSERT_NE(colon, std::string::npos) << name;
+      SloTier tier = SloTier::kStandard;
+      EXPECT_TRUE(ParseSloTier(name.substr(0, colon), &tier)) << name;
+      EXPECT_NE(name.find('#'), std::string::npos) << name;
+    }
+  }
+  EXPECT_EQ(arrival_ids.size(), 3 * per_stream);
+}
+
+// Adding bursts must not disturb the baseline process: with one stream the
+// baseline container ids coincide, and their arrival times are identical
+// because burst randomness draws after baseline randomness in the stream's
+// forked RNG. (The admission benchmark leans on this: its baseline and
+// flash-crowd scenarios share the exact same premium arrival set.)
+TEST(FlashCrowdTrace, BurstsLeaveTheBaselineProcessUntouched) {
+  FlashCrowdConfig calm;
+  calm.base.num_containers = 10;
+  calm.bursts = 0;
+  FlashCrowdConfig spiky = calm;
+  spiky.bursts = 2;
+  spiky.burst_containers = 7;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const EventStream a = GenerateFlashCrowdTrace(calm, /*num_streams=*/1, rng_a);
+  const EventStream b = GenerateFlashCrowdTrace(spiky, /*num_streams=*/1, rng_b);
+  std::map<int, std::pair<double, std::string>> baseline_arrivals;
+  for (const FleetEvent& event : a) {
+    if (event.arrival() != nullptr) {
+      baseline_arrivals[event.container_id()] = {event.time_seconds,
+                                                 event.arrival()->workload.name};
+    }
+  }
+  ASSERT_EQ(baseline_arrivals.size(), 10u);
+  size_t matched = 0;
+  for (const FleetEvent& event : b) {
+    if (event.arrival() == nullptr) {
+      continue;
+    }
+    const auto it = baseline_arrivals.find(event.container_id());
+    if (it == baseline_arrivals.end()) {
+      continue;
+    }
+    EXPECT_EQ(event.time_seconds, it->second.first) << event.container_id();
+    EXPECT_EQ(event.arrival()->workload.name, it->second.second)
+        << event.container_id();
+    ++matched;
+  }
+  EXPECT_EQ(matched, baseline_arrivals.size());
+}
+
+TEST(EventStreamAppendAll, MatchesSequentialAppendsIncludingTies) {
+  const auto arrival_at = [](int id, double time) {
+    ContainerArrival arrival;
+    arrival.container_id = id;
+    arrival.workload = PaperWorkload("gcc");
+    arrival.workload.name = "standard:web#" + std::to_string(id);
+    arrival.vcpus = 16;
+    return FleetEvent::Arrival(time, arrival);
+  };
+  std::vector<FleetEvent> batch;
+  for (int i = 0; i < 6; ++i) {
+    batch.push_back(arrival_at(100 + i, /*time=*/i % 2 == 0 ? 5.0 : 3.0));
+  }
+  batch.push_back(FleetEvent::Departure(/*time_seconds=*/5.0, /*container_id=*/100));
+  EventStream sequential;
+  EventStream bulk;
+  // Pre-existing events share times with the batch: the tie rule (existing
+  // first, batch keeps its own order) must hold for both paths.
+  for (EventStream* stream : {&sequential, &bulk}) {
+    stream->Append(arrival_at(1, 3.0));
+    stream->Append(arrival_at(2, 5.0));
+  }
+  for (const FleetEvent& event : batch) {
+    sequential.Append(event);
+  }
+  bulk.AppendAll(batch);
+  ASSERT_EQ(bulk.size(), sequential.size());
+  for (size_t i = 0; i < bulk.size(); ++i) {
+    EXPECT_EQ(bulk[i].time_seconds, sequential[i].time_seconds) << i;
+    EXPECT_EQ(bulk[i].kind(), sequential[i].kind()) << i;
+    EXPECT_EQ(bulk[i].container_id(), sequential[i].container_id()) << i;
+  }
+}
+
+// The per-tier metric catalog: every tier x decision counter exists up
+// front, rulings increment exactly one of them, and a defer's wait is
+// observed when the container finally seats.
+TEST(MetricsObserverAdmission, TierCatalogAndDeferWait) {
+  MetricsRegistry registry;
+  MetricsObserver metrics(&registry, /*next=*/nullptr, /*up_machines=*/1);
+  for (const char* tier : {"premium", "standard", "best-effort"}) {
+    for (const char* decision : {"admitted", "deferred", "rejected", "preempted"}) {
+      const std::string name =
+          std::string("fleet.admission.") + tier + "." + decision;
+      ASSERT_NE(registry.FindCounter(name), nullptr) << name;
+      EXPECT_EQ(registry.FindCounter(name)->value(), 0) << name;
+    }
+  }
+  ASSERT_NE(registry.FindHistogram("fleet.admission.rejected_vcpus"), nullptr);
+  ASSERT_NE(registry.FindHistogram("fleet.admission.defer_wait_seconds"), nullptr);
+  metrics.OnAdmissionDecision(7, 16, SloTier::kBestEffort,
+                              AdmissionDecision::kReject, 10.0);
+  EXPECT_EQ(registry.FindCounter("fleet.admission.best-effort.rejected")->value(), 1);
+  EXPECT_EQ(registry.FindHistogram("fleet.admission.rejected_vcpus")->count(), 1);
+  metrics.OnAdmissionDecision(8, 16, SloTier::kStandard,
+                              AdmissionDecision::kDefer, 20.0);
+  EXPECT_EQ(registry.FindCounter("fleet.admission.standard.deferred")->value(), 1);
+  EXPECT_EQ(registry.FindHistogram("fleet.admission.defer_wait_seconds")->count(), 0)
+      << "the wait is observed at seating, not at the defer";
+  ScheduleOutcome outcome;
+  outcome.container_id = 8;
+  outcome.admitted = true;
+  metrics.OnAdmission(0, outcome, 50.0);
+  const Histogram* wait = registry.FindHistogram("fleet.admission.defer_wait_seconds");
+  ASSERT_EQ(wait->count(), 1);
+  EXPECT_EQ(wait->sum(), 30.0);
+}
+
+}  // namespace
+}  // namespace numaplace

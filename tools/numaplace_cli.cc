@@ -22,6 +22,9 @@
 //         [--fleet-probes <d>] [--full-scan-ops]
 //         [--racks <R>] [--zones <Z>] [--spread-weight <w>] [--spread-cap <n>]
 //         [--fail <spec>] [--drain <spec>] [--rejoin <spec>]
+//         [--admission <name>] [--tiers <group>=<tier>[,...]]
+//         [--defer-limit <n>] [--flash-crowd] [--bursts <B>]
+//         [--burst-containers <n>]
 //         [--json <path>] [--trace-out <path>] [--metrics-out <path>]
 //         [--metrics-interval <seconds>]
 //                                     build a fleet from a comma-separated
@@ -44,7 +47,15 @@
 //                                     fleet-op search; --racks/--zones shape
 //                                     the failure-domain layout and
 //                                     --spread-weight/--spread-cap turn on
-//                                     spread-aware dispatch. --json writes
+//                                     spread-aware dispatch. --admission
+//                                     places an SLO-tiered admission policy
+//                                     in front of dispatch (--tiers
+//                                     overrides service-group tiers,
+//                                     --defer-limit bounds the fleet-wide
+//                                     wait pool) and --flash-crowd swaps in
+//                                     the diurnal + burst overload trace
+//                                     (--bursts/--burst-containers shape
+//                                     the spikes). --json writes
 //                                     the run's tables as JSON;
 //                                     --trace-out/--metrics-out/
 //                                     --metrics-interval attach the
@@ -64,6 +75,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/admission.h"
 #include "src/cluster/dispatch.h"
 #include "src/cluster/fleet.h"
 #include "src/core/concern.h"
@@ -213,6 +225,14 @@ int CmdPolicies() {
                                         : "(load/order based, no previews)";
     std::printf("  %-14s %s\n", name.c_str(), description);
   }
+  std::printf("registered fleet admission policies:\n");
+  for (const std::string& name : AdmissionRegistry::Global().Names()) {
+    const char* description =
+        name == "tiered"
+            ? "(premium preempts, standard defers then rejects, best-effort sheds)"
+            : "(every arrival proceeds to dispatch)";
+    std::printf("  %-14s %s\n", name.c_str(), description);
+  }
   return 0;
 }
 
@@ -340,6 +360,18 @@ struct FleetOutputOptions {
   }
 };
 
+// Admission / overload options of the fleet subcommand: with all of them
+// off the run is byte-identical to a fleet built before the admission layer
+// existed (no policy constructed, Poisson trace unchanged).
+struct FleetAdmissionOptions {
+  std::string admission;      // --admission: AdmissionRegistry policy name
+  std::map<std::string, std::string> tiers;  // --tiers group=tier[,...]
+  int defer_limit = 0;        // --defer-limit (0 = fleet default)
+  bool flash_crowd = false;   // --flash-crowd: diurnal + burst trace
+  int bursts = 0;             // --bursts (0 = generator default)
+  int burst_containers = 0;   // --burst-containers (0 = containers/stream)
+};
+
 // One histogram row of the percentile summary table / JSON telemetry block.
 void AddHistogramRow(TablePrinter& table, const std::string& label,
                      const Histogram& histogram) {
@@ -369,7 +401,8 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
              const std::vector<FleetEvent>& machine_events, int sharded_cells,
              int sharded_probes, bool full_scan_ops, int fleet_probes,
              int domain_racks, int domain_zones, double spread_weight,
-             int spread_cap, const FleetOutputOptions& output) {
+             int spread_cap, const FleetAdmissionOptions& admission,
+             const FleetOutputOptions& output) {
   if (containers_per_stream <= 0) {
     std::fprintf(stderr, "need at least one container per machine stream\n");
     return 2;
@@ -420,6 +453,11 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
   fleet_config.domain_zones = domain_zones;  // validated against racks by the fleet
   fleet_config.spread_weight = spread_weight;
   fleet_config.spread_max_per_rack = spread_cap;
+  fleet_config.admission = admission.admission;
+  fleet_config.tier_overrides = admission.tiers;
+  if (admission.defer_limit > 0) {
+    fleet_config.admission_defer_limit = admission.defer_limit;
+  }
   // The sharded dispatcher is the one policy with CLI-tunable knobs; an
   // explicitly configured instance goes through the injecting constructor,
   // everything else is built by name from the registry.
@@ -450,6 +488,11 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
                 fleet.capacity_index().NumCells(), fleet_config.fleet_probes);
   } else {
     std::printf("fleet ops: full-scan target search (--full-scan-ops)\n");
+  }
+  if (fleet.AdmissionActive()) {
+    std::printf("admission: '%s' (defer limit %d, %zu tier overrides)\n",
+                fleet_config.admission.c_str(), fleet_config.admission_defer_limit,
+                fleet_config.tier_overrides.size());
   }
   if (const auto* sharded =
           dynamic_cast<const ShardedDispatchPolicy*>(&fleet.dispatch())) {
@@ -516,14 +559,38 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
   }
 
   Rng trace_rng(seed);
+  // Flash-crowd mode swaps the flat Poisson generator for the diurnal +
+  // burst one (tier-prefixed service groups); everything downstream —
+  // injection, replay, evaluation — is generator-agnostic.
+  size_t containers_per_stream_generated = static_cast<size_t>(containers_per_stream);
+  EventStream generated = [&] {
+    if (!admission.flash_crowd) {
+      return GenerateFleetTrace(trace_config, static_cast<int>(machine_names.size()),
+                                trace_rng);
+    }
+    FlashCrowdConfig flash;
+    flash.base = trace_config;
+    if (admission.bursts > 0) {
+      flash.bursts = admission.bursts;
+    }
+    flash.burst_containers = admission.burst_containers > 0
+                                 ? admission.burst_containers
+                                 : containers_per_stream;
+    containers_per_stream_generated = static_cast<size_t>(
+        flash.base.num_containers + flash.bursts * flash.burst_containers);
+    std::printf("flash crowd: %d burst(s) of %d containers per stream on a diurnal "
+                "baseline\n",
+                flash.bursts, flash.burst_containers);
+    return GenerateFlashCrowdTrace(flash, static_cast<int>(machine_names.size()),
+                                   trace_rng);
+  }();
   // Domain-scoped events expand against the fleet's topology into the same
   // canonical per-machine events a hand-written list would inject.
-  const EventStream trace = InjectMachineEvents(
-      GenerateFleetTrace(trace_config, static_cast<int>(machine_names.size()), trace_rng),
-      machine_events, fleet.domains());
+  const EventStream trace =
+      InjectMachineEvents(std::move(generated), machine_events, fleet.domains());
   std::printf("replaying %zu events (%zu containers, %zu machine streams, %zu machine "
               "events, dispatch '%s', machine policy '%s')...\n\n",
-              trace.size(), machine_names.size() * trace_config.num_containers,
+              trace.size(), machine_names.size() * containers_per_stream_generated,
               machine_names.size(), machine_events.size(), dispatch_name.c_str(),
               policy_name.c_str());
 
@@ -651,6 +718,27 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
                     TablePrinter::Num(report.decisions / report.wall_seconds, 0)});
   }
   summary.Print(std::cout);
+
+  if (fleet.AdmissionActive()) {
+    std::printf("\nadmission by tier (policy '%s'):\n", fleet_config.admission.c_str());
+    TablePrinter tiers({"tier", "arrivals", "admitted", "deferred", "rejected",
+                        "preempted", "reject rate", "attainment"});
+    for (int t = 0; t < kNumSloTiers; ++t) {
+      const auto idx = static_cast<size_t>(t);
+      const int arrivals = stats.tier_arrivals[idx];
+      const double reject_rate =
+          arrivals > 0 ? static_cast<double>(stats.tier_rejected[idx]) / arrivals : 0.0;
+      tiers.AddRow({ToString(static_cast<SloTier>(t)), std::to_string(arrivals),
+                    std::to_string(stats.tier_admitted[idx]),
+                    std::to_string(stats.tier_deferred[idx]),
+                    std::to_string(stats.tier_rejected[idx]),
+                    std::to_string(stats.tier_preempted[idx]),
+                    TablePrinter::Num(100.0 * reject_rate, 1) + "%",
+                    TablePrinter::Num(100.0 * report.tier_goal_attainment[idx], 1) +
+                        "%"});
+    }
+    tiers.Print(std::cout);
+  }
 
   if (output.TelemetryActive()) {
     std::printf("\ntelemetry percentiles (seconds unless noted; fleet.search_seconds "
@@ -784,6 +872,33 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
     json.Field("wall_seconds", report.wall_seconds);
     json.EndObject();
 
+    // The per-tier admission block appears only when an admission policy
+    // ran — a flags-off --json dump is unchanged by the admission layer.
+    if (fleet.AdmissionActive()) {
+      json.Field("admission", fleet_config.admission);
+      json.Key("tiers");
+      json.BeginArray();
+      for (int t = 0; t < kNumSloTiers; ++t) {
+        const auto idx = static_cast<size_t>(t);
+        const int arrivals = stats.tier_arrivals[idx];
+        json.BeginObject();
+        json.Field("tier", std::string(ToString(static_cast<SloTier>(t))));
+        json.Field("arrivals", arrivals);
+        json.Field("admitted", stats.tier_admitted[idx]);
+        json.Field("deferred", stats.tier_deferred[idx]);
+        json.Field("rejected", stats.tier_rejected[idx]);
+        json.Field("preempted", stats.tier_preempted[idx]);
+        json.Field("rejection_rate",
+                   arrivals > 0
+                       ? static_cast<double>(stats.tier_rejected[idx]) / arrivals
+                       : 0.0);
+        json.Field("goal_attainment", report.tier_goal_attainment[idx]);
+        json.Field("container_seconds", report.tier_container_seconds[idx]);
+        json.EndObject();
+      }
+      json.EndArray();
+    }
+
     // The telemetry block appears only when the observers actually ran —
     // a flags-off --json dump is unchanged by the telemetry layer.
     if (output.TelemetryActive()) {
@@ -849,6 +964,37 @@ bool ParseMachineEventSpec(const char* spec, DomainScope* scope, int* index,
   return true;
 }
 
+// Parses a --tiers override list: "<group>=<tier>[,<group>=<tier>...]",
+// where <tier> is an SloTier name (premium, standard, best-effort) and
+// <group> is the full service-group name the trace uses (including any
+// "<tier>:" prefix — overrides beat the naming convention).
+bool ParseTierOverrides(const char* spec, std::map<std::string, std::string>* tiers) {
+  std::string entry;
+  for (const char* p = spec;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (entry.empty()) {
+        return false;
+      }
+      const size_t eq = entry.find('=');
+      if (eq == 0 || eq == std::string::npos || eq + 1 >= entry.size()) {
+        return false;
+      }
+      SloTier tier = SloTier::kStandard;
+      if (!ParseSloTier(entry.substr(eq + 1), &tier)) {
+        return false;
+      }
+      (*tiers)[entry.substr(0, eq)] = entry.substr(eq + 1);
+      entry.clear();
+      if (*p == '\0') {
+        break;
+      }
+    } else {
+      entry += *p;
+    }
+  }
+  return true;
+}
+
 void Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -869,6 +1015,15 @@ void Usage() {
                "                [--fail <spec>] [--drain <spec>] [--rejoin <spec>]\n"
                "                  <spec> = <machine>@<t> | rack:<R>@<t> | "
                "zone:<Z>@<t>\n"
+               "                [--admission <name>]      SLO-tiered admission in "
+               "front of dispatch\n"
+               "                [--tiers <g>=<tier>[,..]] per-group tier overrides\n"
+               "                [--defer-limit <n>]       max waiting containers "
+               "before reject\n"
+               "                [--flash-crowd]           diurnal + burst overload "
+               "trace\n"
+               "                [--bursts <B>] [--burst-containers <n>]  spike "
+               "shape\n"
                "                [--json <path>]           write the run's tables as "
                "JSON\n"
                "                [--trace-out <path>]      Chrome trace-event spans "
@@ -954,6 +1109,7 @@ int main(int argc, char** argv) {
       int domain_zones = 0;
       double spread_weight = 0.0;
       int spread_cap = 0;
+      FleetAdmissionOptions admission;
       FleetOutputOptions output;
       bool have_seed = false;
       bool have_dispatch = false;
@@ -1013,14 +1169,50 @@ int main(int argc, char** argv) {
           full_scan_ops = true;
           continue;
         }
+        if (std::strcmp(argv[i], "--flash-crowd") == 0) {
+          admission.flash_crowd = true;
+          continue;
+        }
+        if (std::strcmp(argv[i], "--admission") == 0) {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "--admission needs a policy name\n");
+            return 2;
+          }
+          admission.admission = argv[++i];
+          if (!AdmissionRegistry::Global().Has(admission.admission)) {
+            std::fprintf(stderr, "unknown admission policy '%s'; registered:",
+                         admission.admission.c_str());
+            for (const std::string& name : AdmissionRegistry::Global().Names()) {
+              std::fprintf(stderr, " %s", name.c_str());
+            }
+            std::fprintf(stderr, "\n");
+            return 2;
+          }
+          continue;
+        }
+        if (std::strcmp(argv[i], "--tiers") == 0) {
+          if (i + 1 >= argc || !ParseTierOverrides(argv[i + 1], &admission.tiers)) {
+            std::fprintf(stderr,
+                         "invalid --tiers spec '%s': need "
+                         "<group>=<premium|standard|best-effort>[,...]\n",
+                         i + 1 < argc ? argv[i + 1] : "(missing)");
+            return 2;
+          }
+          ++i;
+          continue;
+        }
         const bool is_cells = std::strcmp(argv[i], "--cells") == 0;
         const bool is_probes = std::strcmp(argv[i], "--probes") == 0;
         const bool is_fleet_probes = std::strcmp(argv[i], "--fleet-probes") == 0;
         const bool is_racks = std::strcmp(argv[i], "--racks") == 0;
         const bool is_zones = std::strcmp(argv[i], "--zones") == 0;
         const bool is_spread_cap = std::strcmp(argv[i], "--spread-cap") == 0;
+        const bool is_defer_limit = std::strcmp(argv[i], "--defer-limit") == 0;
+        const bool is_bursts = std::strcmp(argv[i], "--bursts") == 0;
+        const bool is_burst_containers =
+            std::strcmp(argv[i], "--burst-containers") == 0;
         if (is_cells || is_probes || is_fleet_probes || is_racks || is_zones ||
-            is_spread_cap) {
+            is_spread_cap || is_defer_limit || is_bursts || is_burst_containers) {
           char* end = nullptr;
           const long parsed = i + 1 < argc ? std::strtol(argv[i + 1], &end, 10) : 0;
           if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' || parsed <= 0) {
@@ -1028,12 +1220,15 @@ int main(int argc, char** argv) {
             return 2;
           }
           ++i;
-          (is_cells         ? sharded_cells
-           : is_probes      ? sharded_probes
-           : is_racks       ? domain_racks
-           : is_zones       ? domain_zones
-           : is_spread_cap  ? spread_cap
-                            : fleet_probes) = static_cast<int>(parsed);
+          (is_cells              ? sharded_cells
+           : is_probes           ? sharded_probes
+           : is_racks            ? domain_racks
+           : is_zones            ? domain_zones
+           : is_spread_cap       ? spread_cap
+           : is_defer_limit      ? admission.defer_limit
+           : is_bursts           ? admission.bursts
+           : is_burst_containers ? admission.burst_containers
+                                 : fleet_probes) = static_cast<int>(parsed);
           continue;
         }
         if (std::strcmp(argv[i], "--spread-weight") == 0) {
@@ -1118,10 +1313,14 @@ int main(int argc, char** argv) {
         }
         dispatch = "sharded";  // the tuning flags imply the policy
       }
+      if ((admission.bursts > 0 || admission.burst_containers > 0) &&
+          !admission.flash_crowd) {
+        admission.flash_crowd = true;  // the spike knobs imply the trace shape
+      }
       return CmdFleet(argv[2], std::atoi(argv[3]), std::atoi(argv[4]), seed, dispatch,
                       policy, machine_events, sharded_cells, sharded_probes,
                       full_scan_ops, fleet_probes, domain_racks, domain_zones,
-                      spread_weight, spread_cap, output);
+                      spread_weight, spread_cap, admission, output);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

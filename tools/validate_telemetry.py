@@ -12,9 +12,17 @@ Checks a Chrome trace-event JSON file (``--trace``, from the CLI's
   non-negative ``dur``;
 * metrics: every line parses as a JSON object carrying the snapshot
   schema of docs/OBSERVABILITY.md, with strictly increasing ``t`` and
-  non-negative occupancy numbers.
+  non-negative occupancy numbers. An empty file (or one with only blank
+  lines) is an error — a run that produced no snapshots is a broken run,
+  not a passing one;
+* fleet-json: the CLI's ``fleet --json`` output (``--fleet-json``) carries
+  a ``telemetry.counters`` block naming every per-tier admission counter
+  of docs/OBSERVABILITY.md (``fleet.admission.<tier>.<decision>`` for all
+  three tiers and four decisions) with non-negative integer values, plus
+  the admission histograms.
 
 Usage: validate_telemetry.py [--trace <path>] [--metrics <path>]
+                             [--fleet-json <path>]
 Exits non-zero listing every violation. Uses only the standard library.
 """
 
@@ -24,6 +32,17 @@ import sys
 
 TRACE_PHASES = {"X", "i", "M"}
 TRACE_REQUIRED = ("name", "ph", "ts", "pid", "tid")
+ADMISSION_TIERS = ("premium", "standard", "best-effort")
+ADMISSION_DECISIONS = ("admitted", "deferred", "rejected", "preempted")
+ADMISSION_COUNTERS = tuple(
+    f"fleet.admission.{tier}.{decision}"
+    for tier in ADMISSION_TIERS
+    for decision in ADMISSION_DECISIONS
+)
+ADMISSION_HISTOGRAMS = (
+    "fleet.admission.rejected_vcpus",
+    "fleet.admission.defer_wait_seconds",
+)
 METRICS_REQUIRED = (
     "t",
     "attainment_so_far",
@@ -113,7 +132,44 @@ def validate_metrics(path: str) -> list:
     except OSError as e:
         return [f"{path}: not readable: {e}"]
     if lines == 0:
-        errors.append(f"{path}: no snapshot lines")
+        errors.append(
+            f"{path}: empty metrics JSONL — the run emitted no snapshots "
+            "(expected one line per --metrics-interval of stream time); "
+            "an empty artifact is a broken run, not a pass")
+    return errors
+
+
+def validate_fleet_json(path: str) -> list:
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            document = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: not readable as JSON: {e}"]
+    if not isinstance(document, dict):
+        return [f"{path}: top level must be an object"]
+    telemetry = document.get("telemetry")
+    if not isinstance(telemetry, dict):
+        return [f"{path}: no 'telemetry' object — run the CLI with a "
+                "telemetry flag (--metrics-out / --trace-out) so the "
+                "counters block is emitted"]
+    counters = telemetry.get("counters")
+    if not isinstance(counters, dict):
+        return [f"{path}: 'telemetry.counters' must be an object"]
+    for name in ADMISSION_COUNTERS:
+        if name not in counters:
+            errors.append(f"{path}: missing admission counter {name!r}")
+        elif not isinstance(counters[name], int) or counters[name] < 0:
+            errors.append(
+                f"{path}: counter {name!r} must be a non-negative int, "
+                f"got {counters[name]!r}")
+    histograms = telemetry.get("histograms")
+    if not isinstance(histograms, dict):
+        errors.append(f"{path}: 'telemetry.histograms' must be an object")
+    else:
+        for name in ADMISSION_HISTOGRAMS:
+            if name not in histograms:
+                errors.append(f"{path}: missing admission histogram {name!r}")
     return errors
 
 
@@ -121,18 +177,22 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace", help="Chrome trace-event JSON (--trace-out)")
     parser.add_argument("--metrics", help="snapshot JSONL (--metrics-out)")
+    parser.add_argument("--fleet-json",
+                        help="CLI fleet --json output with a telemetry block")
     args = parser.parse_args()
-    if not args.trace and not args.metrics:
-        parser.error("pass --trace and/or --metrics")
+    if not args.trace and not args.metrics and not args.fleet_json:
+        parser.error("pass --trace, --metrics and/or --fleet-json")
     errors = []
     if args.trace:
         errors.extend(validate_trace(args.trace))
     if args.metrics:
         errors.extend(validate_metrics(args.metrics))
+    if args.fleet_json:
+        errors.extend(validate_fleet_json(args.fleet_json))
     for error in errors:
         print(error, file=sys.stderr)
     if not errors:
-        checked = [p for p in (args.trace, args.metrics) if p]
+        checked = [p for p in (args.trace, args.metrics, args.fleet_json) if p]
         print(f"validated {len(checked)} telemetry artifact(s): OK")
     return 1 if errors else 0
 
