@@ -38,9 +38,9 @@ const CachedPrediction& ModelRegistry::Predict(int container_id,
                                                const std::string& machine, int vcpus,
                                                double perf_a, double perf_b) {
   NP_CHECK(container_id >= 0);
-  NP_CHECK_MSG(predictions_.count(container_id) == 0,
-               "container " << container_id
-                            << " already has a cached prediction; Forget() it first");
+  // The model run happens outside the shard lock: Predict is a pure function
+  // of (model, perf_a, perf_b), so concurrent predictions for different
+  // containers only contend for the brief map insert.
   const TrainedPerfModel& model = Get(machine, vcpus);
   CachedPrediction entry;
   entry.perf_a = perf_a;
@@ -48,7 +48,13 @@ const CachedPrediction& ModelRegistry::Predict(int container_id,
   entry.input_a = model.input_a;
   entry.input_b = model.input_b;
   entry.predicted_relative = model.Predict(perf_a, perf_b);
-  return predictions_.emplace(container_id, std::move(entry)).first->second;
+  PredictionShard& shard = ShardFor(container_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto [it, inserted] = shard.entries.emplace(container_id, std::move(entry));
+  NP_CHECK_MSG(inserted, "container " << container_id
+                                      << " already has a cached prediction; Forget() "
+                                         "it first");
+  return it->second;
 }
 
 const CachedPrediction& ModelRegistry::PredictOrGet(int container_id,
@@ -63,10 +69,31 @@ const CachedPrediction& ModelRegistry::PredictOrGet(int container_id,
 }
 
 const CachedPrediction* ModelRegistry::FindPrediction(int container_id) const {
-  const auto it = predictions_.find(container_id);
-  return it == predictions_.end() ? nullptr : &it->second;
+  if (container_id < 0) {
+    return nullptr;
+  }
+  const PredictionShard& shard = ShardFor(container_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(container_id);
+  return it == shard.entries.end() ? nullptr : &it->second;
 }
 
-void ModelRegistry::Forget(int container_id) { predictions_.erase(container_id); }
+void ModelRegistry::Forget(int container_id) {
+  if (container_id < 0) {
+    return;
+  }
+  PredictionShard& shard = ShardFor(container_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.entries.erase(container_id);
+}
+
+size_t ModelRegistry::NumCachedPredictions() const {
+  size_t total = 0;
+  for (const PredictionShard& shard : predictions_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
 
 }  // namespace numaplace

@@ -10,8 +10,10 @@
 #ifndef NUMAPLACE_SRC_MODEL_REGISTRY_H_
 #define NUMAPLACE_SRC_MODEL_REGISTRY_H_
 
+#include <array>
 #include <istream>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -30,6 +32,15 @@ struct CachedPrediction {
   std::vector<double> predicted_relative;  // model output, model's id order
 };
 
+// Thread-safety: the *prediction cache* is sharded by container id with a
+// mutex per shard, so concurrent Predict/PredictOrGet/FindPrediction calls
+// for different containers proceed in parallel (the parallel fleet replay
+// probes distinct containers from worker threads). Returned pointers stay
+// valid across concurrent inserts (std::map nodes are stable); callers must
+// still ensure nobody Forget()s a container while another thread reads its
+// entry — the fleet only forgets at coordinator barriers. The *model* table
+// has no lock: models are registered before replay starts and read-only
+// afterwards.
 class ModelRegistry {
  public:
   // Registers a trained model for (machine, vcpus). CHECK-fails on a
@@ -67,11 +78,22 @@ class ModelRegistry {
 
   // Drops the container's cached prediction (no-op when absent).
   void Forget(int container_id);
-  size_t NumCachedPredictions() const { return predictions_.size(); }
+  size_t NumCachedPredictions() const;
 
  private:
+  static constexpr size_t kPredictionShards = 16;
+
+  struct PredictionShard {
+    mutable std::mutex mu;
+    std::map<int, CachedPrediction> entries;
+  };
+
+  PredictionShard& ShardFor(int container_id) const {
+    return predictions_[static_cast<size_t>(container_id) % kPredictionShards];
+  }
+
   std::map<std::pair<std::string, int>, TrainedPerfModel> models_;
-  std::map<int, CachedPrediction> predictions_;
+  mutable std::array<PredictionShard, kPredictionShards> predictions_;
 };
 
 }  // namespace numaplace

@@ -66,7 +66,7 @@ void MachineScheduler::ProvidePlacements(const ImportantPlacementSet& ips) {
   placements_by_vcpus_.insert_or_assign(ips.vcpus, ips);
 }
 
-const ImportantPlacementSet& MachineScheduler::PlacementsFor(int vcpus) {
+const ImportantPlacementSet& MachineScheduler::PlacementsFor(int vcpus) const {
   const auto it = placements_by_vcpus_.find(vcpus);
   if (it != placements_by_vcpus_.end()) {
     return it->second;
@@ -90,7 +90,7 @@ void MachineScheduler::AdvanceClock(double now) {
   stats_.last_event_seconds = std::max(stats_.last_event_seconds, now);
 }
 
-double MachineScheduler::BaselineAbsThroughput(const ContainerRequest& request) {
+double MachineScheduler::BaselineAbsThroughput(const ContainerRequest& request) const {
   const ImportantPlacementSet& ips = PlacementsFor(request.vcpus);
   const ImportantPlacement& baseline = ips.ById(config_.baseline_id);
   const Placement realized = Realize(baseline, *topo_, request.vcpus);
@@ -172,7 +172,7 @@ MachineScheduler::ProbeCharge MachineScheduler::EnsureProbes(
 }
 
 MachineScheduler::AdmissionPreview MachineScheduler::PreviewAdmission(
-    const ContainerRequest& request) {
+    const ContainerRequest& request) const {
   NP_CHECK(request.vcpus > 0);
   const ImportantPlacementSet& ips = PlacementsFor(request.vcpus);
   std::vector<int> placement_ids;

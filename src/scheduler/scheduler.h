@@ -127,9 +127,12 @@ class MachineScheduler {
                    std::unique_ptr<SchedulingPolicy> policy);
 
   // Injects a precomputed important-placement set for its vCPU count
-  // (otherwise sets are generated lazily on first use of a size).
+  // (otherwise sets are generated lazily on first use of a size). Const
+  // because previews call it: the lazy fill goes into a mutable cache keyed
+  // per machine, so concurrent previews of *different* machines never touch
+  // the same cache (the parallel replay engine relies on this).
   void ProvidePlacements(const ImportantPlacementSet& ips);
-  const ImportantPlacementSet& PlacementsFor(int vcpus);
+  const ImportantPlacementSet& PlacementsFor(int vcpus) const;
 
   // Admits a container at trace time `now`, placing it on free hardware
   // threads when possible and queueing it otherwise.
@@ -164,9 +167,11 @@ class MachineScheduler {
   ProbeCharge EnsureProbes(const ContainerRequest& request);
 
   // What TryPlace would commit for the request right now, without mutating
-  // any state. Requires a cached prediction (see EnsureProbes) when the
-  // active policy uses the model. Model-free policies report zero
-  // predicted/goal throughput.
+  // any observable state (const: only the lazy placement-set cache may fill
+  // in). Requires a cached prediction (see EnsureProbes) when the active
+  // policy uses the model. Model-free policies report zero predicted/goal
+  // throughput. Safe to call concurrently for *different* machines — the
+  // parallel replay engine batches previews one machine per task.
   struct AdmissionPreview {
     bool realizable = false;      // some ranked candidate fits the free threads
     int placement_id = 0;
@@ -174,7 +179,7 @@ class MachineScheduler {
     double goal_abs = 0.0;        // decision goal derived from the probes
     bool meets_goal = false;
   };
-  AdmissionPreview PreviewAdmission(const ContainerRequest& request);
+  AdmissionPreview PreviewAdmission(const ContainerRequest& request) const;
 
   // Processes one FleetEvent: arrivals submit, departures free capacity and
   // run the re-placement pass, and every outcome is reported through the
@@ -220,7 +225,7 @@ class MachineScheduler {
   void AdvanceClock(double now);
 
   // Deterministic solo baseline throughput anchoring the container's goal.
-  double BaselineAbsThroughput(const ContainerRequest& request);
+  double BaselineAbsThroughput(const ContainerRequest& request) const;
 
   // Probes (or reuses cached probes), predicts, picks a placement realizable
   // on free threads, and commits it. Returns admitted=false when no
@@ -260,7 +265,9 @@ class MachineScheduler {
   SchedulerConfig config_;
   std::unique_ptr<SchedulingPolicy> policy_;
   OccupancyMap occupancy_;
-  std::map<int, ImportantPlacementSet> placements_by_vcpus_;
+  // Lazily filled by PlacementsFor (mutable so const preview paths can
+  // fill it). Per-machine: only this scheduler's decisions touch it.
+  mutable std::map<int, ImportantPlacementSet> placements_by_vcpus_;
   std::map<int, ManagedContainer> containers_;
   std::vector<int> pending_;  // FIFO by submit time
   SchedulerStats stats_;

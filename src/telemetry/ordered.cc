@@ -1,0 +1,244 @@
+#include "src/telemetry/ordered.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace numaplace {
+
+void DeliverRecord(const ObserverRecord& record, EventObserver* downstream) {
+  if (downstream == nullptr) {
+    return;
+  }
+  switch (record.kind) {
+    case ObserverRecord::Kind::kAdmission:
+      downstream->OnAdmission(record.machine_id, record.outcome, record.now);
+      return;
+    case ObserverRecord::Kind::kQueued:
+      downstream->OnQueued(record.machine_id, record.outcome, record.now);
+      return;
+    case ObserverRecord::Kind::kDeparture:
+      downstream->OnDeparture(record.machine_id, record.container_id, record.now);
+      return;
+    case ObserverRecord::Kind::kMove:
+      downstream->OnMove(record.move, record.now);
+      return;
+    case ObserverRecord::Kind::kEvacuation:
+      downstream->OnEvacuation(record.evacuation, record.now);
+      return;
+    case ObserverRecord::Kind::kMachineAvailability:
+      downstream->OnMachineAvailability(record.machine_id, record.availability,
+                                        record.now);
+      return;
+    case ObserverRecord::Kind::kTargetSearch:
+      downstream->OnTargetSearch(record.search, record.now);
+      return;
+    case ObserverRecord::Kind::kAdmissionDecision:
+      downstream->OnAdmissionDecision(record.container_id, record.vcpus,
+                                      record.tier, record.decision, record.now);
+      return;
+  }
+  NP_CHECK_MSG(false, "unhandled ObserverRecord kind");
+}
+
+uint64_t OrderedObserverBuffer::Emit(ObserverRecord record) {
+  Slot slot;
+  slot.seq = next_seq_++;
+  slot.is_hole = false;
+  slot.record = std::move(record);
+  slots_.push_back(std::move(slot));
+  ++stats_.emitted;
+  stats_.max_buffered = std::max<uint64_t>(stats_.max_buffered, slots_.size());
+  const uint64_t seq = next_seq_ - 1;
+  Drain();
+  return seq;
+}
+
+uint64_t OrderedObserverBuffer::Reserve(std::function<bool()> ready,
+                                        std::function<void()> action) {
+  Slot slot;
+  slot.seq = next_seq_++;
+  slot.is_hole = true;
+  slot.ready = std::move(ready);
+  slot.action = std::move(action);
+  slots_.push_back(std::move(slot));
+  ++stats_.reserved;
+  stats_.max_buffered = std::max<uint64_t>(stats_.max_buffered, slots_.size());
+  const uint64_t seq = next_seq_ - 1;
+  Drain();
+  return seq;
+}
+
+void OrderedObserverBuffer::Drain() {
+  while (!slots_.empty()) {
+    Slot& front = slots_.front();
+    // The deque is the assignment order, so the front always carries the
+    // sequence number the downstream expects next — gaps are impossible by
+    // construction; the CHECK pins the invariant for the property tests.
+    NP_CHECK_MSG(front.seq == next_drain_,
+                 "reorder buffer out of sequence: front slot " << front.seq
+                     << ", expected " << next_drain_);
+    if (front.is_hole) {
+      if (!front.ready()) {
+        return;  // stall: later slots wait until the deferred work lands
+      }
+      // Move the action out before running it: the action may emit further
+      // (direct-mode) callbacks but must not mutate this queue's front.
+      std::function<void()> action = std::move(front.action);
+      slots_.pop_front();
+      ++next_drain_;
+      ++stats_.drained;
+      action();
+    } else {
+      ObserverRecord record = std::move(front.record);
+      slots_.pop_front();
+      ++next_drain_;
+      ++stats_.drained;
+      DeliverRecord(record, downstream_);
+    }
+  }
+}
+
+void OrderedObserverBuffer::CheckDrained() const {
+  NP_CHECK_MSG(slots_.empty(), "reorder buffer not drained: "
+                                   << slots_.size() << " slot(s) still queued, "
+                                   << "next to drain " << next_drain_ << " of "
+                                   << next_seq_);
+}
+
+void SequencingObserver::Route(ObserverRecord record) {
+  buffer_->Emit(std::move(record));
+}
+
+void SequencingObserver::OnAdmission(int machine_id,
+                                     const ScheduleOutcome& outcome,
+                                     double now) {
+  if (direct_) {
+    if (downstream_ != nullptr) {
+      downstream_->OnAdmission(machine_id, outcome, now);
+    }
+    return;
+  }
+  ObserverRecord record;
+  record.kind = ObserverRecord::Kind::kAdmission;
+  record.machine_id = machine_id;
+  record.outcome = outcome;
+  record.now = now;
+  Route(std::move(record));
+}
+
+void SequencingObserver::OnQueued(int machine_id, const ScheduleOutcome& outcome,
+                                  double now) {
+  if (direct_) {
+    if (downstream_ != nullptr) {
+      downstream_->OnQueued(machine_id, outcome, now);
+    }
+    return;
+  }
+  ObserverRecord record;
+  record.kind = ObserverRecord::Kind::kQueued;
+  record.machine_id = machine_id;
+  record.outcome = outcome;
+  record.now = now;
+  Route(std::move(record));
+}
+
+void SequencingObserver::OnDeparture(int machine_id, int container_id,
+                                     double now) {
+  if (direct_) {
+    if (downstream_ != nullptr) {
+      downstream_->OnDeparture(machine_id, container_id, now);
+    }
+    return;
+  }
+  ObserverRecord record;
+  record.kind = ObserverRecord::Kind::kDeparture;
+  record.machine_id = machine_id;
+  record.container_id = container_id;
+  record.now = now;
+  Route(std::move(record));
+}
+
+void SequencingObserver::OnMove(const RebalanceMove& move, double now) {
+  if (direct_) {
+    if (downstream_ != nullptr) {
+      downstream_->OnMove(move, now);
+    }
+    return;
+  }
+  ObserverRecord record;
+  record.kind = ObserverRecord::Kind::kMove;
+  record.move = move;
+  record.now = now;
+  Route(std::move(record));
+}
+
+void SequencingObserver::OnEvacuation(const EvacuationReport& report,
+                                      double now) {
+  if (direct_) {
+    if (downstream_ != nullptr) {
+      downstream_->OnEvacuation(report, now);
+    }
+    return;
+  }
+  ObserverRecord record;
+  record.kind = ObserverRecord::Kind::kEvacuation;
+  record.evacuation = report;
+  record.now = now;
+  Route(std::move(record));
+}
+
+void SequencingObserver::OnMachineAvailability(int machine_id,
+                                               MachineAvailability availability,
+                                               double now) {
+  if (direct_) {
+    if (downstream_ != nullptr) {
+      downstream_->OnMachineAvailability(machine_id, availability, now);
+    }
+    return;
+  }
+  ObserverRecord record;
+  record.kind = ObserverRecord::Kind::kMachineAvailability;
+  record.machine_id = machine_id;
+  record.availability = availability;
+  record.now = now;
+  Route(std::move(record));
+}
+
+void SequencingObserver::OnTargetSearch(const TargetSearchStats& search,
+                                        double now) {
+  if (direct_) {
+    if (downstream_ != nullptr) {
+      downstream_->OnTargetSearch(search, now);
+    }
+    return;
+  }
+  ObserverRecord record;
+  record.kind = ObserverRecord::Kind::kTargetSearch;
+  record.search = search;
+  record.now = now;
+  Route(std::move(record));
+}
+
+void SequencingObserver::OnAdmissionDecision(int container_id, int vcpus,
+                                             SloTier tier,
+                                             AdmissionDecision decision,
+                                             double now) {
+  if (direct_) {
+    if (downstream_ != nullptr) {
+      downstream_->OnAdmissionDecision(container_id, vcpus, tier, decision, now);
+    }
+    return;
+  }
+  ObserverRecord record;
+  record.kind = ObserverRecord::Kind::kAdmissionDecision;
+  record.container_id = container_id;
+  record.vcpus = vcpus;
+  record.tier = tier;
+  record.decision = decision;
+  record.now = now;
+  Route(std::move(record));
+}
+
+}  // namespace numaplace

@@ -1,0 +1,174 @@
+// Deterministic observer reordering for the parallel fleet replay
+// (src/cluster/parallel.h).
+//
+// The parallel replay engine defers dispatch *commits* to worker threads
+// while keeping every scheduling *decision* — and therefore every observer
+// callback — on the coordinator thread. Decisions still finish out of their
+// serial order: an arrival's OnAdmission fires only when its deferred
+// commit lands, which may be several decisions after the OnTargetSearch it
+// belongs behind. This header restores the serial callback order:
+//
+//   SequencingObserver    tags each callback with the next sequence number
+//                         at the moment it fires (decision time) and parks
+//                         it in the buffer
+//   OrderedObserverBuffer a coordinator-only reorder buffer: filled slots
+//                         and reserved holes drain to the downstream
+//                         observer strictly in sequence order, holes
+//                         blocking the drain until their deferred work is
+//                         ready to run
+//
+// Everything here runs on the coordinator thread; worker threads never
+// touch the buffer (they only flip the ticket atomics the hole-readiness
+// predicates poll). Downstream consumers — telemetry spans, metrics, the
+// CLI's JSON writers — therefore observe the exact callback sequence the
+// serial replay produces, which is what makes the parallel path's artifacts
+// byte-identical.
+#ifndef NUMAPLACE_SRC_TELEMETRY_ORDERED_H_
+#define NUMAPLACE_SRC_TELEMETRY_ORDERED_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/scheduler/events.h"
+
+namespace numaplace {
+
+/// One buffered observer callback, tagged with which of the EventObserver
+/// methods produced it. Only the fields of the active kind are meaningful;
+/// the struct is plain data so slots can be queued by value.
+struct ObserverRecord {
+  enum class Kind {
+    kAdmission,
+    kQueued,
+    kDeparture,
+    kMove,
+    kEvacuation,
+    kMachineAvailability,
+    kTargetSearch,
+    kAdmissionDecision,
+  };
+
+  Kind kind = Kind::kAdmission;
+  double now = 0.0;
+  int machine_id = kNoMachine;              // kAdmission/kQueued/kDeparture/
+                                            // kMachineAvailability
+  ScheduleOutcome outcome;                  // kAdmission/kQueued
+  int container_id = 0;                     // kDeparture/kAdmissionDecision
+  RebalanceMove move;                       // kMove
+  EvacuationReport evacuation;              // kEvacuation
+  MachineAvailability availability =        // kMachineAvailability
+      MachineAvailability::kUp;
+  TargetSearchStats search;                 // kTargetSearch
+  int vcpus = 0;                            // kAdmissionDecision
+  SloTier tier = SloTier::kStandard;        // kAdmissionDecision
+  AdmissionDecision decision =              // kAdmissionDecision
+      AdmissionDecision::kAdmit;
+};
+
+/// Replays one record as the observer call it was captured from.
+void DeliverRecord(const ObserverRecord& record, EventObserver* downstream);
+
+/// Coordinator-thread reorder buffer. Slots are assigned sequence numbers
+/// in arrival order; Drain() releases the contiguous prefix to the
+/// downstream observer. A *hole* is a slot whose content does not exist yet
+/// — a deferred dispatch commit whose OnAdmission/OnQueued will only be
+/// emitted when the commit lands. The hole carries a readiness predicate
+/// and an action; when the drain reaches a ready hole it runs the action
+/// (which emits the callbacks directly, see SequencingObserver's direct
+/// mode) and advances. An unready hole stalls the drain — later filled
+/// slots wait buffered — preserving strict sequence order.
+///
+/// Single-threaded by contract: every method must be called from the
+/// coordinator thread. Readiness predicates may read atomics written by
+/// workers; nothing else crosses threads.
+class OrderedObserverBuffer {
+ public:
+  explicit OrderedObserverBuffer(EventObserver* downstream)
+      : downstream_(downstream) {}
+
+  /// Progress counters for the equivalence/property tests: a fully drained
+  /// replay has drained == emitted + reserved and next_seq == drained.
+  struct Stats {
+    uint64_t emitted = 0;     ///< filled slots queued via Emit()
+    uint64_t reserved = 0;    ///< holes queued via Reserve()
+    uint64_t drained = 0;     ///< slots released downstream, in seq order
+    uint64_t max_buffered = 0;  ///< peak queue depth (reorder window)
+  };
+
+  /// Queues a filled slot under the next sequence number, then drains.
+  /// Returns the assigned sequence number.
+  uint64_t Emit(ObserverRecord record);
+
+  /// Queues a hole under the next sequence number, then drains. `ready`
+  /// must be repeatable (it is polled once per drain attempt); `action`
+  /// runs exactly once, when the drain passes the hole.
+  uint64_t Reserve(std::function<bool()> ready, std::function<void()> action);
+
+  /// Releases the contiguous ready prefix to the downstream observer.
+  /// Idempotent; called internally by Emit()/Reserve() so consumers only
+  /// need it after flipping external readiness state (e.g. a worker flush).
+  void Drain();
+
+  /// CHECK-fails unless every queued slot has drained — the post-flush
+  /// invariant (all commits landed => no hole can be unready).
+  void CheckDrained() const;
+
+  uint64_t NextSequence() const { return next_seq_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    uint64_t seq = 0;
+    bool is_hole = false;
+    ObserverRecord record;                // filled slot payload
+    std::function<bool()> ready;          // hole only
+    std::function<void()> action;         // hole only
+  };
+
+  EventObserver* downstream_;
+  std::deque<Slot> slots_;
+  uint64_t next_seq_ = 0;     // next sequence number to assign
+  uint64_t next_drain_ = 0;   // sequence number the drain front expects
+  Stats stats_;
+};
+
+/// The observer the parallel engine hands to the fleet. In its normal mode
+/// every callback becomes a filled buffer slot, sequence-numbered at the
+/// moment the fleet emits it — decision order, the serial order. In
+/// *direct* mode (enabled by the engine around a hole's deferred
+/// FinishDispatch) callbacks bypass the buffer and go straight downstream:
+/// they are the hole's own content being delivered in the hole's sequence
+/// position, so re-buffering them would deadlock the drain.
+class SequencingObserver final : public EventObserver {
+ public:
+  SequencingObserver(OrderedObserverBuffer* buffer, EventObserver* downstream)
+      : buffer_(buffer), downstream_(downstream) {}
+
+  void set_direct(bool direct) { direct_ = direct; }
+  bool direct() const { return direct_; }
+
+  void OnAdmission(int machine_id, const ScheduleOutcome& outcome,
+                   double now) override;
+  void OnQueued(int machine_id, const ScheduleOutcome& outcome,
+                double now) override;
+  void OnDeparture(int machine_id, int container_id, double now) override;
+  void OnMove(const RebalanceMove& move, double now) override;
+  void OnEvacuation(const EvacuationReport& report, double now) override;
+  void OnMachineAvailability(int machine_id, MachineAvailability availability,
+                             double now) override;
+  void OnTargetSearch(const TargetSearchStats& search, double now) override;
+  void OnAdmissionDecision(int container_id, int vcpus, SloTier tier,
+                           AdmissionDecision decision, double now) override;
+
+ private:
+  void Route(ObserverRecord record);
+
+  OrderedObserverBuffer* buffer_;
+  EventObserver* downstream_;
+  bool direct_ = false;
+};
+
+}  // namespace numaplace
+
+#endif  // NUMAPLACE_SRC_TELEMETRY_ORDERED_H_

@@ -320,6 +320,36 @@ TEST(FleetDispatch, BestPredictedPaysProbesOncePerTopologyGroup) {
   EXPECT_EQ(fleet.MachineOf(1), -1);
 }
 
+TEST(FleetDispatch, SameInstantSubmissionsOnTwinMachinesHitTheSharedProbeCache) {
+  // Two same-topology machines previewing two arrivals in one instant all
+  // read and write one shard-locked ModelRegistry prediction cache — the
+  // sharing pattern the parallel replay runs from worker threads. Each
+  // container pays its probe pair exactly once, fleet-wide; every preview
+  // beyond the first is a cache hit.
+  FleetConfig config;
+  config.dispatch = "best-predicted";
+  FleetScheduler fleet = MakeAmdFleet(2, "model", config);
+  const FleetOutcome first = fleet.Submit(MakeRequest(1, "gcc", 0.9), 0.0);
+  const FleetOutcome second = fleet.Submit(MakeRequest(2, "canneal", 0.9), 0.0);
+  ASSERT_TRUE(first.outcome.admitted);
+  ASSERT_TRUE(second.outcome.admitted);
+
+  // One probe pair per container (never per machine), and one cached
+  // prediction per container in the shared group registry.
+  EXPECT_EQ(fleet.stats().fleet_probe_runs, 4);
+  EXPECT_EQ(TotalProbeRuns(fleet), 4);
+  const ModelRegistry& registry = fleet.GroupRegistry(Assets().topo.name());
+  EXPECT_EQ(registry.NumCachedPredictions(), 2u);
+  EXPECT_NE(registry.FindPrediction(1), nullptr);
+  EXPECT_NE(registry.FindPrediction(2), nullptr);
+  // The second machine previews (and the winner admits) from the cache.
+  int reuses = 0;
+  for (int m = 0; m < fleet.NumMachines(); ++m) {
+    reuses += fleet.machine(m).stats().cached_probe_reuses;
+  }
+  EXPECT_GE(reuses, 2);
+}
+
 TEST(FleetDispatch, BestPredictedPrefersTheMachineWithHigherMargin) {
   FleetConfig config;
   config.dispatch = "best-predicted";

@@ -1,0 +1,413 @@
+// Tests for the parallel fleet replay (src/cluster/parallel.h) and its
+// deterministic merge stage (src/telemetry/ordered.h):
+//
+//   * OrderedObserverBuffer unit tests — filled slots drain in sequence
+//     order, a reserved hole stalls the drain until its deferred work is
+//     ready and then delivers in its own position, and the closing
+//     invariants (CheckDrained, gap-free stats) hold.
+//   * Serial / parallel equivalence — the same trace replayed serially and
+//     through ParallelReplayEngine at --threads {2, 4, 8} produces the
+//     byte-identical observer stream, telemetry artifacts (Chrome trace
+//     spans, metrics dump, JSONL snapshots) and FleetReport, across
+//     fail/drain/rejoin churn, a domain-scoped rack loss under spread
+//     dispatch, and a tiered-admission flash crowd.
+//   * Randomized stress — random trace shapes x thread counts: every
+//     replay's observer sequence numbers drain gap-free and in order
+//     (engine/buffer stats), deferred commits only ever land on the worker
+//     owning the target machine's cell (NP_CHECKed inside the engine), and
+//     the downstream callback stream matches the serial replay exactly.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cluster/domains.h"
+#include "src/cluster/fleet.h"
+#include "src/cluster/parallel.h"
+#include "src/model/pipeline.h"
+#include "src/scheduler/scheduler.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/metrics_observer.h"
+#include "src/telemetry/ordered.h"
+#include "src/telemetry/snapshots.h"
+#include "src/telemetry/spans.h"
+#include "src/topology/machines.h"
+#include "src/util/rng.h"
+#include "src/workloads/synth.h"
+#include "src/workloads/trace.h"
+
+namespace numaplace {
+namespace {
+
+// One trained AMD model shared by every test in the binary (training is the
+// expensive part; the fleets themselves are cheap).
+struct AmdAssets {
+  Topology topo = AmdOpteron6272();
+  ImportantPlacementSet ips = GenerateImportantPlacements(topo, 16, true);
+  PerformanceModel sim{topo, 0.01, 3};
+  TrainedPerfModel model;
+
+  AmdAssets() {
+    ModelPipeline pipeline(ips, sim, /*baseline_id=*/1, /*seed=*/23);
+    PerfModelConfig config;
+    config.forest.num_trees = 60;
+    config.cv_trees = 25;
+    config.runs_per_workload = 2;
+    Rng rng(7);
+    model = pipeline.TrainPerfAuto(SampleTrainingWorkloads(36, rng), config);
+  }
+};
+
+const AmdAssets& Assets() {
+  static const AmdAssets* assets = new AmdAssets();
+  return *assets;
+}
+
+FleetScheduler MakeFleet(int num_machines, FleetConfig config) {
+  const AmdAssets& assets = Assets();
+  MachineSpec spec(AmdOpteron6272());
+  spec.scheduler.policy = "model";
+  spec.scheduler.baseline_id = 1;
+  std::vector<MachineSpec> specs(static_cast<size_t>(num_machines), spec);
+  FleetScheduler fleet(std::move(specs), std::move(config));
+  fleet.GroupRegistry(assets.topo.name()).Register(assets.topo.name(), 16, assets.model);
+  fleet.ProvidePlacements(assets.topo.name(), assets.ips);
+  return fleet;
+}
+
+// ---- OrderedObserverBuffer unit tests ---------------------------------
+
+ObserverRecord DepartureRecord(int container_id) {
+  ObserverRecord record;
+  record.kind = ObserverRecord::Kind::kDeparture;
+  record.machine_id = 0;
+  record.container_id = container_id;
+  record.now = static_cast<double>(container_id);
+  return record;
+}
+
+TEST(OrderedBuffer, FilledSlotsDrainImmediatelyInSequenceOrder) {
+  OutcomeRecorder downstream;
+  OrderedObserverBuffer buffer(&downstream);
+  EXPECT_EQ(buffer.Emit(DepartureRecord(10)), 0u);
+  EXPECT_EQ(buffer.Emit(DepartureRecord(11)), 1u);
+  EXPECT_EQ(buffer.Emit(DepartureRecord(12)), 2u);
+  ASSERT_EQ(downstream.departures.size(), 3u);
+  EXPECT_EQ(downstream.departures[0].second, 10);
+  EXPECT_EQ(downstream.departures[2].second, 12);
+  buffer.CheckDrained();
+  EXPECT_EQ(buffer.stats().emitted, 3u);
+  EXPECT_EQ(buffer.stats().drained, 3u);
+  EXPECT_EQ(buffer.stats().reserved, 0u);
+}
+
+TEST(OrderedBuffer, HoleStallsLaterSlotsAndDeliversInItsOwnPosition) {
+  OutcomeRecorder downstream;
+  OrderedObserverBuffer buffer(&downstream);
+  bool ready = false;
+  buffer.Emit(DepartureRecord(1));
+  // The hole's content — delivered straight downstream when the drain
+  // passes it, exactly like the engine's direct-mode FinishDispatch.
+  buffer.Reserve([&ready] { return ready; },
+                 [&downstream] { downstream.OnDeparture(0, 2, 2.0); });
+  buffer.Emit(DepartureRecord(3));
+  buffer.Emit(DepartureRecord(4));
+  // Slot 0 drained; everything behind the unready hole is stalled.
+  ASSERT_EQ(downstream.departures.size(), 1u);
+  EXPECT_EQ(downstream.departures[0].second, 1);
+  EXPECT_EQ(buffer.stats().max_buffered, 3u);
+  EXPECT_THROW(buffer.CheckDrained(), std::logic_error);
+
+  ready = true;
+  buffer.Drain();
+  buffer.CheckDrained();
+  ASSERT_EQ(downstream.departures.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(downstream.departures[static_cast<size_t>(i)].second, i + 1);
+  }
+  EXPECT_EQ(buffer.stats().drained, 4u);
+  EXPECT_EQ(buffer.stats().emitted + buffer.stats().reserved, 4u);
+}
+
+TEST(OrderedBuffer, SequencingObserverDirectModeBypassesTheBuffer) {
+  OutcomeRecorder downstream;
+  OrderedObserverBuffer buffer(&downstream);
+  SequencingObserver sequencer(&buffer, &downstream);
+  bool ready = false;
+  buffer.Reserve([&ready] { return ready; }, [] {});
+  // Buffered mode: the callback parks behind the hole.
+  sequencer.OnDeparture(0, 7, 1.0);
+  EXPECT_TRUE(downstream.departures.empty());
+  // Direct mode: the callback skips the (stalled) buffer entirely.
+  sequencer.set_direct(true);
+  sequencer.OnDeparture(0, 8, 1.0);
+  sequencer.set_direct(false);
+  ASSERT_EQ(downstream.departures.size(), 1u);
+  EXPECT_EQ(downstream.departures[0].second, 8);
+  ready = true;
+  buffer.Drain();
+  buffer.CheckDrained();
+  ASSERT_EQ(downstream.departures.size(), 2u);
+  EXPECT_EQ(downstream.departures[1].second, 7);
+}
+
+// ---- Serial / parallel equivalence ------------------------------------
+
+// Formats everything an OutcomeRecorder captured, field by field, so two
+// replays can be compared as strings (a mismatch prints the full streams).
+std::string DumpRecorder(const OutcomeRecorder& recorder) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const FleetOutcome& fo : recorder.outcomes) {
+    const ScheduleOutcome& o = fo.outcome;
+    os << "outcome m=" << fo.machine_id << " c=" << o.container_id
+       << " admitted=" << o.admitted << " placement=" << o.placement_id
+       << " predicted=" << o.predicted_abs_throughput
+       << " goal=" << o.goal_abs_throughput << " meets=" << o.meets_goal
+       << " cached=" << o.reused_cached_probes << " secs=" << o.decision_seconds
+       << " timeline=" << o.timeline.size() << "\n";
+  }
+  for (const auto& [machine_id, container_id] : recorder.departures) {
+    os << "departure m=" << machine_id << " c=" << container_id << "\n";
+  }
+  for (const RebalanceMove& move : recorder.moves) {
+    os << "move c=" << move.container_id << " " << move.from_machine << "->"
+       << move.to_machine << " queued=" << move.was_queued
+       << " reason=" << ToString(move.reason) << " gain=" << move.predicted_gain_ops
+       << " cost=" << move.modeled_cost_ops << " move_s=" << move.move_seconds
+       << " net_s=" << move.network_seconds << "\n";
+  }
+  for (const EvacuationReport& e : recorder.evacuations) {
+    os << "evacuation m=" << e.machine_id << " reason=" << ToString(e.reason)
+       << " at=" << e.start_seconds << " containers=" << e.containers
+       << " rehomed=" << e.rehomed << " requeued=" << e.requeued
+       << " landing=" << e.last_landing_seconds << " move_s=" << e.move_seconds_total
+       << "\n";
+  }
+  for (const auto& [machine_id, availability] : recorder.availability_changes) {
+    os << "availability m=" << machine_id << " " << ToString(availability) << "\n";
+  }
+  for (const AdmissionDecisionRecord& d : recorder.admission_decisions) {
+    os << "admission c=" << d.container_id << " vcpus=" << d.vcpus
+       << " tier=" << ToString(d.tier) << " decision=" << ToString(d.decision) << "\n";
+  }
+  return os.str();
+}
+
+// Deterministic text dump of a metrics registry (sorted instrument names,
+// exact counts; percentiles are deterministic functions of exact state).
+std::string DumpMetrics(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const std::string& name : registry.CounterNames()) {
+    os << "counter " << name << " " << registry.FindCounter(name)->value() << "\n";
+  }
+  for (const std::string& name : registry.GaugeNames()) {
+    os << "gauge " << name << " " << registry.FindGauge(name)->value() << "\n";
+  }
+  for (const std::string& name : registry.HistogramNames()) {
+    if (name == "fleet.search_seconds") {
+      // Host wall time — the one documented non-deterministic instrument
+      // (docs/OBSERVABILITY.md); deterministic artifacts always skip it.
+      continue;
+    }
+    const Histogram* h = registry.FindHistogram(name);
+    os << "histogram " << name << " n=" << h->count() << " sum=" << h->sum()
+       << " min=" << h->min() << " max=" << h->max() << " p50=" << h->Percentile(50.0)
+       << " p99=" << h->Percentile(99.0) << "\n";
+  }
+  return os.str();
+}
+
+// Everything one replay produced: the downstream callback stream, the three
+// telemetry artifacts, and the evaluation report.
+struct ReplayArtifacts {
+  std::string callbacks;  // DumpRecorder of the downstream observer
+  std::string spans;      // Chrome trace-event JSON (--trace-out)
+  std::string metrics;    // deterministic metrics dump
+  std::string snapshots;  // JSONL time-series (--metrics-out)
+  FleetReport report;
+};
+
+// Replays `trace` on a fresh fleet with the full telemetry chain attached
+// (recorder <- metrics <- spans, snapshots sampling every 300 sim seconds),
+// serially when threads == 1 and through ParallelReplayEngine otherwise.
+ReplayArtifacts RunReplay(const FleetConfig& config, int num_machines,
+                          const EventStream& trace, int threads) {
+  FleetScheduler fleet = MakeFleet(num_machines, config);
+  OutcomeRecorder recorder;
+  MetricsRegistry registry;
+  MetricsObserver metrics(&registry, &recorder, fleet.NumMachines());
+  SpanCollector spans(&metrics);
+  std::ostringstream snapshot_stream;
+  FleetSnapshotRecorder snapshots(fleet, 300.0, snapshot_stream);
+
+  ReplayArtifacts artifacts;
+  if (threads == 1) {
+    artifacts.report = fleet.ReplayWithEvaluation(trace, &spans, &snapshots);
+  } else {
+    ParallelReplayEngine engine(&fleet, ParallelReplayConfig{threads});
+    artifacts.report = engine.ReplayWithEvaluation(trace, &spans, &snapshots);
+    // The merge stage's closing property: every sequence number assigned
+    // during the replay drained, in order, with none lost to the reorder.
+    EXPECT_EQ(engine.stats().sequences_drained, engine.stats().sequences_assigned);
+  }
+  spans.Finish(trace.EndTime());
+  std::ostringstream span_stream;
+  spans.WriteChromeTrace(span_stream);
+  artifacts.callbacks = DumpRecorder(recorder);
+  artifacts.spans = span_stream.str();
+  artifacts.metrics = DumpMetrics(registry);
+  artifacts.snapshots = snapshot_stream.str();
+  return artifacts;
+}
+
+void ExpectReportsEqual(const FleetReport& serial, const FleetReport& parallel) {
+  // Every field but host wall time must match bit for bit.
+  EXPECT_EQ(serial.goal_attainment, parallel.goal_attainment);
+  EXPECT_EQ(serial.container_seconds_at_goal, parallel.container_seconds_at_goal);
+  EXPECT_EQ(serial.mean_utilization, parallel.mean_utilization);
+  EXPECT_EQ(serial.utilization_min, parallel.utilization_min);
+  EXPECT_EQ(serial.utilization_max, parallel.utilization_max);
+  EXPECT_EQ(serial.mean_queue_wait_seconds, parallel.mean_queue_wait_seconds);
+  EXPECT_EQ(serial.decisions, parallel.decisions);
+  EXPECT_EQ(serial.machine_utilizations, parallel.machine_utilizations);
+  EXPECT_EQ(serial.tier_goal_attainment, parallel.tier_goal_attainment);
+  EXPECT_EQ(serial.tier_container_seconds, parallel.tier_container_seconds);
+}
+
+void ExpectEquivalentAcrossThreadCounts(const FleetConfig& config, int num_machines,
+                                        const EventStream& trace) {
+  const ReplayArtifacts serial = RunReplay(config, num_machines, trace, 1);
+  for (const int threads : {2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const ReplayArtifacts parallel = RunReplay(config, num_machines, trace, threads);
+    EXPECT_EQ(serial.callbacks, parallel.callbacks);
+    EXPECT_EQ(serial.spans, parallel.spans);
+    EXPECT_EQ(serial.metrics, parallel.metrics);
+    EXPECT_EQ(serial.snapshots, parallel.snapshots);
+    ExpectReportsEqual(serial.report, parallel.report);
+  }
+}
+
+TEST(ParallelEquivalence, FailDrainRejoinChurnMidTrace) {
+  TraceConfig base;
+  base.num_containers = 8;
+  base.mean_interarrival_seconds = 90.0;
+  base.mean_lifetime_seconds = 900.0;
+  Rng rng(17);
+  EventStream trace = GenerateFleetTrace(base, /*num_streams=*/4, rng);
+  trace = InjectMachineEvents(std::move(trace),
+                              {FleetEvent::Fail(600.0, 1), FleetEvent::Drain(1200.0, 2),
+                               FleetEvent::Rejoin(2400.0, 1),
+                               FleetEvent::Rejoin(3600.0, 2)});
+  FleetConfig config;
+  config.dispatch = "best-predicted";
+  ExpectEquivalentAcrossThreadCounts(config, /*num_machines=*/4, trace);
+}
+
+TEST(ParallelEquivalence, DomainScopedRackLossUnderSpreadDispatch) {
+  TraceConfig base;
+  base.num_containers = 8;
+  base.mean_interarrival_seconds = 90.0;
+  base.mean_lifetime_seconds = 1200.0;
+  Rng rng(29);
+  FleetConfig config;
+  config.dispatch = "sharded";
+  config.domain_racks = 3;
+  config.domain_zones = 1;
+  config.spread_weight = 0.5;
+  // Expand the rack loss against the fleet's own domain topology, exactly
+  // as the CLI's --fail rack:0@1500 would.
+  const FleetScheduler probe = MakeFleet(6, config);
+  EventStream trace = GenerateFleetTrace(base, /*num_streams=*/6, rng);
+  trace = InjectMachineEvents(
+      std::move(trace),
+      {FleetEvent::FailDomain(1500.0, DomainScope::kRack, 0),
+       FleetEvent::RejoinDomain(3000.0, DomainScope::kRack, 0)},
+      probe.domains());
+  ExpectEquivalentAcrossThreadCounts(config, /*num_machines=*/6, trace);
+}
+
+TEST(ParallelEquivalence, TieredAdmissionFlashCrowd) {
+  FlashCrowdConfig flash;
+  flash.base.num_containers = 8;
+  flash.base.mean_interarrival_seconds = 120.0;
+  flash.base.mean_lifetime_seconds = 900.0;
+  flash.bursts = 1;
+  flash.burst_containers = 10;
+  Rng rng(41);
+  const EventStream trace = GenerateFlashCrowdTrace(flash, /*num_streams=*/4, rng);
+  FleetConfig config;
+  config.admission = "tiered";
+  ExpectEquivalentAcrossThreadCounts(config, /*num_machines=*/4, trace);
+}
+
+// ---- Randomized stress ------------------------------------------------
+
+TEST(ParallelStress, RandomTracesDrainGapFreeAndMatchSerial) {
+  uint64_t total_deferred = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed * 1000 + 7);
+    // Random trace shape: fleet size, stream density, lifetimes and churn
+    // all vary with the seed; the comparison is always against the serial
+    // replay of the identical trace.
+    const int num_machines = 3 + static_cast<int>(rng.NextBelow(5));  // 3..7
+    TraceConfig base;
+    base.num_containers = 5 + static_cast<int>(rng.NextBelow(8));
+    base.mean_interarrival_seconds = 60.0 + 60.0 * rng.NextDouble();
+    base.mean_lifetime_seconds = 400.0 + 800.0 * rng.NextDouble();
+    EventStream trace = GenerateFleetTrace(base, num_machines, rng);
+    if (num_machines > 3) {
+      const int victim = 1 + static_cast<int>(rng.NextBelow(
+                                 static_cast<uint64_t>(num_machines - 1)));
+      const double at = 300.0 + 600.0 * rng.NextDouble();
+      trace = InjectMachineEvents(
+          std::move(trace),
+          {FleetEvent::Fail(at, victim), FleetEvent::Rejoin(at + 1500.0, victim)});
+    }
+    FleetConfig config;
+    config.dispatch = (seed % 2 == 0) ? "sharded" : "least-loaded";
+
+    const ReplayArtifacts serial = RunReplay(config, num_machines, trace, 1);
+    const int threads = 2 + static_cast<int>(seed % 7);  // 2..8
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+
+    FleetScheduler fleet = MakeFleet(num_machines, config);
+    OutcomeRecorder recorder;
+    MetricsRegistry registry;
+    MetricsObserver metrics(&registry, &recorder, fleet.NumMachines());
+    SpanCollector spans(&metrics);
+    std::ostringstream snapshot_stream;
+    FleetSnapshotRecorder snapshots(fleet, 300.0, snapshot_stream);
+    ParallelReplayEngine engine(&fleet, ParallelReplayConfig{threads});
+    const FleetReport report = engine.ReplayWithEvaluation(trace, &spans, &snapshots);
+    spans.Finish(trace.EndTime());
+
+    // Gap-free, strictly ordered sequence numbers: everything assigned
+    // drained (the buffer CHECKs strict front order internally), and the
+    // engine routed every deferred commit through the cell-owning worker
+    // (NP_CHECKed per ticket in EnqueueDispatchCommit).
+    const ParallelReplayEngine::Stats& stats = engine.stats();
+    EXPECT_EQ(stats.sequences_drained, stats.sequences_assigned);
+    total_deferred += stats.deferred_commits;
+
+    std::ostringstream span_stream;
+    spans.WriteChromeTrace(span_stream);
+    EXPECT_EQ(serial.callbacks, DumpRecorder(recorder));
+    EXPECT_EQ(serial.spans, span_stream.str());
+    EXPECT_EQ(serial.metrics, DumpMetrics(registry));
+    EXPECT_EQ(serial.snapshots, snapshot_stream.str());
+    ExpectReportsEqual(serial.report, report);
+  }
+  // The stress actually exercised the deferred-commit path (not just
+  // batch work): at least one replay routed commits through workers.
+  EXPECT_GT(total_deferred, 0u);
+}
+
+}  // namespace
+}  // namespace numaplace

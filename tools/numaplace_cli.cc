@@ -25,6 +25,7 @@
 //         [--admission <name>] [--tiers <group>=<tier>[,...]]
 //         [--defer-limit <n>] [--flash-crowd] [--bursts <B>]
 //         [--burst-containers <n>]
+//         [--threads <N>]
 //         [--json <path>] [--trace-out <path>] [--metrics-out <path>]
 //         [--metrics-interval <seconds>]
 //                                     build a fleet from a comma-separated
@@ -55,7 +56,10 @@
 //                                     wait pool) and --flash-crowd swaps in
 //                                     the diurnal + burst overload trace
 //                                     (--bursts/--burst-containers shape
-//                                     the spikes). --json writes
+//                                     the spikes). --threads replays on a
+//                                     worker pool (default 1 = serial;
+//                                     every artifact stays byte-identical).
+//                                     --json writes
 //                                     the run's tables as JSON;
 //                                     --trace-out/--metrics-out/
 //                                     --metrics-interval attach the
@@ -78,6 +82,7 @@
 #include "src/cluster/admission.h"
 #include "src/cluster/dispatch.h"
 #include "src/cluster/fleet.h"
+#include "src/cluster/parallel.h"
 #include "src/core/concern.h"
 #include "src/core/important.h"
 #include "src/migration/migration.h"
@@ -401,7 +406,7 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
              const std::vector<FleetEvent>& machine_events, int sharded_cells,
              int sharded_probes, bool full_scan_ops, int fleet_probes,
              int domain_racks, int domain_zones, double spread_weight,
-             int spread_cap, const FleetAdmissionOptions& admission,
+             int spread_cap, int threads, const FleetAdmissionOptions& admission,
              const FleetOutputOptions& output) {
   if (containers_per_stream <= 0) {
     std::fprintf(stderr, "need at least one container per machine stream\n");
@@ -620,8 +625,17 @@ int CmdFleet(const std::string& machines_csv, int vcpus, int containers_per_stre
     }
   }
 
-  const FleetReport report =
-      fleet.ReplayWithEvaluation(trace, observer, snapshots.get());
+  // --threads 1 (the default) takes exactly the serial replay path; 2+
+  // drives the same fleet through the parallel engine, whose merge stage
+  // keeps every artifact (tables, --json, --trace-out, --metrics-out)
+  // byte-identical to the serial run.
+  FleetReport report;
+  if (threads > 1) {
+    ParallelReplayEngine engine(&fleet, ParallelReplayConfig{threads});
+    report = engine.ReplayWithEvaluation(trace, observer, snapshots.get());
+  } else {
+    report = fleet.ReplayWithEvaluation(trace, observer, snapshots.get());
+  }
   if (spans != nullptr) {
     spans->Finish(trace.EndTime());
   }
@@ -1024,6 +1038,8 @@ void Usage() {
                "trace\n"
                "                [--bursts <B>] [--burst-containers <n>]  spike "
                "shape\n"
+               "                [--threads <N>]           parallel replay workers "
+               "(1 = serial; artifacts identical)\n"
                "                [--json <path>]           write the run's tables as "
                "JSON\n"
                "                [--trace-out <path>]      Chrome trace-event spans "
@@ -1109,6 +1125,7 @@ int main(int argc, char** argv) {
       int domain_zones = 0;
       double spread_weight = 0.0;
       int spread_cap = 0;
+      int threads = 1;
       FleetAdmissionOptions admission;
       FleetOutputOptions output;
       bool have_seed = false;
@@ -1242,6 +1259,18 @@ int main(int argc, char** argv) {
           spread_weight = parsed;
           continue;
         }
+        if (std::strcmp(argv[i], "--threads") == 0) {
+          char* end = nullptr;
+          const long parsed = i + 1 < argc ? std::strtol(argv[i + 1], &end, 10) : 0;
+          if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' || parsed < 1 ||
+              parsed > 256) {
+            std::fprintf(stderr, "--threads needs a worker count in [1, 256]\n");
+            return 2;
+          }
+          ++i;
+          threads = static_cast<int>(parsed);
+          continue;
+        }
         const bool is_fail = std::strcmp(argv[i], "--fail") == 0;
         const bool is_drain = std::strcmp(argv[i], "--drain") == 0;
         const bool is_rejoin = std::strcmp(argv[i], "--rejoin") == 0;
@@ -1320,7 +1349,7 @@ int main(int argc, char** argv) {
       return CmdFleet(argv[2], std::atoi(argv[3]), std::atoi(argv[4]), seed, dispatch,
                       policy, machine_events, sharded_cells, sharded_probes,
                       full_scan_ops, fleet_probes, domain_racks, domain_zones,
-                      spread_weight, spread_cap, admission, output);
+                      spread_weight, spread_cap, threads, admission, output);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
